@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Makes ``benchmarks/`` importable as a package root so the shared
+``harness`` module resolves regardless of invocation directory, and
+always echoes experiment output (benchmarks exist to *print* the
+paper's tables and figures).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,204 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each ``benchmarks/test_*.py`` file regenerates one table or figure of
+the paper: it runs the corresponding experiment on the simulated
+testbed, prints the same rows/series the paper reports, and asserts the
+*qualitative shape* (who wins, by roughly what factor, where crossovers
+fall).  Absolute values are not expected to match the paper's hardware;
+EXPERIMENTS.md records paper-vs-measured for every experiment.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline
+from repro.hardware.units import GIB
+from repro.workloads import (
+    CORE_WORKLOADS,
+    IdleWorkload,
+    MemoryMicrobenchmark,
+    SPEC_PROFILES,
+    SpecWorkload,
+    YcsbWorkload,
+)
+
+#: Seed shared by every benchmark (experiments are deterministic).
+BENCH_SEED = 2023
+
+#: Post-seeding measurement window for throughput experiments.
+MEASURE_WINDOW = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Replication configurations (the paper's Table 6 surface)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicationSetup:
+    """One named engine configuration from Table 6."""
+
+    label: str
+    engine: str  # "remus" | "here" | "none"
+    period: float = 5.0  # Remus T / HERE T_max
+    target_degradation: float = 0.0
+    sigma: float = 0.25
+    initial_period: Optional[float] = None
+
+    def spec(self, memory_bytes: int, seed: int = BENCH_SEED) -> DeploymentSpec:
+        secondary = "xen" if self.engine == "remus" else "kvm"
+        return DeploymentSpec(
+            engine="here" if self.engine == "none" else self.engine,
+            secondary_flavor=secondary,
+            period=self.period if math.isfinite(self.period) else math.inf,
+            target_degradation=self.target_degradation,
+            sigma=self.sigma,
+            initial_period=self.initial_period,
+            memory_bytes=memory_bytes,
+            seed=seed,
+        )
+
+
+#: Table 6 of the paper, as code.
+TABLE6 = {
+    "Xen": ReplicationSetup("Xen", "none"),
+    "HERE(3Sec,0%)": ReplicationSetup("HERE(3Sec,0%)", "here", period=3.0),
+    "HERE(5Sec,0%)": ReplicationSetup("HERE(5Sec,0%)", "here", period=5.0),
+    "HERE(inf,20%)": ReplicationSetup(
+        "HERE(inf,20%)", "here", period=math.inf,
+        target_degradation=0.2, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(inf,30%)": ReplicationSetup(
+        "HERE(inf,30%)", "here", period=math.inf,
+        target_degradation=0.3, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(inf,40%)": ReplicationSetup(
+        "HERE(inf,40%)", "here", period=math.inf,
+        target_degradation=0.4, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(5sec,30%)": ReplicationSetup(
+        "HERE(5sec,30%)", "here", period=5.0,
+        target_degradation=0.3, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(3sec,40%)": ReplicationSetup(
+        "HERE(3sec,40%)", "here", period=3.0,
+        target_degradation=0.4, initial_period=0.5, sigma=0.1,
+    ),
+    "Remus3Sec": ReplicationSetup("Remus3Sec", "remus", period=3.0),
+    "Remus5Sec": ReplicationSetup("Remus5Sec", "remus", period=5.0),
+}
+
+
+# ---------------------------------------------------------------------------
+# Workload attachment
+# ---------------------------------------------------------------------------
+
+def attach_workload(deployment: ProtectedDeployment, kind: str, **kwargs):
+    """Attach one of the paper's Table 4 workloads to the protected VM."""
+    sim, vm = deployment.sim, deployment.vm
+    if kind == "idle":
+        workload = IdleWorkload(sim, vm)
+    elif kind == "membench":
+        workload = MemoryMicrobenchmark(sim, vm, **kwargs)
+    elif kind == "ycsb":
+        kwargs.setdefault("sample_fraction", 2e-4)
+        kwargs.setdefault("preload_records", 300)
+        workload = YcsbWorkload(sim, vm, **kwargs)
+    elif kind == "spec":
+        workload = SpecWorkload(sim, vm, **kwargs)
+    else:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    workload.start()
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners
+# ---------------------------------------------------------------------------
+
+def run_throughput_experiment(
+    setup: ReplicationSetup,
+    workload_kind: str,
+    workload_kwargs: Optional[Dict] = None,
+    memory_gib: float = 8.0,
+    duration: float = MEASURE_WINDOW,
+    seed: int = BENCH_SEED,
+) -> Dict:
+    """One bar of Figs. 11–16: run a workload under one configuration.
+
+    Returns throughput (ops/s), the slowdown vs. the workload's
+    modelled baseline, and replication statistics.
+    """
+    memory_bytes = int(memory_gib * GIB)
+    workload_kwargs = dict(workload_kwargs or {})
+    if setup.engine == "none":
+        deployment = unprotected_baseline(setup.spec(memory_bytes, seed))
+        workload = attach_workload(deployment, workload_kind, **workload_kwargs)
+        deployment.run_for(duration)
+        mark_throughput = workload.throughput()
+        stats = None
+    else:
+        deployment = ProtectedDeployment(setup.spec(memory_bytes, seed))
+        workload = attach_workload(deployment, workload_kind, **workload_kwargs)
+        deployment.start_protection(wait_ready=True)
+        mark = workload.mark()
+        deployment.run_for(duration)
+        mark_throughput = workload.throughput_since(mark)
+        stats = deployment.stats
+    return {
+        "config": setup.label,
+        "throughput": mark_throughput,
+        "baseline_rate": workload.work_rate(),
+        "stats": stats,
+        "workload": workload,
+        "deployment": deployment,
+    }
+
+
+def run_checkpoint_experiment(
+    setup: ReplicationSetup,
+    memory_gib: float,
+    load: float,
+    duration: float = 100.0,
+    seed: int = BENCH_SEED,
+) -> Dict:
+    """One point of Fig. 8: mean checkpoint transfer time + degradation."""
+    deployment = ProtectedDeployment(setup.spec(int(memory_gib * GIB), seed))
+    if load > 0:
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=load).start()
+    else:
+        IdleWorkload(deployment.sim, deployment.vm).start()
+    deployment.start_protection(wait_ready=True)
+    deployment.run_for(duration)
+    stats = deployment.stats
+    return {
+        "config": setup.label,
+        "memory_gib": memory_gib,
+        "load": load,
+        "mean_transfer_s": stats.mean_transfer_duration(),
+        "mean_pause_s": stats.mean_pause_duration(),
+        "mean_degradation": stats.mean_degradation(),
+        "checkpoints": stats.checkpoint_count,
+        "stats": stats,
+        "deployment": deployment,
+    }
+
+
+def slowdown_pct(throughput: float, baseline: float) -> float:
+    """The number printed above each bar in Figs. 11–16."""
+    if baseline <= 0:
+        return float("nan")
+    return 100.0 * (1.0 - throughput / baseline)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

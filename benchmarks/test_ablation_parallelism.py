@@ -1,0 +1,64 @@
+"""Ablation: checkpoint-transfer parallelism factor P (Eq. 3's divisor).
+
+Sweeps the number of migrator threads from 1 to 16 on a fixed workload
+and reports mean checkpoint transfer time.  Expected: monotone
+improvement with diminishing returns — page copying is memory-bus
+bound, so the marginal thread is worth less each time (the calibrated
+η_copy ≈ 0.32), which is why the paper stops at one thread per vCPU.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware.units import GIB
+from repro.workloads import MemoryMicrobenchmark
+
+from harness import BENCH_SEED, print_header
+
+THREAD_SWEEP = [1, 2, 4, 8, 16]
+
+
+def run_sweep():
+    rows = []
+    for threads in THREAD_SWEEP:
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here",
+                period=8.0,
+                target_degradation=0.0,
+                checkpoint_threads=threads,
+                memory_bytes=8 * GIB,
+                seed=BENCH_SEED,
+            )
+        )
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.3).start()
+        deployment.start_protection(wait_ready=True)
+        deployment.run_for(80.0)
+        rows.append(
+            {
+                "threads": threads,
+                "mean_transfer_s": deployment.stats.mean_transfer_duration(),
+                "mean_degradation_pct": deployment.stats.mean_degradation() * 100,
+            }
+        )
+    return rows
+
+
+def test_ablation_parallelism_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_header("Ablation: checkpoint transfer threads (P) sweep")
+    print(render_table(rows))
+
+    times = [row["mean_transfer_s"] for row in rows]
+    # Monotone improvement with thread count.
+    assert times == sorted(times, reverse=True)
+    # Diminishing returns per *added thread*: doubling 1->2 buys a
+    # bigger per-thread factor than doubling 8->16.
+    per_thread_first = times[0] / times[1]  # one thread added
+    per_thread_last = (times[3] / times[4]) ** (1.0 / 8.0)  # eight added
+    assert per_thread_first > 1.2
+    assert per_thread_last < 1.12
+    # The paper's per-vCPU choice (4 threads) already roughly halves
+    # the single-thread transfer time.
+    assert times[0] / times[2] > 1.8

@@ -1,0 +1,85 @@
+"""Fig. 5: the linear relationship between dirty pages and send time.
+
+The paper plots page-sending time against the number of dirty pages
+(20 k–100 k) and reads off a linear law f(N) = αN that Eq. 4's
+controller model builds on.  We regenerate the sweep by running real
+single-stream checkpoint transfers at forced dirty-set sizes and fit
+(α, C) with least squares — the fit must be strongly linear and the
+recovered α must match the calibrated model constant.
+"""
+
+import pytest
+
+from repro.analysis import estimate_alpha, linear_fit, render_table
+from repro.hardware import DEFAULT_COST_MODEL, Link, build_testbed, omnipath_hfi100
+from repro.migration import timed_page_send
+from repro.simkernel import Simulation
+
+from harness import print_header
+
+DIRTY_SWEEP = [20_000, 40_000, 60_000, 80_000, 100_000]
+
+
+def run_sweep(threads=1):
+    sim = Simulation(seed=1)
+    testbed = build_testbed(sim)
+    link = Link(sim, omnipath_hfi100())
+    durations = []
+    for dirty in DIRTY_SWEEP:
+        process = sim.process(
+            timed_page_send(
+                sim,
+                testbed.primary,
+                link,
+                [dirty / threads] * threads,
+                DEFAULT_COST_MODEL,
+            )
+        )
+        durations.append(sim.run_until_triggered(process, limit=1e9))
+    return durations
+
+
+def test_fig5_linear_page_send_time(benchmark):
+    durations = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        {"dirty_pages_k": n / 1000, "send_time_s": t}
+        for n, t in zip(DIRTY_SWEEP, durations)
+    ]
+    fit = linear_fit([float(n) for n in DIRTY_SWEEP], durations)
+    alpha, constant = estimate_alpha(
+        [float(n) for n in DIRTY_SWEEP], durations, parallelism=1
+    )
+    print_header("Fig. 5: dirty pages vs page sending time (single stream)")
+    print(render_table(rows))
+    print(
+        f"\nfit: t = {fit.slope:.3e} * N + {fit.intercept:.3e}  "
+        f"(R^2 = {fit.r_squared:.6f})"
+    )
+    print(f"recovered alpha = {alpha * 1e6:.2f} us/page")
+
+    # Shape: strongly linear (the paper's entire Eq. 4 rests on this).
+    assert fit.r_squared > 0.999
+    # The recovered alpha matches the calibrated model constant.
+    assert alpha == pytest.approx(DEFAULT_COST_MODEL.page_send_cost, rel=0.05)
+    # Magnitude: 100 k pages take seconds on one stream (paper: ~5 s).
+    assert 3.0 < durations[-1] < 7.0
+    # Monotone increase.
+    assert durations == sorted(durations)
+
+
+def test_fig5_parallelism_scales_alpha(benchmark):
+    """Eq. 4's αN/P: with P streams the fitted slope shrinks."""
+    durations = benchmark.pedantic(
+        run_sweep, kwargs={"threads": 4}, rounds=1, iterations=1
+    )
+    alpha_effective, _constant = estimate_alpha(
+        [float(n) for n in DIRTY_SWEEP], durations, parallelism=1
+    )
+    print(
+        f"\n4-thread effective alpha = {alpha_effective * 1e6:.2f} us/page "
+        f"(single-stream: {DEFAULT_COST_MODEL.page_send_cost * 1e6:.2f})"
+    )
+    assert alpha_effective < DEFAULT_COST_MODEL.page_send_cost
+    expected = DEFAULT_COST_MODEL.page_send_cost / DEFAULT_COST_MODEL.copy_speedup(4)
+    assert alpha_effective == pytest.approx(expected, rel=0.05)

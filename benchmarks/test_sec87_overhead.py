@@ -1,0 +1,67 @@
+"""§8.7: host-side CPU and memory overhead of the replication engine.
+
+Paper setup: 4 vCPUs / 16 GB VM running the memory microbenchmark,
+fixed replication period of 1 s.  Paper results: HERE's multithreaded
+engine consumes ~62 % of one CPU core and ~314 MB of resident memory —
+"comparable to existing solutions like Remus" — and the overhead
+depends on the thread count, not on the checkpoint period.
+"""
+
+import pytest
+
+from repro.analysis import measure_overhead, render_table
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware.units import GIB
+from repro.workloads import MemoryMicrobenchmark
+
+from harness import BENCH_SEED, print_header
+
+
+def run_overhead(period):
+    deployment = ProtectedDeployment(
+        DeploymentSpec(
+            engine="here",
+            period=period,
+            target_degradation=0.0,
+            memory_bytes=16 * GIB,
+            seed=BENCH_SEED,
+        )
+    )
+    MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.3).start()
+    deployment.start_protection(wait_ready=True)
+    start = deployment.sim.now
+    deployment.run_for(60.0)
+    return measure_overhead(deployment.engine, since=start)
+
+
+def run_both_periods():
+    return {1.0: run_overhead(1.0), 5.0: run_overhead(5.0)}
+
+
+def test_sec87_replication_engine_overhead(benchmark):
+    reports = benchmark.pedantic(run_both_periods, rounds=1, iterations=1)
+    rows = [
+        {
+            "period_s": period,
+            "cpu_pct_of_one_core": report.cpu_percent,
+            "rss_mb": report.resident_mb,
+            "checkpoints": report.checkpoints_in_window,
+        }
+        for period, report in sorted(reports.items())
+    ]
+    print_header("Section 8.7: replication engine CPU and memory overhead")
+    print(render_table(rows))
+    print("\npaper: ~62% of one core, ~314 MB RSS (4 vCPU / 16 GB, T=1s)")
+
+    one_second = reports[1.0]
+    # CPU: a substantial fraction of one core, far from saturating the
+    # host (paper: 62 %).
+    assert 25.0 < one_second.cpu_percent < 95.0
+    # Memory: a few hundred MB of staging/ring/protocol buffers
+    # (paper: 314 MB).
+    assert 250.0 < one_second.resident_mb < 400.0
+    # The paper's claim: overhead tracks thread count, not period —
+    # the per-second CPU cost at T=5 s is the same order as at T=1 s.
+    five_second = reports[5.0]
+    assert five_second.resident_mb == one_second.resident_mb
+    assert five_second.cpu_percent > 0.3 * one_second.cpu_percent

@@ -1,0 +1,91 @@
+"""Table 5 + §8.2: the deep-dive into Xen's DoS-only vulnerabilities.
+
+Paper values (Table 5, percentages of Xen's 152 DoS-only CVEs)::
+
+    Target                     Outcome          HERE
+    84.5%  Xen, Dom0, Tools    66.0% Crash      Applicable
+                               13.0% Hang       Applicable
+                               5.5%  Starvation Applicable
+    12.5%  Guest OS            10.0% Crash      Applicable
+                               2.5%  Starvation Applicable
+    3.0%   Other software      3.0%  Crash      Applicable
+
+Plus the §8.2 attack-vector partition (25 % device management, 20 %
+hypercall, 12 % vCPU, 7 % shadow paging, 2 % VM exit, 34 % other) and
+the privilege split (more than half launchable from guest user space).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.security import (
+    RequiredPrivilege,
+    attack_vector_distribution,
+    build_default_database,
+    heterogeneity_exposure,
+    privilege_split,
+    table5_distribution,
+)
+
+from harness import print_header
+
+
+def compute_all():
+    database = build_default_database()
+    return {
+        "table5": table5_distribution(database, "Xen"),
+        "vectors": attack_vector_distribution(database, "Xen"),
+        "privileges": privilege_split(database, "Xen"),
+        "qemu_exposure": heterogeneity_exposure(
+            database, ["xen", "qemu"], ["kvm", "qemu"]
+        ),
+        "kvmtool_exposure": heterogeneity_exposure(
+            database, ["xen", "qemu"], ["kvm", "kvmtool"]
+        ),
+    }
+
+
+def test_table5_dos_only_analysis(benchmark):
+    data = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+
+    print_header("Table 5: Xen DoS-only CVEs by target/outcome + HERE applicability")
+    print(render_table(data["table5"]))
+
+    print_header("Section 8.2: attack-vector partition of Xen's DoS-only CVEs")
+    print(
+        render_table(
+            [
+                {"attack_vector": cat.value, "pct": pct}
+                for cat, pct in data["vectors"].items()
+            ]
+        )
+    )
+    print_header("Section 8.2: required privilege")
+    print(
+        render_table(
+            [
+                {"privilege": privilege.value, "pct": pct}
+                for privilege, pct in data["privileges"].items()
+            ]
+        )
+    )
+    print()
+    print(
+        f"Shared-lineage exposure if paired with QEMU-KVM: "
+        f"{len(data['qemu_exposure'])} CVEs; with kvmtool: "
+        f"{len(data['kvmtool_exposure'])} CVEs"
+    )
+
+    # Table 5 shape: hypervisor stack dominates, crash dominates,
+    # HERE applicable to every class.
+    rows = data["table5"]
+    stack_rows = [r for r in rows if r["target"] == "Xen, Dom0, Tools"]
+    assert stack_rows[0]["target_pct"] == pytest.approx(84.2, abs=0.5)
+    crash_total = sum(r["outcome_pct"] for r in rows if r["outcome"] == "Crash")
+    assert crash_total == pytest.approx(79.0, abs=1.0)
+    assert all(r["here"] == "Applicable" for r in rows)
+
+    # §8.2 shapes.
+    assert data["privileges"][RequiredPrivilege.GUEST_USER] > 50.0
+    assert len(data["qemu_exposure"]) > 0      # Xen+QEMU-KVM would share bugs
+    assert data["kvmtool_exposure"] == []      # Xen+kvmtool shares none

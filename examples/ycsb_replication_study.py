@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A protection-vs-performance study on a database workload.
+
+Runs YCSB workload A (50 % read / 50 % update against the embedded LSM
+store) under five protection levels — no replication, Remus at 3 s and
+5 s, HERE pinned to the same periods — and prints the trade-off table:
+throughput, checkpoint cost, and the recovery point (how much work a
+failover could lose).
+
+This is the practical question an operator asks before enabling
+replication; the paper's Figs. 11–13 are this study at full scale.
+
+Run:  python examples/ycsb_replication_study.py
+"""
+
+from repro.analysis import render_table
+from repro.cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline
+from repro.hardware.units import GIB
+from repro.workloads import YcsbWorkload
+
+CONFIGS = [
+    ("unprotected Xen", None, None),
+    ("Remus  T=3s", "remus", 3.0),
+    ("Remus  T=5s", "remus", 5.0),
+    ("HERE   T=3s", "here", 3.0),
+    ("HERE   T=5s", "here", 5.0),
+    ("HERE   D=30%", "here", None),  # dynamic: T_max unbounded
+]
+
+
+def run_config(label, engine, period):
+    import math
+
+    spec = DeploymentSpec(
+        vm_name="ycsb-vm",
+        engine=engine or "here",
+        secondary_flavor="xen" if engine == "remus" else "kvm",
+        period=period if period else (math.inf if engine else 5.0),
+        target_degradation=0.3 if (engine == "here" and period is None) else 0.0,
+        sigma=0.25,
+        initial_period=2.0 if (engine == "here" and period is None) else None,
+        memory_bytes=8 * GIB,
+        seed=5,
+    )
+    if engine is None:
+        deployment = unprotected_baseline(spec)
+    else:
+        deployment = ProtectedDeployment(spec)
+    workload = YcsbWorkload(
+        deployment.sim, deployment.vm, mix="a",
+        sample_fraction=5e-4, preload_records=400,
+    )
+    workload.start()
+    if engine is not None:
+        deployment.start_protection()
+    mark = workload.mark()
+    deployment.run_for(120.0)
+    stats = deployment.stats if engine is not None else None
+    throughput = workload.throughput_since(mark)
+    baseline = workload.work_rate()
+    return {
+        "config": label,
+        "kops": throughput / 1000.0,
+        "slowdown_pct": 100.0 * (1.0 - throughput / baseline),
+        "mean_period_s": stats.mean_period() if stats else float("nan"),
+        "mean_pause_ms": (
+            stats.mean_pause_duration() * 1000 if stats else float("nan")
+        ),
+        # Recovery point objective: at worst one period + pause of
+        # externally-visible work is rolled back on failover.
+        "worst_rpo_s": (
+            stats.mean_period() + stats.mean_pause_duration()
+            if stats
+            else float("inf")
+        ),
+        "real_store_ops": workload.real_ops_executed,
+    }
+
+
+def main() -> None:
+    rows = [run_config(*config) for config in CONFIGS]
+    print(render_table(rows, title="YCSB A: protection vs performance"))
+    print(
+        "\nReading guide: Remus and HERE at the same period give the same"
+        "\nrecovery point, but HERE's multithreaded checkpoints cost far"
+        "\nless throughput; HERE's dynamic mode (last row) instead fixes"
+        "\nthe performance budget and buys the best recovery point that"
+        "\nfits inside it."
+    )
+
+
+if __name__ == "__main__":
+    main()

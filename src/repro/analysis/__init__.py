@@ -1,0 +1,57 @@
+"""Measurement, model fitting and reporting for the experiments."""
+
+from .availability import (
+    AvailabilityComparison,
+    ReplicationTimings,
+    annual_downtime,
+    availability_nines,
+    compare_availability,
+    downtime_per_failure_unprotected,
+)
+from .export import ResultsWriter, load_results
+from .degradation import (
+    checkpoint_degradation,
+    respects_target,
+    throughput_slowdown_pct,
+    vm_pause_fraction,
+    workload_slowdown_pct,
+)
+from .model import (
+    LinearFit,
+    estimate_alpha,
+    improvement_pct,
+    linear_fit,
+    relative_change,
+)
+from .overhead import OverheadReport, measure_overhead
+from .report import format_value, render_bars, render_series, render_table
+from .series import TimeSeries, rate_of_progress
+
+__all__ = [
+    "AvailabilityComparison",
+    "LinearFit",
+    "OverheadReport",
+    "ReplicationTimings",
+    "ResultsWriter",
+    "TimeSeries",
+    "annual_downtime",
+    "availability_nines",
+    "checkpoint_degradation",
+    "compare_availability",
+    "downtime_per_failure_unprotected",
+    "estimate_alpha",
+    "format_value",
+    "improvement_pct",
+    "linear_fit",
+    "load_results",
+    "measure_overhead",
+    "rate_of_progress",
+    "relative_change",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "respects_target",
+    "throughput_slowdown_pct",
+    "vm_pause_fraction",
+    "workload_slowdown_pct",
+]

@@ -1,0 +1,147 @@
+"""Availability arithmetic: what replication configurations buy.
+
+Turns the mechanisms this repository measures (checkpoint period,
+pause, detection, activation) into the quantities operators reason
+about:
+
+* **RPO** (recovery point objective) — how much externally-visible
+  work a failover can roll back: for ASR, at most one checkpoint
+  period plus its pause (output commit holds everything newer);
+* **RTO** (recovery time objective) — detection plus activation;
+* **expected annual downtime** under a failure rate, with and without
+  replication — the paper's availability story in numbers.
+
+These are model computations (closed-form, not simulations); they are
+exercised against simulated measurements in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class ReplicationTimings:
+    """Measured characteristics of one replication deployment."""
+
+    #: Mean checkpoint period T (seconds).
+    checkpoint_period: float
+    #: Mean checkpoint pause t (seconds).
+    checkpoint_pause: float
+    #: Failure detection latency (heartbeat interval x threshold).
+    detection_latency: float
+    #: Replica activation time (Fig. 7's resumption).
+    activation_time: float
+
+    def __post_init__(self):
+        for name in (
+            "checkpoint_period",
+            "checkpoint_pause",
+            "detection_latency",
+            "activation_time",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    # -- the operator-facing quantities -------------------------------------
+    @property
+    def worst_case_rpo(self) -> float:
+        """Most externally-visible progress a failover can lose.
+
+        The replica holds the last *acknowledged* checkpoint; work done
+        since — up to a full period plus the in-progress pause — rolls
+        back.  Output commit guarantees nothing newer ever escaped, so
+        clients can never observe the rollback as an inconsistency.
+        """
+        return self.checkpoint_period + self.checkpoint_pause
+
+    @property
+    def recovery_time(self) -> float:
+        """Failure -> service answering again (RTO)."""
+        return self.detection_latency + self.activation_time
+
+    @property
+    def steady_state_degradation(self) -> float:
+        """Eq. 1 at these timings."""
+        denominator = self.checkpoint_pause + self.checkpoint_period
+        if denominator == 0:
+            return 0.0
+        return self.checkpoint_pause / denominator
+
+
+def downtime_per_failure_unprotected(
+    reboot_time: float, restore_time: float = 0.0
+) -> float:
+    """Outage per failure without replication: reboot + state restore."""
+    if reboot_time < 0 or restore_time < 0:
+        raise ValueError("times must be >= 0")
+    return reboot_time + restore_time
+
+
+def annual_downtime(
+    failures_per_year: float, downtime_per_failure: float
+) -> float:
+    """Expected outage seconds per year."""
+    if failures_per_year < 0 or downtime_per_failure < 0:
+        raise ValueError("inputs must be >= 0")
+    return failures_per_year * downtime_per_failure
+
+
+def availability_nines(annual_downtime_seconds: float) -> float:
+    """Availability expressed as 'number of nines'.
+
+    99.9 % -> 3.0; 99.999 % -> 5.0.  Infinite for zero downtime.
+    """
+    if annual_downtime_seconds < 0:
+        raise ValueError("downtime must be >= 0")
+    if annual_downtime_seconds == 0:
+        return math.inf
+    unavailability = annual_downtime_seconds / SECONDS_PER_YEAR
+    if unavailability >= 1.0:
+        return 0.0
+    return -math.log10(unavailability)
+
+
+@dataclass(frozen=True)
+class AvailabilityComparison:
+    """Replicated vs unprotected availability for one failure model."""
+
+    failures_per_year: float
+    unprotected_downtime_s: float
+    replicated_downtime_s: float
+
+    @property
+    def unprotected_nines(self) -> float:
+        return availability_nines(
+            annual_downtime(self.failures_per_year, self.unprotected_downtime_s)
+        )
+
+    @property
+    def replicated_nines(self) -> float:
+        return availability_nines(
+            annual_downtime(self.failures_per_year, self.replicated_downtime_s)
+        )
+
+    @property
+    def downtime_reduction_factor(self) -> float:
+        if self.replicated_downtime_s == 0:
+            return math.inf
+        return self.unprotected_downtime_s / self.replicated_downtime_s
+
+
+def compare_availability(
+    timings: ReplicationTimings,
+    failures_per_year: float,
+    unprotected_reboot_time: float = 300.0,
+) -> AvailabilityComparison:
+    """The headline comparison: reboot-and-restore vs HERE failover."""
+    return AvailabilityComparison(
+        failures_per_year=failures_per_year,
+        unprotected_downtime_s=downtime_per_failure_unprotected(
+            unprotected_reboot_time
+        ),
+        replicated_downtime_s=timings.recovery_time,
+    )

@@ -1,0 +1,97 @@
+"""Result export: persist experiment rows as JSON for post-processing.
+
+The benchmark harness prints human tables; anything downstream
+(plotting notebooks, regression dashboards, cross-run diffs) wants the
+raw rows.  :class:`ResultsWriter` collects named row-sets during a run
+and writes one JSON document, with every value coerced to something
+JSON can carry.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def _coerce(value):
+    """Make a single value JSON-safe (NaN/inf become null/strings)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {str(key): _coerce(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(item) for item in value]
+    if hasattr(value, "summary") and callable(value.summary):
+        return _coerce(value.summary())
+    return str(value)
+
+
+class ResultsWriter:
+    """Accumulates named experiment results and writes them as JSON."""
+
+    def __init__(self, experiment: str, metadata: Optional[Dict] = None):
+        if not experiment:
+            raise ValueError("experiment name must be non-empty")
+        self.experiment = experiment
+        self.metadata = dict(metadata or {})
+        self._sections: Dict[str, List[dict]] = {}
+        self._series: Dict[str, Dict[str, list]] = {}
+
+    def add_rows(self, section: str, rows: Sequence[dict]) -> None:
+        """Append table rows under ``section``."""
+        bucket = self._sections.setdefault(section, [])
+        for row in rows:
+            if not isinstance(row, dict):
+                raise TypeError(f"rows must be dicts, got {type(row).__name__}")
+            bucket.append({str(key): _coerce(value) for key, value in row.items()})
+
+    def add_series(
+        self,
+        section: str,
+        times: Sequence[float],
+        values: Sequence[float],
+    ) -> None:
+        """Store a (time, value) series under ``section``."""
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal lengths")
+        self._series[section] = {
+            "t": [_coerce(float(t)) for t in times],
+            "v": [_coerce(float(v)) for v in values],
+        }
+
+    def as_document(self) -> dict:
+        """The full JSON-ready document."""
+        return {
+            "experiment": self.experiment,
+            "metadata": _coerce(self.metadata),
+            "tables": self._sections,
+            "series": self._series,
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialise to ``path`` (parents created); returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.as_document(), indent=2, sort_keys=True)
+        )
+        return target
+
+
+def load_results(path: Union[str, Path]) -> dict:
+    """Read a document written by :class:`ResultsWriter`."""
+    document = json.loads(Path(path).read_text())
+    for key in ("experiment", "tables", "series"):
+        if key not in document:
+            raise ValueError(f"not a results document: missing {key!r}")
+    return document

@@ -1,0 +1,352 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational front end over the library, mirroring what an
+operator would do with the real system's tooling:
+
+* ``repro demo``       — the DoS-attack-to-failover kill chain;
+* ``repro replicate``  — protect a loaded VM and report statistics;
+* ``repro migrate``    — one live migration, Xen stock vs HERE;
+* ``repro table1``     — the vulnerability study (Table 1);
+* ``repro coverage``   — the Table 2 coverage matrix, derived live;
+* ``repro experiments``— list every table/figure benchmark and how to
+  run it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .cluster import DeploymentSpec, ProtectedDeployment, ScenarioRunner
+from .hardware.units import GIB
+from .security import build_default_database, table1_stats
+from .workloads import MemoryMicrobenchmark
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "HERE: heterogeneous VM replication (Middleware '23) — "
+            "simulated testbed CLI"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="DoS exploit -> heterogeneous failover kill chain"
+    )
+    demo.add_argument("--seed", type=int, default=7)
+
+    replicate = subparsers.add_parser(
+        "replicate", help="protect a loaded VM and report statistics"
+    )
+    replicate.add_argument(
+        "--engine", choices=["here", "remus"], default="here"
+    )
+    replicate.add_argument(
+        "--period", type=float, default=5.0,
+        help="Remus period / HERE T_max (seconds)",
+    )
+    replicate.add_argument(
+        "--degradation", type=float, default=0.0,
+        help="HERE's target degradation D in [0, 1); 0 pins T to T_max",
+    )
+    replicate.add_argument("--memory-gib", type=float, default=8.0)
+    replicate.add_argument(
+        "--load", type=float, default=0.3,
+        help="memory microbenchmark load fraction",
+    )
+    replicate.add_argument("--duration", type=float, default=120.0)
+    replicate.add_argument("--seed", type=int, default=0)
+
+    migrate = subparsers.add_parser(
+        "migrate", help="one live migration (Xen stock vs HERE)"
+    )
+    migrate.add_argument("--mode", choices=["xen", "here"], default="here")
+    migrate.add_argument("--memory-gib", type=float, default=8.0)
+    migrate.add_argument("--load", type=float, default=0.0)
+    migrate.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser(
+        "table1", help="Table 1: DoS vulnerability statistics"
+    )
+    coverage = subparsers.add_parser(
+        "coverage", help="Table 2: coverage matrix from live scenarios"
+    )
+    coverage.add_argument("--seed", type=int, default=11)
+
+    plan = subparsers.add_parser(
+        "plan", help="heterogeneous replica placement for a fleet"
+    )
+    plan.add_argument("--xen-hosts", type=int, default=1)
+    plan.add_argument("--kvm-hosts", type=int, default=2)
+    plan.add_argument("--host-memory-gib", type=float, default=64.0)
+    plan.add_argument(
+        "--vms", default="db:32,web:8,cache:16",
+        help="comma list of name:memory_gib entries (primaries on Xen)",
+    )
+
+    subparsers.add_parser(
+        "experiments", help="list every paper table/figure benchmark"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def _cmd_demo(args) -> int:
+    from .security import (
+        ExploitInjector,
+        ExploitSource,
+        PostAttackOutcome,
+        pick_dos_exploit,
+    )
+
+    deployment = ProtectedDeployment(
+        DeploymentSpec(engine="here", period=2.0, memory_bytes=4 * GIB,
+                       seed=args.seed)
+    )
+    MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.2).start()
+    deployment.start_protection()
+    deployment.attach_service()
+    sim = deployment.sim
+    exploit = pick_dos_exploit(
+        build_default_database(), "Xen",
+        source=ExploitSource.GUEST_USER,
+        outcome=PostAttackOutcome.CRASH, seed=args.seed,
+    )
+    injector = ExploitInjector(sim)
+    attack_time = sim.now + 10.0
+    injector.launch_at(exploit, deployment.primary, attack_time)
+    report = sim.run_until_triggered(
+        deployment.failover.completed, limit=sim.now + 60.0
+    )
+    print(f"exploit:        {exploit.cve.cve_id} "
+          f"({exploit.cve.attack_vector.value})")
+    print(f"first shot:     {injector.log[0].detail}")
+    print(f"detection:      {report.detected_at - attack_time:.3f}s "
+          f"after the attack")
+    print(f"resumption:     {report.resumption_time * 1000:.1f} ms on "
+          f"{report.replica_hypervisor}")
+    second = injector.launch(exploit, deployment.secondary)
+    print(f"second shot:    {'SUCCEEDED' if second.succeeded else 'BOUNCED'}"
+          f" — {second.detail}")
+    return 0
+
+
+def _cmd_replicate(args) -> int:
+    if not 0.0 <= args.degradation < 1.0:
+        print("error: --degradation must be in [0, 1)", file=sys.stderr)
+        return 2
+    period = args.period if args.period > 0 else math.inf
+    deployment = ProtectedDeployment(
+        DeploymentSpec(
+            engine=args.engine,
+            secondary_flavor="xen" if args.engine == "remus" else "kvm",
+            period=period,
+            target_degradation=args.degradation,
+            memory_bytes=int(args.memory_gib * GIB),
+            seed=args.seed,
+        )
+    )
+    workload = MemoryMicrobenchmark(
+        deployment.sim, deployment.vm, load=args.load
+    )
+    workload.start()
+    deployment.start_protection()
+    mark = workload.mark()
+    deployment.run_for(args.duration)
+    stats = deployment.stats
+    throughput = workload.throughput_since(mark)
+    print(render_table([
+        {"metric": "engine", "value": args.engine},
+        {"metric": "controller",
+         "value": deployment.engine.config.controller.describe()},
+        {"metric": "seeding (s)", "value": stats.seeding_duration},
+        {"metric": "checkpoints", "value": stats.checkpoint_count},
+        {"metric": "mean period (s)", "value": stats.mean_period()},
+        {"metric": "mean pause (ms)",
+         "value": stats.mean_pause_duration() * 1000},
+        {"metric": "mean degradation (%)",
+         "value": stats.mean_degradation() * 100},
+        {"metric": "workload ops/s", "value": throughput},
+        {"metric": "workload slowdown (%)",
+         "value": 100 * (1 - throughput / workload.work_rate())
+         if workload.work_rate() else 0.0},
+    ]))
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    from .hardware import build_testbed
+    from .hypervisor import KvmHypervisor, XenHypervisor
+    from .migration import MigrationConfig, MigrationEngine, MigrationMode
+    from .simkernel import Simulation
+    from .workloads import IdleWorkload
+
+    sim = Simulation(seed=args.seed)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    mode = (
+        MigrationMode.XEN_DEFAULT if args.mode == "xen" else MigrationMode.HERE
+    )
+    if mode is MigrationMode.XEN_DEFAULT:
+        destination = XenHypervisor(sim, testbed.secondary)
+    else:
+        destination = KvmHypervisor(sim, testbed.secondary)
+    vm = xen.create_vm(
+        "guest", vcpus=4, memory_bytes=int(args.memory_gib * GIB)
+    )
+    vm.start()
+    if args.load > 0:
+        MemoryMicrobenchmark(sim, vm, load=args.load).start()
+    else:
+        IdleWorkload(sim, vm).start()
+    engine = MigrationEngine(
+        sim, xen, destination, testbed.interconnect,
+        config=MigrationConfig(mode=mode),
+    )
+    process = sim.process(engine.migrate("guest"))
+    stats = sim.run_until_triggered(process, limit=1e6)
+    print(render_table([stats.summary()]))
+    return 0 if stats.succeeded else 1
+
+
+def _cmd_table1(_args) -> int:
+    rows = table1_stats(build_default_database())
+    print(render_table(
+        rows,
+        columns=["product", "cves", "avail", "avail_pct", "dos", "dos_pct"],
+        title="Table 1: DoS vulnerability stats by hypervisor, 2013-2020",
+    ))
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    runner = ScenarioRunner(seed=args.seed, settle_time=15.0)
+    results = runner.coverage_matrix_results()
+    print(render_table([
+        {
+            "scenario": result.name,
+            "survived": result.service_survived,
+            "paper": "Yes" if result.expected_covered else "No",
+            "match": result.matches_expectation,
+        }
+        for result in results
+    ], title="Table 2 coverage, derived from live scenarios"))
+    return 0 if all(r.matches_expectation for r in results) else 1
+
+
+def _cmd_experiments(_args) -> int:
+    experiments = [
+        ("Table 1", "benchmarks/test_table1_vuln_stats.py"),
+        ("Table 2", "benchmarks/test_table2_coverage.py"),
+        ("Table 5 + §8.2", "benchmarks/test_table5_dos_analysis.py"),
+        ("Fig. 5", "benchmarks/test_fig5_linear_model.py"),
+        ("Fig. 6", "benchmarks/test_fig6_migration_times.py"),
+        ("Fig. 7", "benchmarks/test_fig7_resumption.py"),
+        ("Fig. 8", "benchmarks/test_fig8_checkpoint_transfer.py"),
+        ("Fig. 9", "benchmarks/test_fig9_dynamic_period.py"),
+        ("Fig. 10", "benchmarks/test_fig10_ycsb_period.py"),
+        ("Fig. 11", "benchmarks/test_fig11_ycsb_fixed_period.py"),
+        ("Fig. 12", "benchmarks/test_fig12_ycsb_degradation.py"),
+        ("Fig. 13", "benchmarks/test_fig13_ycsb_combined.py"),
+        ("Fig. 14", "benchmarks/test_fig14_spec_fixed_period.py"),
+        ("Fig. 15", "benchmarks/test_fig15_spec_degradation.py"),
+        ("Fig. 16", "benchmarks/test_fig16_spec_combined.py"),
+        ("Fig. 17", "benchmarks/test_fig17_sockperf_latency.py"),
+        ("§8.2 demo", "benchmarks/test_sec82_dos_failover.py"),
+        ("§8.7 overhead", "benchmarks/test_sec87_overhead.py"),
+        ("§6 mitigation", "benchmarks/test_sec6_mitigation.py"),
+        ("§3.1 COLO baseline", "benchmarks/test_baseline_colo.py"),
+        ("ablations", "benchmarks/test_ablation_*.py"),
+    ]
+    print(render_table(
+        [{"experiment": name, "bench": path} for name, path in experiments],
+        title="Run any of these with: pytest <bench> --benchmark-only -s",
+    ))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .cluster import PlacementRequest, ReplicationPlanner
+    from .hardware import Host, MemorySpec
+    from .hypervisor import KvmHypervisor, XenHypervisor
+    from .simkernel import Simulation
+
+    sim = Simulation(seed=0)
+    memory = MemorySpec(total_bytes=int(args.host_memory_gib * GIB))
+    fleet = []
+    for index in range(args.xen_hosts):
+        fleet.append(
+            XenHypervisor(sim, Host(sim, f"xen-{index}", memory=memory))
+        )
+    for index in range(args.kvm_hosts):
+        fleet.append(
+            KvmHypervisor(sim, Host(sim, f"kvm-{index}", memory=memory))
+        )
+    if not fleet:
+        print("error: the fleet is empty", file=sys.stderr)
+        return 2
+    xen_primaries = [h for h in fleet if h.flavor == "xen"]
+    if not xen_primaries:
+        print("error: need at least one Xen primary host", file=sys.stderr)
+        return 2
+    requests = []
+    try:
+        for index, entry in enumerate(args.vms.split(",")):
+            name, _colon, gib = entry.strip().partition(":")
+            if not name or not gib:
+                raise ValueError(f"malformed VM entry {entry!r}")
+            requests.append(
+                PlacementRequest(
+                    name,
+                    xen_primaries[index % len(xen_primaries)],
+                    int(float(gib) * GIB),
+                )
+            )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = ReplicationPlanner(fleet).plan(requests)
+    print(render_table(
+        [
+            {
+                "vm": placement.vm_name,
+                "primary": placement.primary.host.name,
+                "secondary": placement.secondary.host.name,
+            }
+            for placement in result.placements
+        ],
+        title="Heterogeneous replication plan",
+    ))
+    for vm_name, reason in result.unplaced.items():
+        print(f"UNPLACED {vm_name}: {reason}")
+    return 0 if result.fully_placed else 1
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "plan": _cmd_plan,
+    "replicate": _cmd_replicate,
+    "migrate": _cmd_migrate,
+    "table1": _cmd_table1,
+    "coverage": _cmd_coverage,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

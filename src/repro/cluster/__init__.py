@@ -1,0 +1,26 @@
+"""Cluster orchestration: deployments, scenarios, management facade."""
+
+from .deployment import DeploymentSpec, ProtectedDeployment, unprotected_baseline
+from .facade import DomainSpec, VirtConnection, VirtManager
+from .planner import (
+    Placement,
+    PlacementRequest,
+    PlanResult,
+    ReplicationPlanner,
+)
+from .scenarios import ScenarioResult, ScenarioRunner
+
+__all__ = [
+    "DeploymentSpec",
+    "DomainSpec",
+    "Placement",
+    "PlacementRequest",
+    "PlanResult",
+    "ProtectedDeployment",
+    "ReplicationPlanner",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "VirtConnection",
+    "VirtManager",
+    "unprotected_baseline",
+]

@@ -1,0 +1,194 @@
+"""One-call construction of a protected deployment.
+
+Every experiment in the paper uses the same shape: two hosts on an
+Omni-Path interconnect, a hypervisor on each, one protected VM with a
+workload, a replication engine, a heartbeat, and a failover controller.
+:class:`ProtectedDeployment` assembles all of it from a
+:class:`DeploymentSpec` so benchmarks and examples stay short and
+consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware.perfmodel import TransferCostModel
+from ..hardware.topology import Testbed, build_testbed
+from ..hardware.units import GIB
+from ..hypervisor import registry
+from ..hypervisor.base import Hypervisor
+from ..net.egress import EgressBuffer
+from ..net.service import ServiceConnection
+from ..replication.engine import ReplicationEngine
+from ..replication.failover import FailoverController
+from ..replication.heartbeat import HeartbeatMonitor
+from ..replication.here import here_engine
+from ..replication.remus import remus_engine
+from ..simkernel.core import Simulation
+from ..vm.machine import VirtualMachine
+
+
+@dataclass
+class DeploymentSpec:
+    """Declarative description of a protected deployment."""
+
+    vm_name: str = "protected"
+    vcpus: int = 4
+    memory_bytes: int = 8 * GIB
+    primary_flavor: str = "xen"
+    secondary_flavor: str = "kvm"
+    #: "here" or "remus".
+    engine: str = "here"
+    #: Remus's fixed period / HERE's T_max (∞ allowed for HERE).
+    period: float = 5.0
+    #: HERE's desired degradation D (0 pins T to T_max).
+    target_degradation: float = 0.0
+    #: Algorithm 1's adjustment step σ.
+    sigma: float = 0.25
+    #: Optional override of Algorithm 1's initial T = T_max (see
+    #: DynamicPeriodController.__init__).
+    initial_period: Optional[float] = None
+    checkpoint_threads: int = 4
+    heartbeat_interval: float = 0.03
+    heartbeat_misses: int = 3
+    seed: int = 0
+    cost_model: Optional[TransferCostModel] = None
+
+    def __post_init__(self):
+        if self.engine not in ("here", "remus"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine == "remus" and not math.isfinite(self.period):
+            raise ValueError("Remus needs a finite checkpoint period")
+
+
+class ProtectedDeployment:
+    """The assembled testbed, engines and protected VM."""
+
+    def __init__(self, spec: DeploymentSpec):
+        self.spec = spec
+        self.sim = Simulation(seed=spec.seed)
+        host_kwargs = {}
+        if spec.cost_model is not None:
+            host_kwargs["cost_model"] = spec.cost_model
+        self.testbed: Testbed = build_testbed(self.sim, **host_kwargs)
+        self.primary: Hypervisor = registry.install(
+            spec.primary_flavor, self.sim, self.testbed.primary
+        )
+        self.secondary: Hypervisor = registry.install(
+            spec.secondary_flavor, self.sim, self.testbed.secondary
+        )
+        self.vm: VirtualMachine = self.primary.create_vm(
+            spec.vm_name,
+            vcpus=spec.vcpus,
+            memory_bytes=spec.memory_bytes,
+            seed=spec.seed,
+        )
+        self.vm.start()
+        if spec.engine == "remus":
+            self.engine: ReplicationEngine = remus_engine(
+                self.sim,
+                self.primary,
+                self.secondary,
+                self.testbed.interconnect,
+                period=spec.period,
+                cost_model=spec.cost_model,
+            )
+        else:
+            self.engine = here_engine(
+                self.sim,
+                self.primary,
+                self.secondary,
+                self.testbed.interconnect,
+                target_degradation=spec.target_degradation,
+                t_max=spec.period,
+                sigma=spec.sigma,
+                initial_period=spec.initial_period,
+                checkpoint_threads=spec.checkpoint_threads,
+                cost_model=spec.cost_model,
+            )
+        self.monitor = HeartbeatMonitor(
+            self.sim,
+            self.testbed.primary,
+            self.primary,
+            self.testbed.interconnect,
+            interval=spec.heartbeat_interval,
+            miss_threshold=spec.heartbeat_misses,
+        )
+        self.failover = FailoverController(
+            self.sim,
+            self.engine,
+            self.monitor,
+            replica_service_link=self.testbed.service_secondary,
+        )
+        self.service: Optional[ServiceConnection] = None
+
+    # -- orchestration -------------------------------------------------------
+    def start_protection(self, wait_ready: bool = True) -> None:
+        """Start replication (and optionally run seeding to completion)."""
+        self.engine.start(self.spec.vm_name)
+        self.monitor.start()
+        self.failover.arm()
+        if wait_ready:
+            self.sim.run_until_triggered(self.engine.ready)
+
+    def attach_service(self, service_time: float = 20e-6) -> ServiceConnection:
+        """Wire an external client path through the engine's egress.
+
+        Must run after :meth:`start_protection` so the connection uses
+        the replication engine's output-commit buffer.
+        """
+        if self.engine.device_manager is None:
+            raise RuntimeError("start_protection() must run first")
+        self.service = ServiceConnection(
+            self.sim,
+            self.vm,
+            self.testbed.service_primary,
+            self.engine.device_manager.egress,
+            service_time=service_time,
+            name=f"svc:{self.spec.vm_name}",
+        )
+        self.failover.service = self.service
+        return self.service
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.sim.run(until=until)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # -- convenience accessors ---------------------------------------------------
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def replica(self) -> Optional[VirtualMachine]:
+        return self.engine.replica_vm
+
+
+def unprotected_baseline(
+    spec: DeploymentSpec,
+) -> "ProtectedDeployment":
+    """The same deployment without any replication engine running.
+
+    Used for the "Xen" baseline bars of Figs. 11–16: the VM and its
+    workload run, but no checkpoints ever pause it.  The engine object
+    exists but is never started; the service path gets a passthrough
+    egress buffer.
+    """
+    deployment = ProtectedDeployment(spec)
+    egress = EgressBuffer(
+        deployment.sim, name=f"egress:{spec.vm_name}:baseline"
+    )
+    deployment.service = ServiceConnection(
+        deployment.sim,
+        deployment.vm,
+        deployment.testbed.service_primary,
+        egress,
+        name=f"svc:{spec.vm_name}:baseline",
+    )
+    return deployment

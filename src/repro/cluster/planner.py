@@ -1,0 +1,164 @@
+"""Heterogeneous replication placement planning (§7.7).
+
+The paper argues HERE slots into data centers because heterogeneity is
+already there — OpenStack-managed fleets run multiple hypervisors.
+What the operator then needs is a *placement*: which secondary host
+protects which VM, such that
+
+* every pair is heterogeneous (the security property — a homogeneous
+  pair would share its hypervisor's zero-days),
+* replica shells fit inside each secondary's spare memory,
+* load (protected VMs) spreads across the secondaries.
+
+:class:`ReplicationPlanner` solves this with a deterministic greedy
+algorithm — largest VMs first, each onto the heterogeneous candidate
+with the most remaining capacity — which is what fleet controllers
+actually deploy, and reports exactly why any VM could not be placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hypervisor.base import Hypervisor
+from ..vm.machine import VirtualMachine
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One VM that needs protection."""
+
+    vm_name: str
+    primary: Hypervisor
+    memory_bytes: int
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory must be positive: {self.memory_bytes}")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A chosen primary -> secondary pairing for one VM."""
+
+    vm_name: str
+    primary: Hypervisor
+    secondary: Hypervisor
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.primary.flavor != self.secondary.flavor
+
+
+@dataclass
+class PlanResult:
+    """Outcome of a planning run."""
+
+    placements: List[Placement] = field(default_factory=list)
+    #: vm_name -> human-readable reason it could not be placed.
+    unplaced: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fully_placed(self) -> bool:
+        return not self.unplaced
+
+    def secondary_of(self, vm_name: str) -> Hypervisor:
+        for placement in self.placements:
+            if placement.vm_name == vm_name:
+                return placement.secondary
+        raise KeyError(f"no placement for {vm_name!r}")
+
+    def load_by_secondary(self) -> Dict[str, int]:
+        """Number of protected VMs per secondary host."""
+        load: Dict[str, int] = {}
+        for placement in self.placements:
+            key = placement.secondary.host.name
+            load[key] = load.get(key, 0) + 1
+        return load
+
+
+class ReplicationPlanner:
+    """Plans heterogeneous replica placement across a fleet."""
+
+    def __init__(self, hypervisors: List[Hypervisor]):
+        if not hypervisors:
+            raise ValueError("the fleet must contain at least one hypervisor")
+        self.hypervisors = list(hypervisors)
+
+    def candidates_for(self, request: PlacementRequest) -> List[Hypervisor]:
+        """Admissible secondaries: heterogeneous, alive, with capacity."""
+        result = []
+        for hypervisor in self.hypervisors:
+            if hypervisor is request.primary:
+                continue
+            if hypervisor.flavor == request.primary.flavor:
+                continue  # homogeneous pairs share zero-days: refused
+            if not (hypervisor.is_responsive and hypervisor.host.is_up):
+                continue
+            if hypervisor.host.memory_pool.free_bytes < request.memory_bytes:
+                continue
+            result.append(hypervisor)
+        return result
+
+    def plan(self, requests: List[PlacementRequest]) -> PlanResult:
+        """Greedy placement: largest VMs first, most-free secondary wins.
+
+        Capacity is tracked against a *projection* of each secondary's
+        free memory, so one plan never over-commits a host even before
+        any replica shell is actually created.
+        """
+        result = PlanResult()
+        projected_free: Dict[int, int] = {
+            id(h): h.host.memory_pool.free_bytes for h in self.hypervisors
+        }
+        ordered = sorted(
+            requests, key=lambda r: (-r.memory_bytes, r.vm_name)
+        )
+        for request in ordered:
+            candidates = [
+                hypervisor
+                for hypervisor in self.candidates_for(request)
+                if projected_free[id(hypervisor)] >= request.memory_bytes
+            ]
+            if not candidates:
+                result.unplaced[request.vm_name] = self._explain(request)
+                continue
+            # Most projected-free capacity first; host name breaks ties
+            # deterministically.
+            chosen = max(
+                candidates,
+                key=lambda h: (projected_free[id(h)], h.host.name),
+            )
+            projected_free[id(chosen)] -= request.memory_bytes
+            result.placements.append(
+                Placement(
+                    vm_name=request.vm_name,
+                    primary=request.primary,
+                    secondary=chosen,
+                )
+            )
+        return result
+
+    def _explain(self, request: PlacementRequest) -> str:
+        """Why no secondary could take this VM."""
+        heterogeneous = [
+            h
+            for h in self.hypervisors
+            if h is not request.primary and h.flavor != request.primary.flavor
+        ]
+        if not heterogeneous:
+            return (
+                f"no heterogeneous host in the fleet for primary flavor "
+                f"{request.primary.flavor!r} — a homogeneous pair would "
+                "share its hypervisor's vulnerabilities"
+            )
+        alive = [
+            h for h in heterogeneous if h.is_responsive and h.host.is_up
+        ]
+        if not alive:
+            return "every heterogeneous candidate is down"
+        return (
+            f"no heterogeneous host has {request.memory_bytes} bytes free "
+            f"(best: {max(h.host.memory_pool.free_bytes for h in alive)})"
+        )

@@ -1,0 +1,56 @@
+"""Simulated hardware: hosts, CPUs, memory, NICs and links.
+
+This package is the physical substrate standing in for the paper's
+two-server testbed (Table 3).  The calibration of every cost constant
+is documented in :mod:`repro.hardware.perfmodel`.
+"""
+
+from .cpu import CpuAccounting, CpuModel, MemoryAccounting
+from .host import Host, HostFailure, testbed_host
+from .link import Link, LinkPair
+from .memory import MemoryPool, MemorySpec
+from .nic import Nic, custom_nic, ethernet_x710, omnipath_hfi100
+from .perfmodel import DEFAULT_COST_MODEL, TransferCostModel, linear_speedup
+from .topology import Testbed, build_testbed
+from .units import (
+    CHUNK_SIZE,
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    PAGES_PER_CHUNK,
+    chunks_for,
+    gbit,
+    pages_for,
+)
+
+__all__ = [
+    "CHUNK_SIZE",
+    "CpuAccounting",
+    "CpuModel",
+    "DEFAULT_COST_MODEL",
+    "GIB",
+    "Host",
+    "HostFailure",
+    "KIB",
+    "Link",
+    "LinkPair",
+    "MIB",
+    "MemoryAccounting",
+    "MemoryPool",
+    "MemorySpec",
+    "Nic",
+    "PAGES_PER_CHUNK",
+    "PAGE_SIZE",
+    "Testbed",
+    "TransferCostModel",
+    "build_testbed",
+    "chunks_for",
+    "custom_nic",
+    "ethernet_x710",
+    "gbit",
+    "linear_speedup",
+    "omnipath_hfi100",
+    "pages_for",
+    "testbed_host",
+]

@@ -1,0 +1,132 @@
+"""Physical host model.
+
+A :class:`Host` bundles the static hardware description (CPU, memory,
+NICs), the dynamic accounting surfaces, and — once one is installed —
+the hypervisor running on the machine.  Hosts can *fail* (power loss,
+hardware fault) independently of any hypervisor-level failure; both are
+distinct events to the fault-tolerance layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..simkernel.events import Event
+from .cpu import CpuAccounting, CpuModel, MemoryAccounting
+from .memory import MemoryPool, MemorySpec
+from .nic import Nic, ethernet_x710, omnipath_hfi100
+from .perfmodel import DEFAULT_COST_MODEL, TransferCostModel
+
+
+class HostFailure(Exception):
+    """Raised into processes interacting with a failed host."""
+
+    def __init__(self, host_name: str, reason: str):
+        super().__init__(f"host {host_name!r} failed: {reason}")
+        self.host_name = host_name
+        self.reason = reason
+
+
+class Host:
+    """A physical machine in the testbed."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        cpu: Optional[CpuModel] = None,
+        memory: Optional[MemorySpec] = None,
+        nics: Optional[List[Nic]] = None,
+        cost_model: Optional[TransferCostModel] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = cpu or CpuModel()
+        self.memory = memory or MemorySpec()
+        self.nics: Dict[str, Nic] = {}
+        for nic in nics or [ethernet_x710(), omnipath_hfi100()]:
+            self.nics[nic.name] = nic
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.cpu_accounting = CpuAccounting(sim)
+        self.memory_accounting = MemoryAccounting()
+        self.memory_pool = MemoryPool(self.memory)
+        #: The hypervisor installed on this host (set by the hypervisor).
+        self.hypervisor = None
+        self._failed: bool = False
+        self._failure_reason: Optional[str] = None
+        #: Event triggered (once) when the host fails.
+        self.failure_event: Event = sim.event(name=f"hostfail:{name}")
+        #: Observers notified on failure: callables taking (host, reason).
+        self._failure_listeners: List = []
+
+    # -- failure handling ---------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return not self._failed
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        return self._failure_reason
+
+    def fail(self, reason: str = "hardware failure") -> None:
+        """Bring the host down (power cut, hardware fault, …).
+
+        The installed hypervisor — and with it every guest — goes down
+        too.  Idempotent: a second failure is ignored.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        self._failure_reason = reason
+        if self.hypervisor is not None:
+            self.hypervisor.host_power_lost(reason)
+        self.failure_event.succeed(reason)
+        for listener in list(self._failure_listeners):
+            listener(self, reason)
+
+    def on_failure(self, listener) -> None:
+        """Register ``listener(host, reason)`` for the failure moment."""
+        self._failure_listeners.append(listener)
+
+    def check_up(self) -> None:
+        """Raise :class:`HostFailure` if the host is down."""
+        if self._failed:
+            raise HostFailure(self.name, self._failure_reason or "unknown")
+
+    # -- hardware lookup -----------------------------------------------------
+    def nic(self, name_fragment: str) -> Nic:
+        """Find a NIC whose name contains ``name_fragment``."""
+        for name, nic in self.nics.items():
+            if name_fragment.lower() in name.lower():
+                return nic
+        raise KeyError(
+            f"no NIC matching {name_fragment!r} on {self.name!r} "
+            f"(have: {sorted(self.nics)})"
+        )
+
+    @property
+    def interconnect(self) -> Nic:
+        """The replication/migration NIC (fastest adapter on the host)."""
+        return max(self.nics.values(), key=lambda nic: nic.bandwidth_bps)
+
+    @property
+    def service_nic(self) -> Nic:
+        """The VM/service-traffic NIC (slowest adapter on the host)."""
+        return min(self.nics.values(), key=lambda nic: nic.bandwidth_bps)
+
+    def __repr__(self) -> str:
+        state = "up" if self.is_up else f"FAILED({self._failure_reason})"
+        hyper = type(self.hypervisor).__name__ if self.hypervisor else "none"
+        return f"<Host {self.name!r} {state} hypervisor={hyper}>"
+
+
+def testbed_host(sim, name: str, **kwargs) -> Host:
+    """A host matching the paper's Table 3 configuration."""
+    from .units import GIB
+
+    defaults = dict(
+        cpu=CpuModel(),
+        memory=MemorySpec(total_bytes=192 * GIB, numa_nodes=2, reserved_bytes=10 * GIB),
+    )
+    defaults.update(kwargs)
+    return Host(sim, name, **defaults)

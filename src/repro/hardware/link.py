@@ -1,0 +1,186 @@
+"""Fair-share network links.
+
+A :class:`Link` connects two hosts' NICs and carries bulk transfers.
+Concurrent transfers share the link's capacity equally (processor-
+sharing model, a standard approximation of TCP fairness on a dedicated
+interconnect).  Progress is tracked exactly: whenever the set of active
+transfers changes, every transfer's remaining byte count is advanced by
+the elapsed time at the rate it enjoyed, and the next completion is
+re-scheduled.
+
+The link also integrates utilisation statistics so experiments can
+report interconnect load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simkernel.events import Event
+from .nic import Nic
+
+
+class _ActiveTransfer:
+    """Bookkeeping for one in-flight transfer."""
+
+    __slots__ = ("nbytes", "remaining", "done_event", "started_at")
+
+    def __init__(self, nbytes: float, done_event: Event, started_at: float):
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.done_event = done_event
+        self.started_at = started_at
+
+
+class Link:
+    """A full-duplex point-to-point link with fair capacity sharing.
+
+    Each direction is modelled independently in practice by creating two
+    links; the replication stream only needs one direction plus a
+    latency-only ack path, so a single link per host pair suffices here.
+    """
+
+    #: Completion slack below which a transfer counts as finished
+    #: (absorbs float rounding in progress arithmetic).
+    EPSILON_BYTES = 1e-6
+    #: Minimum wake-up delay.  Without a floor, a transfer whose
+    #: remaining time underflows the float resolution of ``sim.now``
+    #: would reschedule at the *same* instant forever (now + delay ==
+    #: now); one nanosecond is far below any modelled timescale.
+    MIN_WAKE_DELAY = 1e-9
+
+    def __init__(self, sim, nic: Nic, name: str = ""):
+        self.sim = sim
+        self.nic = nic
+        self.name = name or nic.name
+        self._active: List[_ActiveTransfer] = []
+        self._last_update = sim.now
+        #: Monotonic token invalidating stale completion callbacks.
+        self._epoch = 0
+        # -- statistics --
+        self.bytes_delivered = 0.0
+        self.transfers_completed = 0
+        self._busy_integral = 0.0
+
+    # -- public API --------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        """Link capacity in bytes/second."""
+        return self.nic.bandwidth_bytes
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a bulk transfer; the event succeeds on full delivery.
+
+        The event's value is the transfer duration in seconds.  A
+        zero-byte transfer completes after the propagation latency only.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        done = Event(self.sim, name=f"xfer:{self.name}")
+        if nbytes == 0:
+            done.succeed(self.nic.base_latency_s, delay=self.nic.base_latency_s)
+            return done
+        self._advance_progress()
+        self._active.append(_ActiveTransfer(nbytes, done, self.sim.now))
+        self._reschedule()
+        return done
+
+    def message(self, nbytes: float = 0.0) -> Event:
+        """A small control message: latency plus serialisation, unshared.
+
+        Used for checkpoint acknowledgements and heartbeats, which are
+        tiny and latency- rather than bandwidth-bound.
+        """
+        delay = self.nic.base_latency_s + (nbytes / self.capacity)
+        event = Event(self.sim, name=f"msg:{self.name}")
+        event.succeed(delay, delay=delay)
+        return event
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Average fraction of capacity in use over ``[since, now]``."""
+        self._advance_progress()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_integral / (self.capacity * elapsed))
+
+    # -- internals -----------------------------------------------------------
+    def _per_transfer_rate(self) -> float:
+        return self.capacity / len(self._active)
+
+    def _advance_progress(self) -> None:
+        """Apply elapsed-time progress to all active transfers."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        rate = self._per_transfer_rate()
+        moved = 0.0
+        for item in self._active:
+            step = min(item.remaining, rate * elapsed)
+            item.remaining -= step
+            moved += step
+        self._busy_integral += moved
+        self.bytes_delivered += moved
+        finished = [t for t in self._active if t.remaining <= self.EPSILON_BYTES]
+        if finished:
+            self._active = [
+                t for t in self._active if t.remaining > self.EPSILON_BYTES
+            ]
+            for item in finished:
+                self.transfers_completed += 1
+                duration = (
+                    self.sim.now - item.started_at + self.nic.base_latency_s
+                )
+                item.done_event.succeed(duration, delay=self.nic.base_latency_s)
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the next transfer completion time."""
+        self._epoch += 1
+        if not self._active:
+            return
+        rate = self._per_transfer_rate()
+        shortest = min(t.remaining for t in self._active)
+        delay = max(shortest / rate, self.MIN_WAKE_DELAY)
+        epoch = self._epoch
+
+        def wake() -> None:
+            if epoch != self._epoch:
+                return  # superseded by a newer schedule
+            self._advance_progress()
+            self._reschedule()
+
+        self.sim.schedule_callback(delay, wake, name=f"linkwake:{self.name}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.name!r} active={len(self._active)} "
+            f"delivered={self.bytes_delivered:.0f}B>"
+        )
+
+
+class LinkPair:
+    """Convenience bundle: a data link plus its reverse control path."""
+
+    def __init__(self, sim, nic: Nic, name: str = ""):
+        self.forward = Link(sim, nic, name=f"{name or nic.name}:fwd")
+        self.backward = Link(sim, nic, name=f"{name or nic.name}:rev")
+
+    def transfer(self, nbytes: float) -> Event:
+        """Bulk transfer in the forward direction."""
+        return self.forward.transfer(nbytes)
+
+    def ack(self, nbytes: float = 64.0) -> Event:
+        """Small acknowledgement in the reverse direction."""
+        return self.backward.message(nbytes)
+
+    def round_trip_latency(self) -> float:
+        """Minimal request/ack round-trip time."""
+        return (
+            self.forward.nic.base_latency_s + self.backward.nic.base_latency_s
+        )

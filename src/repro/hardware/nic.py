@@ -1,0 +1,66 @@
+"""Network interface models.
+
+Two adapters matter in the paper's testbed (Table 3):
+
+* an Intel X710 10 GbE adapter, used exclusively for VM/service traffic;
+* an Intel Omni-Path HFI 100 Gbit interconnect, reserved for migration
+  and replication traffic.
+
+A :class:`Nic` is a static descriptor; the dynamic behaviour (sharing,
+queuing) lives in :class:`repro.hardware.link.Link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .units import gbit
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A host network adapter."""
+
+    name: str
+    bandwidth_bps: float
+    #: One-way propagation + stack latency for a minimal message.
+    base_latency_s: float = 30e-6
+    numa_node: int = 0
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth_bps}")
+        if self.base_latency_s < 0:
+            raise ValueError(f"latency must be >= 0: {self.base_latency_s}")
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        """Line rate in bytes/second."""
+        return self.bandwidth_bps / 8.0
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialisation time of ``nbytes`` at line rate (no sharing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative payload: {nbytes}")
+        return nbytes / self.bandwidth_bytes
+
+
+def ethernet_x710() -> Nic:
+    """The testbed's service-network adapter (Intel X710, 10 GbE)."""
+    return Nic(name="Intel X710 10GbE", bandwidth_bps=10e9, base_latency_s=40e-6)
+
+
+def omnipath_hfi100() -> Nic:
+    """The testbed's replication interconnect (Omni-Path HFI 100 Gbit)."""
+    return Nic(
+        name="Intel Omni-Path HFI 100",
+        bandwidth_bps=100e9,
+        base_latency_s=10e-6,
+    )
+
+
+def custom_nic(name: str, gbits: float, latency_us: float = 30.0) -> Nic:
+    """Convenience constructor quoted in gigabits and microseconds."""
+    return Nic(
+        name=name, bandwidth_bps=gbit(gbits) * 8.0, base_latency_s=latency_us * 1e-6
+    )

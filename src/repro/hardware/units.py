@@ -1,0 +1,43 @@
+"""Units and constants shared across the hardware models.
+
+All sizes are bytes, all times are seconds, all rates are bytes/second
+unless a name explicitly says otherwise (``*_bps`` is bits per second,
+matching how NIC datasheets are quoted).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: x86 base page size — the granularity of dirty tracking and transfer.
+PAGE_SIZE = 4 * KIB
+
+#: Region granularity for HERE's round-robin chunked transfer (§7.2(2)).
+CHUNK_SIZE = 2 * MIB
+
+#: Pages per 2 MB chunk.
+PAGES_PER_CHUNK = CHUNK_SIZE // PAGE_SIZE
+
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+
+def gbit(n: float) -> float:
+    """``n`` gigabits/second expressed as bytes/second."""
+    return n * 1e9 / 8.0
+
+
+def pages_for(size_bytes: int) -> int:
+    """Number of 4 KiB pages covering ``size_bytes`` (rounded up)."""
+    if size_bytes < 0:
+        raise ValueError(f"negative size: {size_bytes}")
+    return (size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def chunks_for(size_bytes: int) -> int:
+    """Number of 2 MiB chunks covering ``size_bytes`` (rounded up)."""
+    if size_bytes < 0:
+        raise ValueError(f"negative size: {size_bytes}")
+    return (size_bytes + CHUNK_SIZE - 1) // CHUNK_SIZE

@@ -1,0 +1,53 @@
+"""CPUID feature surfaces of the simulated hypervisors.
+
+HERE must "adjust CPU features of the protected VM exposed by the CPUID
+instruction on both Xen and KVM to make sure that the protected VM can
+safely resume on the secondary hypervisor" (§7.4).  We model the
+feature surface as string sets: each hypervisor exposes the common
+baseline plus a few family-specific extras, and the state translator
+computes the safe intersection for protected guests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Features both simulated hypervisors can always virtualise.
+COMMON_FEATURES: FrozenSet[str] = frozenset(
+    {
+        "fpu", "vme", "de", "pse", "tsc", "msr", "pae", "mce", "cx8",
+        "apic", "sep", "mtrr", "pge", "mca", "cmov", "pat", "clflush",
+        "mmx", "fxsr", "sse", "sse2", "ht", "syscall", "nx", "lm",
+        "sse3", "ssse3", "sse4_1", "sse4_2", "popcnt", "aes", "xsave",
+        "avx", "avx2", "bmi1", "bmi2", "rdrand", "fsgsbase", "smep",
+        "smap", "f16c", "movbe", "pclmulqdq",
+    }
+)
+
+#: Extras only the Xen side exposes in our testbed configuration.
+XEN_EXTRA_FEATURES: FrozenSet[str] = frozenset(
+    {"mpx", "xsaveopt", "pku", "xen-pv-clock"}
+)
+
+#: Extras only the KVM/kvmtool side exposes.
+KVM_EXTRA_FEATURES: FrozenSet[str] = frozenset(
+    {"rdtscp", "x2apic", "invpcid", "kvm-pv-clock", "kvm-pv-eoi"}
+)
+
+XEN_FEATURES: FrozenSet[str] = COMMON_FEATURES | XEN_EXTRA_FEATURES
+KVM_FEATURES: FrozenSet[str] = COMMON_FEATURES | KVM_EXTRA_FEATURES
+
+
+def compatible_featureset(*feature_sets: FrozenSet[str]) -> FrozenSet[str]:
+    """Largest feature set a guest may use on *all* the given surfaces."""
+    if not feature_sets:
+        raise ValueError("at least one feature set is required")
+    result = frozenset(feature_sets[0])
+    for features in feature_sets[1:]:
+        result &= features
+    return result
+
+
+def incompatibilities(guest: FrozenSet[str], target: FrozenSet[str]) -> FrozenSet[str]:
+    """Guest features the target hypervisor cannot provide."""
+    return frozenset(guest) - frozenset(target)

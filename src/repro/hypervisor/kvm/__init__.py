@@ -1,0 +1,7 @@
+"""Simulated Linux KVM with the kvmtool userspace."""
+
+from . import formats
+from .hypervisor import KvmHypervisor
+from .kvmtool import KvmtoolUserspace
+
+__all__ = ["KvmHypervisor", "KvmtoolUserspace", "formats"]

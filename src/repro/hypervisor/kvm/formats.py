@@ -1,0 +1,169 @@
+"""KVM/kvmtool's guest-state serialisation format.
+
+Mirrors the KVM ioctl structures that kvmtool drives: ``kvm_regs``
+(GPRs + rip + rflags), ``kvm_sregs`` (full segment descriptors inline
+with the control registers and ``apic_base``), ``kvm_msrs`` (an entry
+array with an explicit count), ``kvm_lapic_state``, a clock record and
+the raw XSAVE blob.  Structurally unlike the Xen layout on purpose —
+see :mod:`repro.hypervisor.xen.formats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...vm.devices import VirtualDevice
+from ...vm.vcpu import (
+    CONTROL_REGISTERS,
+    GP_REGISTERS,
+    LapicState,
+    SegmentDescriptor,
+    TimerState,
+    VcpuArchState,
+)
+
+#: Format identifier carried in every KVM payload.
+KVM_STATE_FORMAT = "kvm-kvmtool-v5"
+
+_SEGMENTS = ("cs", "ds", "es", "fs", "gs", "ss", "tr", "ldt")
+
+
+def vcpu_to_record(state: VcpuArchState) -> Dict:
+    """Serialise one vCPU into KVM ioctl-shaped records."""
+    regs = {name: state.gp[name] for name in GP_REGISTERS}
+    sregs: Dict = {
+        name: {
+            "selector": state.segments[name].selector,
+            "base": state.segments[name].base,
+            "limit": state.segments[name].limit,
+            "attrib": state.segments[name].attributes,
+        }
+        for name in _SEGMENTS
+    }
+    sregs.update(
+        {
+            "cr0": state.control["cr0"],
+            "cr2": state.control["cr2"],
+            "cr3": state.control["cr3"],
+            "cr4": state.control["cr4"],
+            "cr8": state.control["cr8"],
+            "efer": state.control["efer"],
+            "apic_base": state.lapic.apic_base_msr,
+        }
+    )
+    entries = [
+        {"index": index, "data": value} for index, value in sorted(state.msrs.items())
+    ]
+    return {
+        "cpu_index": state.index,
+        "kvm_regs": regs,
+        "kvm_sregs": sregs,
+        "kvm_msrs": {"nmsrs": len(entries), "entries": entries},
+        "kvm_lapic": {
+            "id": state.lapic.apic_id,
+            "tpr": state.lapic.tpr,
+            "tdcr": state.lapic.timer_divide,
+            "ticr": state.lapic.timer_initial_count,
+            "tccr": state.lapic.timer_current_count,
+            "lvtt": state.lapic.lvt_timer,
+            "sw_enabled": state.lapic.enabled,
+        },
+        "kvm_clock": {
+            "tsc_offset": state.timer.tsc_offset,
+            "tsc_khz": state.timer.tsc_frequency_khz,
+            "system_time": state.timer.system_time_base,
+        },
+        "kvm_xsave": list(state.xsave_area),
+        "runnable": state.online,
+    }
+
+
+def record_to_vcpu(record: Dict) -> VcpuArchState:
+    """Parse KVM ioctl-shaped records into architectural state."""
+    gp = {name: record["kvm_regs"][name] for name in GP_REGISTERS}
+    sregs = record["kvm_sregs"]
+    control = {name: 0 for name in CONTROL_REGISTERS}
+    for name in ("cr0", "cr2", "cr3", "cr4", "cr8", "efer"):
+        control[name] = sregs[name]
+    segments = {}
+    for name in _SEGMENTS:
+        seg = sregs[name]
+        segments[name] = SegmentDescriptor(
+            selector=seg["selector"],
+            base=seg["base"],
+            limit=seg["limit"],
+            attributes=seg["attrib"],
+        )
+    msrs = {
+        entry["index"]: entry["data"] for entry in record["kvm_msrs"]["entries"]
+    }
+    lapic_rec = record["kvm_lapic"]
+    lapic = LapicState(
+        apic_id=lapic_rec["id"],
+        apic_base_msr=sregs["apic_base"],
+        tpr=lapic_rec["tpr"],
+        timer_divide=lapic_rec["tdcr"],
+        timer_initial_count=lapic_rec["ticr"],
+        timer_current_count=lapic_rec["tccr"],
+        lvt_timer=lapic_rec["lvtt"],
+        enabled=lapic_rec["sw_enabled"],
+    )
+    clock = record["kvm_clock"]
+    timer = TimerState(
+        tsc_offset=clock["tsc_offset"],
+        tsc_frequency_khz=clock["tsc_khz"],
+        system_time_base=clock["system_time"],
+    )
+    return VcpuArchState(
+        index=record["cpu_index"],
+        gp=gp,
+        control=control,
+        segments=segments,
+        msrs=msrs,
+        lapic=lapic,
+        timer=timer,
+        xsave_area=bytes(record["kvm_xsave"]),
+        online=record["runnable"],
+    )
+
+
+def device_to_record(device: VirtualDevice) -> Dict:
+    """Serialise a device in kvmtool's virtio device layout."""
+    return {
+        "virtio_device": device.model,
+        "slot": device.instance,
+        "class": device.kind.value,
+        "transport": device.mode.value,
+        "config_space": dict(device.state.fields),
+    }
+
+
+def record_to_device_state(record: Dict) -> Dict:
+    """Extract the architectural device state from a KVM record."""
+    return {
+        "kind": record["class"],
+        "instance": record["slot"],
+        "fields": {
+            key: value
+            for key, value in record["config_space"].items()
+            if not key.startswith("_")
+        },
+    }
+
+
+def build_payload(
+    vcpu_states: List[VcpuArchState],
+    devices: List[VirtualDevice],
+    features: frozenset,
+    memory_pages: int,
+) -> Dict:
+    """Full KVM-format guest-state payload."""
+    return {
+        "format": KVM_STATE_FORMAT,
+        "vcpu_records": [vcpu_to_record(state) for state in vcpu_states],
+        "virtio_devices": [device_to_record(device) for device in devices],
+        "machine": {
+            "cpuid_features": sorted(features),
+            "memory_pages": memory_pages,
+        },
+    }

@@ -1,0 +1,7 @@
+"""Simulated Xen 4.12 (type-1 hypervisor with Dom0 and xl toolstack)."""
+
+from . import formats
+from .hypervisor import Dom0, XenHypervisor
+from .toolstack import XlToolstack
+
+__all__ = ["Dom0", "XenHypervisor", "XlToolstack", "formats"]

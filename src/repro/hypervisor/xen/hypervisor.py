@@ -1,0 +1,128 @@
+"""The simulated Xen hypervisor.
+
+Xen is a type-1 hypervisor: a small hypervisor core plus a privileged
+``Dom0`` Linux VM hosting the toolstack and PV device backends (§3.2).
+Our model reserves Dom0 memory on the host, exposes Xen's state format,
+and — when built with HERE's patches — provides the per-vCPU PML dirty
+rings of §7.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ...hardware.host import Host
+from ...hardware.units import GIB
+from ...vm.machine import VirtualMachine
+from ..base import Hypervisor
+from ..errors import IncompatibleGuest
+from ..features import XEN_FEATURES, incompatibilities
+from . import formats
+from .toolstack import XlToolstack
+
+
+@dataclass
+class Dom0:
+    """The privileged control domain."""
+
+    memory_bytes: int = 10 * GIB
+    vcpus: int = 8
+    kernel: str = "Linux 4.19 (Debian 10)"
+
+
+class XenHypervisor(Hypervisor):
+    """Xen 4.12 with (optionally) HERE's kernel patches applied."""
+
+    flavor = "xen"
+    product = "Xen"
+    version = "4.12"
+    components = (
+        "hypervisor-core",
+        "dom0",
+        "toolstack",
+        "hypercall",
+        "vcpu-mgmt",
+        "shadow-paging",
+        "vmexit",
+        "device-emulated",
+        "device-pv",
+        "device-passthrough",
+        "xenstore",
+    )
+    #: Xen HVM guests get their emulated device models from QEMU — a
+    #: lineage shared with QEMU-KVM, which is why HERE pairs Xen with
+    #: kvmtool rather than QEMU on the KVM side (§8.2).
+    device_model_lineage = "qemu"
+
+    def __init__(self, sim, host: Host, here_patches: bool = True):
+        super().__init__(sim, host)
+        self.dom0 = Dom0()
+        host.memory_pool.allocate("dom0", self.dom0.memory_bytes)
+        #: Whether HERE's ~800-line Xen kernel patch (per-vCPU PML
+        #: rings + multithreaded migration hooks) is present.
+        self.here_patches = here_patches
+        self.toolstack = XlToolstack(self)
+
+    # -- feature surface ----------------------------------------------------
+    def cpuid_features(self) -> FrozenSet[str]:
+        return XEN_FEATURES
+
+    # -- dirty tracking -------------------------------------------------------
+    def supports_per_vcpu_dirty_rings(self) -> bool:
+        return self.here_patches
+
+    # -- failover -----------------------------------------------------------
+    def activate_replica(self, vm: VirtualMachine):
+        """Start a replica through the xl/libxl restore path.
+
+        Slower than kvmtool's (Fig. 7's ~10 ms is credited to the
+        light kvmtool userspace); used when the secondary is Xen
+        (e.g. the Remus baseline or a KVM→Xen deployment).
+        """
+        self._check_responsive()
+        yield self.sim.timeout(
+            self.operation_delay(
+                self.host.cost_model.xen_replica_activation_time
+            )
+        )
+        vm.start()
+        if vm.device_flavor != self.flavor:
+            switch = self.sim.process(
+                vm.guest_agent.switch_device_models(self.flavor),
+                name=f"devswitch:{vm.name}",
+            )
+            yield switch
+        return vm
+
+    # -- state extraction -------------------------------------------------------
+    @property
+    def state_format(self) -> str:
+        return formats.XEN_STATE_FORMAT
+
+    def extract_guest_state(self, vm: VirtualMachine) -> dict:
+        self._check_responsive()
+        return formats.build_payload(
+            vm.capture_vcpu_states(),
+            vm.replicable_devices(),
+            vm.enabled_features,
+            vm.total_pages,
+        )
+
+    def load_guest_state(self, vm: VirtualMachine, payload: dict) -> None:
+        self._check_responsive()
+        if payload.get("format") != formats.XEN_STATE_FORMAT:
+            raise IncompatibleGuest(
+                f"Xen cannot load state format {payload.get('format')!r}; "
+                "run it through the state translator first"
+            )
+        features = frozenset(payload["platform"]["featureset"])
+        missing = incompatibilities(features, self.cpuid_features())
+        if missing:
+            raise IncompatibleGuest(
+                f"guest uses features Xen cannot expose: {sorted(missing)}"
+            )
+        vm.vcpu_states = [
+            formats.record_to_vcpu(record) for record in payload["hvm_context"]
+        ]
+        vm.enabled_features = features

@@ -1,0 +1,189 @@
+"""Live VM migration engine (Fig. 3 ❷–❸, evaluated in §8.3).
+
+Implements both transfer strategies compared in the paper:
+
+* ``MigrationMode.XEN_DEFAULT`` — Xen's stock single-threaded
+  iterative pre-copy: copy all memory, then repeatedly copy the pages
+  dirtied during the previous pass until the dirty set is small or the
+  iteration cap (5) is hit, then stop-and-copy.
+* ``MigrationMode.HERE`` — HERE's multithreaded seeding (§7.2(1)): one
+  migrator thread per vCPU, each draining its own per-vCPU PML ring.
+  Pages dirtied by several vCPUs may be sent by several threads and
+  are therefore *problematic*: they are tracked and resent during the
+  final stop-and-copy to restore consistency.
+
+Migrations may be homogeneous (Xen→Xen, the Fig. 6 comparison) or
+heterogeneous (Xen→KVM, through the state translator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..hardware.link import LinkPair
+from ..hardware.perfmodel import TransferCostModel
+from ..hardware.host import HostFailure
+from ..hypervisor.base import Hypervisor
+from ..hypervisor.errors import HypervisorDown
+from ..replication.translator import StateTranslator
+from .precopy import iterative_precopy
+from .stats import MigrationStats
+from .transfer import split_evenly, timed_page_send
+
+
+class MigrationMode(Enum):
+    """Which transfer strategy drives the migration."""
+
+    XEN_DEFAULT = "xen-default"
+    HERE = "here"
+
+
+@dataclass
+class MigrationConfig:
+    """Tunables of the migration engine."""
+
+    mode: MigrationMode = MigrationMode.HERE
+    #: Xen's live-migration iteration cap (§3.2).
+    max_iterations: int = 5
+    #: Stop iterating once the dirty set is below this many pages.
+    stop_threshold_pages: int = 50
+    #: Sender threads; None = one per vCPU in HERE mode, 1 otherwise.
+    threads: Optional[int] = None
+    #: Resend pages touched by multiple vCPUs (consistency, §7.2(1)).
+    resend_problematic: bool = True
+
+    def thread_count(self, vcpus: int) -> int:
+        if self.threads is not None:
+            if self.threads < 1:
+                raise ValueError(f"threads must be >= 1: {self.threads}")
+            return self.threads
+        return vcpus if self.mode is MigrationMode.HERE else 1
+
+
+def state_payload_bytes(vcpus: int, devices: int) -> int:
+    """Wire size of the vCPU + device state blob."""
+    return vcpus * 4096 + devices * 1024 + 8192
+
+
+class MigrationEngine:
+    """Drives one VM migration between two hypervisors."""
+
+    def __init__(
+        self,
+        sim,
+        source: Hypervisor,
+        destination: Hypervisor,
+        link: LinkPair,
+        config: Optional[MigrationConfig] = None,
+        cost_model: Optional[TransferCostModel] = None,
+        translator: Optional[StateTranslator] = None,
+    ):
+        self.sim = sim
+        self.source = source
+        self.destination = destination
+        self.link = link
+        self.config = config or MigrationConfig()
+        self.cost = cost_model or source.host.cost_model
+        self.translator = translator or StateTranslator()
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.source.state_format != self.destination.state_format
+
+    def migrate(self, vm_name: str):
+        """Generator: run the full migration; returns MigrationStats."""
+        stats = MigrationStats(
+            vm_name=vm_name,
+            mode=self.config.mode.value,
+            source=self.source.host.name,
+            destination=self.destination.host.name,
+            started_at=self.sim.now,
+        )
+        try:
+            yield from self._run(vm_name, stats)
+            stats.succeeded = True
+        except (HypervisorDown, HostFailure) as failure:
+            stats.failure = str(failure)
+        stats.finished_at = self.sim.now
+        return stats
+
+    # -- internals --------------------------------------------------------
+    def _run(self, vm_name: str, stats: MigrationStats):
+        vm = self.source.get_vm(vm_name)
+        config = self.config
+        threads = config.thread_count(vm.vcpu_count)
+        use_pml = (
+            config.mode is MigrationMode.HERE
+            and self.source.supports_per_vcpu_dirty_rings()
+        )
+        if self.heterogeneous:
+            # CPUID masking so the guest can resume on the target (§7.4).
+            StateTranslator.prepare_guest(vm, self.source, self.destination)
+        if config.mode is MigrationMode.HERE:
+            # Spin up the per-vCPU migrator threads (§7.2(1)).
+            yield self.sim.timeout(self.cost.seeding_thread_setup)
+
+        result = yield from iterative_precopy(
+            self.sim,
+            self.source,
+            vm,
+            self.link.forward,
+            self.cost,
+            threads,
+            use_pml,
+            max_iterations=config.max_iterations,
+            stop_threshold_pages=config.stop_threshold_pages,
+            component="migration",
+        )
+        stats.iterations.extend(result.iterations)
+
+        # -- final stop-and-copy ---------------------------------------------
+        self.source._check_responsive()
+        pause_start = self.sim.now
+        vm.pause()
+        remaining = result.remaining_dirty
+        if use_pml:
+            if config.resend_problematic:
+                remaining += result.problematic_total
+                stats.problematic_pages_resent = result.problematic_total
+            else:
+                stats.consistency_risk_pages = result.problematic_total
+        yield from timed_page_send(
+            self.sim,
+            self.source.host,
+            self.link.forward,
+            split_evenly(remaining, threads),
+            self.cost,
+            component="migration",
+            per_page_cost=self.cost.migration_page_cost,
+        )
+        stats.stop_and_copy_pages = remaining
+        payload = self.source.extract_guest_state(vm)
+        if self.heterogeneous:
+            yield self.sim.timeout(
+                self.translator.translation_cost(vm.vcpu_count, len(vm.devices))
+            )
+            payload = self.translator.translate(payload, self.destination)
+            stats.translated = True
+        yield self.link.transfer(
+            state_payload_bytes(vm.vcpu_count, len(vm.devices))
+        )
+        yield self.sim.timeout(self.cost.checkpoint_constant)
+
+        # -- hand-off to the destination ----------------------------------------
+        self.destination._check_responsive()
+        self.source.evict_vm(vm_name)
+        self.destination.adopt_vm(vm)
+        self.destination.load_guest_state(vm, payload)
+        if vm.device_flavor != self.destination.flavor:
+            # Administrator-triggered device switch (HyperTP-style).
+            switch = self.sim.process(
+                vm.guest_agent.switch_device_models(self.destination.flavor),
+                name=f"migrate-devswitch:{vm.name}",
+            )
+            yield switch
+        vm.resume()
+        stats.stop_and_copy_duration = self.sim.now - pause_start
+        stats.downtime = stats.stop_and_copy_duration

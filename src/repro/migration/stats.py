@@ -1,0 +1,74 @@
+"""Migration statistics records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class IterationRecord:
+    """One pre-copy iteration."""
+
+    index: int
+    started_at: float
+    duration: float
+    pages_sent: float
+    bytes_sent: float
+    dirty_pages_produced: float
+    problematic_pages: float = 0.0
+
+
+@dataclass
+class MigrationStats:
+    """Full record of one live migration."""
+
+    vm_name: str
+    mode: str
+    source: str
+    destination: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    iterations: List[IterationRecord] = field(default_factory=list)
+    stop_and_copy_duration: float = 0.0
+    stop_and_copy_pages: float = 0.0
+    downtime: float = 0.0
+    problematic_pages_resent: float = 0.0
+    consistency_risk_pages: float = 0.0
+    translated: bool = False
+    succeeded: bool = False
+    failure: Optional[str] = None
+
+    @property
+    def total_duration(self) -> float:
+        """End-to-end migration time (the Fig. 6 metric)."""
+        return self.finished_at - self.started_at
+
+    @property
+    def total_pages_sent(self) -> float:
+        return (
+            sum(record.pages_sent for record in self.iterations)
+            + self.stop_and_copy_pages
+        )
+
+    @property
+    def total_bytes_sent(self) -> float:
+        return sum(record.bytes_sent for record in self.iterations)
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    def summary(self) -> dict:
+        """Row for report tables."""
+        return {
+            "vm": self.vm_name,
+            "mode": self.mode,
+            "duration_s": self.total_duration,
+            "iterations": self.iteration_count,
+            "downtime_s": self.downtime,
+            "pages_sent": self.total_pages_sent,
+            "problematic_resent": self.problematic_pages_resent,
+            "translated": self.translated,
+            "succeeded": self.succeeded,
+        }

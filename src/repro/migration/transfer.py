@@ -1,0 +1,116 @@
+"""Timed transfer primitives shared by migration and replication.
+
+Two paths exist, matching the two regimes in the paper's cost model:
+
+* **bulk copy** — sequential streaming of whole memory (seeding
+  iteration 1): rate-limited by per-thread sender throughput and the
+  wire.
+* **page send** — scattered dirty pages (later iterations and every
+  checkpoint): dominated by the per-page mapping/copy cost α (Fig. 5),
+  parallelised with imperfect efficiency (memory-bus contention).
+
+Both are generators meant to run inside a simulation process; both
+overlap CPU-side work with wire serialisation (pipelined sender) and
+charge the consumed CPU time to the host's accounting so the §8.7
+overhead experiment can read it back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hardware.host import Host
+from ..hardware.link import Link
+from ..hardware.perfmodel import TransferCostModel
+from ..hardware.units import PAGE_SIZE
+
+
+def timed_bulk_copy(
+    sim,
+    host: Host,
+    link: Link,
+    nbytes: float,
+    threads: int,
+    cost: TransferCostModel,
+    component: str = "migration",
+):
+    """Generator: stream ``nbytes`` of memory, returns the duration."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    started = sim.now
+    if nbytes == 0:
+        return 0.0
+    cpu_time = nbytes / (cost.bulk_thread_rate * cost.bulk_speedup(threads))
+    host.cpu_accounting.charge(component, nbytes / cost.bulk_thread_rate)
+    yield sim.all_of([sim.timeout(cpu_time), link.transfer(nbytes)])
+    return sim.now - started
+
+
+def timed_page_send(
+    sim,
+    host: Host,
+    link: Link,
+    pages_per_thread: Sequence[float],
+    cost: TransferCostModel,
+    component: str = "replication",
+    scan_pages_per_thread: Sequence[float] = (),
+    per_page_cost: float = None,
+    wire_bytes_per_page: float = None,
+):
+    """Generator: send scattered dirty pages with per-thread work lists.
+
+    ``pages_per_thread[i]`` is the dirty-page count thread ``i`` must
+    map and send; ``scan_pages_per_thread[i]`` is the number of tracked
+    pages it must scan first (dirty-bitmap walk).  Threads contend on
+    the memory bus: with ``k`` busy threads each runs at
+    ``speedup(k)/k`` of its solo rate, so the balanced case collapses
+    to the analytic ``αN / speedup(k)`` of the cost model while
+    imbalance lengthens the phase (duration is the max over threads).
+
+    Returns the phase duration.
+    """
+    loads: List[float] = [max(0.0, p) for p in pages_per_thread]
+    scans: List[float] = list(scan_pages_per_thread) or [0.0] * len(loads)
+    if len(scans) != len(loads):
+        raise ValueError("scan list must match page list length")
+    if per_page_cost is None:
+        per_page_cost = cost.page_send_cost
+    if per_page_cost < 0:
+        raise ValueError(f"negative per-page cost: {per_page_cost}")
+    if wire_bytes_per_page is None:
+        wire_bytes_per_page = float(PAGE_SIZE)
+    if wire_bytes_per_page <= 0:
+        raise ValueError(
+            f"wire bytes per page must be positive: {wire_bytes_per_page}"
+        )
+    started = sim.now
+    busy = sum(1 for pages, scan in zip(loads, scans) if pages > 0 or scan > 0)
+    if busy == 0:
+        return 0.0
+    copy_slowdown = busy / cost.copy_speedup(busy)
+    scan_slowdown = busy / cost.scan_speedup(busy)
+    waits = []
+    total_bytes = 0.0
+    total_cpu = 0.0
+    for pages, scan in zip(loads, scans):
+        if pages <= 0 and scan <= 0:
+            continue
+        thread_cpu = (
+            pages * per_page_cost * copy_slowdown
+            + scan * cost.scan_cost_per_page * scan_slowdown
+        )
+        total_cpu += pages * per_page_cost + scan * cost.scan_cost_per_page
+        total_bytes += pages * wire_bytes_per_page
+        waits.append(sim.timeout(thread_cpu))
+    host.cpu_accounting.charge(component, total_cpu)
+    if total_bytes > 0:
+        waits.append(link.transfer(total_bytes))
+    yield sim.all_of(waits)
+    return sim.now - started
+
+
+def split_evenly(total: float, parts: int) -> List[float]:
+    """Split ``total`` work into ``parts`` equal shares."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    return [total / parts] * parts

@@ -1,0 +1,14 @@
+"""Service-network substrate: packets, output commit, client paths."""
+
+from .egress import EgressBuffer
+from .packet import LatencyRecorder, Packet
+from .service import ServiceConnection, ServiceInterrupted, open_loop_client
+
+__all__ = [
+    "EgressBuffer",
+    "LatencyRecorder",
+    "Packet",
+    "ServiceConnection",
+    "ServiceInterrupted",
+    "open_loop_client",
+]

@@ -1,0 +1,130 @@
+"""Output commit: the egress buffer of asynchronous state replication.
+
+The correctness core of Remus-style replication (§3.2, step 6): no
+packet generated during a checkpoint epoch may become externally
+visible until that epoch's checkpoint has been acknowledged by the
+replica — otherwise a failover to the previous checkpoint would roll
+the VM back behind state the outside world already saw.
+
+:class:`EgressBuffer` implements exactly that contract:
+
+* ``stage(packet)`` — the VM emitted a packet; it joins the *open*
+  epoch (or passes straight through when replication is off).
+* ``seal_epoch()`` — the replication engine pauses the VM and starts a
+  checkpoint; the open epoch closes and a new one opens.
+* ``release_through(epoch)`` — the replica acknowledged the
+  checkpoint; every packet in epochs ≤ ``epoch`` leaves, in order.
+* ``drop_unreleased()`` — the primary died; unacknowledged packets are
+  destroyed, never having been visible outside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .packet import Packet
+
+#: Signature of the delivery hook: called once per released packet.
+DeliveryHook = Callable[[Packet], None]
+
+
+class EgressBuffer:
+    """Per-protected-VM output-commit buffer."""
+
+    def __init__(self, sim, name: str = "", buffering: bool = False):
+        self.sim = sim
+        self.name = name
+        self._buffering = buffering
+        self._open_epoch = 0
+        self._epochs: Dict[int, List[Packet]] = {0: []}
+        self._released_through = -1
+        self._delivery_hook: Optional[DeliveryHook] = None
+        # -- statistics --
+        self.packets_staged = 0
+        self.packets_released = 0
+        self.packets_dropped = 0
+
+    # -- wiring ------------------------------------------------------------
+    def set_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Install the callable invoked for each packet on release."""
+        self._delivery_hook = hook
+
+    @property
+    def buffering(self) -> bool:
+        return self._buffering
+
+    def enable_buffering(self) -> None:
+        """Turn on output commit (replication started)."""
+        self._buffering = True
+
+    def disable_buffering(self) -> None:
+        """Turn off output commit and flush everything held."""
+        self._buffering = False
+        self.release_through(self._open_epoch)
+
+    @property
+    def open_epoch(self) -> int:
+        return self._open_epoch
+
+    @property
+    def held_packets(self) -> int:
+        """Packets currently waiting for a checkpoint ack."""
+        return sum(len(packets) for packets in self._epochs.values())
+
+    # -- data path ------------------------------------------------------------
+    def stage(self, packet: Packet) -> None:
+        """A packet leaves the VM; buffer or pass through."""
+        self.packets_staged += 1
+        if not self._buffering:
+            self._deliver(packet)
+            return
+        self._epochs[self._open_epoch].append(packet)
+
+    def seal_epoch(self) -> int:
+        """Close the open epoch (checkpoint begins); returns its id."""
+        sealed = self._open_epoch
+        self._open_epoch += 1
+        self._epochs[self._open_epoch] = []
+        return sealed
+
+    def release_through(self, epoch: int) -> List[Packet]:
+        """Checkpoint ``epoch`` was acknowledged: release its packets.
+
+        Also releases any earlier epoch still held (acks are
+        cumulative).  Returns the released packets in emission order.
+        """
+        released: List[Packet] = []
+        for epoch_id in sorted(self._epochs):
+            if epoch_id > epoch or epoch_id > self._open_epoch:
+                continue
+            if epoch_id == self._open_epoch and self._buffering:
+                continue  # never release the still-open epoch
+            released.extend(self._epochs.pop(epoch_id))
+        if not self._buffering and self._open_epoch not in self._epochs:
+            self._epochs[self._open_epoch] = []
+        self._released_through = max(self._released_through, epoch)
+        for packet in released:
+            self._deliver(packet)
+        return released
+
+    def drop_unreleased(self) -> List[Packet]:
+        """Primary failure: destroy all held packets (output commit)."""
+        dropped: List[Packet] = []
+        for epoch_id in sorted(self._epochs):
+            dropped.extend(self._epochs[epoch_id])
+        self._epochs = {self._open_epoch: []}
+        self.packets_dropped += len(dropped)
+        return dropped
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.released_at = self.sim.now
+        self.packets_released += 1
+        if self._delivery_hook is not None:
+            self._delivery_hook(packet)
+
+    def __repr__(self) -> str:
+        mode = "buffered" if self._buffering else "passthrough"
+        return (
+            f"<EgressBuffer {self.name!r} {mode} epoch={self._open_epoch} "
+            f"held={self.held_packets}>"
+        )

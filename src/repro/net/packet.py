@@ -1,0 +1,89 @@
+"""Packet and latency-measurement primitives for the service network."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Packet:
+    """One unit of externally-visible VM traffic."""
+
+    packet_id: int
+    size_bytes: int
+    created_at: float
+    kind: str = "response"
+    flow: str = ""
+    #: When the output-commit layer let the packet leave the host.
+    released_at: Optional[float] = None
+    #: When the packet reached its destination.
+    delivered_at: Optional[float] = None
+
+    @property
+    def buffering_delay(self) -> float:
+        """Time spent held by the egress buffer."""
+        if self.released_at is None:
+            raise ValueError(f"packet {self.packet_id} not yet released")
+        return self.released_at - self.created_at
+
+    @property
+    def total_latency(self) -> float:
+        """Creation-to-delivery time."""
+        if self.delivered_at is None:
+            raise ValueError(f"packet {self.packet_id} not yet delivered")
+        return self.delivered_at - self.created_at
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency sample: {latency}")
+        self._samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Average latency; NaN when no samples were recorded."""
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank), ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    def summary(self) -> dict:
+        """Mean/p50/p99/min/max in one dict (for report tables)."""
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.minimum(),
+            "max": self.maximum(),
+        }

@@ -1,0 +1,158 @@
+"""The client-facing service path of a protected VM.
+
+Ties together: an external client, the service-network link, the VM's
+request handler, and the output-commit egress buffer.  The same object
+survives a failover — :meth:`ServiceConnection.switch_target` repoints
+the connection at the replica's host, and in-flight requests at the
+failed primary are lost (clients observe a gap, then service resumes,
+which is exactly the continuity property §8.2 demonstrates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..hardware.link import Link
+from ..simkernel.errors import SimulationError
+from ..simkernel.events import Event
+from ..vm.machine import VirtualMachine
+from .egress import EgressBuffer
+from .packet import LatencyRecorder, Packet
+
+
+class ServiceInterrupted(SimulationError):
+    """An in-flight request was lost to a primary failure."""
+
+
+class ServiceConnection:
+    """A client's connection to the protected service."""
+
+    def __init__(
+        self,
+        sim,
+        vm: VirtualMachine,
+        link: Link,
+        egress: EgressBuffer,
+        service_time: float = 20e-6,
+        name: str = "client",
+    ):
+        self.sim = sim
+        self.vm = vm
+        self.link = link
+        self.egress = egress
+        #: In-VM processing time for one request.
+        self.service_time = service_time
+        self.name = name
+        self.latency = LatencyRecorder(name)
+        self._next_packet_id = 0
+        #: Response events keyed by packet id, resolved on delivery.
+        self._pending: Dict[int, Event] = {}
+        self._lost_requests = 0
+        egress.set_delivery_hook(self._on_release)
+
+    # -- failover support -----------------------------------------------------
+    def switch_target(
+        self, vm: VirtualMachine, link: Link, egress: EgressBuffer
+    ) -> None:
+        """Repoint the connection at the replica after failover."""
+        self.vm = vm
+        self.link = link
+        self.egress = egress
+        egress.set_delivery_hook(self._on_release)
+        # Outstanding requests at the failed primary will never answer.
+        pending, self._pending = self._pending, {}
+        self._lost_requests += len(pending)
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(ServiceInterrupted("primary failed mid-request"))
+
+    @property
+    def lost_requests(self) -> int:
+        return self._lost_requests
+
+    # -- request path ------------------------------------------------------------
+    def request(
+        self,
+        request_bytes: int = 64,
+        response_bytes: int = 64,
+        flow: str = "",
+    ):
+        """Generator: one request/response round trip.
+
+        Returns the measured latency.  Raises
+        :class:`ServiceInterrupted` if the primary fails mid-flight.
+        """
+        sent_at = self.sim.now
+        packet_id = self._next_packet_id
+        self._next_packet_id += 1
+        # Request travels to the host.
+        yield self.link.message(request_bytes)
+        if self.vm.is_destroyed:
+            self._lost_requests += 1
+            raise ServiceInterrupted("target VM is down")
+        # The VM only serves while running; paused VMs delay service.
+        yield self.vm.running_gate.wait_open()
+        if self.vm.is_destroyed:
+            self._lost_requests += 1
+            raise ServiceInterrupted("target VM died while request queued")
+        if self.vm.guest_os_failed:
+            self._lost_requests += 1
+            raise ServiceInterrupted("guest OS inside the VM has failed")
+        yield self.sim.timeout(self.service_time)
+        # The response is generated now but is held by output commit
+        # until the covering checkpoint is acknowledged.
+        response_ready = self.sim.event(name=f"resp:{self.name}:{packet_id}")
+        self._pending[packet_id] = response_ready
+        response = Packet(
+            packet_id=packet_id,
+            size_bytes=response_bytes,
+            created_at=self.sim.now,
+            kind="response",
+            flow=flow or self.name,
+        )
+        self.egress.stage(response)
+        packet = yield response_ready
+        # Response travels back to the client.
+        yield self.link.message(packet.size_bytes)
+        packet.delivered_at = self.sim.now
+        latency = self.sim.now - sent_at
+        self.latency.record(latency)
+        return latency
+
+    def _on_release(self, packet: Packet) -> None:
+        event = self._pending.pop(packet.packet_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(packet)
+
+
+def open_loop_client(
+    sim,
+    connection: ServiceConnection,
+    rate_per_s: float,
+    duration: float,
+    request_bytes: int = 64,
+    response_bytes: int = 64,
+    on_error: Optional[Callable[[Exception], None]] = None,
+):
+    """Generator: fire requests at a fixed rate for ``duration`` seconds.
+
+    Open-loop (Sockperf "under load" style): requests are launched on
+    schedule regardless of outstanding responses.  Individual request
+    failures (e.g. during a failover window) are counted, reported via
+    ``on_error`` and do not stop the client.
+    """
+    if rate_per_s <= 0:
+        raise ValueError(f"rate must be positive: {rate_per_s}")
+    interval = 1.0 / rate_per_s
+    started = sim.now
+
+    def one_request():
+        try:
+            yield from connection.request(request_bytes, response_bytes)
+        except ServiceInterrupted as error:
+            if on_error is not None:
+                on_error(error)
+
+    while sim.now - started < duration:
+        sim.process(one_request(), name=f"req:{connection.name}")
+        yield sim.timeout(interval)

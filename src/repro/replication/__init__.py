@@ -1,0 +1,82 @@
+"""Live VM replication: the Remus baseline and HERE (the paper's core)."""
+
+from .checkpoint import CheckpointRecord, ReplicationStats
+from .compression import LZ_STYLE, XBRLE, CompressionModel
+from .colo import (
+    ColoEngine,
+    ColoStats,
+    ComparisonRecord,
+    HeterogeneousLockstepError,
+    colo_engine,
+)
+from .devices import DeviceManager
+from .engine import ReplicationConfig, ReplicationEngine
+from .failover import FailoverController, FailoverReport
+from .heartbeat import HeartbeatMonitor
+from .here import (
+    DEFAULT_CHECKPOINT_THREADS,
+    here_config,
+    here_controller,
+    here_engine,
+)
+from .period import (
+    AdaptiveRemusController,
+    DynamicPeriodController,
+    FixedPeriodController,
+    PeriodController,
+    PeriodDecision,
+    degradation,
+    round_to_step,
+)
+from .protocol import CheckpointAck, CheckpointMessage, ProtocolError, ReplicaSession
+from .remus import remus_config, remus_engine
+from .storage import DiskReplicator, DiskWrite, ReplicaDiskImage
+from .translator import (
+    TRANSLATION_COST_PER_DEVICE,
+    TRANSLATION_COST_PER_VCPU,
+    IntermediateState,
+    StateTranslator,
+)
+
+__all__ = [
+    "AdaptiveRemusController",
+    "CheckpointAck",
+    "CheckpointMessage",
+    "CheckpointRecord",
+    "ColoEngine",
+    "CompressionModel",
+    "ColoStats",
+    "ComparisonRecord",
+    "DEFAULT_CHECKPOINT_THREADS",
+    "DeviceManager",
+    "DiskReplicator",
+    "DiskWrite",
+    "DynamicPeriodController",
+    "FailoverController",
+    "FailoverReport",
+    "FixedPeriodController",
+    "HeterogeneousLockstepError",
+    "HeartbeatMonitor",
+    "IntermediateState",
+    "LZ_STYLE",
+    "PeriodController",
+    "PeriodDecision",
+    "ProtocolError",
+    "ReplicaDiskImage",
+    "ReplicaSession",
+    "ReplicationConfig",
+    "ReplicationEngine",
+    "ReplicationStats",
+    "StateTranslator",
+    "TRANSLATION_COST_PER_DEVICE",
+    "TRANSLATION_COST_PER_VCPU",
+    "XBRLE",
+    "colo_engine",
+    "degradation",
+    "here_config",
+    "here_controller",
+    "here_engine",
+    "remus_config",
+    "remus_engine",
+    "round_to_step",
+]

@@ -1,0 +1,108 @@
+"""Checkpoint records and replication statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CheckpointRecord:
+    """One completed checkpoint (Fig. 3's steps 1–6)."""
+
+    epoch: int
+    started_at: float
+    #: Period the VM ran before this checkpoint.
+    period_used: float
+    #: Full pause duration t (scan + copy + state + ack).
+    pause_duration: float
+    #: The scan+copy part only (the Fig. 8 "checkpoint transfer time").
+    transfer_duration: float
+    dirty_pages: float
+    bytes_sent: float
+    acked_at: float = 0.0
+    packets_released: int = 0
+
+    @property
+    def degradation(self) -> float:
+        """Eq. 1 evaluated for this checkpoint."""
+        denominator = self.pause_duration + self.period_used
+        if denominator <= 0:
+            return 0.0
+        return self.pause_duration / denominator
+
+
+@dataclass
+class ReplicationStats:
+    """Aggregate record of one replication run."""
+
+    vm_name: str
+    engine: str
+    started_at: float = 0.0
+    seeding_duration: float = 0.0
+    seeding_downtime: float = 0.0
+    checkpoints: List[CheckpointRecord] = field(default_factory=list)
+    stopped_at: Optional[float] = None
+    stop_reason: Optional[str] = None
+
+    @property
+    def checkpoint_count(self) -> int:
+        return len(self.checkpoints)
+
+    def mean_transfer_duration(self) -> float:
+        """Average checkpoint transfer time (the Fig. 8a/8b metric)."""
+        if not self.checkpoints:
+            return math.nan
+        return sum(c.transfer_duration for c in self.checkpoints) / len(
+            self.checkpoints
+        )
+
+    def mean_pause_duration(self) -> float:
+        if not self.checkpoints:
+            return math.nan
+        return sum(c.pause_duration for c in self.checkpoints) / len(
+            self.checkpoints
+        )
+
+    def mean_degradation(self) -> float:
+        """Average per-checkpoint degradation (the Fig. 8c/8d metric)."""
+        if not self.checkpoints:
+            return math.nan
+        return sum(c.degradation for c in self.checkpoints) / len(
+            self.checkpoints
+        )
+
+    def mean_period(self) -> float:
+        if not self.checkpoints:
+            return math.nan
+        return sum(c.period_used for c in self.checkpoints) / len(
+            self.checkpoints
+        )
+
+    def period_series(self) -> Tuple[List[float], List[float]]:
+        """(time, period) series for the Fig. 9/10 plots."""
+        times = [c.started_at for c in self.checkpoints]
+        periods = [c.period_used for c in self.checkpoints]
+        return times, periods
+
+    def degradation_series(self) -> Tuple[List[float], List[float]]:
+        """(time, degradation) series for the Fig. 9/10 plots."""
+        times = [c.started_at for c in self.checkpoints]
+        values = [c.degradation for c in self.checkpoints]
+        return times, values
+
+    def total_bytes_sent(self) -> float:
+        return sum(c.bytes_sent for c in self.checkpoints)
+
+    def summary(self) -> dict:
+        return {
+            "vm": self.vm_name,
+            "engine": self.engine,
+            "checkpoints": self.checkpoint_count,
+            "mean_transfer_s": self.mean_transfer_duration(),
+            "mean_pause_s": self.mean_pause_duration(),
+            "mean_degradation": self.mean_degradation(),
+            "mean_period_s": self.mean_period(),
+            "stop_reason": self.stop_reason,
+        }

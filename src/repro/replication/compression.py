@@ -1,0 +1,74 @@
+"""Checkpoint-stream compression (Remus's XBRLE-style optimisation).
+
+Xen's Remus can delta-compress checkpoint pages before sending: most
+re-dirtied pages differ from their previous transmission in only a few
+cache lines, so an XOR + run-length encoding shrinks them dramatically.
+The trade-off is pure CPU-for-wire:
+
+* wire bytes per page divide by the compression ratio;
+* every page costs extra CPU to encode.
+
+On a fat interconnect (the paper's 100 Gbit Omni-Path, where the
+checkpoint path is CPU-bound) compression is a pure loss; on a thin or
+shared link (WAN replication, the congested-interconnect scenario) it
+is the difference between keeping and blowing the degradation budget.
+The `benchmarks/test_ablation_compression.py` experiment measures the
+crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Cost/benefit description of one checkpoint compressor."""
+
+    name: str = "xbrle"
+    #: Wire-size reduction for checkpoint pages (delta-friendly data).
+    ratio: float = 3.0
+    #: Extra CPU per page for encoding (XOR against the page cache +
+    #: run-length encode).
+    cpu_cost_per_page: float = 6e-6
+
+    def __post_init__(self):
+        if self.ratio < 1.0:
+            raise ValueError(
+                f"a compressor must not inflate the stream: ratio={self.ratio}"
+            )
+        if self.cpu_cost_per_page < 0:
+            raise ValueError(
+                f"negative CPU cost: {self.cpu_cost_per_page}"
+            )
+
+    @property
+    def wire_bytes_per_page(self) -> float:
+        """Bytes actually crossing the link per 4 KiB page."""
+        return PAGE_SIZE / self.ratio
+
+    def breakeven_link_capacity(self, base_per_page_cost: float) -> float:
+        """Link capacity below which compression wins (bytes/second).
+
+        Uncompressed the page path takes ``max(αN, N·PAGE/C_link)``;
+        compressed ``max((α+κ)N, N·PAGE/(ratio·C_link))``.  Compression
+        helps iff the uncompressed path is wire-bound and the
+        compressed CPU cost stays below the uncompressed wire time:
+
+            PAGE / C_link > α + κ   =>   C_link < PAGE / (α + κ)
+        """
+        if base_per_page_cost < 0:
+            raise ValueError("negative base cost")
+        denominator = base_per_page_cost + self.cpu_cost_per_page
+        if denominator == 0:
+            return float("inf")
+        return PAGE_SIZE / denominator
+
+
+#: The default compressor, loosely after Remus's XBRLE numbers.
+XBRLE = CompressionModel()
+
+#: A heavier general-purpose compressor: better ratio, more CPU.
+LZ_STYLE = CompressionModel(name="lz", ratio=5.0, cpu_cost_per_page=20e-6)

@@ -1,0 +1,104 @@
+"""The device manager (§5.2, §7.3).
+
+Host-side component owning the I/O aspects of replication for one
+protected VM:
+
+* **admission** — rejects device configurations that cannot be
+  replicated (passthrough devices have no back-trackable state);
+* **output commit** — owns the VM's egress buffer, sealing an epoch at
+  every checkpoint and releasing it on acknowledgement;
+* **heterogeneous device switch** — on failover, instructs the guest
+  agent to unplug the primary hypervisor's device models and install
+  the secondary's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.egress import EgressBuffer
+from ..net.packet import Packet
+from ..vm.devices import ReplicationUnsupported
+from ..vm.machine import VirtualMachine
+from .storage import DiskReplicator
+
+
+class DeviceManager:
+    """Per-protected-VM device-level replication logic."""
+
+    def __init__(self, sim, vm: VirtualMachine, egress: Optional[EgressBuffer] = None):
+        self.sim = sim
+        self.vm = vm
+        self.egress = egress if egress is not None else EgressBuffer(
+            sim, name=f"egress:{vm.name}"
+        )
+        #: Disk-write replication channel (Remus-style speculative
+        #: buffering on the secondary; see replication.storage).
+        self.disk = DiskReplicator(sim, name=f"disk:{vm.name}")
+        self._admitted = False
+
+    # -- admission ----------------------------------------------------------
+    def admit(self) -> None:
+        """Verify every device of the VM can take part in replication.
+
+        Raises :class:`~repro.vm.devices.ReplicationUnsupported` for
+        passthrough devices, as HERE does (§7.3).
+        """
+        self.vm.replicable_devices()
+        self._admitted = True
+
+    @property
+    def admitted(self) -> bool:
+        return self._admitted
+
+    # -- output commit ---------------------------------------------------------
+    def begin_protection(self) -> None:
+        """Start buffering all outgoing traffic (replication active)."""
+        if not self._admitted:
+            raise ReplicationUnsupported(
+                f"VM {self.vm.name!r} was not admitted for replication"
+            )
+        self.egress.enable_buffering()
+        self.vm.disk_replicator = self.disk
+
+    def end_protection(self) -> None:
+        """Stop buffering (replication cleanly stopped)."""
+        self.egress.disable_buffering()
+        self.vm.disk_replicator = None
+
+    def seal_epoch(self) -> int:
+        """Checkpoint starting: close the open traffic + disk epochs.
+
+        Network and disk share one epoch numbering — the commit barrier
+        is the same checkpoint acknowledgement.
+        """
+        epoch = self.egress.seal_epoch()
+        disk_epoch = self.disk.barrier()
+        if disk_epoch != epoch:
+            raise RuntimeError(
+                f"egress epoch {epoch} and disk epoch {disk_epoch} "
+                "desynchronised"
+            )
+        return epoch
+
+    def release_epoch(self, epoch: int) -> List[Packet]:
+        """Checkpoint acked: release traffic and commit disk writes."""
+        self.disk.commit_through(epoch)
+        return self.egress.release_through(epoch)
+
+    def discard_unreleased(self) -> List[Packet]:
+        """Primary failed: unacknowledged output must never be seen,
+        and speculative disk writes must never hit the replica image."""
+        self.disk.discard_speculative()
+        return self.egress.drop_unreleased()
+
+    # -- failover device switch ---------------------------------------------------
+    def switch_to_flavor(self, target_flavor: str):
+        """Generator: run the guest agent's device-model switch."""
+        if self.vm.guest_agent is None:
+            raise RuntimeError(f"VM {self.vm.name!r} has no guest agent")
+        result = yield self.sim.process(
+            self.vm.guest_agent.switch_device_models(target_flavor),
+            name=f"devswitch:{self.vm.name}",
+        )
+        return result

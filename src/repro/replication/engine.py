@@ -1,0 +1,372 @@
+"""The asynchronous state replication engine (Fig. 3, §5).
+
+One :class:`ReplicationEngine` protects one VM: it seeds the replica
+with an iterative pre-copy, then runs the continuous checkpoint loop —
+run for ``T``, pause, send dirtied memory and translated vCPU/device
+state, wait for the replica's acknowledgement, resume, release the
+buffered output.  All four of the paper's architectural components
+meet here:
+
+* the **state manager** is the engine itself plus the transfer
+  machinery of :mod:`repro.migration.transfer`;
+* the **device manager** (:mod:`repro.replication.devices`) owns
+  output commit and the heterogeneous device switch;
+* the **state translator** (:mod:`repro.replication.translator`)
+  converts every checkpoint's payload when the secondary hypervisor
+  differs from the primary;
+* the **dynamic checkpoint period manager**
+  (:mod:`repro.replication.period`) picks the next ``T`` from the
+  measured pause duration.
+
+Concrete configurations: :func:`repro.replication.remus.remus_engine`
+(the baseline) and :func:`repro.replication.here.here_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware.link import LinkPair
+from ..hardware.perfmodel import TransferCostModel
+from ..hardware.units import MIB, PAGE_SIZE
+from ..hardware.host import HostFailure
+from ..hypervisor.base import Hypervisor
+from ..hypervisor.errors import HypervisorDown
+from ..migration.chunks import per_thread_dirty_pages
+from ..migration.engine import state_payload_bytes
+from ..migration.precopy import iterative_precopy
+from ..migration.transfer import split_evenly, timed_page_send
+from ..simkernel.errors import Interrupt
+from ..vm.machine import VmLifecycleError
+from .checkpoint import CheckpointRecord, ReplicationStats
+from .compression import CompressionModel
+from .devices import DeviceManager
+from .period import PeriodController
+from .protocol import CheckpointMessage, ReplicaSession
+from .translator import StateTranslator
+
+
+@dataclass
+class ReplicationConfig:
+    """Tunables distinguishing Remus-style from HERE-style replication."""
+
+    controller: PeriodController
+    #: Threads moving dirty pages during each checkpoint (§7.2(2)).
+    checkpoint_threads: int = 4
+    #: Round-robin 2 MiB chunk ownership (HERE) vs a single full-bitmap
+    #: scan (stock Xen/Remus).
+    chunked_transfer: bool = True
+    #: Per-vCPU migrator threads during seeding (§7.2(1)).
+    per_vcpu_seeding: bool = True
+    #: Seeding thread count; None = one per vCPU when per-vCPU seeding.
+    seeding_threads: Optional[int] = None
+    max_seed_iterations: int = 5
+    seed_stop_threshold_pages: int = 50
+    #: Resend multi-vCPU ("problematic") pages in the seeding sync.
+    resend_problematic: bool = True
+    #: Optional checkpoint-stream compressor (Remus XBRLE-style);
+    #: None sends raw pages.
+    compression: Optional[CompressionModel] = None
+
+    def seeding_thread_count(self, vcpus: int) -> int:
+        if self.seeding_threads is not None:
+            return self.seeding_threads
+        return vcpus if self.per_vcpu_seeding else 1
+
+
+class ReplicationEngine:
+    """Protects one VM by continuous checkpointing onto a second host."""
+
+    def __init__(
+        self,
+        sim,
+        primary: Hypervisor,
+        secondary: Hypervisor,
+        link: LinkPair,
+        config: ReplicationConfig,
+        translator: Optional[StateTranslator] = None,
+        cost_model: Optional[TransferCostModel] = None,
+        name: str = "asr",
+    ):
+        self.sim = sim
+        self.primary = primary
+        self.secondary = secondary
+        self.link = link
+        self.config = config
+        self.translator = translator or StateTranslator()
+        self.cost = cost_model or primary.host.cost_model
+        self.name = name
+        # Populated by start():
+        self.vm = None
+        self.replica_vm = None
+        self.replica_session: Optional[ReplicaSession] = None
+        self.device_manager: Optional[DeviceManager] = None
+        self.stats: Optional[ReplicationStats] = None
+        self.process = None
+        #: Triggered once seeding completes and protection is active.
+        #: Fails if seeding aborts.  Waiting on it is optional — a
+        #: no-op callback keeps an unobserved failure from aborting the
+        #: simulation; the abort reason is always in stats.stop_reason.
+        self.ready = sim.event(name=f"ready:{name}")
+        self.ready.callbacks.append(lambda _evt: None)
+        self._active = False
+        self._epoch = 0
+
+    # -- public control -------------------------------------------------------
+    @property
+    def heterogeneous(self) -> bool:
+        return self.primary.state_format != self.secondary.state_format
+
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    @property
+    def last_acked_epoch(self) -> int:
+        if self.replica_session is None:
+            return -1
+        return self.replica_session.last_applied_epoch
+
+    def start(self, vm_name: str):
+        """Begin protecting ``vm_name``; returns the engine process."""
+        if self.process is not None:
+            raise RuntimeError(f"engine {self.name!r} already started")
+        self.vm = self.primary.get_vm(vm_name)
+        self.device_manager = DeviceManager(self.sim, self.vm)
+        self.stats = ReplicationStats(
+            vm_name=vm_name, engine=self.name, started_at=self.sim.now
+        )
+        self.process = self.sim.process(
+            self._replication_loop(), name=f"replication:{self.name}"
+        )
+        return self.process
+
+    def halt(self, reason: str = "halted") -> None:
+        """Stop the engine (failover controller or operator action)."""
+        self._active = False
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(reason)
+
+    # -- the replication process ------------------------------------------------
+    def _replication_loop(self):
+        vm = self.vm
+        config = self.config
+        try:
+            yield from self._setup_and_seed(vm)
+            self.ready.succeed(self.sim.now)
+            self._active = True
+            period = config.controller.initial_period()
+            while self._active:
+                try:
+                    yield self.sim.timeout(period)
+                except Interrupt as interrupt:
+                    self.stats.stop_reason = str(interrupt.cause)
+                    break
+                if not self._active:
+                    break
+                if vm.is_destroyed:
+                    self.stats.stop_reason = "protected VM destroyed"
+                    break
+                try:
+                    pause_duration = yield from self._checkpoint(vm, period)
+                except (HypervisorDown, HostFailure, VmLifecycleError) as failure:
+                    self.stats.stop_reason = str(failure)
+                    break
+                except Interrupt as interrupt:
+                    self.stats.stop_reason = str(interrupt.cause)
+                    break
+                period = config.controller.next_period(pause_duration)
+        except (HypervisorDown, HostFailure) as failure:
+            self.stats.stop_reason = str(failure)
+            if not self.ready.triggered:
+                self.ready.fail(failure)
+        except Interrupt as interrupt:
+            self.stats.stop_reason = str(interrupt.cause)
+            if not self.ready.triggered:
+                self.ready.fail(RuntimeError(str(interrupt.cause)))
+        except Exception as error:
+            # Setup failures (e.g. the secondary cannot fit the replica
+            # shell) must reach whoever waits on `ready`, not die as an
+            # unobserved process failure.
+            self.stats.stop_reason = str(error)
+            if not self.ready.triggered:
+                self.ready.fail(error)
+            else:
+                raise
+        finally:
+            self._active = False
+            self.stats.stopped_at = self.sim.now
+            # If the engine stopped while the primary is still healthy
+            # (secondary died, operator halt), the protected VM must
+            # keep running — unprotected, with output commit lifted.
+            if (
+                not vm.is_destroyed
+                and self.primary.is_responsive
+                and self.primary.host.is_up
+            ):
+                if vm.is_paused:
+                    vm.resume()
+                if self.device_manager is not None:
+                    self.device_manager.end_protection()
+        return self.stats
+
+    def _setup_and_seed(self, vm):
+        """Admission, feature masking, replica shell, seeding (Fig. 3 ❷–❸)."""
+        config = self.config
+        # Admission: passthrough devices cannot be replicated (§7.3).
+        self.device_manager.admit()
+        # CPUID masking for safe cross-hypervisor resume (§7.4).
+        masked = StateTranslator.prepare_guest(vm, self.primary, self.secondary)
+        # Host-side buffers of the engine (read back by §8.7's bench).
+        accounting = self.primary.host.memory_accounting
+        accounting.allocate(
+            f"{self.name}:staging", config.checkpoint_threads * 64 * MIB
+        )
+        accounting.allocate(f"{self.name}:pml-mirrors", vm.vcpu_count * 8 * MIB)
+        accounting.allocate(f"{self.name}:protocol", 26 * MIB)
+        # Replica shell on the secondary (not running).
+        self.replica_vm = self.secondary.create_vm(
+            vm.name,
+            vcpus=vm.vcpu_count,
+            memory_bytes=vm.memory_bytes,
+            features=masked,
+        )
+        self.replica_session = ReplicaSession(self.secondary, self.replica_vm)
+
+        # -- seeding: iterative pre-copy while the VM runs -------------------
+        seed_start = self.sim.now
+        seed_threads = config.seeding_thread_count(vm.vcpu_count)
+        use_pml = (
+            config.per_vcpu_seeding
+            and self.primary.supports_per_vcpu_dirty_rings()
+        )
+        if config.per_vcpu_seeding:
+            yield self.sim.timeout(self.cost.seeding_thread_setup)
+        precopy = yield from iterative_precopy(
+            self.sim,
+            self.primary,
+            vm,
+            self.link.forward,
+            self.cost,
+            seed_threads,
+            use_pml,
+            max_iterations=config.max_seed_iterations,
+            stop_threshold_pages=config.seed_stop_threshold_pages,
+            component="replication",
+        )
+        # -- seeding sync: short pause establishing checkpoint 0 ---------------
+        pause_start = self.sim.now
+        vm.pause()
+        remaining = precopy.remaining_dirty
+        if use_pml and config.resend_problematic:
+            remaining += precopy.problematic_total
+        yield from timed_page_send(
+            self.sim,
+            self.primary.host,
+            self.link.forward,
+            split_evenly(remaining, config.checkpoint_threads),
+            self.cost,
+            component="replication",
+            per_page_cost=self.cost.migration_page_cost,
+        )
+        yield from self._send_state_and_ack(vm, remaining, initial=True)
+        # All output from now on is buffered until the covering
+        # checkpoint is acknowledged (output commit).
+        self.device_manager.begin_protection()
+        vm.resume()
+        self.stats.seeding_duration = self.sim.now - seed_start
+        self.stats.seeding_downtime = self.sim.now - pause_start
+
+    def _checkpoint(self, vm, period: float):
+        """One checkpoint (Fig. 3 steps 1–6); returns the pause duration."""
+        config = self.config
+        self.primary._check_responsive()
+        pause_start = self.sim.now
+        vm.pause()  # (1)
+        traffic_epoch = self.device_manager.seal_epoch()
+        snapshot = self.primary.read_dirty_bitmap(vm, clear=True)
+        dirty = snapshot.unique_dirty_pages()
+        threads = config.checkpoint_threads
+        if config.chunked_transfer:
+            # HERE §7.2(2): threads own disjoint interleaved 2 MiB
+            # regions; each scans only its own share of the bitmap.
+            shares = per_thread_dirty_pages(snapshot, threads)
+            scan_shares = split_evenly(vm.total_pages, threads)
+        else:
+            # Stock Remus: one thread walks the whole bitmap.
+            shares = split_evenly(dirty, threads)
+            scan_shares = split_evenly(vm.total_pages, threads)
+        if config.compression is not None:
+            per_page = (
+                self.cost.page_send_cost
+                + config.compression.cpu_cost_per_page
+            )
+            wire_per_page = config.compression.wire_bytes_per_page
+        else:
+            per_page = self.cost.page_send_cost
+            wire_per_page = None
+        transfer_duration = yield from timed_page_send(  # (2)
+            self.sim,
+            self.primary.host,
+            self.link.forward,
+            shares,
+            self.cost,
+            component="replication",
+            scan_pages_per_thread=scan_shares,
+            per_page_cost=per_page,
+            wire_bytes_per_page=wire_per_page,
+        )
+        yield from self._send_state_and_ack(vm, dirty)  # (3) + (4)
+        vm.resume()  # (5)
+        pause_duration = self.sim.now - pause_start
+        released = self.device_manager.release_epoch(traffic_epoch)  # (6)
+        self.stats.checkpoints.append(
+            CheckpointRecord(
+                epoch=self._epoch,
+                started_at=pause_start,
+                period_used=period,
+                pause_duration=pause_duration,
+                transfer_duration=transfer_duration,
+                dirty_pages=dirty,
+                bytes_sent=dirty * PAGE_SIZE,
+                acked_at=self.sim.now,
+                packets_released=len(released),
+            )
+        )
+        return pause_duration
+
+    def _send_state_and_ack(self, vm, dirty_pages: float, initial: bool = False):
+        """Extract, translate, ship and apply vCPU/device state; await ack."""
+        payload = self.primary.extract_guest_state(vm)
+        if self.heterogeneous:
+            translation_time = self.translator.translation_cost(
+                vm.vcpu_count, len(vm.devices)
+            )
+            self.primary.host.cpu_accounting.charge(
+                "replication", translation_time
+            )
+            yield self.sim.timeout(translation_time)
+            payload = self.translator.translate(payload, self.secondary)
+        yield self.link.transfer(
+            state_payload_bytes(vm.vcpu_count, len(vm.devices))
+        )
+        # Pause/unpause bookkeeping, device-state collection, etc.
+        yield self.sim.timeout(self.cost.checkpoint_constant)
+        self.primary.host.cpu_accounting.charge(
+            "replication", self.cost.checkpoint_constant
+        )
+        self.secondary._check_responsive()
+        message = CheckpointMessage(
+            vm_name=vm.name,
+            epoch=self._epoch,
+            sent_at=self.sim.now,
+            dirty_pages=dirty_pages,
+            memory_bytes=dirty_pages * PAGE_SIZE,
+            state_payload=payload,
+            initial=initial,
+            guest_os_failed=vm.guest_os_failed,
+        )
+        self.replica_session.apply(message)
+        yield self.link.ack()  # (4) acknowledgement from the backup
+        self._epoch += 1

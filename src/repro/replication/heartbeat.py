@@ -1,0 +1,108 @@
+"""Heartbeat-based failure detection between the replication hosts.
+
+HERE "relies on a periodic heartbeat between the primary and replica
+hosts to ensure that the hypervisors are functioning normally" (§8.2).
+The monitor runs on the secondary: it probes the primary at a fixed
+interval and declares failure after ``miss_threshold`` consecutive
+unanswered probes.  Crashes, hangs and host power loss all look the
+same from here — no answer — which is exactly the property HERE needs:
+the failover path does not care *why* the primary stopped.
+
+External attack detectors (the CRIMES-style systems the paper cites)
+can also declare failure directly via :meth:`HeartbeatMonitor.report_attack`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hardware.host import Host
+from ..hardware.link import LinkPair
+from ..hypervisor.base import Hypervisor
+
+
+class HeartbeatMonitor:
+    """Secondary-side prober of the primary host/hypervisor pair."""
+
+    def __init__(
+        self,
+        sim,
+        primary_host: Host,
+        primary_hypervisor: Hypervisor,
+        link: LinkPair,
+        interval: float = 0.03,
+        miss_threshold: int = 3,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1: {miss_threshold}")
+        self.sim = sim
+        self.primary_host = primary_host
+        self.primary_hypervisor = primary_hypervisor
+        self.link = link
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        #: Succeeds with the failure reason when failure is declared.
+        self.failure_detected = sim.event(name="heartbeat-failure")
+        self.probes_sent = 0
+        self.consecutive_misses = 0
+        self.last_success_at: Optional[float] = None
+        self.process = None
+
+    def start(self):
+        """Begin probing; returns the monitor process."""
+        if self.process is not None:
+            raise RuntimeError("heartbeat monitor already started")
+        self.process = self.sim.process(self._probe_loop(), name="heartbeat")
+        return self.process
+
+    def stop(self) -> None:
+        """Stop probing (clean replication shutdown)."""
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt("monitor stopped")
+
+    def report_attack(self, description: str) -> None:
+        """External detector path: declare the primary failed now.
+
+        Used when an exploit-mitigation or intrusion-detection system
+        (§6) downgrades an attack to a controlled crash — failover can
+        start without waiting for missed heartbeats.
+        """
+        if not self.failure_detected.triggered:
+            self.failure_detected.succeed(f"attack detected: {description}")
+
+    @property
+    def detection_latency_bound(self) -> float:
+        """Worst-case time from failure to detection."""
+        return self.interval * self.miss_threshold + self.link.round_trip_latency()
+
+    def _probe_loop(self):
+        from ..simkernel.errors import Interrupt
+
+        try:
+            while not self.failure_detected.triggered:
+                yield self.sim.timeout(self.interval)
+                # Round trip to the primary (the probe itself).
+                yield self.link.ack(64)
+                self.probes_sent += 1
+                alive = (
+                    self.primary_host.is_up
+                    and self.primary_hypervisor.is_responsive
+                )
+                if alive:
+                    self.consecutive_misses = 0
+                    self.last_success_at = self.sim.now
+                else:
+                    self.consecutive_misses += 1
+                    if self.consecutive_misses >= self.miss_threshold:
+                        reason = (
+                            self.primary_hypervisor.failure_reason
+                            or self.primary_host.failure_reason
+                            or "primary unresponsive"
+                        )
+                        if not self.failure_detected.triggered:
+                            self.failure_detected.succeed(reason)
+                        return
+        except Interrupt:
+            return

@@ -1,0 +1,268 @@
+"""Checkpoint-period control (§5.4, Algorithm 1).
+
+Two controllers:
+
+* :class:`FixedPeriodController` — Remus's behaviour: one period,
+  chosen at VM start, never changed.
+* :class:`DynamicPeriodController` — HERE's Algorithm 1: a step-based
+  search for the largest protection (smallest ``T``) that keeps the
+  measured degradation ``D_T = t / (t + T)`` near the configured soft
+  target ``D``, under the hard bound ``T ≤ T_max``.
+
+Algorithm 1, verbatim from the paper::
+
+    T ← T_max ;  D_prev ← D
+    while perform checkpoint do
+        t_curr ← measured pause duration
+        D_curr ← t_curr / (t_curr + T)
+        if D_curr ≤ D then            # degradation budget available
+            T_prev ← T ;  T ← T − σ
+        else if D_prev ≤ D then       # first overshoot: walk back
+            T ← T_prev
+        else                          # repeated overshoot: jump up
+            T_prev ← T ;  T ← round((T + T_max)/2, σ)
+        D_prev ← D_curr
+
+Deviations required to support the paper's own ``T_max = ∞``
+configurations (Table 6): with an unbounded ``T_max`` the initial
+period and the repeated-overshoot jump are undefined, so the controller
+starts from ``initial_period`` and doubles ``T`` on repeated overshoot
+instead of jumping to the midpoint.  A floor ``T_min`` keeps the period
+positive.  Both deviations are inert whenever ``T_max`` is finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+def degradation(pause_duration: float, period: float) -> float:
+    """The paper's Eq. 1: D_T = t / (t + T)."""
+    if pause_duration < 0:
+        raise ValueError(f"negative pause duration: {pause_duration}")
+    if period < 0:
+        raise ValueError(f"negative period: {period}")
+    if pause_duration == 0 and period == 0:
+        return 0.0
+    return pause_duration / (pause_duration + period)
+
+
+def round_to_step(value: float, step: float) -> float:
+    """Round ``value`` to the nearest multiple of ``step``."""
+    if step <= 0:
+        raise ValueError(f"step must be positive: {step}")
+    return round(value / step) * step
+
+
+class PeriodController:
+    """Interface: decides the next checkpoint period."""
+
+    def initial_period(self) -> float:
+        raise NotImplementedError
+
+    def next_period(self, pause_duration: float) -> float:
+        """Observe the latest pause duration; return the next period."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class FixedPeriodController(PeriodController):
+    """Remus: a constant period for the lifetime of the VM."""
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        self.period = period
+
+    def initial_period(self) -> float:
+        return self.period
+
+    def next_period(self, pause_duration: float) -> float:
+        if pause_duration < 0:
+            raise ValueError(f"negative pause duration: {pause_duration}")
+        return self.period
+
+    def describe(self) -> str:
+        return f"fixed(T={self.period:g}s)"
+
+
+@dataclass
+class PeriodDecision:
+    """One controller step, kept for analysis/plots (Fig. 9/10)."""
+
+    pause_duration: float
+    measured_degradation: float
+    previous_period: float
+    next_period: float
+    branch: str
+
+
+class AdaptiveRemusController(PeriodController):
+    """The Adaptive Remus baseline the paper contrasts with (§5.4).
+
+    Da Silva et al.'s Adaptive Remus "targets IO applications in
+    particular and provides only two period settings: a default
+    setting, and a lower checkpointing period setting enabled when IO
+    activity is detected in the VM".  The controller therefore needs an
+    *activity probe* (wired to the egress buffer by the caller) and
+    toggles between exactly two periods — no degradation target, no
+    T_max semantics, no gradual search.  HERE's Algorithm 1 subsumes it
+    for the paper's goals; this implementation exists so the controller
+    ablation can measure the difference.
+    """
+
+    def __init__(
+        self,
+        default_period: float = 5.0,
+        io_period: float = 1.0,
+        activity_probe=None,
+    ):
+        if default_period <= 0 or io_period <= 0:
+            raise ValueError("periods must be positive")
+        if io_period > default_period:
+            raise ValueError(
+                f"the IO period ({io_period}) must not exceed the "
+                f"default period ({default_period})"
+            )
+        self.default_period = default_period
+        self.io_period = io_period
+        #: Callable returning True when the VM shows IO activity; when
+        #: None the controller never leaves the default period.
+        self.activity_probe = activity_probe
+        self._period = default_period
+        self.switches = 0
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def initial_period(self) -> float:
+        return self._period
+
+    def next_period(self, pause_duration: float) -> float:
+        if pause_duration < 0:
+            raise ValueError(f"negative pause duration: {pause_duration}")
+        io_active = bool(self.activity_probe()) if self.activity_probe else False
+        chosen = self.io_period if io_active else self.default_period
+        if chosen != self._period:
+            self.switches += 1
+        self._period = chosen
+        return chosen
+
+    def describe(self) -> str:
+        return (
+            f"adaptive-remus(default={self.default_period:g}s, "
+            f"io={self.io_period:g}s)"
+        )
+
+
+class DynamicPeriodController(PeriodController):
+    """HERE's Algorithm 1 (see module docstring)."""
+
+    def __init__(
+        self,
+        target_degradation: float,
+        t_max: float = math.inf,
+        sigma: float = 0.25,
+        t_min: float = 0.05,
+        initial_period: Optional[float] = None,
+    ):
+        """``initial_period`` overrides Algorithm 1's line 1 (T = T_max).
+
+        With a finite ``T_max`` the override models a deployment whose
+        controller already converged before the measurement window (the
+        paper's Fig. 9 plot starts well below its T_max of 25 s); with
+        ``T_max = ∞`` an initial period is required and defaults to
+        10 s.  The hard bound ``T ≤ T_max`` still applies throughout.
+        """
+        if not 0.0 <= target_degradation < 1.0:
+            raise ValueError(
+                f"target degradation must be in [0, 1): {target_degradation}"
+            )
+        if t_max <= 0:
+            raise ValueError(f"T_max must be positive: {t_max}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive: {sigma}")
+        if t_min <= 0 or (t_min > t_max):
+            raise ValueError(f"T_min must be in (0, T_max]: {t_min}")
+        self.target = target_degradation
+        self.t_max = t_max
+        self.sigma = sigma
+        self.t_min = t_min
+        # Algorithm 1 line 1: T ← T_max (finite case), unless overridden.
+        if initial_period is not None:
+            self._period = min(initial_period, t_max)
+        elif math.isfinite(t_max):
+            self._period = t_max
+        else:
+            self._period = 10.0
+        self._period = max(self._period, self.t_min)
+        self._previous_period = self._period
+        # Line 2: D_prev ← D.
+        self._previous_degradation = target_degradation
+        #: Decision trace for experiments.
+        self.history: List[PeriodDecision] = []
+
+    @property
+    def period(self) -> float:
+        """The period currently in force."""
+        return self._period
+
+    def initial_period(self) -> float:
+        return self._period
+
+    def next_period(self, pause_duration: float) -> float:
+        if pause_duration < 0:
+            raise ValueError(f"negative pause duration: {pause_duration}")
+        current = self._period
+        measured = degradation(pause_duration, current)
+        if measured <= self.target:
+            # Budget available: tighten protection by one step σ.
+            branch = "tighten"
+            self._previous_period = current
+            candidate = current - self.sigma
+        elif self._previous_degradation <= self.target:
+            # First overshoot: restore the last-known-good period.
+            branch = "walk-back"
+            candidate = self._previous_period
+        else:
+            # Repeated overshoot: jump toward T_max (or double).
+            branch = "jump"
+            self._previous_period = current
+            if math.isfinite(self.t_max):
+                candidate = round_to_step(
+                    (current + self.t_max) / 2.0, self.sigma
+                )
+            else:
+                candidate = current * 2.0
+        candidate = min(max(candidate, self.t_min), self.t_max)
+        self._previous_degradation = measured
+        self._period = candidate
+        self.history.append(
+            PeriodDecision(
+                pause_duration=pause_duration,
+                measured_degradation=measured,
+                previous_period=current,
+                next_period=candidate,
+                branch=branch,
+            )
+        )
+        return candidate
+
+    def describe(self) -> str:
+        t_max = "inf" if math.isinf(self.t_max) else f"{self.t_max:g}s"
+        return (
+            f"dynamic(D={self.target:.0%}, T_max={t_max}, "
+            f"sigma={self.sigma:g}s)"
+        )
+
+    def branch_counts(self) -> Tuple[int, int, int]:
+        """(tighten, walk-back, jump) decision counts so far."""
+        tighten = sum(1 for d in self.history if d.branch == "tighten")
+        walk_back = sum(1 for d in self.history if d.branch == "walk-back")
+        jump = sum(1 for d in self.history if d.branch == "jump")
+        return tighten, walk_back, jump

@@ -1,0 +1,195 @@
+"""The state translator: guest state across hypervisor boundaries (§5.3, §7.4).
+
+Translation follows the heterogeneous-migration lineage the paper cites
+(Vagrant, HyperTP): parse the source hypervisor's serialisation format
+into a *common intermediate representation* (the architectural state of
+:mod:`repro.vm.vcpu` plus architectural device state), then rebuild the
+target hypervisor's format from it.  The translator also owns the
+platform-compatibility step: masking the guest's CPUID feature set to
+the intersection both hypervisors can provide, so the guest can safely
+resume on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from ..hypervisor.base import Hypervisor
+from ..hypervisor.errors import IncompatibleGuest
+from ..hypervisor.features import compatible_featureset, incompatibilities
+from ..hypervisor.kvm import formats as kvm_formats
+from ..hypervisor.xen import formats as xen_formats
+from ..vm.machine import VirtualMachine
+from ..vm.vcpu import VcpuArchState
+
+#: CPU-side cost of translating one vCPU's state (register repacking,
+#: MSR filtering, LAPIC conversion).  Small, but real — part of the
+#: checkpoint constant on the replica side.
+TRANSLATION_COST_PER_VCPU = 120e-6
+#: Cost of translating one device record.
+TRANSLATION_COST_PER_DEVICE = 40e-6
+
+
+@dataclass
+class IntermediateState:
+    """The common representation between hypervisor formats."""
+
+    vcpus: List[VcpuArchState]
+    devices: List[dict]
+    features: FrozenSet[str]
+    memory_pages: int
+
+
+def _parse_xen(payload: dict) -> IntermediateState:
+    return IntermediateState(
+        vcpus=[xen_formats.record_to_vcpu(r) for r in payload["hvm_context"]],
+        devices=[
+            xen_formats.record_to_device_state(r)
+            for r in payload["device_records"]
+        ],
+        features=frozenset(payload["platform"]["featureset"]),
+        memory_pages=payload["platform"]["nr_pages"],
+    )
+
+
+def _build_xen(state: IntermediateState) -> dict:
+    return {
+        "format": xen_formats.XEN_STATE_FORMAT,
+        "hvm_context": [xen_formats.vcpu_to_record(v) for v in state.vcpus],
+        "device_records": [
+            {
+                "backend": f"xen-{device['kind']}",
+                "devid": device["instance"],
+                "kind": device["kind"],
+                "mode": "pv",
+                "backend_state": dict(device["fields"]),
+            }
+            for device in state.devices
+        ],
+        "platform": {
+            "featureset": sorted(state.features),
+            "nr_pages": state.memory_pages,
+        },
+    }
+
+
+def _parse_kvm(payload: dict) -> IntermediateState:
+    return IntermediateState(
+        vcpus=[kvm_formats.record_to_vcpu(r) for r in payload["vcpu_records"]],
+        devices=[
+            kvm_formats.record_to_device_state(r)
+            for r in payload["virtio_devices"]
+        ],
+        features=frozenset(payload["machine"]["cpuid_features"]),
+        memory_pages=payload["machine"]["memory_pages"],
+    )
+
+
+def _build_kvm(state: IntermediateState) -> dict:
+    return {
+        "format": kvm_formats.KVM_STATE_FORMAT,
+        "vcpu_records": [kvm_formats.vcpu_to_record(v) for v in state.vcpus],
+        "virtio_devices": [
+            {
+                "virtio_device": f"virtio-{device['kind']}",
+                "slot": device["instance"],
+                "class": device["kind"],
+                "transport": "pv",
+                "config_space": dict(device["fields"]),
+            }
+            for device in state.devices
+        ],
+        "machine": {
+            "cpuid_features": sorted(state.features),
+            "memory_pages": state.memory_pages,
+        },
+    }
+
+
+class StateTranslator:
+    """Converts guest-state payloads between hypervisor formats."""
+
+    def __init__(self):
+        self._parsers: Dict[str, Callable[[dict], IntermediateState]] = {}
+        self._builders: Dict[str, Callable[[IntermediateState], dict]] = {}
+        self.register(xen_formats.XEN_STATE_FORMAT, _parse_xen, _build_xen)
+        self.register(kvm_formats.KVM_STATE_FORMAT, _parse_kvm, _build_kvm)
+        self.translations_performed = 0
+
+    def register(
+        self,
+        format_id: str,
+        parser: Callable[[dict], IntermediateState],
+        builder: Callable[[IntermediateState], dict],
+    ) -> None:
+        """Register a new hypervisor serialisation format."""
+        if format_id in self._parsers:
+            raise ValueError(f"format {format_id!r} already registered")
+        self._parsers[format_id] = parser
+        self._builders[format_id] = builder
+
+    def supported_formats(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._parsers))
+
+    # -- feature compatibility ------------------------------------------------
+    @staticmethod
+    def compatible_features(*hypervisors: Hypervisor) -> FrozenSet[str]:
+        """Features a guest may use on every listed hypervisor."""
+        return compatible_featureset(
+            *(hypervisor.cpuid_features() for hypervisor in hypervisors)
+        )
+
+    @classmethod
+    def prepare_guest(cls, vm: VirtualMachine, *hypervisors: Hypervisor) -> FrozenSet[str]:
+        """Mask the guest's CPUID features for safe cross-resume (§7.4).
+
+        Must run before the guest boots its workload in a real system;
+        in the simulation we apply it at replication setup.  Returns
+        the masked feature set.
+        """
+        allowed = cls.compatible_features(*hypervisors)
+        vm.enabled_features = frozenset(vm.enabled_features) & allowed
+        return vm.enabled_features
+
+    # -- payload translation -----------------------------------------------------
+    def translate(self, payload: dict, target: Hypervisor) -> dict:
+        """Translate ``payload`` into ``target``'s native format.
+
+        Raises :class:`IncompatibleGuest` when the guest uses features
+        the target cannot expose (meaning ``prepare_guest`` was not
+        applied).
+        """
+        source_format = payload.get("format")
+        if source_format not in self._parsers:
+            raise KeyError(
+                f"unknown source format {source_format!r}; "
+                f"supported: {self.supported_formats()}"
+            )
+        target_format = target.state_format
+        if target_format not in self._builders:
+            raise KeyError(
+                f"unknown target format {target_format!r}; "
+                f"supported: {self.supported_formats()}"
+            )
+        intermediate = self._parsers[source_format](payload)
+        missing = incompatibilities(intermediate.features, target.cpuid_features())
+        if missing:
+            raise IncompatibleGuest(
+                f"guest state uses features {sorted(missing)} that "
+                f"{target.product} cannot expose; prepare_guest() must "
+                "mask features before replication starts"
+            )
+        self.translations_performed += 1
+        if source_format == target_format:
+            return payload
+        return self._builders[target_format](intermediate)
+
+    def translation_cost(self, vcpus: int, devices: int) -> float:
+        """Simulated CPU time of one payload translation."""
+        if vcpus < 0 or devices < 0:
+            raise ValueError("counts must be non-negative")
+        return (
+            vcpus * TRANSLATION_COST_PER_VCPU
+            + devices * TRANSLATION_COST_PER_DEVICE
+        )

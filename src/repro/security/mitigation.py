@@ -1,0 +1,210 @@
+"""Exploit mitigation: downgrading compromises to DoS (§2, §6).
+
+The paper's §2 observation: modern exploit mitigations (NX, ASLR, CFI,
+checked pointers, syscall filters) cannot *repair* a detected attack —
+the safest response to an active exploitation attempt is to crash the
+target.  Mitigation therefore "essentially turns an exploitable
+vulnerability into a denial-of-service attack".
+
+§6 turns this into HERE's second selling point: combine mitigation with
+heterogeneous replication and you get *security without sacrificing
+availability* — the compromise attempt is stopped (crash, not code
+execution) and the crash itself is survived (failover to the other
+hypervisor).
+
+This module models a host mitigation stack and a general exploit class
+covering compromising CVEs (the `DosExploit` of
+:mod:`repro.security.exploits` is the DoS-only special case):
+
+* without mitigation, a C/I-impacting CVE *compromises* the hypervisor
+  — the attacker owns the host, which replication cannot help with;
+* with mitigation, the same exploit is detected and forcibly crashes
+  the hypervisor — a DoS outcome that HERE's failover absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..hypervisor.base import Hypervisor
+from .exploits import PRODUCT_TO_FLAVOR, ExploitSource
+from .nvd import CveRecord
+
+
+@dataclass(frozen=True)
+class MitigationStack:
+    """The exploit mitigations deployed on a hypervisor host."""
+
+    #: Deployed mechanisms, e.g. ("nx", "aslr", "cfi", "seccomp").
+    mechanisms: Tuple[str, ...] = ("nx", "aslr", "cfi")
+
+    #: Canonical full stack from the paper's §2 enumeration.
+    FULL_STACK = (
+        "nx", "aslr", "cfi", "checked-pointers", "syscall-filter",
+    )
+
+    @property
+    def deployed(self) -> bool:
+        return bool(self.mechanisms)
+
+    def intercepts(self, cve: CveRecord) -> bool:
+        """Whether this stack detects an exploitation of ``cve``.
+
+        Control-flow and memory-corruption attacks (anything with a
+        confidentiality or integrity impact) are the mitigations'
+        territory; pure availability bugs (crash-on-input) do not
+        involve a hijack to detect.
+        """
+        if not self.deployed:
+            return False
+        return (
+            cve.cvss.confidentiality.value != "N"
+            or cve.cvss.integrity.value != "N"
+        )
+
+    def describe(self) -> str:
+        return "+".join(self.mechanisms) if self.mechanisms else "none"
+
+
+@dataclass(frozen=True)
+class CompromiseExploit:
+    """A weaponised vulnerability that takes control of the target.
+
+    The dangerous complement of :class:`~repro.security.exploits.DosExploit`:
+    the CVE impacts confidentiality and/or integrity, so a successful,
+    unmitigated exploitation means the attacker owns the hypervisor.
+    """
+
+    cve: CveRecord
+    source: ExploitSource = ExploitSource.GUEST_USER
+    name: str = ""
+
+    def __post_init__(self):
+        if self.cve.is_dos_only:
+            raise ValueError(
+                f"{self.cve.cve_id} is DoS-only; use DosExploit for it"
+            )
+        if not (
+            self.cve.cvss.confidentiality.value != "N"
+            or self.cve.cvss.integrity.value != "N"
+        ):
+            raise ValueError(
+                f"{self.cve.cve_id} compromises neither confidentiality "
+                "nor integrity"
+            )
+
+    def affects(self, hypervisor: Hypervisor) -> bool:
+        """Same applicability rule as DoS exploits (product or lineage)."""
+        flavor = PRODUCT_TO_FLAVOR.get(self.cve.product)
+        if flavor is not None and flavor == hypervisor.flavor:
+            return True
+        lineage = self.cve.component_lineage.lower()
+        return bool(lineage) and lineage == hypervisor.device_model_lineage.lower()
+
+
+@dataclass
+class CompromiseResult:
+    """Outcome of one compromise attempt."""
+
+    exploit: CompromiseExploit
+    hypervisor_product: str
+    launched_at: float
+    #: "bounced" | "compromised" | "mitigated-crash"
+    outcome: str
+    detail: str = ""
+
+    @property
+    def attacker_got_control(self) -> bool:
+        return self.outcome == "compromised"
+
+
+class MitigatedHost:
+    """Binds a mitigation stack to a hypervisor and adjudicates attacks."""
+
+    def __init__(self, sim, hypervisor: Hypervisor, stack: Optional[MitigationStack] = None):
+        self.sim = sim
+        self.hypervisor = hypervisor
+        self.stack = stack if stack is not None else MitigationStack()
+        self.log: List[CompromiseResult] = []
+        #: Observers called as listener(result) on every mitigated crash
+        #: (an attack-detector hook: §6 couples this to the heartbeat).
+        self._crash_listeners: List = []
+
+    def on_mitigated_crash(self, listener) -> None:
+        self._crash_listeners.append(listener)
+
+    def attack(self, exploit: CompromiseExploit) -> CompromiseResult:
+        """The attacker fires a compromising exploit at this host."""
+        if not exploit.affects(self.hypervisor):
+            result = CompromiseResult(
+                exploit=exploit,
+                hypervisor_product=self.hypervisor.product,
+                launched_at=self.sim.now,
+                outcome="bounced",
+                detail=(
+                    f"{exploit.cve.cve_id} does not affect "
+                    f"{self.hypervisor.product}"
+                ),
+            )
+        elif self.stack.intercepts(exploit.cve):
+            # The mitigation detects the hijack attempt.  The state may
+            # already be corrupted, so the only safe response is a
+            # controlled crash (§2) — a DoS that replication absorbs.
+            reason = (
+                f"mitigation ({self.stack.describe()}) stopped "
+                f"{exploit.cve.cve_id}: forced crash"
+            )
+            self.hypervisor.crash(reason)
+            result = CompromiseResult(
+                exploit=exploit,
+                hypervisor_product=self.hypervisor.product,
+                launched_at=self.sim.now,
+                outcome="mitigated-crash",
+                detail=reason,
+            )
+            for listener in list(self._crash_listeners):
+                listener(result)
+        else:
+            # No mitigation: the attacker takes control.  This is the
+            # one outcome no replication scheme can repair — the paper
+            # excludes integrity-compromised states from Table 5 for
+            # exactly this reason.
+            result = CompromiseResult(
+                exploit=exploit,
+                hypervisor_product=self.hypervisor.product,
+                launched_at=self.sim.now,
+                outcome="compromised",
+                detail=(
+                    f"{exploit.cve.cve_id} gave the attacker control of "
+                    f"{self.hypervisor.product}"
+                ),
+            )
+        self.log.append(result)
+        return result
+
+
+def pick_compromise_exploit(
+    database,
+    product: str,
+    source: ExploitSource = ExploitSource.GUEST_USER,
+    seed: int = 0,
+) -> CompromiseExploit:
+    """Deterministically pick a C/I-impacting CVE for ``product``."""
+    candidates = [
+        record
+        for record in database.for_product(product)
+        if not record.is_dos_only
+        and (
+            record.cvss.confidentiality.value != "N"
+            or record.cvss.integrity.value != "N"
+        )
+    ]
+    if not candidates:
+        raise LookupError(f"no compromising CVE for {product!r}")
+    candidates.sort(key=lambda record: record.cve_id)
+    return CompromiseExploit(
+        cve=candidates[seed % len(candidates)],
+        source=source,
+        name=f"{product.lower()}-compromise-{seed}",
+    )

@@ -1,0 +1,160 @@
+"""Vulnerability-window analysis: HERE vs patching vs hypervisor transplant.
+
+The paper positions HERE against two families of related work (§1, §9):
+
+* **patching / live update** (Orthus, VM-PHU, Hy-FiX): protection only
+  exists once a patch is *available and applied* — "the system could
+  have been brought down well before a patch is widely available";
+* **hypervisor transplant** (HyperTP): switches to a different
+  hypervisor once a vulnerability is *known*, shrinking the window to
+  disclosure + transplant time, but "can only be used once a
+  vulnerability is already known";
+* **HERE**: the heterogeneous replica exists *before* anything is
+  known, so a zero-day DoS costs one failover (the RTO) instead of an
+  outage that lasts until mitigation.
+
+This module turns that argument into arithmetic over a disclosure
+timeline and an attacker model, producing per-strategy exposure
+windows and expected outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class VulnerabilityTimeline:
+    """Key instants in one vulnerability's life (seconds, any epoch).
+
+    ``exploit_available`` may precede ``disclosure`` by months — the
+    zero-day case the paper is about.
+    """
+
+    exploit_available: float
+    disclosure: float
+    patch_available: float
+    patch_applied: float
+
+    def __post_init__(self):
+        if not (
+            self.exploit_available
+            <= self.disclosure
+            <= self.patch_available
+            <= self.patch_applied
+        ):
+            raise ValueError(
+                "timeline must satisfy exploit <= disclosure <= "
+                "patch available <= patch applied"
+            )
+
+    @property
+    def zero_day_period(self) -> float:
+        """Time the exploit exists before anyone defends."""
+        return self.disclosure - self.exploit_available
+
+
+@dataclass(frozen=True)
+class AttackerModel:
+    """How hard the vulnerability is being exercised."""
+
+    #: DoS attacks launched per day while the target is exposed.
+    attacks_per_day: float = 1.0
+    #: Outage per successful attack without replication (reboot+restore).
+    outage_per_attack: float = 300.0
+
+    def __post_init__(self):
+        if self.attacks_per_day < 0 or self.outage_per_attack < 0:
+            raise ValueError("attacker model values must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """One strategy's exposure to one vulnerability."""
+
+    strategy: str
+    #: Seconds during which an attack takes the service down.
+    exposed_seconds: float
+    #: Outage per successful attack during the exposed window.
+    outage_per_attack: float
+
+    def expected_outage(self, attacker: AttackerModel) -> float:
+        """Expected outage seconds over the vulnerability's life."""
+        attacks = attacker.attacks_per_day * self.exposed_seconds / 86_400.0
+        return attacks * self.outage_per_attack
+
+
+def patching_exposure(
+    timeline: VulnerabilityTimeline, attacker: AttackerModel
+) -> ExposureReport:
+    """Patch-based defence: exposed until the patch is *applied*."""
+    return ExposureReport(
+        strategy="patching",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=attacker.outage_per_attack,
+    )
+
+
+def transplant_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    transplant_time: float = 60.0,
+) -> ExposureReport:
+    """HyperTP: exposed until disclosure + one hypervisor transplant.
+
+    Strictly better than patching (a transplant needs no patch), but
+    helpless during the whole zero-day period.
+    """
+    if transplant_time < 0:
+        raise ValueError("transplant time must be >= 0")
+    return ExposureReport(
+        strategy="hypervisor-transplant",
+        exposed_seconds=timeline.zero_day_period + transplant_time,
+        outage_per_attack=attacker.outage_per_attack,
+    )
+
+
+def here_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    recovery_time: float = 0.1,
+) -> ExposureReport:
+    """HERE: never exposed to *outage* — each attack costs one RTO.
+
+    The window during which the attacker can *trigger failovers* is the
+    same as patching's (until the primary is fixed), but the cost per
+    attack collapses from a reboot-scale outage to the failover RTO,
+    and after the first failover the same exploit bounces off the
+    heterogeneous secondary entirely.
+    """
+    if recovery_time < 0:
+        raise ValueError("recovery time must be >= 0")
+    return ExposureReport(
+        strategy="HERE",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=recovery_time,
+    )
+
+
+def compare_strategies(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    transplant_time: float = 60.0,
+    here_recovery_time: float = 0.1,
+) -> List[Dict]:
+    """Rows for the related-work exposure table."""
+    reports = [
+        patching_exposure(timeline, attacker),
+        transplant_exposure(timeline, attacker, transplant_time),
+        here_exposure(timeline, attacker, here_recovery_time),
+    ]
+    return [
+        {
+            "strategy": report.strategy,
+            "exposed_days": report.exposed_seconds / 86_400.0,
+            "outage_per_attack_s": report.outage_per_attack,
+            "expected_outage_s": report.expected_outage(attacker),
+        }
+        for report in reports
+    ]

@@ -1,0 +1,176 @@
+"""The simulation calendar and run loop.
+
+:class:`Simulation` owns simulated time.  Events are scheduled on a
+binary-heap calendar keyed by ``(time, priority, sequence)``; the
+sequence number makes ordering of simultaneous events deterministic
+(FIFO within equal time and priority), which in turn makes every
+experiment in this repository reproducible bit-for-bit.
+
+Simulated time is a float measured in **seconds**.  Real wall-clock time
+is never consulted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from .errors import StopSimulation, UnhandledEventFailure
+from .events import AllOf, AnyOf, Event, Timeout
+from .processes import Process
+from .random import RandomRegistry
+
+#: Priority for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for "urgent" bookkeeping events (e.g. interrupts) that
+#: must run before normal events scheduled at the same instant.
+PRIORITY_URGENT = 0
+
+
+class Simulation:
+    """A discrete-event simulation: a clock plus a calendar of events.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulation's named random streams (see
+        :class:`~repro.simkernel.random.RandomRegistry`).  Two runs with
+        the same seed and the same process structure produce identical
+        traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self.random = RandomRegistry(seed)
+        #: Number of events processed so far (diagnostic).
+        self.events_processed = 0
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a new pending :class:`Event` on this simulation."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process.
+
+        The process begins executing at the current simulated time (as an
+        urgent event), and the returned :class:`Process` is itself an
+        event that triggers when the generator finishes.
+        """
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event succeeding once all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event succeeding once any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Place a triggered event on the calendar ``delay`` from now."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Run ``callback()`` after ``delay`` simulated seconds.
+
+        A convenience for instrumentation that does not warrant a full
+        process.  The returned event triggers just before the callback.
+        """
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _evt: callback())
+        if name:
+            event.name = name
+        return event
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise RuntimeError("calendar went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        if not event._ok and not callbacks:
+            raise UnhandledEventFailure(event._value) from event._value
+        handled = False
+        for callback in callbacks:
+            callback(event)
+            handled = True
+        if not event._ok and not handled:
+            raise UnhandledEventFailure(event._value) from event._value
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        ``until=None`` runs to calendar exhaustion; a number runs until
+        that simulated time (the clock is advanced exactly to ``until``).
+        A process may also end the run early by calling :meth:`stop`,
+        whose value is then returned.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} lies in the past (now={self._now})")
+        try:
+            while self._queue:
+                if until is not None and self.peek() > until:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if until is not None:
+            self._now = max(self._now, until)
+        return None
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` has been processed; return its value.
+
+        Raises ``RuntimeError`` if the calendar empties (or ``limit`` is
+        reached) first — that means the event can never trigger.
+        """
+        if not event.processed:
+            # Mark the event observed so a failure is delivered to us
+            # (below) rather than raised as an unhandled failure.
+            event.callbacks.append(lambda _evt: None)
+        while not event.processed:
+            if not self._queue or self.peek() > limit:
+                raise RuntimeError(f"{event!r} cannot trigger before {limit}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def stop(self, value: Any = None) -> None:
+        """End :meth:`run` immediately, making it return ``value``."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulation now={self._now:.6f} pending={len(self._queue)} "
+            f"processed={self.events_processed}>"
+        )

@@ -1,0 +1,60 @@
+"""Exception types raised by the simulation kernel.
+
+The kernel deliberately uses a small, explicit exception hierarchy:
+everything abnormal that can happen inside a simulation derives from
+:class:`SimulationError`, while :class:`Interrupt` is *not* an error at
+all — it is the control-flow signal delivered to a process when another
+process calls :meth:`~repro.simkernel.processes.Process.interrupt`.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class StopSimulation(Exception):
+    """Internal signal used by :meth:`Simulation.stop` to end the run loop.
+
+    Not a :class:`SimulationError`: user code should never catch it.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class UnhandledEventFailure(SimulationError):
+    """An event failed but no process was waiting to observe the failure.
+
+    Failures must always be observed — silently dropping them would hide
+    protocol bugs (e.g. a replication ack that never arrives).  When the
+    kernel processes a failed event with zero waiters it raises this error
+    from :meth:`Simulation.run`, chaining the original cause.
+    """
+
+    def __init__(self, cause: BaseException):
+        super().__init__(f"event failed with no waiters: {cause!r}")
+        self.cause = cause
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator by ``process.interrupt(cause)``.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a host failure object, or a request to re-evaluate
+    a checkpoint schedule).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The payload passed to ``interrupt()``."""
+        return self.args[0]

@@ -1,0 +1,51 @@
+"""Guest virtual machine model: vCPUs, memory, devices, dirty tracking."""
+
+from .devices import (
+    DEVICE_MODEL_EQUIVALENTS,
+    DeviceKind,
+    DeviceMode,
+    DeviceState,
+    ReplicationUnsupported,
+    VirtualDevice,
+    equivalent_model,
+    standard_pv_devices,
+)
+from .dirty import DirtyLog, DirtySnapshot, PmlRing, unique_pages
+from .guest_agent import GuestAgent
+from .machine import VirtualMachine, VmLifecycleError
+from .vcpu import (
+    CONTROL_REGISTERS,
+    ESSENTIAL_MSRS,
+    GP_REGISTERS,
+    LapicState,
+    SegmentDescriptor,
+    TimerState,
+    VcpuArchState,
+    sample_running_state,
+)
+
+__all__ = [
+    "CONTROL_REGISTERS",
+    "DEVICE_MODEL_EQUIVALENTS",
+    "DeviceKind",
+    "DeviceMode",
+    "DeviceState",
+    "DirtyLog",
+    "DirtySnapshot",
+    "ESSENTIAL_MSRS",
+    "GP_REGISTERS",
+    "GuestAgent",
+    "LapicState",
+    "PmlRing",
+    "ReplicationUnsupported",
+    "SegmentDescriptor",
+    "TimerState",
+    "VcpuArchState",
+    "VirtualDevice",
+    "VirtualMachine",
+    "VmLifecycleError",
+    "equivalent_model",
+    "sample_running_state",
+    "standard_pv_devices",
+    "unique_pages",
+]

@@ -1,0 +1,178 @@
+"""Virtual device descriptors and device state.
+
+The device layer is where hypervisor heterogeneity is most visible:
+Xen exposes paravirtual ``vif``/``vbd`` devices through the xenbus,
+while kvmtool exposes virtio-net/virtio-blk over a virtio-mmio or PCI
+transport.  HERE deliberately keeps the two sides *different* (§5.2) —
+sharing device-model code would share its vulnerabilities — and swaps
+the guest's devices on failover via the guest agent (§7.3).
+
+Passthrough devices cannot be replicated (no way to back-track device
+state); attaching one to a protected VM is a hard error, as in HERE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class DeviceKind(Enum):
+    """Functional class of a virtual device."""
+
+    NETWORK = "network"
+    BLOCK = "block"
+    CONSOLE = "console"
+    BALLOON = "balloon"
+    RNG = "rng"
+
+
+class DeviceMode(Enum):
+    """How the device is provided to the guest (§3.2)."""
+
+    PARAVIRTUAL = "pv"
+    EMULATED = "emulated"
+    PASSTHROUGH = "passthrough"
+
+
+class ReplicationUnsupported(Exception):
+    """The device configuration cannot be replicated (e.g. passthrough)."""
+
+
+@dataclass
+class DeviceState:
+    """Serialisable runtime state of one device instance.
+
+    ``fields`` carries model-specific key/value state (ring indices,
+    feature negotiation results, MAC address, …).  The translator maps
+    the *architectural* subset across hypervisors and drops
+    model-internal fields, which the replacement device renegotiates.
+    """
+
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "DeviceState":
+        return DeviceState(fields=dict(self.fields))
+
+
+@dataclass
+class VirtualDevice:
+    """One virtual device attached to a VM."""
+
+    kind: DeviceKind
+    mode: DeviceMode
+    #: Hypervisor-specific model name, e.g. "xen-vif" or "virtio-net".
+    model: str
+    instance: int = 0
+    state: DeviceState = field(default_factory=DeviceState)
+
+    @property
+    def identity(self) -> str:
+        return f"{self.model}.{self.instance}"
+
+    def architectural_state(self) -> Dict[str, object]:
+        """The hypervisor-neutral subset of the device state.
+
+        Keys prefixed with an underscore are model-internal and do not
+        survive a heterogeneous transfer.
+        """
+        return {
+            key: value
+            for key, value in self.state.fields.items()
+            if not key.startswith("_")
+        }
+
+    def check_replicable(self) -> None:
+        """Raise unless this device can take part in replication."""
+        if self.mode is DeviceMode.PASSTHROUGH:
+            raise ReplicationUnsupported(
+                f"passthrough device {self.identity} cannot be replicated: "
+                "device state cannot be back-tracked (paper §7.3)"
+            )
+
+
+def standard_pv_devices(flavor: str) -> List[VirtualDevice]:
+    """The default device set for a guest on the given hypervisor flavor.
+
+    ``flavor`` is ``"xen"`` or ``"kvm"``; the two sets intentionally use
+    different device models (heterogeneous device model strategy, §5.2).
+    """
+    if flavor == "xen":
+        return [
+            VirtualDevice(
+                DeviceKind.NETWORK,
+                DeviceMode.PARAVIRTUAL,
+                "xen-vif",
+                0,
+                DeviceState({"mac": "00:16:3e:00:00:01", "mtu": 1500, "_ring_ref": 8}),
+            ),
+            VirtualDevice(
+                DeviceKind.BLOCK,
+                DeviceMode.PARAVIRTUAL,
+                "xen-vbd",
+                0,
+                DeviceState(
+                    {"capacity_sectors": 2097152, "sector_size": 512, "_ring_ref": 9}
+                ),
+            ),
+            VirtualDevice(
+                DeviceKind.CONSOLE,
+                DeviceMode.PARAVIRTUAL,
+                "xen-console",
+                0,
+                DeviceState({"columns": 80, "rows": 25}),
+            ),
+        ]
+    if flavor == "kvm":
+        return [
+            VirtualDevice(
+                DeviceKind.NETWORK,
+                DeviceMode.PARAVIRTUAL,
+                "virtio-net",
+                0,
+                DeviceState(
+                    {"mac": "00:16:3e:00:00:01", "mtu": 1500, "_vq_size": 256}
+                ),
+            ),
+            VirtualDevice(
+                DeviceKind.BLOCK,
+                DeviceMode.PARAVIRTUAL,
+                "virtio-blk",
+                0,
+                DeviceState(
+                    {
+                        "capacity_sectors": 2097152,
+                        "sector_size": 512,
+                        "_vq_size": 128,
+                    }
+                ),
+            ),
+            VirtualDevice(
+                DeviceKind.CONSOLE,
+                DeviceMode.PARAVIRTUAL,
+                "virtio-console",
+                0,
+                DeviceState({"columns": 80, "rows": 25}),
+            ),
+        ]
+    raise ValueError(f"unknown hypervisor flavor {flavor!r}")
+
+
+#: Model-name mapping used when switching device sets on failover.
+DEVICE_MODEL_EQUIVALENTS: Dict[str, str] = {
+    "xen-vif": "virtio-net",
+    "xen-vbd": "virtio-blk",
+    "xen-console": "virtio-console",
+    "virtio-net": "xen-vif",
+    "virtio-blk": "xen-vbd",
+    "virtio-console": "xen-console",
+}
+
+
+def equivalent_model(model: str) -> str:
+    """The other hypervisor family's model for the same function."""
+    try:
+        return DEVICE_MODEL_EQUIVALENTS[model]
+    except KeyError:
+        raise KeyError(f"no heterogeneous equivalent for device model {model!r}")

@@ -1,0 +1,267 @@
+"""Dirty-page tracking at chunk granularity.
+
+Real dirty tracking works page-by-page (shadow paging or Intel PML).
+Simulating millions of individual 4 KiB pages per checkpoint would be
+wasteful, so the simulator tracks *touch counts per 2 MiB chunk* — the
+same granularity HERE's round-robin transfer scheme uses (§7.2(2)) —
+and converts touch counts into expected **unique** dirty pages with the
+standard occupancy formula
+
+    unique(c, k) = c * (1 - (1 - 1/c)^k)
+
+for ``k`` touches landing uniformly in a chunk of ``c`` pages.  This
+reproduces dirty-set saturation: touching the same working set harder
+stops producing new dirty pages, exactly the effect that makes the
+paper's degradation curves flatten at high loads.
+
+Per-vCPU attribution is kept so that
+
+* the per-vCPU PML rings of §7.2(1) can be drained independently, and
+* *problematic pages* (touched by more than one vCPU during seeding)
+  can be estimated as the overlap between per-vCPU dirty sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..hardware.units import PAGES_PER_CHUNK
+
+
+def unique_pages(chunk_pages: int, touches: float) -> float:
+    """Expected unique pages hit by ``touches`` uniform touches."""
+    if chunk_pages <= 0:
+        raise ValueError(f"chunk_pages must be positive: {chunk_pages}")
+    if touches < 0:
+        raise ValueError(f"negative touches: {touches}")
+    if touches == 0:
+        return 0.0
+    estimate = chunk_pages * (1.0 - (1.0 - 1.0 / chunk_pages) ** touches)
+    # The occupancy formula overshoots for fractional touch counts
+    # below one (Bernoulli's inequality flips); unique pages can never
+    # exceed the number of touches.
+    return min(estimate, touches)
+
+
+class DirtySnapshot:
+    """Immutable view of the dirty state captured at a checkpoint."""
+
+    __slots__ = ("chunk_touches", "per_vcpu_touches", "pages_per_chunk")
+
+    def __init__(
+        self,
+        chunk_touches: np.ndarray,
+        per_vcpu_touches: Dict[int, np.ndarray],
+        pages_per_chunk: int,
+    ):
+        self.chunk_touches = chunk_touches
+        self.per_vcpu_touches = per_vcpu_touches
+        self.pages_per_chunk = pages_per_chunk
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.chunk_touches.shape[0])
+
+    def dirty_chunk_ids(self) -> np.ndarray:
+        """Indices of chunks with at least one touch."""
+        return np.nonzero(self.chunk_touches > 0)[0]
+
+    def unique_dirty_pages(self) -> float:
+        """Expected unique dirty pages across the whole VM."""
+        touched = self.chunk_touches[self.chunk_touches > 0]
+        if touched.size == 0:
+            return 0.0
+        c = float(self.pages_per_chunk)
+        estimate = c * (1.0 - (1.0 - 1.0 / c) ** touched)
+        return float(np.sum(np.minimum(estimate, touched)))
+
+    def unique_dirty_pages_for_vcpu(self, vcpu: int) -> float:
+        """Expected unique pages dirtied by one vCPU."""
+        touches = self.per_vcpu_touches.get(vcpu)
+        if touches is None:
+            return 0.0
+        touched = touches[touches > 0]
+        if touched.size == 0:
+            return 0.0
+        c = float(self.pages_per_chunk)
+        estimate = c * (1.0 - (1.0 - 1.0 / c) ** touched)
+        return float(np.sum(np.minimum(estimate, touched)))
+
+    def problematic_pages(self) -> float:
+        """Expected pages dirtied by **two or more** vCPUs.
+
+        This is the consistency hazard of HERE's per-vCPU seeding
+        threads (§7.2(1)); these pages must be resent during the final
+        stop-and-copy.  Computed by inclusion–exclusion: the sum of
+        per-vCPU unique sets minus the union.
+        """
+        per_vcpu_total = sum(
+            self.unique_dirty_pages_for_vcpu(v) for v in self.per_vcpu_touches
+        )
+        return max(0.0, per_vcpu_total - self.unique_dirty_pages())
+
+    def pages_in_chunks(self, chunk_ids: Iterable[int]) -> float:
+        """Expected unique dirty pages within the given chunks."""
+        ids = np.fromiter(chunk_ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0.0
+        touched = self.chunk_touches[ids]
+        touched = touched[touched > 0]
+        if touched.size == 0:
+            return 0.0
+        c = float(self.pages_per_chunk)
+        estimate = c * (1.0 - (1.0 - 1.0 / c) ** touched)
+        return float(np.sum(np.minimum(estimate, touched)))
+
+
+class DirtyLog:
+    """Mutable per-VM dirty state between two checkpoints."""
+
+    def __init__(self, n_chunks: int, pages_per_chunk: int = PAGES_PER_CHUNK):
+        if n_chunks <= 0:
+            raise ValueError(f"n_chunks must be positive: {n_chunks}")
+        if pages_per_chunk <= 0:
+            raise ValueError(f"pages_per_chunk must be positive: {pages_per_chunk}")
+        self.n_chunks = n_chunks
+        self.pages_per_chunk = pages_per_chunk
+        self._touches = np.zeros(n_chunks, dtype=np.float64)
+        self._per_vcpu: Dict[int, np.ndarray] = {}
+        #: Total touches recorded since creation (diagnostic).
+        self.lifetime_touches = 0.0
+
+    def record(
+        self,
+        vcpu: int,
+        chunk_ids: np.ndarray,
+        touches: np.ndarray,
+    ) -> None:
+        """Record ``touches[i]`` memory writes into ``chunk_ids[i]``."""
+        chunk_ids = np.asarray(chunk_ids, dtype=np.int64)
+        touches = np.asarray(touches, dtype=np.float64)
+        if chunk_ids.shape != touches.shape:
+            raise ValueError("chunk_ids and touches must have equal shapes")
+        if chunk_ids.size == 0:
+            return
+        if chunk_ids.min() < 0 or chunk_ids.max() >= self.n_chunks:
+            raise IndexError("chunk id out of range")
+        if touches.min() < 0:
+            raise ValueError("negative touch count")
+        np.add.at(self._touches, chunk_ids, touches)
+        per_vcpu = self._per_vcpu.get(vcpu)
+        if per_vcpu is None:
+            per_vcpu = np.zeros(self.n_chunks, dtype=np.float64)
+            self._per_vcpu[vcpu] = per_vcpu
+        np.add.at(per_vcpu, chunk_ids, touches)
+        self.lifetime_touches += float(touches.sum())
+
+    def record_uniform(
+        self, vcpu: int, first_chunk: int, n_chunks: int, total_touches: float
+    ) -> None:
+        """Spread ``total_touches`` uniformly over a chunk range."""
+        if n_chunks <= 0:
+            raise ValueError(f"n_chunks must be positive: {n_chunks}")
+        last = first_chunk + n_chunks
+        if first_chunk < 0 or last > self.n_chunks:
+            raise IndexError(
+                f"chunk range [{first_chunk}, {last}) outside [0, {self.n_chunks})"
+            )
+        if total_touches < 0:
+            raise ValueError("negative touch count")
+        if total_touches == 0:
+            return
+        ids = np.arange(first_chunk, last, dtype=np.int64)
+        per_chunk = np.full(n_chunks, total_touches / n_chunks, dtype=np.float64)
+        self.record(vcpu, ids, per_chunk)
+
+    def peek(self) -> DirtySnapshot:
+        """Snapshot the current dirty state without clearing it."""
+        return DirtySnapshot(
+            self._touches.copy(),
+            {v: a.copy() for v, a in self._per_vcpu.items()},
+            self.pages_per_chunk,
+        )
+
+    def snapshot_and_clear(self) -> DirtySnapshot:
+        """Atomically capture and reset the dirty state (checkpoint)."""
+        snapshot = DirtySnapshot(
+            self._touches, self._per_vcpu, self.pages_per_chunk
+        )
+        self._touches = np.zeros(self.n_chunks, dtype=np.float64)
+        self._per_vcpu = {}
+        return snapshot
+
+    def unique_dirty_pages(self) -> float:
+        """Expected unique dirty pages right now (without clearing)."""
+        return self.peek().unique_dirty_pages()
+
+    def is_clean(self) -> bool:
+        return not np.any(self._touches > 0)
+
+
+class PmlRing:
+    """A per-vCPU Page-Modification-Logging ring buffer (§7.2).
+
+    Hardware PML logs dirtied GPAs into a fixed-size ring; HERE's Xen
+    patch drains each vCPU's ring into an independent buffer so one
+    migrator thread per vCPU can read it without pausing the others.
+    We model the ring at (chunk, touches) batch granularity with a
+    bounded capacity; overflow forces a full-bitmap resync, which the
+    seeding code must handle (and which tests exercise).
+    """
+
+    def __init__(self, vcpu: int, capacity_entries: int = 1_000_000):
+        if capacity_entries <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_entries}")
+        self.vcpu = vcpu
+        self.capacity_entries = capacity_entries
+        #: Range entries: (first_chunk, n_chunks, total_touches).
+        self._entries: List[Tuple[int, int, float]] = []
+        self._entry_count = 0.0
+        self.overflowed = False
+        self.total_logged = 0.0
+        self.overflow_events = 0
+
+    def log(self, chunk_id: int, touches: float) -> None:
+        """Append dirtied-page log entries for one chunk."""
+        self.log_range(chunk_id, 1, touches)
+
+    def log_range(self, first_chunk: int, n_chunks: int, touches: float) -> None:
+        """Append log entries for touches spread over a chunk range."""
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1: {n_chunks}")
+        if touches <= 0:
+            return
+        self.total_logged += touches
+        if self.overflowed:
+            self.overflow_events += 1
+            return
+        if self._entry_count + touches > self.capacity_entries:
+            self.overflowed = True
+            self.overflow_events += 1
+            self._entries.clear()
+            self._entry_count = 0.0
+            return
+        self._entries.append((first_chunk, n_chunks, touches))
+        self._entry_count += touches
+
+    def drain(self) -> Tuple[List[Tuple[int, int, float]], bool]:
+        """Remove all entries; returns ``(entries, overflowed)``.
+
+        After a drain the ring is usable again (overflow flag resets),
+        matching the hardware behaviour of re-arming PML after the
+        hypervisor processes the log.
+        """
+        entries, self._entries = self._entries, []
+        overflowed, self.overflowed = self.overflowed, False
+        self._entry_count = 0.0
+        return entries, overflowed
+
+    @property
+    def fill(self) -> float:
+        """Ring occupancy in [0, 1]."""
+        return min(1.0, self._entry_count / self.capacity_entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

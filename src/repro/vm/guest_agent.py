@@ -1,0 +1,78 @@
+"""The in-guest agent (the paper's 150-line guest kernel module).
+
+HERE inserts a minimal kernel module into the protected guest whose
+only job is to receive migration events from the device manager and
+perform the safe device switch on failover (§7.3): unplug the old
+hypervisor's PV devices, then bring up the new hypervisor's models.
+
+The agent is deliberately dumb — all policy lives host-side — and its
+actions take simulated time, which is part of the failover latency the
+Fig. 7 experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .devices import (
+    DeviceMode,
+    VirtualDevice,
+    equivalent_model,
+    standard_pv_devices,
+)
+from .machine import VirtualMachine
+
+#: Simulated time for the guest to quiesce and unplug one PV device.
+UNPLUG_TIME_PER_DEVICE = 0.7e-3
+#: Simulated time to probe and configure one replacement device.
+PLUG_TIME_PER_DEVICE = 0.9e-3
+
+
+class GuestAgent:
+    """Receives host events inside the guest and switches devices."""
+
+    def __init__(self, vm: VirtualMachine):
+        self.vm = vm
+        vm.guest_agent = self
+        #: Log of (time, event) pairs for diagnostics and tests.
+        self.event_log: List = []
+        self.device_switches = 0
+
+    def notify(self, event: str, detail: Optional[dict] = None) -> None:
+        """Record a host-originated notification (non-blocking)."""
+        self.event_log.append((self.vm.sim.now, event, detail or {}))
+
+    def switch_device_models(self, target_flavor: str):
+        """Generator process: swap every PV device to ``target_flavor``.
+
+        Yields simulated time for the unplug/replug sequence and
+        returns the new device list.  Architectural state (MAC
+        addresses, disk geometry, console size) carries over; model-
+        internal state (ring refs, virtqueue sizes) is renegotiated by
+        the new device models.
+        """
+        vm = self.vm
+        self.notify("device-switch-begin", {"target": target_flavor})
+        old_devices = list(vm.devices)
+        carried_state = []
+        for device in old_devices:
+            if device.mode is not DeviceMode.PARAVIRTUAL:
+                raise RuntimeError(
+                    f"non-PV device {device.identity} survived admission checks"
+                )
+            yield vm.sim.timeout(UNPLUG_TIME_PER_DEVICE)
+            carried_state.append(device.architectural_state())
+        replacements = standard_pv_devices(target_flavor)
+        by_model = {device.model: device for device in replacements}
+        new_devices: List[VirtualDevice] = []
+        for old, arch_state in zip(old_devices, carried_state):
+            replacement = by_model[equivalent_model(old.model)]
+            replacement.instance = old.instance
+            replacement.state.fields.update(arch_state)
+            yield vm.sim.timeout(PLUG_TIME_PER_DEVICE)
+            new_devices.append(replacement)
+        vm.devices = new_devices
+        vm.device_flavor = target_flavor
+        self.device_switches += 1
+        self.notify("device-switch-end", {"target": target_flavor})
+        return new_devices

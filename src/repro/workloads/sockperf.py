@@ -1,0 +1,123 @@
+"""Sockperf "under-load" network benchmark (§8.6, Fig. 17).
+
+An external client fires fixed-size packets at the protected VM at a
+constant rate; the VM answers each one.  Under replication the answer
+is held by the output-commit buffer until the covering checkpoint is
+acknowledged, so the observed latency is dominated by the checkpoint
+interval — the paper's central observation for this experiment.
+
+Three packet-size configurations match the paper: "load a" (64 B),
+"load b" (1400 B), "load c" (8900 B, jumbo frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.link import Link
+from ..net.egress import EgressBuffer
+from ..net.service import ServiceConnection, open_loop_client
+from ..vm.machine import VirtualMachine
+from .base import Workload
+
+#: The paper's three Sockperf payload configurations.
+SOCKPERF_LOADS: Dict[str, int] = {
+    "load a": 64,
+    "load b": 1400,
+    "load c": 8900,
+}
+
+
+@dataclass(frozen=True)
+class SockperfConfig:
+    """One Sockperf run's parameters."""
+
+    load: str = "load a"
+    #: Request rate of the under-load mode.
+    rate_per_s: float = 200.0
+    #: Measurement duration (seconds of simulated time).
+    duration: float = 60.0
+
+    def packet_bytes(self) -> int:
+        try:
+            return SOCKPERF_LOADS[self.load]
+        except KeyError:
+            raise KeyError(
+                f"unknown sockperf load {self.load!r}; "
+                f"available: {sorted(SOCKPERF_LOADS)}"
+            ) from None
+
+
+class SockperfServerWorkload(Workload):
+    """The in-guest side: a network responder's memory behaviour.
+
+    Network-intensive guests dirty little memory — socket buffers and
+    sk_buff churn over a small range — so checkpoints stay cheap and
+    latency is almost purely checkpoint-interval (Fig. 17's log-scale
+    separation between Remus and HERE's dynamic control).
+    """
+
+    #: Socket-buffer/sk_buff churn (raw touches/s).
+    NETWORK_TOUCH_RATE = 600.0
+    #: ~64 MiB of socket buffers and network-stack state.
+    NETWORK_WSS_PAGES = 16_384
+
+    def __init__(self, sim, vm: VirtualMachine, name: str = "sockperf-server"):
+        super().__init__(sim, vm, name=name, vcpu_spread=1)
+
+    def work_rate(self) -> float:
+        return 0.0  # throughput is measured client-side
+
+    def touch_rate(self) -> float:
+        return self.NETWORK_TOUCH_RATE
+
+    def working_set_pages(self) -> int:
+        return min(self.NETWORK_WSS_PAGES, self.vm.total_pages)
+
+
+class SockperfClient:
+    """The external measuring client."""
+
+    def __init__(
+        self,
+        sim,
+        vm: VirtualMachine,
+        link: Link,
+        egress: EgressBuffer,
+        config: Optional[SockperfConfig] = None,
+    ):
+        self.sim = sim
+        self.config = config or SockperfConfig()
+        self.connection = ServiceConnection(
+            sim, vm, link, egress, name=f"sockperf:{self.config.load}"
+        )
+        self.errors = 0
+        self.process = None
+
+    def start(self):
+        """Launch the under-load request stream; returns the process."""
+        if self.process is not None:
+            raise RuntimeError("sockperf client already started")
+        packet = self.config.packet_bytes()
+        self.process = self.sim.process(
+            open_loop_client(
+                self.sim,
+                self.connection,
+                rate_per_s=self.config.rate_per_s,
+                duration=self.config.duration,
+                request_bytes=packet,
+                response_bytes=packet,
+                on_error=self._count_error,
+            ),
+            name=f"sockperf-client:{self.config.load}",
+        )
+        return self.process
+
+    def _count_error(self, _error: Exception) -> None:
+        self.errors += 1
+
+    @property
+    def latency(self):
+        """The client's latency recorder (mean/percentiles)."""
+        return self.connection.latency

@@ -1,0 +1,130 @@
+"""Trace-driven workloads: replay recorded activity profiles.
+
+The built-in workloads are synthetic; production studies usually start
+from a recorded utilisation trace (per-interval operation rate and
+memory-write intensity).  :class:`TraceWorkload` replays such a trace
+inside a protected VM, so HERE's controller can be evaluated against
+real activity shapes — flash crowds, batch windows, diurnal cycles —
+without new workload code.
+
+Trace format (one sample per line, ``#`` comments allowed)::
+
+    # duration_s  ops_per_s  touches_per_s  wss_pages
+    60            12000      4000           100000
+    30            48000      22000          250000
+
+Samples play back in order; the final sample repeats until the
+workload is stopped (matching :class:`LoadPhase` semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..vm.machine import VirtualMachine
+from .base import Workload
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One interval of recorded activity."""
+
+    duration: float
+    ops_per_s: float
+    touches_per_s: float
+    wss_pages: int
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError(f"sample duration must be positive: {self.duration}")
+        if self.ops_per_s < 0 or self.touches_per_s < 0:
+            raise ValueError("rates must be non-negative")
+        if self.wss_pages < 1:
+            raise ValueError(f"working set must be >= 1 page: {self.wss_pages}")
+
+
+def parse_trace(text: str) -> List[TraceSample]:
+    """Parse the whitespace-separated trace format (see module doc)."""
+    samples: List[TraceSample] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise ValueError(
+                f"trace line {line_number}: expected 4 fields "
+                f"(duration ops touches wss), got {len(fields)}"
+            )
+        try:
+            samples.append(
+                TraceSample(
+                    duration=float(fields[0]),
+                    ops_per_s=float(fields[1]),
+                    touches_per_s=float(fields[2]),
+                    wss_pages=int(fields[3]),
+                )
+            )
+        except ValueError as error:
+            raise ValueError(f"trace line {line_number}: {error}") from None
+    if not samples:
+        raise ValueError("trace contains no samples")
+    return samples
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceSample]:
+    """Read and parse a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+class TraceWorkload(Workload):
+    """Replays a recorded activity trace inside a VM."""
+
+    def __init__(
+        self,
+        sim,
+        vm: VirtualMachine,
+        trace: Sequence[TraceSample],
+        name: str = "trace",
+        tick: float = 0.05,
+    ):
+        super().__init__(sim, vm, name=name, tick=tick)
+        self.trace: List[TraceSample] = list(trace)
+        if not self.trace:
+            raise ValueError("trace must contain at least one sample")
+        self._trace_start: Optional[float] = None
+
+    def start(self):
+        self._trace_start = self.sim.now
+        return super().start()
+
+    def current_sample(self) -> TraceSample:
+        """The sample in force at the current simulated time."""
+        anchor = (
+            self._trace_start
+            if self._trace_start is not None
+            else (self.started_at or self.sim.now)
+        )
+        offset = self.sim.now - anchor
+        for sample in self.trace:
+            if offset < sample.duration:
+                return sample
+            offset -= sample.duration
+        return self.trace[-1]
+
+    # -- workload surface ----------------------------------------------------
+    def work_rate(self) -> float:
+        return self.current_sample().ops_per_s
+
+    def touch_rate(self) -> float:
+        return self.current_sample().touches_per_s
+
+    def working_set_pages(self) -> int:
+        return min(self.current_sample().wss_pages, self.vm.total_pages)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def total_trace_duration(self) -> float:
+        return sum(sample.duration for sample in self.trace)

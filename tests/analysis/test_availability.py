@@ -1,0 +1,104 @@
+"""Availability/RPO/RTO arithmetic, checked against simulated runs."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ReplicationTimings,
+    annual_downtime,
+    availability_nines,
+    compare_availability,
+    downtime_per_failure_unprotected,
+)
+
+
+class TestReplicationTimings:
+    def test_rpo_is_period_plus_pause(self):
+        timings = ReplicationTimings(5.0, 1.0, 0.1, 0.01)
+        assert timings.worst_case_rpo == pytest.approx(6.0)
+
+    def test_rto_is_detection_plus_activation(self):
+        timings = ReplicationTimings(5.0, 1.0, 0.09, 0.01)
+        assert timings.recovery_time == pytest.approx(0.1)
+
+    def test_degradation_matches_eq1(self):
+        timings = ReplicationTimings(3.0, 1.0, 0.1, 0.01)
+        assert timings.steady_state_degradation == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationTimings(-1.0, 0.0, 0.0, 0.0)
+
+
+class TestNines:
+    def test_three_nines(self):
+        # 99.9 % availability ~= 8.77 hours of downtime per year.
+        downtime = 0.001 * 365.25 * 24 * 3600
+        assert availability_nines(downtime) == pytest.approx(3.0)
+
+    def test_zero_downtime_is_infinite(self):
+        assert math.isinf(availability_nines(0.0))
+
+    def test_always_down_is_zero_nines(self):
+        assert availability_nines(1e9) == 0.0
+
+    def test_annual_downtime(self):
+        assert annual_downtime(4.0, 300.0) == pytest.approx(1200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability_nines(-1.0)
+        with pytest.raises(ValueError):
+            annual_downtime(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            downtime_per_failure_unprotected(-1.0)
+
+
+class TestComparison:
+    def test_replication_buys_orders_of_magnitude(self):
+        timings = ReplicationTimings(
+            checkpoint_period=5.0,
+            checkpoint_pause=1.0,
+            detection_latency=0.09,
+            activation_time=0.01,
+        )
+        comparison = compare_availability(
+            timings, failures_per_year=12.0, unprotected_reboot_time=300.0
+        )
+        assert comparison.downtime_reduction_factor == pytest.approx(3000.0)
+        assert comparison.replicated_nines > comparison.unprotected_nines + 3
+
+    def test_against_simulated_measurements(self):
+        """The closed form agrees with what the simulation measures."""
+        from repro.cluster import DeploymentSpec, ProtectedDeployment
+        from repro.hardware.units import GIB
+        from repro.workloads import MemoryMicrobenchmark
+
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=2.0, target_degradation=0.0,
+                memory_bytes=2 * GIB, seed=5,
+            )
+        )
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.3).start()
+        deployment.start_protection()
+        deployment.run_for(20.0)
+        sim = deployment.sim
+        crash_at = sim.now
+        deployment.primary.crash("DoS")
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        stats = deployment.stats
+        timings = ReplicationTimings(
+            checkpoint_period=stats.mean_period(),
+            checkpoint_pause=stats.mean_pause_duration(),
+            detection_latency=deployment.monitor.detection_latency_bound,
+            activation_time=report.resumption_time,
+        )
+        measured_rto = report.activated_at - crash_at
+        assert measured_rto <= timings.recovery_time + 0.05
+        # The rolled-back window is bounded by the worst-case RPO.
+        last_ack = deployment.stats.checkpoints[-1].acked_at
+        assert crash_at - last_ack <= timings.worst_case_rpo + 0.5

@@ -1,0 +1,61 @@
+"""JSON results export."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import ResultsWriter, load_results
+
+
+class TestResultsWriter:
+    def test_round_trip(self, tmp_path):
+        writer = ResultsWriter("fig8", metadata={"seed": 2023})
+        writer.add_rows(
+            "idle",
+            [{"memory_gib": 8, "remus_s": 0.026, "here_s": 0.0096}],
+        )
+        writer.add_series("period", [0.0, 1.0], [5.0, 4.0])
+        path = writer.write(tmp_path / "out" / "fig8.json")
+        document = load_results(path)
+        assert document["experiment"] == "fig8"
+        assert document["metadata"]["seed"] == 2023
+        assert document["tables"]["idle"][0]["memory_gib"] == 8
+        assert document["series"]["period"]["v"] == [5.0, 4.0]
+
+    def test_nan_and_inf_are_json_safe(self, tmp_path):
+        writer = ResultsWriter("x")
+        writer.add_rows("rows", [{"a": float("nan"), "b": float("inf")}])
+        path = writer.write(tmp_path / "x.json")
+        raw = json.loads(path.read_text())
+        assert raw["tables"]["rows"][0]["a"] is None
+        assert raw["tables"]["rows"][0]["b"] == "inf"
+
+    def test_objects_with_summary_are_flattened(self, tmp_path):
+        class Thing:
+            def summary(self):
+                return {"value": 42}
+
+        writer = ResultsWriter("x", metadata={"thing": Thing()})
+        assert writer.as_document()["metadata"]["thing"] == {"value": 42}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultsWriter("")
+        writer = ResultsWriter("x")
+        with pytest.raises(TypeError):
+            writer.add_rows("s", ["not a dict"])
+        with pytest.raises(ValueError):
+            writer.add_series("s", [1.0], [1.0, 2.0])
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_sections_accumulate(self):
+        writer = ResultsWriter("x")
+        writer.add_rows("s", [{"a": 1}])
+        writer.add_rows("s", [{"a": 2}])
+        assert len(writer.as_document()["tables"]["s"]) == 2

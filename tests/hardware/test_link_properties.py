@@ -1,0 +1,86 @@
+"""Property-based tests of the fair-share link's conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Link, custom_nic
+from repro.simkernel import Simulation
+
+
+@given(
+    transfers=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # start
+            st.floats(min_value=1.0, max_value=1e8, allow_nan=False),   # bytes
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_all_bytes_are_eventually_delivered(transfers):
+    """Whatever the overlap pattern, every byte arrives exactly once."""
+    sim = Simulation()
+    link = Link(sim, custom_nic("t", gbits=0.8, latency_us=1.0))
+    events = []
+
+    def submit(start, nbytes):
+        def process():
+            yield sim.timeout(start)
+            done = link.transfer(nbytes)
+            yield done
+            return done.value
+
+        return sim.process(process())
+
+    for start, nbytes in transfers:
+        events.append(submit(start, nbytes))
+    sim.run()
+    assert all(event.ok for event in events)
+    total = sum(nbytes for _start, nbytes in transfers)
+    assert link.bytes_delivered == pytest.approx(total, rel=1e-6)
+    assert link.transfers_completed == len(transfers)
+    assert link.active_transfers == 0
+
+
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1.0, max_value=1e8, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_concurrent_transfers_never_beat_exclusive_use(sizes):
+    """No transfer finishes faster shared than it would alone."""
+    capacity = 1e8  # 0.8 Gbit/s
+    sim = Simulation()
+    link = Link(sim, custom_nic("t", gbits=0.8, latency_us=0.0))
+    done_events = [link.transfer(nbytes) for nbytes in sizes]
+    sim.run()
+    for nbytes, event in zip(sizes, done_events):
+        exclusive = nbytes / capacity
+        assert event.value >= exclusive - 1e-9
+
+
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1e3, max_value=1e8, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_makespan_equals_serialized_time_for_simultaneous_start(sizes):
+    """Fair sharing is work-conserving: transfers that all start at t=0
+    finish no later than total_bytes / capacity (the last one exactly
+    then)."""
+    capacity = 1e8
+    sim = Simulation()
+    link = Link(sim, custom_nic("t", gbits=0.8, latency_us=0.0))
+    for nbytes in sizes:
+        link.transfer(nbytes)
+    sim.run()
+    makespan = sim.now
+    assert makespan == pytest.approx(sum(sizes) / capacity, rel=1e-6)

@@ -1,0 +1,124 @@
+"""The calibrated transfer cost model."""
+
+import pytest
+
+from repro.hardware import DEFAULT_COST_MODEL, TransferCostModel, linear_speedup
+from repro.hardware.units import PAGE_SIZE
+
+
+class TestLinearSpeedup:
+    def test_one_thread_is_unity(self):
+        assert linear_speedup(1, 0.5) == 1.0
+
+    def test_perfect_efficiency(self):
+        assert linear_speedup(4, 1.0) == 4.0
+
+    def test_zero_efficiency(self):
+        assert linear_speedup(8, 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_speedup(0, 0.5)
+        with pytest.raises(ValueError):
+            linear_speedup(4, 1.5)
+
+
+class TestBulkCopy:
+    def test_single_thread_rate(self):
+        model = DEFAULT_COST_MODEL
+        time = model.bulk_copy_time(model.bulk_thread_rate, 1, 12.5e9)
+        assert time == pytest.approx(1.0)
+
+    def test_multithreading_helps_modestly(self):
+        model = DEFAULT_COST_MODEL
+        single = model.bulk_copy_time(1e9, 1, 12.5e9)
+        four = model.bulk_copy_time(1e9, 4, 12.5e9)
+        # Fig. 6: ~25 % improvement at 4 threads.
+        assert 0.70 <= four / single <= 0.80
+
+    def test_link_capacity_caps_rate(self):
+        model = DEFAULT_COST_MODEL
+        capped = model.bulk_rate(64, link_capacity=1e9)
+        assert capped == 1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.bulk_copy_time(-1, 1, 1e9)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.bulk_rate(1, link_capacity=0)
+
+
+class TestScan:
+    def test_linear_in_tracked_pages(self):
+        model = DEFAULT_COST_MODEL
+        assert model.scan_time(2_000_000, 1) == pytest.approx(
+            2 * model.scan_time(1_000_000, 1)
+        )
+
+    def test_scan_parallelises_well(self):
+        model = DEFAULT_COST_MODEL
+        single = model.scan_time(5_242_880, 1)
+        four = model.scan_time(5_242_880, 4)
+        # Fig. 8a: ~70 % lower with four threads.
+        assert 0.25 <= four / single <= 0.35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.scan_time(-1, 1)
+
+
+class TestPageSend:
+    def test_alpha_effective_divides_by_speedup(self):
+        model = DEFAULT_COST_MODEL
+        assert model.alpha_effective(1) == model.page_send_cost
+        assert model.alpha_effective(4) == pytest.approx(
+            model.page_send_cost / model.copy_speedup(4)
+        )
+
+    def test_cpu_bound_regime(self):
+        # At 50 us/page the CPU side dominates any realistic link.
+        model = DEFAULT_COST_MODEL
+        time = model.page_send_time(10_000, 1, link_capacity=12.5e9)
+        assert time == pytest.approx(10_000 * model.page_send_cost)
+
+    def test_wire_bound_regime(self):
+        model = DEFAULT_COST_MODEL.with_overrides(page_send_cost=1e-9)
+        time = model.page_send_time(10_000, 1, link_capacity=1e6)
+        assert time == pytest.approx(10_000 * PAGE_SIZE / 1e6)
+
+    def test_four_thread_improvement_matches_fig8(self):
+        model = DEFAULT_COST_MODEL
+        single = model.page_send_time(100_000, 1, 12.5e9)
+        four = model.page_send_time(100_000, 4, 12.5e9)
+        # Fig. 8b: ~49 % lower under load with four threads.
+        assert 0.45 <= four / single <= 0.58
+
+
+class TestCheckpointPause:
+    def test_composition(self):
+        model = DEFAULT_COST_MODEL
+        pause = model.checkpoint_pause_time(
+            dirty_pages=50_000, tracked_pages=2_000_000, threads=1,
+            link_capacity=12.5e9,
+        )
+        expected = (
+            model.scan_time(2_000_000, 1)
+            + model.page_send_time(50_000, 1, 12.5e9)
+            + model.checkpoint_constant
+        )
+        assert pause == pytest.approx(expected)
+
+    def test_fig5_calibration_point(self):
+        """100 k dirty pages ~= 5 s on one stream (paper Fig. 5)."""
+        model = DEFAULT_COST_MODEL
+        time = model.page_send_time(100_000, 1, 12.5e9)
+        assert 4.5 <= time <= 5.5
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_model(self):
+        base = TransferCostModel()
+        derived = base.with_overrides(page_send_cost=1e-6)
+        assert derived.page_send_cost == 1e-6
+        assert base.page_send_cost == 50e-6
+        assert derived.scan_cost_per_page == base.scan_cost_per_page

@@ -1,0 +1,58 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro.hardware import (
+    CHUNK_SIZE,
+    GIB,
+    PAGE_SIZE,
+    PAGES_PER_CHUNK,
+    chunks_for,
+    gbit,
+    pages_for,
+)
+
+
+class TestConstants:
+    def test_page_and_chunk_geometry(self):
+        assert PAGE_SIZE == 4096
+        assert CHUNK_SIZE == 2 * 1024 * 1024
+        assert PAGES_PER_CHUNK == 512
+
+
+class TestGbit:
+    def test_conversion(self):
+        assert gbit(8) == 1e9  # 8 gigabits == 1 GB/s
+        assert gbit(100) == 12.5e9
+
+
+class TestPagesFor:
+    def test_exact_multiple(self):
+        assert pages_for(8192) == 2
+
+    def test_rounds_up(self):
+        assert pages_for(1) == 1
+        assert pages_for(4097) == 2
+
+    def test_zero(self):
+        assert pages_for(0) == 0
+
+    def test_one_gib(self):
+        assert pages_for(GIB) == 262_144
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+
+class TestChunksFor:
+    def test_rounds_up(self):
+        assert chunks_for(CHUNK_SIZE) == 1
+        assert chunks_for(CHUNK_SIZE + 1) == 2
+
+    def test_twenty_gib(self):
+        assert chunks_for(20 * GIB) == 10_240
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chunks_for(-5)

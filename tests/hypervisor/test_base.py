@@ -1,0 +1,147 @@
+"""Hypervisor base behaviour: guest management and failure surface."""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hardware.host import HostFailure
+from repro.hypervisor import (
+    GuestNotFound,
+    HypervisorDown,
+    HypervisorState,
+    IncompatibleGuest,
+    KvmHypervisor,
+    XenHypervisor,
+)
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation(seed=0)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    kvm = KvmHypervisor(sim, testbed.secondary)
+    return sim, testbed, xen, kvm
+
+
+class TestGuestManagement:
+    def test_create_allocates_memory(self, setup):
+        _sim, testbed, xen, _kvm = setup
+        free_before = testbed.primary.memory_pool.free_bytes
+        xen.create_vm("a", memory_bytes=4 * GIB)
+        assert testbed.primary.memory_pool.free_bytes == free_before - 4 * GIB
+
+    def test_duplicate_name_rejected(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        xen.create_vm("a", memory_bytes=GIB)
+        with pytest.raises(ValueError):
+            xen.create_vm("a", memory_bytes=GIB)
+
+    def test_get_unknown_vm(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        with pytest.raises(GuestNotFound):
+            xen.get_vm("ghost")
+
+    def test_destroy_releases_memory(self, setup):
+        _sim, testbed, xen, _kvm = setup
+        free_before = testbed.primary.memory_pool.free_bytes
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        xen.destroy_vm("a")
+        assert vm.is_destroyed
+        assert testbed.primary.memory_pool.free_bytes == free_before
+
+    def test_evict_keeps_vm_alive(self, setup):
+        _sim, _tb, xen, kvm = setup
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        vm.start()
+        evicted = xen.evict_vm("a")
+        assert evicted is vm
+        assert not vm.is_destroyed
+        kvm.adopt_vm(vm)
+        assert kvm.get_vm("a") is vm
+
+    def test_adopt_duplicate_rejected(self, setup):
+        _sim, _tb, xen, kvm = setup
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        kvm.create_vm("a", memory_bytes=GIB)
+        with pytest.raises(ValueError):
+            kvm.adopt_vm(vm)
+
+    def test_unsupported_features_rejected(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        with pytest.raises(IncompatibleGuest):
+            xen.create_vm(
+                "a", memory_bytes=GIB, features=frozenset({"quantum-extensions"})
+            )
+
+    def test_guest_device_flavor_matches_hypervisor(self, setup):
+        _sim, _tb, xen, kvm = setup
+        assert xen.create_vm("a", memory_bytes=GIB).device_flavor == "xen"
+        assert kvm.create_vm("b", memory_bytes=GIB).device_flavor == "kvm"
+
+
+class TestFailureSurface:
+    def test_crash_destroys_guests(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        vm.start()
+        xen.crash("CVE-XXXX")
+        assert xen.state is HypervisorState.CRASHED
+        assert not xen.is_responsive
+        assert vm.is_destroyed
+
+    def test_hang_pauses_guests(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        vm.start()
+        xen.hang("lockup")
+        assert xen.state is HypervisorState.HUNG
+        assert not xen.is_responsive
+        assert vm.is_paused and not vm.is_destroyed
+
+    def test_starvation_keeps_responsive_but_slow(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        xen.starve("resource exhaustion", factor=10.0)
+        assert xen.state is HypervisorState.STARVED
+        assert xen.is_responsive
+        assert xen.operation_delay(1.0) == 10.0
+
+    def test_starvation_factor_validation(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        with pytest.raises(ValueError):
+            xen.starve("x", factor=0.5)
+
+    def test_operations_rejected_when_down(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        xen.crash("dead")
+        with pytest.raises(HypervisorDown):
+            xen.create_vm("b", memory_bytes=GIB)
+
+    def test_host_power_loss_propagates(self, setup):
+        _sim, testbed, xen, _kvm = setup
+        vm = xen.create_vm("a", memory_bytes=GIB)
+        vm.start()
+        testbed.primary.fail("power loss")
+        assert xen.state is HypervisorState.CRASHED
+        assert vm.is_destroyed
+        with pytest.raises(HostFailure):
+            xen._check_responsive()
+
+    def test_failure_listeners(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        seen = []
+        xen.on_failure(lambda hv, state, reason: seen.append((state, reason)))
+        xen.crash("boom")
+        xen.crash("again")  # idempotent
+        assert seen == [(HypervisorState.CRASHED, "boom")]
+
+    def test_crash_after_hang_allowed(self, setup):
+        _sim, _tb, xen, _kvm = setup
+        xen.hang("first")
+        xen.crash("second")
+        assert xen.state is HypervisorState.CRASHED
+
+    def test_one_hypervisor_per_host(self, setup):
+        sim, testbed, _xen, _kvm = setup
+        with pytest.raises(RuntimeError):
+            XenHypervisor(sim, testbed.primary)

@@ -1,0 +1,118 @@
+"""Calibration regression guard.
+
+The cost constants in :mod:`repro.hardware.perfmodel` were calibrated
+against the paper's published measurements (DESIGN.md §8).  EXPERIMENTS
+.md records the resulting numbers.  This guard pins a handful of
+load-bearing operating points with tight tolerances so an accidental
+constant change (or a behavioural regression anywhere in the stack)
+surfaces here first, with a pointer to what drifted — rather than as a
+mysterious shape failure in a benchmark.
+
+If a change is *intentional*, recalibrate, update these anchors AND the
+EXPERIMENTS.md numbers together.
+"""
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware import DEFAULT_COST_MODEL, GIB, build_testbed
+from repro.hypervisor import XenHypervisor
+from repro.migration import MigrationConfig, MigrationEngine, MigrationMode
+from repro.simkernel import Simulation
+from repro.workloads import IdleWorkload, MemoryMicrobenchmark
+
+SEED = 2023
+
+
+class TestModelConstants:
+    """The calibrated constants themselves (DESIGN.md §8 table)."""
+
+    def test_page_send_cost_is_fig5_alpha(self):
+        assert DEFAULT_COST_MODEL.page_send_cost == pytest.approx(50e-6)
+
+    def test_scan_cost_is_fig8a_slope(self):
+        assert DEFAULT_COST_MODEL.scan_cost_per_page == pytest.approx(7.6e-9)
+
+    def test_bulk_rate_is_fig6_anchor(self):
+        assert DEFAULT_COST_MODEL.bulk_thread_rate == pytest.approx(0.7e9)
+
+    def test_activation_constants_are_fig7(self):
+        assert DEFAULT_COST_MODEL.replica_activation_time == pytest.approx(10e-3)
+        assert DEFAULT_COST_MODEL.xen_replica_activation_time == pytest.approx(55e-3)
+
+    def test_parallel_efficiencies(self):
+        assert DEFAULT_COST_MODEL.bulk_parallel_efficiency == pytest.approx(0.11)
+        assert DEFAULT_COST_MODEL.copy_parallel_efficiency == pytest.approx(0.32)
+        assert DEFAULT_COST_MODEL.scan_parallel_efficiency == pytest.approx(0.83)
+
+
+class TestOperatingPoints:
+    """End-to-end anchors (deterministic: exact up to float noise)."""
+
+    def test_idle_20gib_xen_migration_anchor(self):
+        # EXPERIMENTS.md Fig. 6: 30.7 s.
+        sim = Simulation(seed=SEED)
+        testbed = build_testbed(sim)
+        xen = XenHypervisor(sim, testbed.primary)
+        destination = XenHypervisor(sim, testbed.secondary)
+        vm = xen.create_vm("vm", vcpus=4, memory_bytes=20 * GIB)
+        vm.start()
+        IdleWorkload(sim, vm).start()
+        engine = MigrationEngine(
+            sim, xen, destination, testbed.interconnect,
+            config=MigrationConfig(mode=MigrationMode.XEN_DEFAULT),
+        )
+        process = sim.process(engine.migrate("vm"))
+        stats = sim.run_until_triggered(process, limit=1e5)
+        assert stats.total_duration == pytest.approx(30.7, rel=0.03)
+
+    def test_loaded_checkpoint_anchor(self):
+        # EXPERIMENTS.md Fig. 8b at 8 GiB / 30 % load / T=8 s:
+        # Remus ~3.95 s mean transfer.
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="remus", secondary_flavor="xen", period=8.0,
+                memory_bytes=8 * GIB, seed=SEED,
+            )
+        )
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.3).start()
+        deployment.start_protection()
+        deployment.run_for(100.0)
+        assert deployment.stats.mean_transfer_duration() == pytest.approx(
+            3.95, rel=0.05
+        )
+
+    def test_here_checkpoint_gain_anchor(self):
+        # The headline ~49 % loaded improvement (Fig. 8b).
+        def mean_transfer(engine):
+            deployment = ProtectedDeployment(
+                DeploymentSpec(
+                    engine=engine,
+                    secondary_flavor="xen" if engine == "remus" else "kvm",
+                    period=8.0, memory_bytes=8 * GIB, seed=SEED,
+                )
+            )
+            MemoryMicrobenchmark(
+                deployment.sim, deployment.vm, load=0.3
+            ).start()
+            deployment.start_protection()
+            deployment.run_for(100.0)
+            return deployment.stats.mean_transfer_duration()
+
+        gain = 1.0 - mean_transfer("here") / mean_transfer("remus")
+        assert gain == pytest.approx(0.49, abs=0.03)
+
+    def test_failover_resumption_anchor(self):
+        # Fig. 7: 10 ms on kvmtool.
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=5.0, memory_bytes=2 * GIB, seed=SEED,
+            )
+        )
+        deployment.start_protection()
+        sim = deployment.sim
+        sim.schedule_callback(5.0, lambda: deployment.primary.crash("x"))
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 60.0
+        )
+        assert report.resumption_time == pytest.approx(10e-3, rel=0.05)

@@ -1,0 +1,118 @@
+"""Long-run soak: hundreds of checkpoints, invariants held throughout."""
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware.units import GIB
+from repro.net import ServiceConnection, open_loop_client
+from repro.workloads import LoadPhase, MemoryMicrobenchmark
+
+
+@pytest.fixture(scope="module")
+def soak():
+    """One long phased run shared by every invariant check."""
+    deployment = ProtectedDeployment(
+        DeploymentSpec(
+            engine="here",
+            target_degradation=0.3,
+            period=10.0,
+            sigma=0.5,
+            initial_period=1.0,
+            memory_bytes=2 * GIB,
+            seed=31,
+        )
+    )
+    workload = MemoryMicrobenchmark(
+        deployment.sim,
+        deployment.vm,
+        phases=[
+            LoadPhase(60.0, 0.1),
+            LoadPhase(60.0, 0.6),
+            LoadPhase(60.0, 0.05),
+            LoadPhase(120.0, 0.4),
+        ],
+    )
+    workload.start()
+    deployment.start_protection()
+    service = deployment.attach_service()
+    errors = []
+    deployment.sim.process(
+        open_loop_client(
+            deployment.sim, service, rate_per_s=5.0, duration=280.0,
+            on_error=errors.append,
+        )
+    )
+    deployment.run_for(300.0)
+    return deployment, workload, service, errors
+
+
+class TestLongRunInvariants:
+    def test_many_checkpoints_completed(self, soak):
+        deployment, _w, _s, _e = soak
+        assert deployment.stats.checkpoint_count > 200
+
+    def test_epochs_strictly_increasing_and_contiguous(self, soak):
+        deployment, _w, _s, _e = soak
+        epochs = [c.epoch for c in deployment.stats.checkpoints]
+        assert epochs == list(range(epochs[0], epochs[0] + len(epochs)))
+
+    def test_every_period_within_hard_bound(self, soak):
+        deployment, _w, _s, _e = soak
+        assert all(
+            0.0 < c.period_used <= 10.0 + 1e-9
+            for c in deployment.stats.checkpoints
+        )
+
+    def test_pause_accounting_consistent(self, soak):
+        deployment, _w, _s, _e = soak
+        recorded = sum(
+            c.pause_duration for c in deployment.stats.checkpoints
+        )
+        # VM-side pause accounting and engine-side records agree
+        # (seeding sync pause is also VM-side, hence <=).
+        assert recorded <= deployment.vm.paused_time() + 1e-6
+        assert recorded > 0.9 * (
+            deployment.vm.paused_time() - deployment.stats.seeding_downtime
+        )
+
+    def test_replica_tracks_every_epoch(self, soak):
+        deployment, _w, _s, _e = soak
+        assert (
+            deployment.engine.last_acked_epoch
+            == deployment.stats.checkpoint_count
+        )
+        assert deployment.engine.replica_session.checkpoints_applied == (
+            deployment.stats.checkpoint_count + 1  # + the seeding sync
+        )
+
+    def test_egress_never_leaks_unacked_output(self, soak):
+        deployment, _w, _s, _e = soak
+        egress = deployment.engine.device_manager.egress
+        accounted = (
+            egress.packets_released
+            + egress.held_packets
+            + egress.packets_dropped
+        )
+        assert accounted == egress.packets_staged
+
+    def test_service_survived_the_whole_run(self, soak):
+        _d, _w, service, errors = soak
+        assert errors == []
+        assert len(service.latency) > 1000
+
+    def test_workload_progress_matches_degradation(self, soak):
+        deployment, workload, _s, _e = soak
+        # Throughput loss tracks VM pause fraction to first order (the
+        # resume penalty adds a little more).
+        pause_fraction = deployment.vm.degradation()
+        slowdown = 1.0 - workload.throughput() / workload.work_rate()
+        assert slowdown >= pause_fraction * 0.8
+        assert slowdown <= pause_fraction + 0.25
+
+    def test_controller_history_consistent_with_records(self, soak):
+        deployment, _w, _s, _e = soak
+        controller = deployment.engine.config.controller
+        # One decision per completed checkpoint.
+        assert len(controller.history) == deployment.stats.checkpoint_count
+        for decision in controller.history:
+            assert decision.branch in ("tighten", "walk-back", "jump")

@@ -1,0 +1,82 @@
+"""Round-robin chunk assignment (§7.2(2))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.migration import (
+    assign_chunks_round_robin,
+    balance_factor,
+    per_thread_dirty_pages,
+)
+from repro.vm import DirtyLog
+
+
+class TestAssignment:
+    def test_modulo_partition(self):
+        assignment = assign_chunks_round_robin([0, 1, 2, 3, 4, 5], 3)
+        assert assignment == [[0, 3], [1, 4], [2, 5]]
+
+    def test_single_thread_owns_everything(self):
+        assignment = assign_chunks_round_robin([5, 9, 2], 1)
+        assert assignment == [[5, 9, 2]]
+
+    def test_static_ownership(self):
+        # The same chunk always maps to the same thread.
+        first = assign_chunks_round_robin([7, 13], 4)
+        second = assign_chunks_round_robin([13, 7, 21], 4)
+        assert 7 in first[3] and 7 in second[3]
+        assert 13 in first[1] and 13 in second[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_chunks_round_robin([1], 0)
+        with pytest.raises(ValueError):
+            assign_chunks_round_robin([-1], 2)
+
+    @given(
+        chunk_ids=st.lists(
+            st.integers(min_value=0, max_value=10_000), unique=True, max_size=200
+        ),
+        threads=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_partition_property(self, chunk_ids, threads):
+        assignment = assign_chunks_round_robin(chunk_ids, threads)
+        flattened = [chunk for bucket in assignment for chunk in bucket]
+        assert sorted(flattened) == sorted(chunk_ids)  # complete, disjoint
+        for index, bucket in enumerate(assignment):
+            assert all(chunk % threads == index for chunk in bucket)
+
+
+class TestPerThreadPages:
+    def test_shares_sum_to_union(self):
+        log = DirtyLog(n_chunks=64)
+        log.record_uniform(0, 0, 64, 6400.0)
+        snapshot = log.peek()
+        shares = per_thread_dirty_pages(snapshot, 4)
+        assert sum(shares) == pytest.approx(snapshot.unique_dirty_pages())
+
+    def test_uniform_load_is_balanced(self):
+        log = DirtyLog(n_chunks=64)
+        log.record_uniform(0, 0, 64, 6400.0)
+        shares = per_thread_dirty_pages(log.peek(), 4)
+        assert balance_factor(shares) == pytest.approx(1.0, abs=0.01)
+
+    def test_skewed_load_imbalances(self):
+        log = DirtyLog(n_chunks=64)
+        # All activity in chunks owned by thread 0 (multiples of 4).
+        import numpy as np
+
+        ids = np.arange(0, 64, 4)
+        log.record(0, ids, np.full(ids.shape, 100.0))
+        shares = per_thread_dirty_pages(log.peek(), 4)
+        assert shares[0] > 0
+        assert shares[1] == shares[2] == shares[3] == 0
+        assert balance_factor(shares) == pytest.approx(4.0)
+
+    def test_empty_snapshot(self):
+        log = DirtyLog(n_chunks=8)
+        shares = per_thread_dirty_pages(log.peek(), 4)
+        assert shares == [0, 0, 0, 0]
+        assert balance_factor(shares) == 1.0

@@ -1,0 +1,101 @@
+"""The shared iterative pre-copy loop."""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import XenHypervisor
+from repro.migration import iterative_precopy
+from repro.simkernel import Simulation
+from repro.workloads import IdleWorkload, MemoryMicrobenchmark
+
+
+def build(load=0.0, size_gib=2, seed=3):
+    sim = Simulation(seed=seed)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    vm = xen.create_vm("vm", vcpus=4, memory_bytes=int(size_gib * GIB))
+    vm.start()
+    if load > 0:
+        MemoryMicrobenchmark(sim, vm, load=load).start()
+    else:
+        IdleWorkload(sim, vm).start()
+    return sim, testbed, xen, vm
+
+
+def run_precopy(sim, generator):
+    process = sim.process(generator)
+    return sim.run_until_triggered(process, limit=10_000)
+
+
+class TestPrecopyLoop:
+    def test_idle_vm_converges_quickly(self):
+        sim, testbed, xen, vm = build(load=0.0)
+        result = run_precopy(
+            sim,
+            iterative_precopy(
+                sim, xen, vm, testbed.interconnect.forward,
+                xen.host.cost_model, threads=1, use_per_vcpu_rings=False,
+            ),
+        )
+        assert result.iterations[0].pages_sent == vm.total_pages
+        assert result.remaining_dirty < 1000
+
+    def test_loaded_vm_iterates_until_cap(self):
+        sim, testbed, xen, vm = build(load=0.7, size_gib=4)
+        result = run_precopy(
+            sim,
+            iterative_precopy(
+                sim, xen, vm, testbed.interconnect.forward,
+                xen.host.cost_model, threads=1, use_per_vcpu_rings=False,
+                max_iterations=5, stop_threshold_pages=50,
+            ),
+        )
+        assert len(result.iterations) == 5
+        assert result.remaining_dirty > 50
+
+    def test_dirty_shrinks_across_iterations(self):
+        sim, testbed, xen, vm = build(load=0.3, size_gib=4)
+        result = run_precopy(
+            sim,
+            iterative_precopy(
+                sim, xen, vm, testbed.interconnect.forward,
+                xen.host.cost_model, threads=1, use_per_vcpu_rings=False,
+            ),
+        )
+        produced = [record.dirty_pages_produced for record in result.iterations]
+        assert produced[0] > produced[-1]
+
+    def test_per_vcpu_mode_tracks_problematic(self):
+        sim, testbed, xen, vm = build(load=0.5, size_gib=2)
+        result = run_precopy(
+            sim,
+            iterative_precopy(
+                sim, xen, vm, testbed.interconnect.forward,
+                xen.host.cost_model, threads=4, use_per_vcpu_rings=True,
+            ),
+        )
+        assert result.problematic_total > 0
+
+    def test_vm_keeps_running_throughout(self):
+        sim, testbed, xen, vm = build(load=0.2)
+        run_precopy(
+            sim,
+            iterative_precopy(
+                sim, xen, vm, testbed.interconnect.forward,
+                xen.host.cost_model, threads=1, use_per_vcpu_rings=False,
+            ),
+        )
+        assert vm.is_running
+        assert vm.pause_count == 0
+
+    def test_parameter_validation(self):
+        sim, testbed, xen, vm = build()
+        with pytest.raises(ValueError):
+            run_precopy(
+                sim,
+                iterative_precopy(
+                    sim, xen, vm, testbed.interconnect.forward,
+                    xen.host.cost_model, threads=1, use_per_vcpu_rings=False,
+                    max_iterations=0,
+                ),
+            )

@@ -1,0 +1,157 @@
+"""Timed transfer primitives vs. the analytic cost model."""
+
+import pytest
+
+from repro.hardware import DEFAULT_COST_MODEL, Link, build_testbed, omnipath_hfi100
+from repro.migration import split_evenly, timed_bulk_copy, timed_page_send
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def env():
+    sim = Simulation(seed=0)
+    testbed = build_testbed(sim)
+    link = Link(sim, omnipath_hfi100())
+    return sim, testbed.primary, link
+
+
+def run_transfer(sim, generator):
+    process = sim.process(generator)
+    return sim.run_until_triggered(process)
+
+
+class TestBulkCopy:
+    def test_duration_matches_model(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        nbytes = 2 * model.bulk_thread_rate  # 2 s single-thread
+        duration = run_transfer(
+            sim, timed_bulk_copy(sim, host, link, nbytes, 1, model)
+        )
+        assert duration == pytest.approx(2.0, rel=0.01)
+
+    def test_zero_bytes_is_free(self, env):
+        sim, host, link = env
+        duration = run_transfer(
+            sim, timed_bulk_copy(sim, host, link, 0, 1, DEFAULT_COST_MODEL)
+        )
+        assert duration == 0.0
+
+    def test_threads_speed_up(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        nbytes = model.bulk_thread_rate
+        single = run_transfer(
+            sim, timed_bulk_copy(sim, host, link, nbytes, 1, model)
+        )
+        four = run_transfer(
+            sim, timed_bulk_copy(sim, host, link, nbytes, 4, model)
+        )
+        assert four < single
+
+    def test_cpu_accounted(self, env):
+        sim, host, link = env
+        run_transfer(
+            sim,
+            timed_bulk_copy(
+                sim, host, link, 1e9, 2, DEFAULT_COST_MODEL, component="migration"
+            ),
+        )
+        assert host.cpu_accounting.total("migration") > 0
+
+    def test_negative_rejected(self, env):
+        sim, host, link = env
+        with pytest.raises(ValueError):
+            run_transfer(
+                sim, timed_bulk_copy(sim, host, link, -1, 1, DEFAULT_COST_MODEL)
+            )
+
+
+class TestPageSend:
+    def test_balanced_load_matches_analytic_speedup(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        pages = 100_000
+        duration = run_transfer(
+            sim,
+            timed_page_send(sim, host, link, split_evenly(pages, 4), model),
+        )
+        expected = pages * model.page_send_cost / model.copy_speedup(4)
+        assert duration == pytest.approx(expected, rel=0.02)
+
+    def test_imbalance_lengthens_phase(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        balanced = run_transfer(
+            sim,
+            timed_page_send(sim, host, link, [25_000] * 4, model),
+        )
+        sim2 = Simulation()
+        testbed2 = build_testbed(sim2)
+        link2 = Link(sim2, omnipath_hfi100())
+        skewed = run_transfer(
+            sim2,
+            timed_page_send(
+                sim2, testbed2.primary, link2, [70_000, 10_000, 10_000, 10_000], model
+            ),
+        )
+        assert skewed > balanced
+
+    def test_scan_work_included(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        duration = run_transfer(
+            sim,
+            timed_page_send(
+                sim,
+                host,
+                link,
+                [0],
+                model,
+                scan_pages_per_thread=[5_000_000],
+            ),
+        )
+        assert duration == pytest.approx(
+            5_000_000 * model.scan_cost_per_page, rel=0.02
+        )
+
+    def test_no_work_is_instant(self, env):
+        sim, host, link = env
+        duration = run_transfer(
+            sim, timed_page_send(sim, host, link, [0, 0], DEFAULT_COST_MODEL)
+        )
+        assert duration == 0.0
+
+    def test_per_page_cost_override(self, env):
+        sim, host, link = env
+        model = DEFAULT_COST_MODEL
+        duration = run_transfer(
+            sim,
+            timed_page_send(
+                sim, host, link, [10_000], model,
+                per_page_cost=model.migration_page_cost,
+            ),
+        )
+        assert duration == pytest.approx(
+            10_000 * model.migration_page_cost, rel=0.02
+        )
+
+    def test_mismatched_scan_list_rejected(self, env):
+        sim, host, link = env
+        with pytest.raises(ValueError):
+            run_transfer(
+                sim,
+                timed_page_send(
+                    sim, host, link, [1.0, 2.0], DEFAULT_COST_MODEL,
+                    scan_pages_per_thread=[1.0],
+                ),
+            )
+
+
+class TestSplitEvenly:
+    def test_split(self):
+        assert split_evenly(100.0, 4) == [25.0] * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_evenly(10.0, 0)

@@ -1,0 +1,149 @@
+"""Output commit: the egress buffer's safety invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import EgressBuffer, Packet
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+def make_packet(sim, packet_id):
+    return Packet(packet_id=packet_id, size_bytes=64, created_at=sim.now)
+
+
+class TestPassthrough:
+    def test_packets_flow_immediately_without_buffering(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        assert delivered == [1]
+        assert buffer.held_packets == 0
+
+
+class TestOutputCommit:
+    def test_buffered_packets_wait_for_ack(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        buffer.stage(make_packet(sim, 2))
+        assert delivered == []
+        epoch = buffer.seal_epoch()
+        buffer.release_through(epoch)
+        assert delivered == [1, 2]
+
+    def test_open_epoch_is_never_released(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        epoch = buffer.seal_epoch()
+        buffer.stage(make_packet(sim, 1))  # lands in the NEW epoch
+        buffer.release_through(epoch)
+        assert delivered == []
+        assert buffer.held_packets == 1
+
+    def test_acks_are_cumulative(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        buffer.seal_epoch()  # epoch 0 sealed
+        buffer.stage(make_packet(sim, 2))
+        epoch_1 = buffer.seal_epoch()
+        # Ack for epoch 1 implicitly releases epoch 0 too.
+        buffer.release_through(epoch_1)
+        assert delivered == [1, 2]
+
+    def test_release_marks_release_time(self, sim):
+        buffer = EgressBuffer(sim, buffering=True)
+        packet = make_packet(sim, 1)
+        buffer.stage(packet)
+        sim.run(until=5.0)
+        buffer.release_through(buffer.seal_epoch())
+        assert packet.released_at == 5.0
+        assert packet.buffering_delay == 5.0
+
+    def test_drop_unreleased_destroys_everything_held(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        buffer.seal_epoch()
+        buffer.stage(make_packet(sim, 2))
+        dropped = buffer.drop_unreleased()
+        assert {p.packet_id for p in dropped} == {1, 2}
+        assert delivered == []
+        assert buffer.packets_dropped == 2
+
+    def test_emission_order_preserved_across_epochs(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        buffer.seal_epoch()
+        buffer.stage(make_packet(sim, 2))
+        epoch = buffer.seal_epoch()
+        buffer.stage(make_packet(sim, 3))
+        buffer.release_through(epoch)
+        assert delivered == [1, 2]
+
+    def test_disable_buffering_flushes(self, sim):
+        delivered = []
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+        buffer.stage(make_packet(sim, 1))
+        buffer.disable_buffering()
+        assert delivered == [1]
+        buffer.stage(make_packet(sim, 2))
+        assert delivered == [1, 2]
+
+    def test_statistics(self, sim):
+        buffer = EgressBuffer(sim, buffering=True)
+        buffer.stage(make_packet(sim, 1))
+        buffer.release_through(buffer.seal_epoch())
+        assert buffer.packets_staged == 1
+        assert buffer.packets_released == 1
+
+
+@given(
+    schedule=st.lists(
+        st.sampled_from(["stage", "seal", "ack", "drop"]),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_output_commit_invariant_under_any_schedule(schedule):
+    """No packet is ever delivered before its epoch was acknowledged,
+    every delivered packet was staged, and order is preserved."""
+    sim = Simulation()
+    buffer = EgressBuffer(sim, buffering=True)
+    delivered = []
+    buffer.set_delivery_hook(lambda p: delivered.append(p.packet_id))
+    staged = []
+    sealed_epochs = []
+    next_id = 0
+    for action in schedule:
+        if action == "stage":
+            packet = Packet(packet_id=next_id, size_bytes=1, created_at=sim.now)
+            staged.append(next_id)
+            next_id += 1
+            buffer.stage(packet)
+        elif action == "seal":
+            sealed_epochs.append(buffer.seal_epoch())
+        elif action == "ack" and sealed_epochs:
+            buffer.release_through(sealed_epochs[-1])
+        elif action == "drop":
+            buffer.drop_unreleased()
+    # Delivered is a subsequence of staged, in order.
+    assert delivered == [pid for pid in staged if pid in set(delivered)]
+    # Nothing in the still-open epoch was delivered.
+    accounted = len(delivered) + buffer.held_packets + buffer.packets_dropped
+    assert accounted == len(staged)

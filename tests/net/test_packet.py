@@ -1,0 +1,64 @@
+"""Packets and the latency recorder."""
+
+import math
+
+import pytest
+
+from repro.net import LatencyRecorder, Packet
+
+
+class TestPacket:
+    def test_latency_fields(self):
+        packet = Packet(packet_id=1, size_bytes=64, created_at=10.0)
+        packet.released_at = 12.5
+        packet.delivered_at = 12.6
+        assert packet.buffering_delay == pytest.approx(2.5)
+        assert packet.total_latency == pytest.approx(2.6)
+
+    def test_unreleased_packet_has_no_delay(self):
+        packet = Packet(packet_id=1, size_bytes=64, created_at=0.0)
+        with pytest.raises(ValueError):
+            _ = packet.buffering_delay
+        with pytest.raises(ValueError):
+            _ = packet.total_latency
+
+
+class TestLatencyRecorder:
+    def test_empty_recorder_reports_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.mean())
+        assert math.isnan(recorder.percentile(50))
+        assert math.isnan(recorder.maximum())
+
+    def test_mean_and_extremes(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.mean() == pytest.approx(2.0)
+        assert recorder.minimum() == 1.0
+        assert recorder.maximum() == 3.0
+        assert len(recorder) == 3
+
+    def test_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == 50.0
+        assert recorder.percentile(99) == 99.0
+        assert recorder.percentile(100) == 100.0
+
+    def test_percentile_validation(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_summary_shape(self):
+        recorder = LatencyRecorder("x")
+        recorder.record(1.0)
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "p50", "p99", "min", "max"}
+        assert summary["count"] == 1

@@ -1,0 +1,85 @@
+"""The client-facing service path."""
+
+import pytest
+
+from repro.hardware import Link, ethernet_x710, GIB
+from repro.net import EgressBuffer, ServiceConnection, ServiceInterrupted
+from repro.simkernel import Simulation
+from repro.vm import VirtualMachine
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation(seed=0)
+    vm = VirtualMachine(sim, "guest", memory_bytes=GIB)
+    vm.start()
+    link = Link(sim, ethernet_x710())
+    egress = EgressBuffer(sim, name="e")
+    connection = ServiceConnection(sim, vm, link, egress, name="client")
+    return sim, vm, link, egress, connection
+
+
+class TestUnprotectedPath:
+    def test_request_round_trip_latency(self, setup):
+        sim, _vm, _link, _egress, connection = setup
+        process = sim.process(connection.request(64, 64))
+        latency = sim.run_until_triggered(process)
+        # Two link traversals plus in-VM service time.
+        assert latency == pytest.approx(2 * 40e-6 + 20e-6, rel=0.2)
+        assert len(connection.latency) == 1
+
+    def test_paused_vm_delays_service(self, setup):
+        sim, vm, _link, _egress, connection = setup
+        vm.pause()
+        sim.schedule_callback(0.5, vm.resume)
+        process = sim.process(connection.request())
+        latency = sim.run_until_triggered(process)
+        assert latency > 0.5
+
+
+class TestBufferedPath:
+    def test_response_held_until_epoch_ack(self, setup):
+        sim, _vm, _link, egress, connection = setup
+        egress.enable_buffering()
+        process = sim.process(connection.request())
+        sim.run(until=1.0)
+        assert not process.triggered  # response stuck in output commit
+        egress.release_through(egress.seal_epoch())
+        latency = sim.run_until_triggered(process)
+        assert latency == pytest.approx(1.0, rel=0.01)
+
+
+class TestFailover:
+    def test_destroyed_vm_interrupts_requests(self, setup):
+        sim, vm, _link, _egress, connection = setup
+        vm.destroy()
+        process = sim.process(connection.request())
+        with pytest.raises(ServiceInterrupted):
+            sim.run_until_triggered(process)
+        assert connection.lost_requests == 1
+
+    def test_switch_target_fails_inflight_and_recovers(self, setup):
+        sim, vm, link, egress, connection = setup
+        egress.enable_buffering()
+        stuck = sim.process(connection.request())
+        sim.run(until=0.5)
+        assert not stuck.triggered
+        # Fail over to a replica with a passthrough egress.
+        replica = VirtualMachine(sim, "guest", memory_bytes=GIB)
+        replica.start()
+        new_egress = EgressBuffer(sim, name="e2")
+        connection.switch_target(replica, link, new_egress)
+        with pytest.raises(ServiceInterrupted):
+            sim.run_until_triggered(stuck)
+        assert connection.lost_requests == 1
+        # New requests reach the replica.
+        fresh = sim.process(connection.request())
+        latency = sim.run_until_triggered(fresh)
+        assert latency < 0.01
+
+    def test_guest_os_failure_interrupts(self, setup):
+        sim, vm, _link, _egress, connection = setup
+        vm.guest_os_crash()
+        process = sim.process(connection.request())
+        with pytest.raises(ServiceInterrupted):
+            sim.run_until_triggered(process)

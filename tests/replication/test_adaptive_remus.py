@@ -1,0 +1,103 @@
+"""The Adaptive Remus controller baseline (§5.4 related work)."""
+
+import pytest
+
+from repro.replication import AdaptiveRemusController
+
+
+class TestAdaptiveRemus:
+    def test_defaults_to_slow_period(self):
+        controller = AdaptiveRemusController(5.0, 1.0)
+        assert controller.initial_period() == 5.0
+        assert controller.next_period(0.1) == 5.0  # no probe: never switches
+
+    def test_switches_on_io_activity(self):
+        io_active = {"value": False}
+        controller = AdaptiveRemusController(
+            5.0, 1.0, activity_probe=lambda: io_active["value"]
+        )
+        assert controller.next_period(0.1) == 5.0
+        io_active["value"] = True
+        assert controller.next_period(0.1) == 1.0
+        io_active["value"] = False
+        assert controller.next_period(0.1) == 5.0
+        assert controller.switches == 2
+
+    def test_only_two_settings_exist(self):
+        """The paper's point: Adaptive Remus has exactly two periods —
+        no budget tracking, no gradual search."""
+        io_active = {"value": True}
+        controller = AdaptiveRemusController(
+            4.0, 0.5, activity_probe=lambda: io_active["value"]
+        )
+        observed = set()
+        for pause in (0.01, 5.0, 0.5, 100.0):
+            observed.add(controller.next_period(pause))
+            io_active["value"] = not io_active["value"]
+        assert observed <= {4.0, 0.5}
+
+    def test_pause_duration_is_ignored(self):
+        """Unlike Algorithm 1, the measured cost never feeds back."""
+        controller = AdaptiveRemusController(5.0, 1.0)
+        assert controller.next_period(0.0) == controller.next_period(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRemusController(0.0, 1.0)
+        with pytest.raises(ValueError):
+            AdaptiveRemusController(1.0, 2.0)  # io period above default
+        with pytest.raises(ValueError):
+            AdaptiveRemusController(5.0, 1.0).next_period(-1.0)
+
+    def test_describe(self):
+        controller = AdaptiveRemusController(5.0, 1.0)
+        assert "adaptive-remus" in controller.describe()
+
+
+class TestInEngine:
+    def test_engine_runs_with_adaptive_remus(self):
+        """The controller slot is genuinely pluggable: an engine driven
+        by Adaptive Remus tightens its period while client IO flows."""
+        from repro.cluster import DeploymentSpec, ProtectedDeployment
+        from repro.hardware.units import GIB
+        from repro.net import open_loop_client
+
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=5.0, target_degradation=0.0,
+                memory_bytes=GIB, seed=3,
+            )
+        )
+        egress_probe = {"last_count": 0}
+
+        def io_detected():
+            egress = deployment.engine.device_manager.egress
+            staged = egress.packets_staged
+            active = staged > egress_probe["last_count"]
+            egress_probe["last_count"] = staged
+            return active
+
+        controller = AdaptiveRemusController(
+            5.0, 1.0, activity_probe=io_detected
+        )
+        deployment.engine.config.controller = controller
+        deployment.start_protection()
+        service = deployment.attach_service()
+        sim = deployment.sim
+        # Quiet phase: stays at the default period.
+        deployment.run_for(12.0)
+        quiet_periods = [
+            c.period_used for c in deployment.stats.checkpoints
+        ]
+        assert all(p == 5.0 for p in quiet_periods)
+        # IO phase: the controller drops to the fast period.
+        sim.process(
+            open_loop_client(sim, service, rate_per_s=20.0, duration=30.0)
+        )
+        deployment.run_for(35.0)
+        io_periods = [
+            c.period_used
+            for c in deployment.stats.checkpoints[len(quiet_periods):]
+        ]
+        assert 1.0 in io_periods
+        assert controller.switches >= 1

@@ -1,0 +1,187 @@
+"""Heartbeat detection and failover."""
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware.units import GIB
+from repro.replication import HeartbeatMonitor
+from repro.replication.protocol import ProtocolError
+
+
+def build(seed=7, **spec_kwargs):
+    defaults = dict(
+        engine="here",
+        period=2.0,
+        target_degradation=0.0,
+        memory_bytes=2 * GIB,
+        seed=seed,
+    )
+    defaults.update(spec_kwargs)
+    deployment = ProtectedDeployment(DeploymentSpec(**defaults))
+    deployment.start_protection(wait_ready=True)
+    return deployment
+
+
+class TestHeartbeat:
+    def test_no_failure_no_detection(self):
+        deployment = build()
+        deployment.run_for(10.0)
+        assert not deployment.monitor.failure_detected.triggered
+        assert deployment.monitor.consecutive_misses == 0
+        assert deployment.monitor.probes_sent > 100
+
+    def test_crash_detected_within_bound(self):
+        deployment = build()
+        sim = deployment.sim
+        crash_at = sim.now + 5.0
+        sim.schedule_callback(5.0, lambda: deployment.primary.crash("DoS"))
+        sim.run_until_triggered(
+            deployment.monitor.failure_detected, limit=sim.now + 20.0
+        )
+        detection_latency = sim.now - crash_at
+        assert detection_latency <= deployment.monitor.detection_latency_bound + 0.05
+
+    def test_hang_detected_like_crash(self):
+        deployment = build()
+        sim = deployment.sim
+        sim.schedule_callback(5.0, lambda: deployment.primary.hang("lockup"))
+        sim.run_until_triggered(
+            deployment.monitor.failure_detected, limit=sim.now + 20.0
+        )
+        assert "lockup" in str(deployment.monitor.failure_detected.value)
+
+    def test_host_power_loss_detected(self):
+        deployment = build()
+        sim = deployment.sim
+        sim.schedule_callback(
+            5.0, lambda: deployment.testbed.primary.fail("power loss")
+        )
+        sim.run_until_triggered(
+            deployment.monitor.failure_detected, limit=sim.now + 20.0
+        )
+
+    def test_report_attack_shortcuts_detection(self):
+        deployment = build()
+        deployment.monitor.report_attack("CVE-2020-1234")
+        assert deployment.monitor.failure_detected.triggered
+        assert "CVE-2020-1234" in deployment.monitor.failure_detected.value
+
+    def test_monitor_stop(self):
+        deployment = build()
+        deployment.monitor.stop()
+        deployment.run_for(5.0)
+        assert not deployment.monitor.failure_detected.triggered
+
+    def test_validation(self):
+        deployment = build()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(
+                deployment.sim,
+                deployment.testbed.primary,
+                deployment.primary,
+                deployment.testbed.interconnect,
+                interval=0.0,
+            )
+
+
+class TestFailover:
+    def test_failover_activates_replica(self):
+        deployment = build()
+        sim = deployment.sim
+        sim.schedule_callback(5.0, lambda: deployment.primary.crash("DoS"))
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        assert report.replica_hypervisor == "Linux KVM"
+        assert deployment.replica.is_running
+        assert deployment.replica.device_flavor == "kvm"
+
+    def test_resumption_time_is_milliseconds_and_flat(self):
+        # Fig. 7: ~10 ms, independent of memory size.
+        times = []
+        for size in (1, 4, 8):
+            deployment = build(memory_bytes=size * GIB)
+            sim = deployment.sim
+            sim.schedule_callback(3.0, lambda d=deployment: d.primary.crash("x"))
+            report = sim.run_until_triggered(
+                deployment.failover.completed, limit=sim.now + 60.0
+            )
+            times.append(report.resumption_time)
+        assert all(0.003 < t < 0.05 for t in times)
+        assert max(times) - min(times) < 0.01
+
+    def test_unacknowledged_output_dropped(self):
+        deployment = build()
+        service = deployment.attach_service()
+        sim = deployment.sim
+
+        def client():
+            # Fire a few requests; some responses will be in flight
+            # (buffered) when the primary dies.
+            for _ in range(30):
+                process = sim.process(service.request())
+                process.callbacks.append(lambda e: None)  # may fail
+                yield sim.timeout(0.2)
+
+        sim.process(client())
+        sim.schedule_callback(3.0, lambda: deployment.primary.crash("DoS"))
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        # Epoch in progress at the crash had staged-but-unacked output.
+        assert report.dropped_packets >= 0
+        assert report.last_acked_epoch >= 1
+
+    def test_service_switches_to_replica(self):
+        deployment = build()
+        service = deployment.attach_service()
+        sim = deployment.sim
+        sim.schedule_callback(3.0, lambda: deployment.primary.crash("DoS"))
+        sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        probe = sim.process(service.request())
+        latency = sim.run_until_triggered(probe, limit=sim.now + 10.0)
+        assert latency < 1.0
+        assert service.vm is deployment.replica
+
+    def test_double_arm_rejected(self):
+        deployment = build()
+        with pytest.raises(RuntimeError):
+            deployment.failover.arm()
+
+
+class TestReplicaSessionOrdering:
+    def test_stale_epoch_rejected(self):
+        deployment = build()
+        deployment.run_for(10.0)
+        session = deployment.engine.replica_session
+        from repro.replication import CheckpointMessage
+
+        stale = CheckpointMessage(
+            vm_name="protected",
+            epoch=0,
+            sent_at=deployment.sim.now,
+            dirty_pages=0,
+            memory_bytes=0,
+            state_payload={},
+        )
+        with pytest.raises(ProtocolError):
+            session.apply(stale)
+
+    def test_wrong_vm_rejected(self):
+        deployment = build()
+        deployment.run_for(5.0)
+        session = deployment.engine.replica_session
+        from repro.replication import CheckpointMessage
+
+        foreign = CheckpointMessage(
+            vm_name="other-vm",
+            epoch=99,
+            sent_at=0.0,
+            dirty_pages=0,
+            memory_bytes=0,
+            state_payload={},
+        )
+        with pytest.raises(ProtocolError):
+            session.apply(foreign)

@@ -1,0 +1,178 @@
+"""Algorithm 1: the dynamic checkpoint period controller."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import (
+    DynamicPeriodController,
+    FixedPeriodController,
+    degradation,
+    round_to_step,
+)
+
+
+class TestDegradationEquation:
+    def test_eq1(self):
+        assert degradation(1.0, 3.0) == pytest.approx(0.25)
+
+    def test_zero_pause_is_zero_degradation(self):
+        assert degradation(0.0, 5.0) == 0.0
+
+    def test_degenerate_both_zero(self):
+        assert degradation(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degradation(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            degradation(1.0, -1.0)
+
+
+class TestRoundToStep:
+    def test_rounds_to_multiples(self):
+        assert round_to_step(1.13, 0.25) == pytest.approx(1.25)
+        assert round_to_step(1.12, 0.25) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_to_step(1.0, 0.0)
+
+
+class TestFixedController:
+    def test_period_never_changes(self):
+        controller = FixedPeriodController(3.0)
+        assert controller.initial_period() == 3.0
+        for pause in (0.1, 5.0, 0.0):
+            assert controller.next_period(pause) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPeriodController(0.0)
+        with pytest.raises(ValueError):
+            FixedPeriodController(3.0).next_period(-1.0)
+
+
+class TestAlgorithm1:
+    """Branch-by-branch conformance with the paper's Algorithm 1."""
+
+    def make(self, target=0.3, t_max=25.0, sigma=0.25):
+        return DynamicPeriodController(
+            target_degradation=target, t_max=t_max, sigma=sigma
+        )
+
+    def test_line1_starts_at_t_max(self):
+        controller = self.make()
+        assert controller.initial_period() == 25.0
+
+    def test_tighten_branch_shrinks_by_sigma(self):
+        controller = self.make()
+        # t=1 at T=25: D = 1/26 ~ 0.038 <= 0.3 -> T <- T - sigma.
+        next_period = controller.next_period(1.0)
+        assert next_period == pytest.approx(24.75)
+        assert controller.history[-1].branch == "tighten"
+
+    def test_walk_back_branch_restores_previous(self):
+        controller = self.make()
+        controller.next_period(1.0)  # tighten: T_prev=25, T=24.75
+        # Huge pause: D > 0.3 while D_prev <= 0.3 -> restore T_prev.
+        restored = controller.next_period(50.0)
+        assert restored == pytest.approx(25.0)
+        assert controller.history[-1].branch == "walk-back"
+
+    def test_jump_branch_moves_to_midpoint(self):
+        controller = self.make()
+        controller.next_period(1.0)    # tighten -> 24.75
+        controller.next_period(50.0)   # walk-back -> 25 (D_prev now > D)
+        jumped = controller.next_period(50.0)  # second overshoot -> jump
+        assert controller.history[-1].branch == "jump"
+        assert jumped == pytest.approx(round_to_step((25.0 + 25.0) / 2, 0.25))
+
+    def test_jump_midpoint_from_lower_period(self):
+        controller = self.make(target=0.1, t_max=20.0, sigma=0.5)
+        # Drive T down with tiny pauses.
+        for _ in range(20):
+            controller.next_period(0.01)
+        low = controller.period
+        assert low < 20.0
+        controller.next_period(100.0)  # overshoot 1: walk-back
+        controller.next_period(100.0)  # overshoot 2: jump
+        assert controller.period == pytest.approx(
+            round_to_step((controller.history[-1].previous_period + 20.0) / 2, 0.5)
+        )
+
+    def test_hard_bound_t_max_never_exceeded(self):
+        controller = self.make()
+        for pause in (50.0, 50.0, 50.0, 50.0):
+            controller.next_period(pause)
+            assert controller.period <= 25.0
+
+    def test_floor_t_min(self):
+        controller = DynamicPeriodController(0.5, t_max=5.0, sigma=1.0, t_min=0.5)
+        for _ in range(20):
+            controller.next_period(0.0)
+        assert controller.period == pytest.approx(0.5)
+
+    def test_steady_state_oscillates_near_equilibrium(self):
+        """With constant pause t, T settles where D_T ~ target."""
+        controller = self.make(target=0.3, t_max=25.0, sigma=0.25)
+        pause = 1.0  # equilibrium T* = t(1-D)/D = 2.333
+        for _ in range(200):
+            controller.next_period(pause)
+        final = controller.period
+        equilibrium = pause * (1 - 0.3) / 0.3
+        assert abs(final - equilibrium) <= 3 * 0.25
+
+    def test_infinite_t_max_supported(self):
+        controller = DynamicPeriodController(0.3, t_max=math.inf, initial_period=10.0)
+        assert controller.initial_period() == 10.0
+        controller.next_period(100.0)  # walk-back
+        controller.next_period(100.0)  # jump: doubles instead of midpoint
+        assert controller.history[-1].branch == "jump"
+        assert math.isfinite(controller.period)
+
+    def test_branch_counts(self):
+        controller = self.make()
+        controller.next_period(1.0)
+        controller.next_period(50.0)
+        controller.next_period(50.0)
+        assert controller.branch_counts() == (1, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPeriodController(1.0)
+        with pytest.raises(ValueError):
+            DynamicPeriodController(0.3, t_max=0.0)
+        with pytest.raises(ValueError):
+            DynamicPeriodController(0.3, sigma=0.0)
+        with pytest.raises(ValueError):
+            DynamicPeriodController(0.3, t_max=1.0, t_min=2.0)
+        with pytest.raises(ValueError):
+            self.make().next_period(-1.0)
+
+    def test_describe(self):
+        assert "30%" in self.make().describe()
+        assert "inf" in DynamicPeriodController(0.3).describe()
+
+    @given(
+        pauses=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        target=st.floats(min_value=0.05, max_value=0.9),
+        t_max=st.floats(min_value=1.0, max_value=100.0),
+        sigma=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_invariant(self, pauses, target, t_max, sigma):
+        """T always stays within [T_min, T_max], whatever the input."""
+        controller = DynamicPeriodController(
+            target_degradation=target, t_max=t_max,
+            sigma=min(sigma, t_max), t_min=min(0.05, t_max),
+        )
+        for pause in pauses:
+            period = controller.next_period(pause)
+            assert controller.t_min <= period <= t_max + 1e-9

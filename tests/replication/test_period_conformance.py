@@ -1,0 +1,91 @@
+"""Algorithm 1 conformance: the controller vs a literal transcription.
+
+``DynamicPeriodController`` adds engineering (bounds, history, the
+T_max = ∞ extension).  This test re-implements the paper's pseudocode
+*verbatim* — no bounds, no history — and checks with hypothesis that
+for any pause sequence the production controller makes exactly the
+reference decisions whenever the reference stays inside the legal
+period range.  Refactors that drift from the paper fail here first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import DynamicPeriodController
+from repro.replication.period import round_to_step
+
+
+class ReferenceAlgorithm1:
+    """Lines 1–16 of the paper's Algorithm 1, transcribed directly."""
+
+    def __init__(self, target, t_max, sigma):
+        self.D = target
+        self.T_max = t_max
+        self.sigma = sigma
+        self.T = t_max              # line 1
+        self.T_prev = t_max
+        self.D_prev = target        # line 2
+
+    def step(self, t_curr):
+        D_curr = t_curr / (t_curr + self.T)           # line 5
+        if D_curr <= self.D:                          # line 6
+            self.T_prev = self.T                      # line 7
+            self.T = self.T - self.sigma              # line 8
+        elif self.D_prev <= self.D:                   # line 9
+            self.T = self.T_prev                      # line 10
+        else:                                         # line 11
+            self.T_prev = self.T                      # line 12
+            self.T = round_to_step(
+                (self.T + self.T_max) / 2.0, self.sigma
+            )                                         # line 13
+        self.D_prev = D_curr                          # line 15
+        return self.T
+
+
+@given(
+    pauses=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=120,
+    ),
+    target=st.floats(min_value=0.05, max_value=0.8),
+    t_max=st.floats(min_value=5.0, max_value=60.0),
+    sigma=st.floats(min_value=0.05, max_value=2.0),
+)
+@settings(max_examples=250, deadline=None)
+def test_controller_matches_paper_pseudocode(pauses, target, t_max, sigma):
+    production = DynamicPeriodController(
+        target_degradation=target, t_max=t_max, sigma=sigma, t_min=1e-9
+    )
+    reference = ReferenceAlgorithm1(target, t_max, sigma)
+    assert production.initial_period() == t_max  # line 1
+    for pause in pauses:
+        reference_period = reference.step(pause)
+        if reference_period < 1e-9 or reference_period > t_max:
+            # The raw pseudocode left the legal range (it has no
+            # bounds); from here the implementations legitimately
+            # diverge — the production controller clamps.
+            break
+        production_period = production.next_period(pause)
+        assert production_period == reference_period
+
+
+@given(
+    pauses=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=120,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_decision_history_replays_the_run(pauses):
+    """The recorded history is a faithful transcript: replaying its
+    inputs through a fresh controller reproduces its outputs."""
+    first = DynamicPeriodController(0.3, t_max=20.0, sigma=0.5)
+    for pause in pauses:
+        first.next_period(pause)
+    replay = DynamicPeriodController(0.3, t_max=20.0, sigma=0.5)
+    for decision in first.history:
+        next_period = replay.next_period(decision.pause_duration)
+        assert next_period == decision.next_period
+        assert replay.history[-1].branch == decision.branch

@@ -1,0 +1,85 @@
+"""Property tests of the checkpoint protocol's ordering guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import KvmHypervisor, XenHypervisor
+from repro.replication import CheckpointMessage, ProtocolError, ReplicaSession
+from repro.replication.translator import StateTranslator
+from repro.simkernel import Simulation
+
+
+def make_session():
+    sim = Simulation(seed=0)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    kvm = KvmHypervisor(sim, testbed.secondary)
+    vm = xen.create_vm("vm", vcpus=1, memory_bytes=GIB)
+    StateTranslator.prepare_guest(vm, xen, kvm)
+    replica = kvm.create_vm("vm", vcpus=1, memory_bytes=GIB)
+    payload = StateTranslator().translate(xen.extract_guest_state(vm), kvm)
+    session = ReplicaSession(kvm, replica)
+    return sim, session, payload
+
+
+def message(payload, epoch, sim):
+    return CheckpointMessage(
+        vm_name="vm",
+        epoch=epoch,
+        sent_at=sim.now,
+        dirty_pages=10.0,
+        memory_bytes=40960.0,
+        state_payload=payload,
+    )
+
+
+@given(
+    epochs=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=60
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_session_accepts_exactly_strictly_increasing_prefixes(epochs):
+    """Whatever epoch sequence arrives, the session applies a message
+    iff its epoch exceeds everything applied before — duplicates and
+    reordering are always rejected, and the applied sequence is
+    strictly increasing."""
+    sim, session, payload = make_session()
+    applied = []
+    for epoch in epochs:
+        try:
+            session.apply(message(payload, epoch, sim))
+            applied.append(epoch)
+        except ProtocolError:
+            assert applied and epoch <= max(applied)
+    assert applied == sorted(set(applied))
+    assert session.checkpoints_applied == len(applied)
+    if applied:
+        assert session.last_applied_epoch == applied[-1]
+
+
+def test_session_rejects_misaddressed_message():
+    sim, session, payload = make_session()
+    wrong = CheckpointMessage(
+        vm_name="someone-else",
+        epoch=0,
+        sent_at=sim.now,
+        dirty_pages=0.0,
+        memory_bytes=0.0,
+        state_payload=payload,
+    )
+    with pytest.raises(ProtocolError):
+        session.apply(wrong)
+
+
+def test_session_tracks_guest_health_flag():
+    sim, session, payload = make_session()
+    sick = message(payload, 0, sim)
+    sick.guest_os_failed = True
+    session.apply(sick)
+    assert session.replica.guest_os_failed
+    healthy = message(payload, 1, sim)
+    session.apply(healthy)
+    assert not session.replica.guest_os_failed

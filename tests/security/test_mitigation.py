@@ -1,0 +1,180 @@
+"""Exploit mitigation: downgrading compromises to DoS (§2, §6)."""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import HypervisorState, KvmHypervisor, XenHypervisor
+from repro.security import (
+    CveRecord,
+    CvssVector,
+    MitigatedHost,
+    MitigationStack,
+    build_default_database,
+    pick_compromise_exploit,
+    pick_dos_exploit,
+)
+from repro.security.mitigation import CompromiseExploit
+from repro.simkernel import Simulation
+
+COMPROMISE_VECTOR = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+DOS_VECTOR = CvssVector.parse("AV:N/AC:L/Au:N/C:N/I:N/A:C")
+
+
+def make_compromise_cve(product="Xen", lineage="xen"):
+    return CveRecord(
+        cve_id="CVE-2020-77777",
+        product=product,
+        year=2020,
+        cvss=COMPROMISE_VECTOR,
+        component_lineage=lineage,
+    )
+
+
+@pytest.fixture
+def env():
+    sim = Simulation(seed=0)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    kvm = KvmHypervisor(sim, testbed.secondary)
+    return sim, xen, kvm
+
+
+class TestMitigationStack:
+    def test_intercepts_compromising_cves(self):
+        stack = MitigationStack()
+        assert stack.intercepts(make_compromise_cve())
+
+    def test_ignores_pure_dos_cves(self):
+        stack = MitigationStack()
+        dos = CveRecord(
+            cve_id="CVE-2020-1", product="Xen", year=2020, cvss=DOS_VECTOR
+        )
+        assert not stack.intercepts(dos)
+
+    def test_empty_stack_intercepts_nothing(self):
+        stack = MitigationStack(mechanisms=())
+        assert not stack.deployed
+        assert not stack.intercepts(make_compromise_cve())
+
+    def test_describe(self):
+        assert MitigationStack(("nx", "cfi")).describe() == "nx+cfi"
+        assert MitigationStack(()).describe() == "none"
+
+
+class TestCompromiseExploit:
+    def test_rejects_dos_only_cves(self):
+        dos = CveRecord(
+            cve_id="CVE-2020-2", product="Xen", year=2020, cvss=DOS_VECTOR
+        )
+        with pytest.raises(ValueError):
+            CompromiseExploit(cve=dos)
+
+    def test_affects_by_product_and_lineage(self, env):
+        _sim, xen, kvm = env
+        exploit = CompromiseExploit(cve=make_compromise_cve())
+        assert exploit.affects(xen)
+        assert not exploit.affects(kvm)
+        venom_like = CompromiseExploit(
+            cve=make_compromise_cve(product="QEMU", lineage="qemu")
+        )
+        assert venom_like.affects(xen)  # shared device-model lineage
+
+
+class TestAttackAdjudication:
+    def test_unmitigated_host_is_compromised(self, env):
+        sim, xen, _kvm = env
+        host = MitigatedHost(sim, xen, MitigationStack(mechanisms=()))
+        result = host.attack(CompromiseExploit(cve=make_compromise_cve()))
+        assert result.outcome == "compromised"
+        assert result.attacker_got_control
+        # The hypervisor still "runs" — under attacker control, the
+        # worst outcome, which replication cannot repair.
+        assert xen.state is HypervisorState.RUNNING
+
+    def test_mitigated_host_crashes_instead(self, env):
+        sim, xen, _kvm = env
+        host = MitigatedHost(sim, xen)  # default stack deployed
+        result = host.attack(CompromiseExploit(cve=make_compromise_cve()))
+        assert result.outcome == "mitigated-crash"
+        assert not result.attacker_got_control
+        assert xen.state is HypervisorState.CRASHED
+
+    def test_bounce_on_unaffected_hypervisor(self, env):
+        sim, _xen, kvm = env
+        host = MitigatedHost(sim, kvm)
+        result = host.attack(CompromiseExploit(cve=make_compromise_cve()))
+        assert result.outcome == "bounced"
+        assert kvm.state is HypervisorState.RUNNING
+
+    def test_crash_listeners_fire(self, env):
+        sim, xen, _kvm = env
+        host = MitigatedHost(sim, xen)
+        seen = []
+        host.on_mitigated_crash(lambda result: seen.append(result.outcome))
+        host.attack(CompromiseExploit(cve=make_compromise_cve()))
+        assert seen == ["mitigated-crash"]
+
+    def test_attack_log(self, env):
+        sim, xen, _kvm = env
+        host = MitigatedHost(sim, xen)
+        host.attack(CompromiseExploit(cve=make_compromise_cve()))
+        assert len(host.log) == 1
+
+
+class TestDatasetIntegration:
+    def test_pick_compromise_exploit_from_dataset(self):
+        database = build_default_database()
+        exploit = pick_compromise_exploit(database, "Xen", seed=3)
+        assert not exploit.cve.is_dos_only
+        assert exploit.cve.product == "Xen"
+
+    def test_pick_is_deterministic(self):
+        database = build_default_database()
+        a = pick_compromise_exploit(database, "QEMU", seed=5)
+        b = pick_compromise_exploit(database, "QEMU", seed=5)
+        assert a.cve.cve_id == b.cve.cve_id
+
+    def test_unknown_product_raises(self):
+        database = build_default_database()
+        with pytest.raises(LookupError):
+            pick_compromise_exploit(database, "Bochs")
+
+
+class TestSection6EndToEnd:
+    def test_mitigation_plus_replication_preserves_availability(self):
+        """§6's claim, end to end: a compromising zero-day against a
+        mitigated, HERE-protected host yields neither a compromise nor
+        an outage."""
+        from repro.cluster import DeploymentSpec, ProtectedDeployment
+
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=2.0, target_degradation=0.0,
+                memory_bytes=2 * GIB, seed=3,
+            )
+        )
+        deployment.start_protection()
+        deployment.attach_service()
+        sim = deployment.sim
+        mitigated = MitigatedHost(sim, deployment.primary)
+        # Couple the mitigation to the attack-detection path (§6).
+        mitigated.on_mitigated_crash(
+            lambda result: deployment.monitor.report_attack(
+                result.exploit.cve.cve_id
+            )
+        )
+        database = build_default_database()
+        exploit = pick_compromise_exploit(database, "Xen", seed=3)
+        sim.schedule_callback(
+            5.0, lambda: mitigated.attack(exploit)
+        )
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 60.0
+        )
+        # Security: no compromise happened.
+        assert not mitigated.log[0].attacker_got_control
+        # Availability: service resumed on the heterogeneous replica.
+        assert report.replica_hypervisor == "Linux KVM"
+        probe = sim.process(deployment.service.request())
+        latency = sim.run_until_triggered(probe, limit=sim.now + 10.0)
+        assert latency < 1.0

@@ -1,0 +1,102 @@
+"""Vulnerability-window arithmetic (the §9 related-work comparison)."""
+
+import pytest
+
+from repro.security import (
+    AttackerModel,
+    VulnerabilityTimeline,
+    compare_strategies,
+    here_exposure,
+    patching_exposure,
+    transplant_exposure,
+)
+
+DAY = 86_400.0
+
+#: A typical zero-day life: exploited 90 days before disclosure, patch
+#: 14 days after disclosure, applied 7 days later still.
+TIMELINE = VulnerabilityTimeline(
+    exploit_available=0.0,
+    disclosure=90 * DAY,
+    patch_available=104 * DAY,
+    patch_applied=111 * DAY,
+)
+ATTACKER = AttackerModel(attacks_per_day=2.0, outage_per_attack=300.0)
+
+
+class TestTimeline:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            VulnerabilityTimeline(10.0, 5.0, 20.0, 30.0)
+
+    def test_zero_day_period(self):
+        assert TIMELINE.zero_day_period == pytest.approx(90 * DAY)
+
+    def test_attacker_validation(self):
+        with pytest.raises(ValueError):
+            AttackerModel(attacks_per_day=-1.0)
+
+
+class TestStrategies:
+    def test_patching_exposed_until_applied(self):
+        report = patching_exposure(TIMELINE, ATTACKER)
+        assert report.exposed_seconds == pytest.approx(111 * DAY)
+
+    def test_transplant_cuts_post_disclosure_exposure(self):
+        report = transplant_exposure(TIMELINE, ATTACKER, transplant_time=60.0)
+        assert report.exposed_seconds == pytest.approx(90 * DAY + 60.0)
+        # Still helpless during the zero-day period.
+        assert report.exposed_seconds > TIMELINE.zero_day_period
+
+    def test_here_outage_is_rto_sized(self):
+        report = here_exposure(TIMELINE, ATTACKER, recovery_time=0.1)
+        assert report.outage_per_attack == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transplant_exposure(TIMELINE, ATTACKER, transplant_time=-1.0)
+        with pytest.raises(ValueError):
+            here_exposure(TIMELINE, ATTACKER, recovery_time=-1.0)
+
+
+class TestComparison:
+    def test_expected_outage_ordering(self):
+        """The paper's positioning, quantified: HERE << transplant <
+        patching for expected outage under zero-day DoS."""
+        rows = compare_strategies(TIMELINE, ATTACKER)
+        by_strategy = {row["strategy"]: row for row in rows}
+        patching = by_strategy["patching"]["expected_outage_s"]
+        transplant = by_strategy["hypervisor-transplant"]["expected_outage_s"]
+        here = by_strategy["HERE"]["expected_outage_s"]
+        assert here < transplant < patching
+        # HERE's advantage is outage-per-attack, by orders of magnitude.
+        assert patching / here > 1000.0
+
+    def test_table_shape(self):
+        rows = compare_strategies(TIMELINE, ATTACKER)
+        assert [row["strategy"] for row in rows] == [
+            "patching", "hypervisor-transplant", "HERE",
+        ]
+        assert all(row["expected_outage_s"] >= 0 for row in rows)
+
+    def test_here_exposure_matches_measured_rto(self):
+        """Plug a *measured* failover RTO into the model."""
+        from repro.cluster import DeploymentSpec, ProtectedDeployment
+        from repro.hardware.units import GIB
+
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=2.0, target_degradation=0.0,
+                memory_bytes=GIB, seed=3,
+            )
+        )
+        deployment.start_protection()
+        sim = deployment.sim
+        crash_at = sim.now + 5.0
+        sim.schedule_callback(5.0, lambda: deployment.primary.crash("x"))
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        measured_rto = report.activated_at - crash_at
+        here = here_exposure(TIMELINE, ATTACKER, recovery_time=measured_rto)
+        assert here.expected_outage(ATTACKER) < 60.0  # seconds over 111 days

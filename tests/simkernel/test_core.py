@@ -1,0 +1,157 @@
+"""Simulation run-loop semantics."""
+
+import pytest
+
+from repro.simkernel import Simulation, UnhandledEventFailure
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+class TestRunLoop:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.timeout(3.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_process_later_events(self, sim):
+        fired = []
+        sim.timeout(5.0).callbacks.append(lambda e: fired.append(5))
+        sim.timeout(15.0).callbacks.append(lambda e: fired.append(15))
+        sim.run(until=10.0)
+        assert fired == [5]
+        sim.run(until=20.0)
+        assert fired == [5, 15]
+
+    def test_run_until_in_the_past_rejected(self, sim):
+        sim.run(until=10.0)
+        with pytest.raises(ValueError):
+            sim.run(until=5.0)
+
+    def test_run_to_exhaustion(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.now == 2.0
+        assert sim.peek() == float("inf")
+
+    def test_stop_ends_run_with_value(self, sim):
+        def stopper():
+            yield sim.timeout(4.0)
+            sim.stop("early exit")
+
+        sim.process(stopper())
+        sim.timeout(100.0)
+        result = sim.run()
+        assert result == "early exit"
+        assert sim.now == 4.0
+
+    def test_simultaneous_events_fifo_by_schedule_order(self, sim):
+        order = []
+        for label in "abc":
+            sim.timeout(1.0, label).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_events_processed_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestRunUntilTriggered:
+    def test_returns_event_value(self, sim):
+        event = sim.timeout(2.0, value="payload")
+        assert sim.run_until_triggered(event) == "payload"
+        assert sim.now == 2.0
+
+    def test_raises_on_failed_event(self, sim):
+        def failer():
+            yield sim.timeout(1.0)
+            raise KeyError("missing")
+
+        process = sim.process(failer())
+        with pytest.raises(KeyError):
+            sim.run_until_triggered(process)
+
+    def test_raises_when_event_cannot_trigger(self, sim):
+        orphan = sim.event()
+        sim.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            sim.run_until_triggered(orphan)
+
+    def test_respects_limit(self, sim):
+        event = sim.timeout(100.0)
+        sim.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            sim.run_until_triggered(event, limit=50.0)
+
+
+class TestScheduleCallback:
+    def test_callback_runs_at_requested_time(self, sim):
+        seen = []
+        sim.schedule_callback(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+
+class TestFailurePropagation:
+    def test_unwaited_failure_raises_at_run(self, sim):
+        def failer():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unobserved")
+
+        sim.process(failer())
+        with pytest.raises(UnhandledEventFailure):
+            sim.run()
+
+    def test_waited_failure_is_contained(self, sim):
+        def failer():
+            yield sim.timeout(1.0)
+            raise RuntimeError("observed")
+
+        def watcher():
+            child = sim.process(failer())
+            try:
+                yield child
+            except RuntimeError:
+                return "handled"
+
+        p = sim.process(watcher())
+        sim.run()
+        assert p.value == "handled"
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_traces(self):
+        def trace(seed):
+            sim = Simulation(seed=seed)
+            log = []
+
+            def worker(name):
+                for _ in range(5):
+                    delay = sim.random.stream(name).uniform(0.1, 2.0)
+                    yield sim.timeout(delay)
+                    log.append((round(sim.now, 9), name))
+
+            sim.process(worker("a"))
+            sim.process(worker("b"))
+            sim.run()
+            return log
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)
+
+    def test_stream_isolation(self):
+        # Consuming one stream must not perturb another.
+        sim1 = Simulation(seed=9)
+        _ = [sim1.random.stream("noise").random() for _ in range(100)]
+        value_after_noise = sim1.random.stream("signal").random()
+        sim2 = Simulation(seed=9)
+        value_clean = sim2.random.stream("signal").random()
+        assert value_after_noise == value_clean

@@ -1,0 +1,208 @@
+"""Process semantics: returns, exceptions, joins, interrupts."""
+
+import pytest
+
+from repro.simkernel import Interrupt, Simulation, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+class TestBasics:
+    def test_process_return_value_is_event_value(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return 99
+
+        p = sim.process(body())
+        sim.run()
+        assert p.value == 99
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_process_starts_at_current_time(self, sim):
+        started = []
+
+        def body():
+            started.append(sim.now)
+            yield sim.timeout(0.5)
+
+        def spawner():
+            yield sim.timeout(3.0)
+            sim.process(body())
+
+        sim.process(spawner())
+        sim.run()
+        assert started == [3.0]
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def body():
+            yield 42
+
+        p = sim.process(body())
+        with pytest.raises(Exception):
+            sim.run_until_triggered(p)
+
+    def test_is_alive_transitions(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        p = sim.process(body())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestJoin:
+    def test_waiting_on_process_gets_return_value(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "child result"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == (2.0, "child result")
+
+    def test_waiting_on_finished_process_is_immediate(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return "done"
+
+        def parent():
+            c = sim.process(child())
+            yield sim.timeout(10.0)
+            result = yield c  # long finished
+            return (sim.now, result)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == (10.0, "done")
+
+    def test_child_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("from child")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as error:
+                return f"caught {error}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "caught from child"
+
+    def test_fork_join_many(self, sim):
+        def child(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def parent():
+            children = [sim.process(child(d)) for d in (3.0, 1.0, 2.0)]
+            results = yield sim.all_of(children)
+            return (sim.now, sorted(results.values()))
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == (3.0, [1.0, 2.0, 3.0])
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(5.0)
+            target.interrupt({"reason": "test"})
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert p.value == ("interrupted", {"reason": "test"}, 5.0)
+
+    def test_interrupted_process_can_rewait(self, sim):
+        original = {}
+
+        def sleeper():
+            timeout = sim.timeout(10.0, "finally")
+            original["event"] = timeout
+            try:
+                result = yield timeout
+            except Interrupt:
+                result = yield timeout  # re-wait on the same event
+            return (sim.now, result)
+
+        def interrupter(target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert p.value == (10.0, "finally")
+
+    def test_interrupting_finished_process_is_an_error(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        def interrupter(target):
+            yield sim.timeout(1.0)
+            target.interrupt("die")
+
+        def watcher():
+            p = sim.process(sleeper())
+            sim.process(interrupter(p))
+            try:
+                yield p
+            except Interrupt as interrupt:
+                return ("propagated", interrupt.cause)
+
+        w = sim.process(watcher())
+        sim.run()
+        assert w.value == ("propagated", "die")
+
+    def test_interrupt_does_not_fire_original_event_twice(self, sim):
+        resumed = []
+
+        def sleeper():
+            timeout = sim.timeout(5.0)
+            try:
+                yield timeout
+                resumed.append("normal")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield sim.timeout(20.0)
+            return resumed
+
+        def interrupter(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        # The 5 s timeout must NOT deliver a second resume after the
+        # interrupt detached the process from it.
+        assert p.value == ["interrupt"]

@@ -1,0 +1,94 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_prints_all_products(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for product in ("Xen", "KVM", "QEMU", "ESXi", "Hyper-V"):
+            assert product in out
+        assert "312" in out
+
+
+class TestExperimentsCommand:
+    def test_lists_every_figure(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Fig. 5", "Fig. 17", "Table 5", "ablation"):
+            assert token in out
+
+
+class TestReplicateCommand:
+    def test_here_run_reports_statistics(self, capsys):
+        code = main([
+            "replicate", "--engine", "here", "--period", "2",
+            "--memory-gib", "1", "--duration", "20", "--load", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out
+        assert "mean degradation" in out
+
+    def test_remus_run(self, capsys):
+        code = main([
+            "replicate", "--engine", "remus", "--period", "2",
+            "--memory-gib", "1", "--duration", "15",
+        ])
+        assert code == 0
+        assert "fixed(T=2s)" in capsys.readouterr().out
+
+    def test_bad_degradation_rejected(self, capsys):
+        assert main(["replicate", "--degradation", "1.5"]) == 2
+
+
+class TestMigrateCommand:
+    def test_here_migration(self, capsys):
+        assert main(["migrate", "--mode", "here", "--memory-gib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out  # translated + succeeded
+
+    def test_xen_migration(self, capsys):
+        assert main(["migrate", "--mode", "xen", "--memory-gib", "1"]) == 0
+
+
+class TestDemoCommand:
+    def test_kill_chain_narrative(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BOUNCED" in out
+        assert "resumption" in out
+        assert "Linux KVM" in out
+
+
+class TestCoverageCommand:
+    def test_matrix_matches(self, capsys):
+        assert main(["coverage", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "guest self-inflicted" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestPlanCommand:
+    def test_plan_places_fleet(self, capsys):
+        assert main([
+            "plan", "--xen-hosts", "1", "--kvm-hosts", "2",
+            "--vms", "db:32,web:8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "db" in out and "kvm-" in out
+
+    def test_plan_without_heterogeneous_hosts_fails(self, capsys):
+        assert main(["plan", "--kvm-hosts", "0", "--vms", "db:8"]) == 1
+        assert "UNPLACED" in capsys.readouterr().out
+
+    def test_plan_malformed_vm_entry(self, capsys):
+        assert main(["plan", "--vms", "nonsense"]) == 2

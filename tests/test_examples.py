@@ -1,0 +1,54 @@
+"""Every example must stay runnable — examples are documentation."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100  # every example narrates its result
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "dos_attack_failover.py",
+        "adaptive_checkpointing.py",
+        "ycsb_replication_study.py",
+        "heterogeneous_migration.py",
+        "datacenter_planning.py",
+    }
+
+
+class TestExampleOutputs:
+    def test_quickstart_reports_degradation(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "mean degradation" in out
+        assert "Linux KVM" in out
+
+    def test_dos_demo_shows_bounce(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "dos_attack_failover.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "BOUNCED" in out
+
+    def test_planning_example_places_everything(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "datacenter_planning.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "UNPLACED" not in out
+        assert "nines with HERE" in out

@@ -1,0 +1,83 @@
+"""Virtual device descriptors and the heterogeneous model map."""
+
+import pytest
+
+from repro.vm import (
+    DeviceKind,
+    DeviceMode,
+    DeviceState,
+    ReplicationUnsupported,
+    VirtualDevice,
+    equivalent_model,
+    standard_pv_devices,
+)
+
+
+class TestStandardSets:
+    def test_xen_and_kvm_sets_use_disjoint_models(self):
+        xen_models = {d.model for d in standard_pv_devices("xen")}
+        kvm_models = {d.model for d in standard_pv_devices("kvm")}
+        assert xen_models.isdisjoint(kvm_models)
+
+    def test_same_functional_kinds(self):
+        xen_kinds = sorted(d.kind.value for d in standard_pv_devices("xen"))
+        kvm_kinds = sorted(d.kind.value for d in standard_pv_devices("kvm"))
+        assert xen_kinds == kvm_kinds
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            standard_pv_devices("vmware")
+
+
+class TestEquivalence:
+    def test_bidirectional_mapping(self):
+        assert equivalent_model("xen-vif") == "virtio-net"
+        assert equivalent_model("virtio-net") == "xen-vif"
+        assert equivalent_model(equivalent_model("xen-vbd")) == "xen-vbd"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            equivalent_model("e1000")
+
+    def test_every_standard_model_has_equivalent(self):
+        for flavor in ("xen", "kvm"):
+            for device in standard_pv_devices(flavor):
+                assert equivalent_model(device.model)
+
+
+class TestArchitecturalState:
+    def test_underscore_fields_are_model_internal(self):
+        device = VirtualDevice(
+            DeviceKind.NETWORK,
+            DeviceMode.PARAVIRTUAL,
+            "xen-vif",
+            0,
+            DeviceState({"mac": "aa:bb", "_ring_ref": 12}),
+        )
+        arch = device.architectural_state()
+        assert arch == {"mac": "aa:bb"}
+
+    def test_state_copy_is_independent(self):
+        state = DeviceState({"mtu": 1500})
+        clone = state.copy()
+        clone.fields["mtu"] = 9000
+        assert state.fields["mtu"] == 1500
+
+
+class TestReplicationAdmission:
+    def test_pv_devices_admitted(self):
+        for device in standard_pv_devices("xen"):
+            device.check_replicable()
+
+    def test_passthrough_rejected(self):
+        device = VirtualDevice(
+            DeviceKind.NETWORK, DeviceMode.PASSTHROUGH, "vfio-pci", 0
+        )
+        with pytest.raises(ReplicationUnsupported):
+            device.check_replicable()
+
+    def test_identity_format(self):
+        device = VirtualDevice(
+            DeviceKind.BLOCK, DeviceMode.PARAVIRTUAL, "virtio-blk", 3
+        )
+        assert device.identity == "virtio-blk.3"

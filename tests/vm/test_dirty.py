@@ -1,0 +1,187 @@
+"""Dirty tracking: occupancy math, snapshots, PML rings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import DirtyLog, PmlRing, unique_pages
+
+
+class TestUniquePages:
+    def test_zero_touches(self):
+        assert unique_pages(512, 0) == 0.0
+
+    def test_single_touch(self):
+        assert unique_pages(512, 1) == pytest.approx(1.0)
+
+    def test_saturates_at_capacity(self):
+        assert unique_pages(512, 1e9) == pytest.approx(512.0)
+
+    def test_monotone_in_touches(self):
+        values = [unique_pages(512, k) for k in (10, 100, 1000, 10_000)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unique_pages(0, 1)
+        with pytest.raises(ValueError):
+            unique_pages(512, -1)
+
+    @given(
+        touches=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+        capacity=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_property(self, touches, capacity):
+        unique = unique_pages(capacity, touches)
+        assert 0.0 <= unique <= capacity
+        assert unique <= touches + 1e-9
+
+
+class TestDirtyLog:
+    def test_empty_log_is_clean(self):
+        log = DirtyLog(n_chunks=16)
+        assert log.is_clean()
+        assert log.unique_dirty_pages() == 0.0
+
+    def test_record_uniform_spreads_touches(self):
+        log = DirtyLog(n_chunks=10)
+        log.record_uniform(vcpu=0, first_chunk=0, n_chunks=10, total_touches=100.0)
+        snapshot = log.peek()
+        assert len(snapshot.dirty_chunk_ids()) == 10
+        assert snapshot.unique_dirty_pages() == pytest.approx(
+            10 * unique_pages(512, 10.0)
+        )
+
+    def test_snapshot_and_clear_resets(self):
+        log = DirtyLog(n_chunks=4)
+        log.record_uniform(0, 0, 4, 50.0)
+        snapshot = log.snapshot_and_clear()
+        assert snapshot.unique_dirty_pages() > 0
+        assert log.is_clean()
+
+    def test_peek_does_not_clear(self):
+        log = DirtyLog(n_chunks=4)
+        log.record_uniform(0, 0, 4, 50.0)
+        log.peek()
+        assert not log.is_clean()
+
+    def test_per_vcpu_attribution(self):
+        log = DirtyLog(n_chunks=8)
+        log.record_uniform(0, 0, 4, 40.0)
+        log.record_uniform(1, 4, 4, 80.0)
+        snapshot = log.peek()
+        assert snapshot.unique_dirty_pages_for_vcpu(0) == pytest.approx(
+            4 * unique_pages(512, 10.0)
+        )
+        assert snapshot.unique_dirty_pages_for_vcpu(1) == pytest.approx(
+            4 * unique_pages(512, 20.0)
+        )
+        assert snapshot.unique_dirty_pages_for_vcpu(9) == 0.0
+
+    def test_problematic_pages_zero_when_disjoint(self):
+        log = DirtyLog(n_chunks=8)
+        log.record_uniform(0, 0, 4, 40.0)
+        log.record_uniform(1, 4, 4, 40.0)
+        assert log.peek().problematic_pages() == pytest.approx(0.0, abs=1e-6)
+
+    def test_problematic_pages_positive_when_overlapping(self):
+        log = DirtyLog(n_chunks=4)
+        log.record_uniform(0, 0, 4, 400.0)
+        log.record_uniform(1, 0, 4, 400.0)
+        snapshot = log.peek()
+        overlap = snapshot.problematic_pages()
+        assert overlap > 0
+        # Inclusion-exclusion: sum of per-vCPU uniques minus union.
+        expected = (
+            snapshot.unique_dirty_pages_for_vcpu(0)
+            + snapshot.unique_dirty_pages_for_vcpu(1)
+            - snapshot.unique_dirty_pages()
+        )
+        assert overlap == pytest.approx(expected)
+
+    def test_record_validation(self):
+        log = DirtyLog(n_chunks=4)
+        with pytest.raises(IndexError):
+            log.record_uniform(0, 0, 10, 5.0)
+        with pytest.raises(ValueError):
+            log.record_uniform(0, 0, 2, -1.0)
+        with pytest.raises(ValueError):
+            log.record(0, np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            log.record(0, np.array([99]), np.array([1.0]))
+
+    def test_pages_in_chunks_subset(self):
+        log = DirtyLog(n_chunks=10)
+        log.record_uniform(0, 0, 10, 1000.0)
+        snapshot = log.peek()
+        half = snapshot.pages_in_chunks(range(5))
+        assert half == pytest.approx(snapshot.unique_dirty_pages() / 2)
+
+    @given(
+        touches=st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_union_bounded_by_sum_of_parts(self, touches):
+        log = DirtyLog(n_chunks=4)
+        for vcpu, amount in enumerate(touches):
+            log.record_uniform(vcpu % 4, 0, 4, amount)
+        snapshot = log.peek()
+        union = snapshot.unique_dirty_pages()
+        per_vcpu_sum = sum(
+            snapshot.unique_dirty_pages_for_vcpu(v)
+            for v in snapshot.per_vcpu_touches
+        )
+        assert union <= per_vcpu_sum + 1e-6
+        assert union <= 4 * 512 + 1e-6
+
+
+class TestPmlRing:
+    def test_log_and_drain(self):
+        ring = PmlRing(vcpu=0, capacity_entries=100)
+        ring.log_range(0, 4, 10.0)
+        ring.log(7, 5.0)
+        entries, overflowed = ring.drain()
+        assert entries == [(0, 4, 10.0), (7, 1, 5.0)]
+        assert not overflowed
+        assert len(ring) == 0
+
+    def test_overflow_discards_and_flags(self):
+        ring = PmlRing(vcpu=0, capacity_entries=10)
+        ring.log_range(0, 1, 8.0)
+        ring.log_range(1, 1, 8.0)  # 16 > 10: overflow
+        assert ring.overflowed
+        entries, overflowed = ring.drain()
+        assert overflowed
+        assert entries == []
+
+    def test_drain_rearms_after_overflow(self):
+        ring = PmlRing(vcpu=0, capacity_entries=10)
+        ring.log_range(0, 1, 100.0)
+        ring.drain()
+        ring.log_range(0, 1, 5.0)
+        entries, overflowed = ring.drain()
+        assert not overflowed
+        assert entries == [(0, 1, 5.0)]
+
+    def test_fill_fraction(self):
+        ring = PmlRing(vcpu=0, capacity_entries=100)
+        ring.log_range(0, 1, 50.0)
+        assert ring.fill == pytest.approx(0.5)
+
+    def test_zero_touches_ignored(self):
+        ring = PmlRing(vcpu=0)
+        ring.log_range(0, 1, 0.0)
+        assert len(ring) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PmlRing(vcpu=0, capacity_entries=0)
+        ring = PmlRing(vcpu=0)
+        with pytest.raises(ValueError):
+            ring.log_range(0, 0, 5.0)

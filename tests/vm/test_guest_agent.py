@@ -1,0 +1,77 @@
+"""The in-guest agent's device switch."""
+
+import pytest
+
+from repro.hardware.units import GIB
+from repro.simkernel import Simulation
+from repro.vm import GuestAgent, VirtualMachine
+from repro.vm.guest_agent import PLUG_TIME_PER_DEVICE, UNPLUG_TIME_PER_DEVICE
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+@pytest.fixture
+def vm(sim):
+    machine = VirtualMachine(sim, "guest", memory_bytes=GIB, device_flavor="xen")
+    GuestAgent(machine)
+    machine.start()
+    return machine
+
+
+class TestDeviceSwitch:
+    def test_switch_replaces_all_models(self, sim, vm):
+        process = sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        assert vm.device_flavor == "kvm"
+        assert {d.model for d in vm.devices} == {
+            "virtio-net",
+            "virtio-blk",
+            "virtio-console",
+        }
+        assert process.ok
+
+    def test_switch_duration_scales_with_device_count(self, sim, vm):
+        process = sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        expected = len(process.value) * (
+            UNPLUG_TIME_PER_DEVICE + PLUG_TIME_PER_DEVICE
+        )
+        assert sim.now == pytest.approx(expected)
+
+    def test_architectural_state_carries_over(self, sim, vm):
+        original_mac = vm.devices[0].state.fields["mac"]
+        sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        network = next(d for d in vm.devices if d.kind.value == "network")
+        assert network.state.fields["mac"] == original_mac
+
+    def test_model_internal_state_is_renegotiated(self, sim, vm):
+        sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        network = next(d for d in vm.devices if d.kind.value == "network")
+        # Xen's ring ref must not leak into the virtio device.
+        assert "_ring_ref" not in network.state.fields or (
+            network.state.fields.get("_vq_size") is not None
+        )
+
+    def test_event_log_records_switch(self, sim, vm):
+        sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        events = [event for _t, event, _d in vm.guest_agent.event_log]
+        assert events == ["device-switch-begin", "device-switch-end"]
+        assert vm.guest_agent.device_switches == 1
+
+    def test_round_trip_switch(self, sim, vm):
+        sim.process(vm.guest_agent.switch_device_models("kvm"))
+        sim.run()
+        sim.process(vm.guest_agent.switch_device_models("xen"))
+        sim.run()
+        assert vm.device_flavor == "xen"
+        assert {d.model for d in vm.devices} == {
+            "xen-vif",
+            "xen-vbd",
+            "xen-console",
+        }

@@ -1,0 +1,153 @@
+"""Workload framework and the memory microbenchmark."""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import XenHypervisor
+from repro.simkernel import Simulation
+from repro.vm import VirtualMachine
+from repro.workloads import IdleWorkload, LoadPhase, MemoryMicrobenchmark
+
+
+@pytest.fixture
+def env():
+    sim = Simulation(seed=0)
+    vm = VirtualMachine(sim, "g", vcpus=4, memory_bytes=2 * GIB)
+    vm.start()
+    return sim, vm
+
+
+class TestWorkloadProgress:
+    def test_progress_proportional_to_time(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.5)
+        workload.start()
+        sim.run(until=10.0)
+        expected = workload.touch_rate() * 10.0
+        assert workload.ops_completed == pytest.approx(expected, rel=0.05)
+
+    def test_progress_freezes_while_paused(self, env):
+        """The core mechanism coupling replication pauses to throughput."""
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.5)
+        workload.start()
+        sim.run(until=10.0)
+        at_pause = workload.ops_completed
+        vm.pause()
+        sim.run(until=20.0)
+        assert workload.ops_completed == pytest.approx(at_pause, rel=0.02)
+        vm.resume()
+        sim.run(until=30.0)
+        assert workload.ops_completed > at_pause * 1.5
+
+    def test_throughput_reflects_pause_fraction(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.5)
+        workload.start()
+
+        def pauser():
+            while True:
+                yield sim.timeout(2.0)
+                vm.pause()
+                yield sim.timeout(2.0)
+                vm.resume()
+
+        sim.process(pauser())
+        sim.run(until=40.0)
+        # VM paused ~half the time: throughput ~half of the rate.
+        assert workload.throughput() == pytest.approx(
+            workload.touch_rate() / 2, rel=0.1
+        )
+
+    def test_stop_halts_progress(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.2)
+        workload.start()
+        sim.run(until=5.0)
+        workload.stop()
+        sim.run(until=6.0)
+        frozen = workload.ops_completed
+        sim.run(until=20.0)
+        assert workload.ops_completed == frozen
+
+    def test_vm_destruction_stops_workload(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.2)
+        process = workload.start()
+        sim.schedule_callback(5.0, vm.destroy)
+        sim.run(until=10.0)
+        assert not process.is_alive
+
+    def test_windowed_throughput(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.5)
+        workload.start()
+        sim.run(until=5.0)
+        mark = workload.mark()
+        sim.run(until=15.0)
+        assert workload.throughput_since(mark) == pytest.approx(
+            workload.touch_rate(), rel=0.05
+        )
+
+    def test_double_start_rejected(self, env):
+        sim, vm = env
+        workload = IdleWorkload(sim, vm)
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+
+class TestDirtyGeneration:
+    def test_touches_land_in_working_set(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(sim, vm, load=0.25)
+        workload.start()
+        sim.run(until=5.0)
+        snapshot = vm.dirty_snapshot()
+        dirty_chunks = snapshot.dirty_chunk_ids()
+        # 25 % load => writes confined to the first quarter of memory.
+        assert dirty_chunks.max() <= vm.n_chunks // 4 + 1
+
+    def test_idle_workload_trickles(self, env):
+        sim, vm = env
+        IdleWorkload(sim, vm).start()
+        sim.run(until=10.0)
+        dirty = vm.dirty_snapshot().unique_dirty_pages()
+        assert 0 < dirty < 1000
+
+    def test_touches_spread_across_vcpus(self, env):
+        sim, vm = env
+        MemoryMicrobenchmark(sim, vm, load=0.5).start()
+        sim.run(until=5.0)
+        snapshot = vm.dirty_snapshot()
+        for vcpu in range(vm.vcpu_count):
+            assert snapshot.unique_dirty_pages_for_vcpu(vcpu) > 0
+
+
+class TestLoadPhases:
+    def test_phase_schedule(self, env):
+        sim, vm = env
+        workload = MemoryMicrobenchmark(
+            sim,
+            vm,
+            phases=[LoadPhase(10.0, 0.2), LoadPhase(10.0, 0.8), LoadPhase(10.0, 0.05)],
+        )
+        workload.start()
+        assert workload.current_load() == 0.2
+        sim.run(until=15.0)
+        assert workload.current_load() == 0.8
+        sim.run(until=25.0)
+        assert workload.current_load() == 0.05
+        sim.run(until=100.0)
+        assert workload.current_load() == 0.05  # last phase persists
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            LoadPhase(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LoadPhase(5.0, 1.5)
+
+    def test_load_validation(self, env):
+        sim, vm = env
+        with pytest.raises(ValueError):
+            MemoryMicrobenchmark(sim, vm, load=1.5)

@@ -1,0 +1,93 @@
+"""Property tests of the workload progress-accounting contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.units import GIB
+from repro.simkernel import Simulation
+from repro.vm import VirtualMachine
+from repro.workloads import MemoryMicrobenchmark
+from repro.workloads.base import RESUME_CACHE_PENALTY
+
+
+@given(
+    pause_schedule=st.lists(
+        st.tuples(
+            st.floats(min_value=0.2, max_value=3.0, allow_nan=False),  # run
+            st.floats(min_value=0.1, max_value=2.0, allow_nan=False),  # pause
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_progress_equals_running_time_minus_penalties(pause_schedule):
+    """For ANY pause/resume schedule:
+
+        ops == rate * (elapsed - paused - pauses * penalty)   (± tick)
+
+    This is the contract that lets replication degradation reach
+    application throughput, so it must hold under adversarial
+    checkpoint timing, not just the periodic patterns the engines
+    produce.
+    """
+    sim = Simulation(seed=1)
+    vm = VirtualMachine(sim, "g", vcpus=2, memory_bytes=GIB)
+    vm.start()
+    workload = MemoryMicrobenchmark(sim, vm, load=0.5, tick=0.05)
+    workload.start()
+
+    def pauser():
+        for run_time, pause_time in pause_schedule:
+            yield sim.timeout(run_time)
+            vm.pause()
+            yield sim.timeout(pause_time)
+            vm.resume()
+
+    control = sim.process(pauser())
+    sim.run_until_triggered(control, limit=1e6)
+    sim.run(until=sim.now + 1.0)  # settle the final tick
+    workload.stop()
+    sim.run(until=sim.now + 0.2)
+
+    elapsed = workload.elapsed()
+    expected_effective = (
+        elapsed
+        - vm.paused_time()
+        - vm.pause_count * RESUME_CACHE_PENALTY
+    )
+    expected_ops = workload.touch_rate() * expected_effective
+    # Tick-boundary effects bound the error by ~two ticks of work.
+    tolerance = workload.touch_rate() * 3 * workload.tick
+    assert workload.ops_completed == pytest.approx(
+        expected_ops, abs=tolerance
+    )
+
+
+@given(
+    loads=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_dirty_pages_never_exceed_working_set(loads):
+    """Whatever the load sequence, unique dirty pages stay within the
+    union of the working sets touched."""
+    sim = Simulation(seed=2)
+    vm = VirtualMachine(sim, "g", vcpus=2, memory_bytes=GIB)
+    vm.start()
+    max_wss_pages = 0
+    for index, load in enumerate(loads):
+        workload = MemoryMicrobenchmark(
+            sim, vm, load=load, name=f"wl-{index}"
+        )
+        workload.start()
+        max_wss_pages = max(max_wss_pages, workload.working_set_pages())
+        sim.run(until=sim.now + 2.0)
+        workload.stop()
+    sim.run(until=sim.now + 0.5)
+    snapshot = vm.dirty_snapshot()
+    assert snapshot.unique_dirty_pages() <= max_wss_pages + 1e-6
