@@ -29,20 +29,26 @@ Packages:
 * :mod:`repro.workloads`   -- membench, YCSB+LSM store, SPEC, Sockperf
 * :mod:`repro.analysis`    -- measurement, fitting, reporting
 * :mod:`repro.cluster`     -- deployments, scenarios, libvirt-ish facade
+* :mod:`repro.telemetry`   -- simulation-wide event bus, traces, metrics
 """
 
 from .cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline
 from .replication import here_engine, remus_engine
 from .simkernel import Simulation
+from .telemetry import MetricsAggregator, Recorder, TraceWriter, recorder_from_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DeploymentSpec",
+    "MetricsAggregator",
     "ProtectedDeployment",
+    "Recorder",
     "Simulation",
+    "TraceWriter",
     "__version__",
     "here_engine",
+    "recorder_from_trace",
     "remus_engine",
     "unprotected_baseline",
 ]

@@ -24,7 +24,13 @@ from .model import (
     relative_change,
 )
 from .overhead import OverheadReport, measure_overhead
-from .report import format_value, render_bars, render_series, render_table
+from .report import (
+    format_value,
+    render_bars,
+    render_metrics,
+    render_series,
+    render_table,
+)
 from .series import TimeSeries, rate_of_progress
 
 __all__ = [
@@ -48,6 +54,7 @@ __all__ = [
     "rate_of_progress",
     "relative_change",
     "render_bars",
+    "render_metrics",
     "render_series",
     "render_table",
     "respects_target",

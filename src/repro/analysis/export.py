@@ -69,6 +69,28 @@ class ResultsWriter:
             "v": [_coerce(float(v)) for v in values],
         }
 
+    def add_recorder(self, recorder, section: str = "telemetry") -> None:
+        """Summarise a telemetry :class:`~repro.telemetry.Recorder`.
+
+        Adds one table of per-name aggregate rows (count / total /
+        mean / percentiles, via
+        :class:`~repro.telemetry.MetricsAggregator`) under ``section``,
+        plus a (time, value) series per distinct gauge name under
+        ``{section}.gauge.{name}``.
+        """
+        from ..telemetry import MetricsAggregator
+
+        aggregator = MetricsAggregator.from_recorder(recorder)
+        self.add_rows(section, aggregator.summary_rows())
+        gauges = recorder.gauges()
+        for name in sorted({g.name for g in gauges}):
+            matching = [g for g in gauges if g.name == name]
+            self.add_series(
+                f"{section}.gauge.{name}",
+                [g.time for g in matching],
+                [g.value for g in matching],
+            )
+
     def as_document(self) -> dict:
         """The full JSON-ready document."""
         return {

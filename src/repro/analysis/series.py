@@ -14,6 +14,20 @@ class TimeSeries:
         self._times: List[float] = []
         self._values: List[float] = []
 
+    @classmethod
+    def from_recorder(cls, recorder, name: str, **attr_filters) -> "TimeSeries":
+        """Build a series from a telemetry gauge stream.
+
+        ``recorder`` is a :class:`repro.telemetry.Recorder`; every gauge
+        record named ``name`` (matching ``attr_filters``, if given)
+        contributes one (time, value) point.  Gauges are emitted in
+        simulation order, so the series is already monotone in time.
+        """
+        series = cls(name)
+        for record in recorder.gauges(name, **attr_filters):
+            series.append(record.time, record.value)
+        return series
+
     def append(self, time: float, value: float) -> None:
         if self._times and time < self._times[-1]:
             raise ValueError(

@@ -26,6 +26,28 @@ from .security import build_default_database, table1_stats
 from .workloads import MemoryMicrobenchmark
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream a JSONL telemetry trace of the run to PATH",
+    )
+
+
+def _attach_trace(sim, args):
+    """Subscribe a JSONL trace writer if ``--trace`` was given.
+
+    Subscribing enables the bus; returns the writer (close it when the
+    run completes) or None when tracing is off.
+    """
+    if getattr(args, "trace", None) is None:
+        return None
+    from .telemetry import TraceWriter
+
+    writer = TraceWriter(args.trace)
+    sim.telemetry.subscribe(writer)
+    return writer
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     replicate.add_argument("--duration", type=float, default=120.0)
     replicate.add_argument("--seed", type=int, default=0)
+    _add_trace_argument(replicate)
 
     migrate = subparsers.add_parser(
         "migrate", help="one live migration (Xen stock vs HERE)"
@@ -70,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--memory-gib", type=float, default=8.0)
     migrate.add_argument("--load", type=float, default=0.0)
     migrate.add_argument("--seed", type=int, default=0)
+    _add_trace_argument(migrate)
 
     subparsers.add_parser(
         "table1", help="Table 1: DoS vulnerability statistics"
@@ -155,13 +179,23 @@ def _cmd_replicate(args) -> int:
             seed=args.seed,
         )
     )
+    trace = _attach_trace(deployment.sim, args)
     workload = MemoryMicrobenchmark(
         deployment.sim, deployment.vm, load=args.load
     )
     workload.start()
     deployment.start_protection()
     mark = workload.mark()
-    deployment.run_for(args.duration)
+    try:
+        deployment.run_for(args.duration)
+        if trace is not None:
+            # Close the session cleanly so the trace carries the
+            # whole-run replication.session span.
+            deployment.engine.halt("run complete")
+            deployment.run_for(1.0)
+    finally:
+        if trace is not None:
+            trace.close()
     stats = deployment.stats
     throughput = workload.throughput_since(mark)
     print(render_table([
@@ -212,8 +246,13 @@ def _cmd_migrate(args) -> int:
         sim, xen, destination, testbed.interconnect,
         config=MigrationConfig(mode=mode),
     )
+    trace = _attach_trace(sim, args)
     process = sim.process(engine.migrate("guest"))
-    stats = sim.run_until_triggered(process, limit=1e6)
+    try:
+        stats = sim.run_until_triggered(process, limit=1e6)
+    finally:
+        if trace is not None:
+            trace.close()
     print(render_table([stats.summary()]))
     return 0 if stats.succeeded else 1
 

@@ -10,7 +10,7 @@ the replication engine's threads burn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -44,8 +44,11 @@ class CpuAccounting:
     second.
     """
 
-    def __init__(self, sim):
+    def __init__(self, sim, owner: str = ""):
         self.sim = sim
+        #: Host (or other scope) the accounting belongs to; becomes the
+        #: ``owner`` attribute on emitted telemetry records.
+        self.owner = owner
         self._busy: Dict[str, float] = {}
         #: Timestamped charge log per component: [(time, cpu_seconds)].
         self._charges: Dict[str, list] = {}
@@ -58,6 +61,14 @@ class CpuAccounting:
         self._charges.setdefault(component, []).append(
             (self.sim.now, cpu_seconds)
         )
+        bus = self.sim.telemetry
+        if bus.enabled:
+            bus.counter(
+                "host.cpu.charge",
+                cpu_seconds,
+                component=component,
+                owner=self.owner,
+            )
 
     def total(self, component: str) -> float:
         """Total CPU-seconds charged to ``component`` since creation."""
@@ -95,16 +106,31 @@ class MemoryAccounting:
     """
 
     _allocations: Dict[str, int] = field(default_factory=dict)
+    #: Optional telemetry bus; every allocation change emits a gauge of
+    #: the new resident size when a bus is attached and enabled.
+    bus: Optional[object] = None
+    owner: str = ""
 
     def allocate(self, label: str, nbytes: int) -> None:
         """Register (or resize) a named allocation."""
         if nbytes < 0:
             raise ValueError(f"negative allocation: {nbytes}")
         self._allocations[label] = nbytes
+        self._emit(label)
 
     def free(self, label: str) -> None:
         """Drop a named allocation (missing labels are ignored)."""
         self._allocations.pop(label, None)
+        self._emit(label)
+
+    def _emit(self, label: str) -> None:
+        if self.bus is not None and self.bus.enabled:
+            self.bus.gauge(
+                "host.memory.resident",
+                float(self.resident_bytes),
+                owner=self.owner,
+                label=label,
+            )
 
     @property
     def resident_bytes(self) -> int:

@@ -47,9 +47,9 @@ class Host:
         for nic in nics or [ethernet_x710(), omnipath_hfi100()]:
             self.nics[nic.name] = nic
         self.cost_model = cost_model or DEFAULT_COST_MODEL
-        self.cpu_accounting = CpuAccounting(sim)
-        self.memory_accounting = MemoryAccounting()
-        self.memory_pool = MemoryPool(self.memory)
+        self.cpu_accounting = CpuAccounting(sim, owner=name)
+        self.memory_accounting = MemoryAccounting(bus=sim.telemetry, owner=name)
+        self.memory_pool = MemoryPool(self.memory, bus=sim.telemetry, owner=name)
         #: The hypervisor installed on this host (set by the hypervisor).
         self.hypervisor = None
         self._failed: bool = False
@@ -78,6 +78,7 @@ class Host:
             return
         self._failed = True
         self._failure_reason = reason
+        self.sim.telemetry.counter("host.failure", 1.0, owner=self.name, reason=reason)
         if self.hypervisor is not None:
             self.hypervisor.host_power_lost(reason)
         self.failure_event.succeed(reason)

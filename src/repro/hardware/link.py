@@ -17,19 +17,21 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..simkernel.events import Event
+from ..telemetry import NULL_SPAN
 from .nic import Nic
 
 
 class _ActiveTransfer:
     """Bookkeeping for one in-flight transfer."""
 
-    __slots__ = ("nbytes", "remaining", "done_event", "started_at")
+    __slots__ = ("nbytes", "remaining", "done_event", "started_at", "span")
 
-    def __init__(self, nbytes: float, done_event: Event, started_at: float):
+    def __init__(self, nbytes: float, done_event: Event, started_at: float, span):
         self.nbytes = nbytes
         self.remaining = float(nbytes)
         self.done_event = done_event
         self.started_at = started_at
+        self.span = span
 
 
 class Link:
@@ -81,11 +83,20 @@ class Link:
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         done = Event(self.sim, name=f"xfer:{self.name}")
+        bus = self.sim.telemetry
+        if bus.enabled:
+            span = bus.span(
+                "link.transfer", link=self.name, nbytes=nbytes,
+                **self.nic.telemetry_labels(),
+            )
+        else:
+            span = NULL_SPAN
         if nbytes == 0:
+            span.end(latency_only=True)
             done.succeed(self.nic.base_latency_s, delay=self.nic.base_latency_s)
             return done
         self._advance_progress()
-        self._active.append(_ActiveTransfer(nbytes, done, self.sim.now))
+        self._active.append(_ActiveTransfer(nbytes, done, self.sim.now, span))
         self._reschedule()
         return done
 
@@ -98,6 +109,7 @@ class Link:
         delay = self.nic.base_latency_s + (nbytes / self.capacity)
         event = Event(self.sim, name=f"msg:{self.name}")
         event.succeed(delay, delay=delay)
+        self.sim.telemetry.counter("link.message", 1.0, link=self.name, nbytes=nbytes)
         return event
 
     def utilisation(self, since: float = 0.0) -> float:
@@ -127,6 +139,9 @@ class Link:
             moved += step
         self._busy_integral += moved
         self.bytes_delivered += moved
+        bus = self.sim.telemetry
+        if bus.enabled and moved > 0:
+            bus.counter("link.bytes_delivered", moved, link=self.name)
         finished = [t for t in self._active if t.remaining <= self.EPSILON_BYTES]
         if finished:
             self._active = [
@@ -137,6 +152,7 @@ class Link:
                 duration = (
                     self.sim.now - item.started_at + self.nic.base_latency_s
                 )
+                item.span.end(duration=duration)
                 item.done_event.succeed(duration, delay=self.nic.base_latency_s)
 
     def _reschedule(self) -> None:

@@ -58,11 +58,27 @@ class MemorySpec:
 
 
 class MemoryPool:
-    """Tracks guest memory allocations out of a :class:`MemorySpec`."""
+    """Tracks guest memory allocations out of a :class:`MemorySpec`.
 
-    def __init__(self, spec: MemorySpec):
+    When a telemetry ``bus`` is attached, every allocation change emits
+    a ``host.memory.pool`` gauge of the allocated total (attrs: the
+    owning host and the guest whose allocation moved).
+    """
+
+    def __init__(self, spec: MemorySpec, bus=None, owner: str = ""):
         self.spec = spec
+        self.bus = bus
+        self.owner = owner
         self._allocations: dict = {}
+
+    def _emit(self, guest: str) -> None:
+        if self.bus is not None and self.bus.enabled:
+            self.bus.gauge(
+                "host.memory.pool",
+                float(self.allocated_bytes),
+                owner=self.owner,
+                guest=guest,
+            )
 
     @property
     def allocated_bytes(self) -> int:
@@ -84,13 +100,16 @@ class MemoryPool:
                 f"only {self.free_bytes} free"
             )
         self._allocations[owner] = nbytes
+        self._emit(owner)
 
     def release(self, owner: str) -> int:
         """Free ``owner``'s allocation, returning its size."""
         try:
-            return self._allocations.pop(owner)
+            released = self._allocations.pop(owner)
         except KeyError:
             raise KeyError(f"{owner!r} holds no allocation") from None
+        self._emit(owner)
+        return released
 
     def owners(self) -> Tuple[str, ...]:
         return tuple(sorted(self._allocations))

@@ -44,6 +44,10 @@ class Nic:
             raise ValueError(f"negative payload: {nbytes}")
         return nbytes / self.bandwidth_bytes
 
+    def telemetry_labels(self) -> dict:
+        """Static attrs identifying this adapter on telemetry records."""
+        return {"nic": self.name, "bandwidth_bps": self.bandwidth_bps}
+
 
 def ethernet_x710() -> Nic:
     """The testbed's service-network adapter (Intel X710, 10 GbE)."""

@@ -28,6 +28,7 @@ from ..hardware.host import HostFailure
 from ..hypervisor.base import Hypervisor
 from ..hypervisor.errors import HypervisorDown
 from ..replication.translator import StateTranslator
+from ..telemetry import NULL_SPAN
 from .precopy import iterative_precopy
 from .stats import MigrationStats
 from .transfer import split_evenly, timed_page_send
@@ -87,6 +88,7 @@ class MigrationEngine:
         self.config = config or MigrationConfig()
         self.cost = cost_model or source.host.cost_model
         self.translator = translator or StateTranslator()
+        self._migration_span = NULL_SPAN
 
     @property
     def heterogeneous(self) -> bool:
@@ -101,12 +103,30 @@ class MigrationEngine:
             destination=self.destination.host.name,
             started_at=self.sim.now,
         )
+        span = self.sim.telemetry.span(
+            "migration",
+            vm=vm_name,
+            mode=self.config.mode.value,
+            source=self.source.host.name,
+            destination=self.destination.host.name,
+            heterogeneous=self.heterogeneous,
+        )
+        self._migration_span = span
         try:
             yield from self._run(vm_name, stats)
             stats.succeeded = True
         except (HypervisorDown, HostFailure) as failure:
             stats.failure = str(failure)
         stats.finished_at = self.sim.now
+        span.end(
+            succeeded=stats.succeeded,
+            failure=stats.failure,
+            downtime=stats.downtime,
+            stop_and_copy_pages=stats.stop_and_copy_pages,
+            problematic_pages_resent=stats.problematic_pages_resent,
+            consistency_risk_pages=stats.consistency_risk_pages,
+            translated=stats.translated,
+        )
         return stats
 
     # -- internals --------------------------------------------------------
@@ -142,6 +162,11 @@ class MigrationEngine:
         # -- final stop-and-copy ---------------------------------------------
         self.source._check_responsive()
         pause_start = self.sim.now
+        stop_span = self.sim.telemetry.span(
+            "migration.stop_and_copy",
+            parent=self._migration_span,
+            vm=vm_name,
+        )
         vm.pause()
         remaining = result.remaining_dirty
         if use_pml:
@@ -162,11 +187,17 @@ class MigrationEngine:
         stats.stop_and_copy_pages = remaining
         payload = self.source.extract_guest_state(vm)
         if self.heterogeneous:
+            translate_span = self.sim.telemetry.span(
+                "migration.translate", parent=self._migration_span, vm=vm_name
+            )
             yield self.sim.timeout(
                 self.translator.translation_cost(vm.vcpu_count, len(vm.devices))
             )
             payload = self.translator.translate(payload, self.destination)
             stats.translated = True
+            translate_span.end(
+                vcpus=vm.vcpu_count, devices=len(vm.devices)
+            )
         yield self.link.transfer(
             state_payload_bytes(vm.vcpu_count, len(vm.devices))
         )
@@ -187,3 +218,4 @@ class MigrationEngine:
         vm.resume()
         stats.stop_and_copy_duration = self.sim.now - pause_start
         stats.downtime = stats.stop_and_copy_duration
+        stop_span.end(pages=remaining, downtime=stats.downtime)

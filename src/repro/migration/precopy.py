@@ -114,12 +114,21 @@ def iterative_precopy(
 
     # -- iteration 1: bulk copy of all memory ----------------------------
     iteration_start = sim.now
+    span = sim.telemetry.span(
+        "precopy.iteration", index=1, vm=vm.name, component=component
+    )
     duration = yield from timed_bulk_copy(
         sim, source.host, link, vm.memory_bytes, threads, cost, component
     )
     snapshot, per_vcpu, overflowed = capture()
     dirty = snapshot.unique_dirty_pages()
     problematic_total = snapshot.problematic_pages() if use_per_vcpu_rings else 0.0
+    span.end(
+        pages=vm.total_pages,
+        bytes=vm.memory_bytes,
+        dirty_produced=dirty,
+        problematic=problematic_total,
+    )
     iterations.append(
         IterationRecord(
             index=1,
@@ -137,6 +146,12 @@ def iterative_precopy(
     while dirty > stop_threshold_pages and iteration < max_iterations:
         iteration += 1
         iteration_start = sim.now
+        span = sim.telemetry.span(
+            "precopy.iteration",
+            index=iteration,
+            vm=vm.name,
+            component=component,
+        )
         scan_shares = [0.0] * max(threads, vm.vcpu_count)
         if use_per_vcpu_rings:
             # Each thread sends the dirty set its vCPU's PML ring logged
@@ -170,6 +185,12 @@ def iterative_precopy(
             snapshot.problematic_pages() if use_per_vcpu_rings else 0.0
         )
         problematic_total += new_problematic
+        span.end(
+            pages=pages_sent,
+            bytes=pages_sent * PAGE_SIZE,
+            dirty_produced=new_dirty,
+            problematic=new_problematic,
+        )
         iterations.append(
             IterationRecord(
                 index=iteration,

@@ -23,6 +23,7 @@ from ..hardware.host import Host
 from ..hardware.link import Link
 from ..hardware.perfmodel import TransferCostModel
 from ..hardware.units import PAGE_SIZE
+from ..telemetry import NULL_SPAN
 
 
 def timed_bulk_copy(
@@ -40,9 +41,21 @@ def timed_bulk_copy(
     started = sim.now
     if nbytes == 0:
         return 0.0
+    bus = sim.telemetry
+    span = (
+        bus.span(
+            "transfer.bulk_copy",
+            component=component,
+            bytes=nbytes,
+            threads=threads,
+        )
+        if bus.enabled
+        else NULL_SPAN
+    )
     cpu_time = nbytes / (cost.bulk_thread_rate * cost.bulk_speedup(threads))
     host.cpu_accounting.charge(component, nbytes / cost.bulk_thread_rate)
     yield sim.all_of([sim.timeout(cpu_time), link.transfer(nbytes)])
+    span.end()
     return sim.now - started
 
 
@@ -103,9 +116,22 @@ def timed_page_send(
         total_bytes += pages * wire_bytes_per_page
         waits.append(sim.timeout(thread_cpu))
     host.cpu_accounting.charge(component, total_cpu)
+    bus = sim.telemetry
+    span = (
+        bus.span(
+            "transfer.page_send",
+            component=component,
+            pages=sum(loads),
+            bytes=total_bytes,
+            threads=busy,
+        )
+        if bus.enabled
+        else NULL_SPAN
+    )
     if total_bytes > 0:
         waits.append(link.transfer(total_bytes))
     yield sim.all_of(waits)
+    span.end()
     return sim.now - started
 
 

@@ -46,6 +46,82 @@ class ReplicationStats:
     stopped_at: Optional[float] = None
     stop_reason: Optional[str] = None
 
+    @classmethod
+    def from_recorder(cls, recorder, engine: Optional[str] = None) -> "ReplicationStats":
+        """Reconstruct the full stats object from a telemetry stream.
+
+        ``recorder`` is a :class:`repro.telemetry.Recorder` (live, or
+        rebuilt from a JSONL trace via
+        :func:`repro.telemetry.recorder_from_trace`).  The replication
+        engine emits one ``replication.session`` span per run with
+        ``replication.seeding`` and ``replication.checkpoint`` spans
+        nested inside; this constructor inverts that emission exactly —
+        the round-trip tests assert equality with the engine's own
+        stats object, field for field.  Pass ``engine`` to pick one
+        session when several engines shared a bus.
+        """
+        filters = {} if engine is None else {"engine": engine}
+        sessions = recorder.spans("replication.session", **filters)
+        if len(sessions) != 1:
+            raise ValueError(
+                f"expected exactly one replication.session span, found "
+                f"{len(sessions)}"
+                + ("" if engine is None else f" for engine {engine!r}")
+            )
+        session = sessions[0]
+        stats = cls(
+            vm_name=session.attrs["vm"],
+            engine=session.attrs["engine"],
+            started_at=session.started_at,
+            stopped_at=session.ended_at,
+            stop_reason=session.attrs.get("stop_reason"),
+        )
+        seeding = [
+            s
+            for s in recorder.children_of(session)
+            if s.name == "replication.seeding"
+        ]
+        if seeding:
+            stats.seeding_duration = seeding[0].duration
+            sync = [
+                s
+                for s in recorder.children_of(seeding[0])
+                if s.name == "replication.seeding.sync"
+            ]
+            if sync:
+                stats.seeding_downtime = sync[0].duration
+        for span in recorder.children_of(session):
+            if span.name != "replication.checkpoint":
+                continue
+            children = recorder.children_of(span)
+            pauses = [
+                s for s in children if s.name == "replication.checkpoint.pause"
+            ]
+            transfers = [
+                s
+                for s in children
+                if s.name == "replication.checkpoint.transfer"
+            ]
+            stats.checkpoints.append(
+                CheckpointRecord(
+                    epoch=span.attrs["epoch"],
+                    started_at=span.started_at,
+                    period_used=span.attrs["period"],
+                    pause_duration=(
+                        pauses[0].duration if pauses else span.duration
+                    ),
+                    transfer_duration=(
+                        transfers[0].duration if transfers else 0.0
+                    ),
+                    dirty_pages=span.attrs["dirty_pages"],
+                    bytes_sent=span.attrs["bytes_sent"],
+                    acked_at=span.ended_at,
+                    packets_released=span.attrs["packets_released"],
+                )
+            )
+        stats.checkpoints.sort(key=lambda record: record.epoch)
+        return stats
+
     @property
     def checkpoint_count(self) -> int:
         return len(self.checkpoints)

@@ -79,18 +79,32 @@ class DeviceManager:
                 f"egress epoch {epoch} and disk epoch {disk_epoch} "
                 "desynchronised"
             )
+        self.sim.telemetry.counter(
+            "devices.epoch_sealed", 1.0, vm=self.vm.name, epoch=epoch
+        )
         return epoch
 
     def release_epoch(self, epoch: int) -> List[Packet]:
         """Checkpoint acked: release traffic and commit disk writes."""
         self.disk.commit_through(epoch)
-        return self.egress.release_through(epoch)
+        released = self.egress.release_through(epoch)
+        self.sim.telemetry.counter(
+            "devices.packets_released",
+            float(len(released)),
+            vm=self.vm.name,
+            epoch=epoch,
+        )
+        return released
 
     def discard_unreleased(self) -> List[Packet]:
         """Primary failed: unacknowledged output must never be seen,
         and speculative disk writes must never hit the replica image."""
         self.disk.discard_speculative()
-        return self.egress.drop_unreleased()
+        dropped = self.egress.drop_unreleased()
+        self.sim.telemetry.counter(
+            "devices.packets_dropped", float(len(dropped)), vm=self.vm.name
+        )
+        return dropped
 
     # -- failover device switch ---------------------------------------------------
     def switch_to_flavor(self, target_flavor: str):

@@ -38,6 +38,7 @@ from ..migration.engine import state_payload_bytes
 from ..migration.precopy import iterative_precopy
 from ..migration.transfer import split_evenly, timed_page_send
 from ..simkernel.errors import Interrupt
+from ..telemetry import NULL_SPAN
 from ..vm.machine import VmLifecycleError
 from .checkpoint import CheckpointRecord, ReplicationStats
 from .compression import CompressionModel
@@ -112,6 +113,8 @@ class ReplicationEngine:
         self.ready.callbacks.append(lambda _evt: None)
         self._active = False
         self._epoch = 0
+        #: Whole-run telemetry span (opened by start()).
+        self._session_span = NULL_SPAN
 
     # -- public control -------------------------------------------------------
     @property
@@ -136,6 +139,15 @@ class ReplicationEngine:
         self.device_manager = DeviceManager(self.sim, self.vm)
         self.stats = ReplicationStats(
             vm_name=vm_name, engine=self.name, started_at=self.sim.now
+        )
+        self._session_span = self.sim.telemetry.span(
+            "replication.session",
+            engine=self.name,
+            vm=vm_name,
+            heterogeneous=self.heterogeneous,
+        )
+        self.config.controller.bind_telemetry(
+            self.sim.telemetry, engine=self.name
         )
         self.process = self.sim.process(
             self._replication_loop(), name=f"replication:{self.name}"
@@ -197,6 +209,10 @@ class ReplicationEngine:
         finally:
             self._active = False
             self.stats.stopped_at = self.sim.now
+            self._session_span.end(
+                stop_reason=self.stats.stop_reason,
+                checkpoints=len(self.stats.checkpoints),
+            )
             # If the engine stopped while the primary is still healthy
             # (secondary died, operator halt), the protected VM must
             # keep running — unprotected, with output commit lifted.
@@ -241,6 +257,14 @@ class ReplicationEngine:
             config.per_vcpu_seeding
             and self.primary.supports_per_vcpu_dirty_rings()
         )
+        seed_span = self.sim.telemetry.span(
+            "replication.seeding",
+            parent=self._session_span,
+            engine=self.name,
+            vm=vm.name,
+            threads=seed_threads,
+            per_vcpu_rings=use_pml,
+        )
         if config.per_vcpu_seeding:
             yield self.sim.timeout(self.cost.seeding_thread_setup)
         precopy = yield from iterative_precopy(
@@ -257,6 +281,9 @@ class ReplicationEngine:
         )
         # -- seeding sync: short pause establishing checkpoint 0 ---------------
         pause_start = self.sim.now
+        sync_span = self.sim.telemetry.span(
+            "replication.seeding.sync", parent=seed_span, engine=self.name
+        )
         vm.pause()
         remaining = precopy.remaining_dirty
         if use_pml and config.resend_problematic:
@@ -270,19 +297,39 @@ class ReplicationEngine:
             component="replication",
             per_page_cost=self.cost.migration_page_cost,
         )
-        yield from self._send_state_and_ack(vm, remaining, initial=True)
+        yield from self._send_state_and_ack(
+            vm, remaining, initial=True, parent=sync_span
+        )
         # All output from now on is buffered until the covering
         # checkpoint is acknowledged (output commit).
         self.device_manager.begin_protection()
         vm.resume()
         self.stats.seeding_duration = self.sim.now - seed_start
         self.stats.seeding_downtime = self.sim.now - pause_start
+        sync_span.end(pages=remaining)
+        seed_span.end(iterations=len(precopy.iterations))
 
     def _checkpoint(self, vm, period: float):
         """One checkpoint (Fig. 3 steps 1–6); returns the pause duration."""
         config = self.config
         self.primary._check_responsive()
+        bus = self.sim.telemetry
+        epoch = self._epoch
         pause_start = self.sim.now
+        checkpoint_span = bus.span(
+            "replication.checkpoint",
+            parent=self._session_span,
+            engine=self.name,
+            vm=vm.name,
+            epoch=epoch,
+            period=period,
+        )
+        pause_span = bus.span(
+            "replication.checkpoint.pause",
+            parent=checkpoint_span,
+            engine=self.name,
+            epoch=epoch,
+        )
         vm.pause()  # (1)
         traffic_epoch = self.device_manager.seal_epoch()
         snapshot = self.primary.read_dirty_bitmap(vm, clear=True)
@@ -306,6 +353,12 @@ class ReplicationEngine:
         else:
             per_page = self.cost.page_send_cost
             wire_per_page = None
+        transfer_span = bus.span(
+            "replication.checkpoint.transfer",
+            parent=checkpoint_span,
+            engine=self.name,
+            epoch=epoch,
+        )
         transfer_duration = yield from timed_page_send(  # (2)
             self.sim,
             self.primary.host,
@@ -317,37 +370,79 @@ class ReplicationEngine:
             per_page_cost=per_page,
             wire_bytes_per_page=wire_per_page,
         )
-        yield from self._send_state_and_ack(vm, dirty)  # (3) + (4)
+        transfer_span.end(pages=dirty, threads=threads)
+        yield from self._send_state_and_ack(
+            vm, dirty, parent=checkpoint_span
+        )  # (3) + (4)
         vm.resume()  # (5)
         pause_duration = self.sim.now - pause_start
+        pause_span.end()
         released = self.device_manager.release_epoch(traffic_epoch)  # (6)
+        # Wire bytes, not logical bytes: with compression enabled each
+        # page costs wire_bytes_per_page on the link, and the stats (and
+        # the compression ablations built on them) must report what the
+        # interconnect actually carried.
+        bytes_sent = dirty * (
+            wire_per_page if wire_per_page is not None else PAGE_SIZE
+        )
         self.stats.checkpoints.append(
             CheckpointRecord(
-                epoch=self._epoch,
+                epoch=epoch,
                 started_at=pause_start,
                 period_used=period,
                 pause_duration=pause_duration,
                 transfer_duration=transfer_duration,
                 dirty_pages=dirty,
-                bytes_sent=dirty * PAGE_SIZE,
+                bytes_sent=bytes_sent,
                 acked_at=self.sim.now,
                 packets_released=len(released),
             )
         )
+        checkpoint_span.end(
+            dirty_pages=dirty,
+            bytes_sent=bytes_sent,
+            packets_released=len(released),
+        )
+        if bus.enabled:
+            bus.counter(
+                "replication.bytes_sent", bytes_sent, engine=self.name
+            )
         return pause_duration
 
-    def _send_state_and_ack(self, vm, dirty_pages: float, initial: bool = False):
-        """Extract, translate, ship and apply vCPU/device state; await ack."""
+    def _send_state_and_ack(
+        self, vm, dirty_pages: int, initial: bool = False, parent=None
+    ):
+        """Extract, translate, ship and apply vCPU/device state; await ack.
+
+        ``dirty_pages`` is a page count.  The dirty-tracking model hands
+        back analytic *expected* counts, which may be fractional; they
+        are rounded to whole pages at the protocol boundary, since the
+        wire message describes discrete pages.  ``parent`` is the
+        telemetry span (checkpoint or seeding sync) the translate/ack
+        sub-spans nest under.
+        """
+        bus = self.sim.telemetry
         payload = self.primary.extract_guest_state(vm)
         if self.heterogeneous:
             translation_time = self.translator.translation_cost(
                 vm.vcpu_count, len(vm.devices)
+            )
+            translate_span = bus.span(
+                "replication.checkpoint.translate",
+                parent=parent,
+                engine=self.name,
+                epoch=self._epoch,
             )
             self.primary.host.cpu_accounting.charge(
                 "replication", translation_time
             )
             yield self.sim.timeout(translation_time)
             payload = self.translator.translate(payload, self.secondary)
+            translate_span.end(
+                vcpus=vm.vcpu_count,
+                devices=len(vm.devices),
+                cpu_seconds=translation_time,
+            )
         yield self.link.transfer(
             state_payload_bytes(vm.vcpu_count, len(vm.devices))
         )
@@ -357,16 +452,25 @@ class ReplicationEngine:
             "replication", self.cost.checkpoint_constant
         )
         self.secondary._check_responsive()
+        page_count = int(round(dirty_pages))
         message = CheckpointMessage(
             vm_name=vm.name,
             epoch=self._epoch,
             sent_at=self.sim.now,
-            dirty_pages=dirty_pages,
-            memory_bytes=dirty_pages * PAGE_SIZE,
+            dirty_pages=page_count,
+            memory_bytes=page_count * PAGE_SIZE,
             state_payload=payload,
             initial=initial,
             guest_os_failed=vm.guest_os_failed,
         )
+        ack_span = bus.span(
+            "replication.checkpoint.ack",
+            parent=parent,
+            engine=self.name,
+            epoch=self._epoch,
+        )
         self.replica_session.apply(message)
         yield self.link.ack()  # (4) acknowledgement from the backup
+        ack_span.end()
+        bus.counter("replication.epoch_acked", 1.0, engine=self.name)
         self._epoch += 1

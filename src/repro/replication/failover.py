@@ -78,8 +78,10 @@ class FailoverController:
         self.process = self.sim.process(self._failover(), name="failover")
         return self.process
 
-    def _abort(self, reason: str, detected_at: float, why: str):
+    def _abort(self, reason: str, detected_at: float, why: str, span=None):
         """Complete with a failed report instead of dying unobserved."""
+        if span is not None:
+            span.end(failed=True, failure_reason=why)
         self.report = FailoverReport(
             reason=str(reason),
             detected_at=detected_at,
@@ -99,6 +101,12 @@ class FailoverController:
         reason = yield self.monitor.failure_detected
         detected_at = self.sim.now
         engine = self.engine
+        failover_span = self.sim.telemetry.span(
+            "failover",
+            engine=engine.name,
+            vm=engine.vm.name if engine.vm is not None else "",
+            reason=str(reason),
+        )
         engine.halt(f"failover: {reason}")
         if (
             engine.replica_session is None
@@ -109,6 +117,7 @@ class FailoverController:
                 detected_at,
                 "no consistent replica state exists (seeding incomplete) "
                 "— the protected VM is lost",
+                span=failover_span,
             )
         # Output commit: whatever the primary buffered but never got
         # acknowledged was never visible outside; drop it.
@@ -122,17 +131,29 @@ class FailoverController:
                 f"the secondary ({secondary.product} on "
                 f"{secondary.host.name}) is down too — HERE is "
                 "1-redundant, a simultaneous double failure is fatal",
+                span=failover_span,
             )
         # Activate the replica from the last acknowledged checkpoint.
+        activation_span = self.sim.telemetry.span(
+            "failover.activation",
+            parent=failover_span,
+            vm=replica.name,
+            hypervisor=secondary.product,
+        )
         activation = self.sim.process(
             secondary.activate_replica(replica), name=f"activate:{replica.name}"
         )
         try:
             yield activation
         except Exception as error:
+            activation_span.end(failed=True)
             return self._abort(
-                reason, detected_at, f"replica activation failed: {error}"
+                reason,
+                detected_at,
+                f"replica activation failed: {error}",
+                span=failover_span,
             )
+        activation_span.end()
         activated_at = self.sim.now
         # Re-home the client-facing service path.
         if self.service is not None:
@@ -145,6 +166,14 @@ class FailoverController:
                     "a replica_service_link is required to switch a service"
                 )
             self.service.switch_target(replica, link, replica_egress)
+        failover_span.end(
+            failed=False,
+            resumption_time=activated_at - detected_at,
+            last_acked_epoch=engine.last_acked_epoch,
+            dropped_packets=len(dropped),
+            replica_host=secondary.host.name,
+            replica_hypervisor=secondary.product,
+        )
         self.report = FailoverReport(
             reason=str(reason),
             detected_at=detected_at,

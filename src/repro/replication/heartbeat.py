@@ -90,6 +90,14 @@ class HeartbeatMonitor:
                     self.primary_host.is_up
                     and self.primary_hypervisor.is_responsive
                 )
+                bus = self.sim.telemetry
+                if bus.enabled:
+                    bus.counter(
+                        "heartbeat.probe",
+                        1.0,
+                        host=self.primary_host.name,
+                        alive=alive,
+                    )
                 if alive:
                     self.consecutive_misses = 0
                     self.last_success_at = self.sim.now
@@ -100,6 +108,13 @@ class HeartbeatMonitor:
                             self.primary_hypervisor.failure_reason
                             or self.primary_host.failure_reason
                             or "primary unresponsive"
+                        )
+                        bus.counter(
+                            "heartbeat.failure_declared",
+                            1.0,
+                            host=self.primary_host.name,
+                            reason=reason,
+                            misses=self.consecutive_misses,
                         )
                         if not self.failure_detected.triggered:
                             self.failure_detected.succeed(reason)

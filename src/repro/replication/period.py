@@ -59,6 +59,10 @@ def round_to_step(value: float, step: float) -> float:
 class PeriodController:
     """Interface: decides the next checkpoint period."""
 
+    #: Telemetry binding (set by the replication engine at start()).
+    _telemetry_bus = None
+    _telemetry_labels: dict = {}
+
     def initial_period(self) -> float:
         raise NotImplementedError
 
@@ -68,6 +72,22 @@ class PeriodController:
 
     def describe(self) -> str:
         raise NotImplementedError
+
+    def bind_telemetry(self, bus, **labels) -> None:
+        """Attach a telemetry bus; every decision then emits a
+        ``replication.period`` gauge carrying ``labels``."""
+        self._telemetry_bus = bus
+        self._telemetry_labels = labels
+
+    def _emit_period(self, period: float, **attrs) -> None:
+        bus = self._telemetry_bus
+        if bus is not None and bus.enabled:
+            bus.gauge(
+                "replication.period",
+                period,
+                **self._telemetry_labels,
+                **attrs,
+            )
 
 
 class FixedPeriodController(PeriodController):
@@ -84,6 +104,7 @@ class FixedPeriodController(PeriodController):
     def next_period(self, pause_duration: float) -> float:
         if pause_duration < 0:
             raise ValueError(f"negative pause duration: {pause_duration}")
+        self._emit_period(self.period, controller="fixed")
         return self.period
 
     def describe(self) -> str:
@@ -151,6 +172,9 @@ class AdaptiveRemusController(PeriodController):
         if chosen != self._period:
             self.switches += 1
         self._period = chosen
+        self._emit_period(
+            chosen, controller="adaptive-remus", io_active=io_active
+        )
         return chosen
 
     def describe(self) -> str:
@@ -250,6 +274,12 @@ class DynamicPeriodController(PeriodController):
                 next_period=candidate,
                 branch=branch,
             )
+        )
+        self._emit_period(
+            candidate,
+            controller="dynamic",
+            branch=branch,
+            measured_degradation=measured,
         )
         return candidate
 

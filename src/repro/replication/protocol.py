@@ -28,8 +28,10 @@ class CheckpointMessage:
     vm_name: str
     epoch: int
     sent_at: float
-    dirty_pages: float
-    memory_bytes: float
+    #: Whole pages covered by this checkpoint (rounded at the protocol
+    #: boundary — the analytic dirty model produces expectations).
+    dirty_pages: int
+    memory_bytes: int
     state_payload: dict
     #: True for the seeding-final checkpoint that establishes the replica.
     initial: bool = False

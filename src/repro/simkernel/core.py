@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Optional
 
+from ..telemetry import TelemetryBus
 from .errors import StopSimulation, UnhandledEventFailure
 from .events import AllOf, AnyOf, Event, Timeout
 from .processes import Process
@@ -46,6 +47,9 @@ class Simulation:
         self.random = RandomRegistry(seed)
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
+        #: The simulation-wide telemetry bus.  Zero-overhead until a
+        #: subscriber attaches; see :mod:`repro.telemetry`.
+        self.telemetry = TelemetryBus(self)
 
     # -- time ------------------------------------------------------------
     @property
@@ -110,13 +114,25 @@ class Simulation:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event from the calendar."""
+        """Process exactly one event from the calendar.
+
+        Raises ``RuntimeError`` on an empty calendar: stepping an idle
+        simulation is always a caller bug (nothing was scheduled), and
+        the error should say so rather than leak a ``heapq`` IndexError.
+        """
+        if not self._queue:
+            raise RuntimeError(
+                "step() on an empty calendar: no events are scheduled "
+                "(start a process or a timeout first)"
+            )
         when, _priority, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by _schedule
             raise RuntimeError("calendar went backwards")
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         self.events_processed += 1
+        if self.telemetry.kernel_enabled:
+            self.telemetry.counter("sim.event", 1.0, event=event.name)
         if not event._ok and not callbacks:
             raise UnhandledEventFailure(event._value) from event._value
         handled = False

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..telemetry import NULL_SPAN
 from .errors import Interrupt, SimulationError, StopSimulation
 from .events import Event
 
@@ -23,7 +24,7 @@ from .events import Event
 class Process(Event):
     """Drives a generator along the simulation timeline."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_telemetry_span")
 
     def __init__(self, sim, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -32,6 +33,15 @@ class Process(Event):
             )
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
+        # Per-process runtime span (creation -> completion).  Dense, so
+        # only emitted under the bus's kernel-events opt-in; the null
+        # span costs one no-op call at completion otherwise.
+        if sim.telemetry.kernel_enabled:
+            self._telemetry_span = sim.telemetry.span(
+                "sim.process", process=self.name
+            )
+        else:
+            self._telemetry_span = NULL_SPAN
         #: The event this process is currently suspended on (None when
         #: running or finished).
         self._waiting_on: Optional[Event] = None
@@ -98,11 +108,13 @@ class Process(Event):
             else:
                 target = self._generator.throw(value)
         except StopIteration as exit_:
+            self._telemetry_span.end(outcome="ok")
             self.succeed(exit_.value)
             return
         except StopSimulation:
             raise
         except BaseException as error:
+            self._telemetry_span.end(outcome="failed", error=str(error))
             self.fail(error)
             return
         if not isinstance(target, Event):

@@ -1,0 +1,41 @@
+"""Simulation-wide telemetry: one structured event stream under the stack.
+
+Every layer of the simulator — the event kernel, hosts, links, the
+replication and migration engines — emits typed records (spans,
+counters, gauges) through the :class:`TelemetryBus` owned by its
+:class:`~repro.simkernel.core.Simulation`.  Subscribers consume the
+stream live:
+
+* :class:`Recorder`          — in-memory, with query helpers;
+* :class:`TraceWriter`       — streaming JSONL to disk (``--trace``);
+* :class:`MetricsAggregator` — counts/totals/percentiles per name.
+
+The bus is zero-overhead when no subscriber is attached, so the
+default experiment path is bit-for-bit unaffected by instrumentation.
+The legacy stats objects (``ReplicationStats``, ``MigrationStats``)
+remain the primary API and can be reconstructed *exactly* from the
+stream (``ReplicationStats.from_recorder``), which is how the
+round-trip tests pin the two representations together.
+"""
+
+from .bus import NULL_SPAN, Span, TelemetryBus
+from .metrics import MetricsAggregator, percentile
+from .recorder import Recorder
+from .records import CounterRecord, GaugeRecord, SpanRecord, record_from_dict
+from .trace import TraceWriter, read_trace, recorder_from_trace
+
+__all__ = [
+    "CounterRecord",
+    "GaugeRecord",
+    "MetricsAggregator",
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "TelemetryBus",
+    "TraceWriter",
+    "percentile",
+    "read_trace",
+    "record_from_dict",
+    "recorder_from_trace",
+]

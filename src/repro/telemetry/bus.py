@@ -1,0 +1,183 @@
+"""The simulation-wide telemetry bus.
+
+One :class:`TelemetryBus` hangs off every
+:class:`~repro.simkernel.core.Simulation`.  Instrumented components
+(the kernel, hosts, links, the replication and migration engines) emit
+typed records through it; subscribers — an in-memory
+:class:`~repro.telemetry.recorder.Recorder`, a streaming JSONL
+:class:`~repro.telemetry.trace.TraceWriter`, a
+:class:`~repro.telemetry.metrics.MetricsAggregator` — receive every
+record as it is produced.
+
+The bus is **zero-overhead when disabled**: with no subscriber
+attached, ``counter``/``gauge`` return after a single flag check and
+``span`` hands back a shared no-op :data:`NULL_SPAN`, so instrumented
+hot paths cost one attribute test.  Hot loops that would even pay the
+call (the kernel's ``step``) guard on :attr:`TelemetryBus.enabled` /
+:attr:`TelemetryBus.kernel_enabled` directly.
+
+Kernel-level records (one per processed event / finished process) are
+far denser than the component-level stream, so they sit behind a
+second opt-in flag, :attr:`TelemetryBus.trace_kernel_events`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .records import CounterRecord, GaugeRecord, SpanRecord
+
+Subscriber = Callable[[Any], None]
+
+
+class Span:
+    """An open interval; emits a :class:`SpanRecord` on :meth:`end`."""
+
+    __slots__ = ("_bus", "name", "started_at", "attrs", "span_id", "parent_id", "_open")
+
+    def __init__(self, bus: "TelemetryBus", name: str, parent_id: Optional[int], attrs: dict):
+        self._bus = bus
+        self.name = name
+        self.started_at = bus.sim.now
+        self.attrs = attrs
+        self.span_id = bus._next_span_id()
+        self.parent_id = parent_id
+        self._open = True
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach attributes to the span before it ends."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs) -> Optional[SpanRecord]:
+        """Close the span at the current simulated time and publish it."""
+        if not self._open:
+            return None
+        self._open = False
+        if attrs:
+            self.attrs.update(attrs)
+        record = SpanRecord(
+            name=self.name,
+            started_at=self.started_at,
+            ended_at=self._bus.sim.now,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            attrs=self.attrs,
+        )
+        self._bus.publish(record)
+        return record
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "ended"
+        return f"<Span {self.name!r} #{self.span_id} {state}>"
+
+
+class _NullSpan:
+    """Shared no-op span returned while the bus is disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    started_at = 0.0
+
+    def annotate(self, **attrs) -> "_NullSpan":
+        return self
+
+    def end(self, **attrs) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+#: The singleton no-op span handed out while telemetry is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class TelemetryBus:
+    """Publish/subscribe fan-out for simulation telemetry records."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._subscribers: List[Subscriber] = []
+        #: True whenever at least one subscriber is attached.  Hot
+        #: paths may read this directly to skip building attrs dicts.
+        self.enabled = False
+        #: Opt-in for per-event / per-process kernel records.
+        self._trace_kernel_events = False
+        #: enabled AND trace_kernel_events, pre-combined for the kernel
+        #: hot loop (one attribute read per processed event).
+        self.kernel_enabled = False
+        self._span_counter = 0
+
+    # -- subscription -----------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Attach ``subscriber`` (a callable taking one record)."""
+        if not callable(subscriber):
+            raise TypeError(f"subscriber must be callable: {subscriber!r}")
+        self._subscribers.append(subscriber)
+        self._refresh_flags()
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach ``subscriber`` (missing subscribers are ignored)."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+        self._refresh_flags()
+
+    @property
+    def trace_kernel_events(self) -> bool:
+        return self._trace_kernel_events
+
+    @trace_kernel_events.setter
+    def trace_kernel_events(self, value: bool) -> None:
+        self._trace_kernel_events = bool(value)
+        self._refresh_flags()
+
+    def _refresh_flags(self) -> None:
+        self.enabled = bool(self._subscribers)
+        self.kernel_enabled = self.enabled and self._trace_kernel_events
+
+    def _next_span_id(self) -> int:
+        self._span_counter += 1
+        return self._span_counter
+
+    # -- emission ---------------------------------------------------------
+    def publish(self, record) -> None:
+        """Deliver one record to every subscriber."""
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def counter(self, name: str, value: float = 1.0, **attrs) -> None:
+        """Record a monotonic increment of ``value`` on ``name``."""
+        if not self.enabled:
+            return
+        self.publish(CounterRecord(name=name, time=self.sim.now, value=value, attrs=attrs))
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        """Record an instantaneous sample of ``name``."""
+        if not self.enabled:
+            return
+        self.publish(GaugeRecord(name=name, time=self.sim.now, value=value, attrs=attrs))
+
+    def span(self, name: str, parent=None, **attrs):
+        """Open a span at the current simulated time.
+
+        Returns :data:`NULL_SPAN` while disabled, so callers hold the
+        same API either way and never test the flag themselves.
+        ``parent`` is another span (real or null); its id links the
+        records into a tree.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent_id = parent.span_id if parent is not None else None
+        return Span(self, name, parent_id, attrs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TelemetryBus subscribers={len(self._subscribers)} "
+            f"enabled={self.enabled} kernel={self.kernel_enabled}>"
+        )

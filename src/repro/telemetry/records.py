@@ -1,0 +1,129 @@
+"""Typed telemetry records.
+
+Three record kinds cover everything the paper's evaluation measures:
+
+* :class:`SpanRecord`   — a named interval of simulated time (a
+  checkpoint, a pre-copy iteration, a link transfer).  Spans nest via
+  ``parent_id`` so a checkpoint's pause/transfer/translate/ack phases
+  hang off the checkpoint span itself.
+* :class:`CounterRecord` — a monotonic increment (bytes delivered,
+  epochs acked, CPU-seconds charged).
+* :class:`GaugeRecord`   — a sampled instantaneous value (resident
+  memory, the checkpoint period currently in force).
+
+Records are immutable value objects; the only behaviour they carry is
+``as_dict`` (the JSONL wire form used by
+:class:`~repro.telemetry.trace.TraceWriter`) and its inverse
+:func:`record_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """A monotonic increment of ``value`` on counter ``name``."""
+
+    name: str
+    time: float
+    value: float
+    attrs: Dict = field(default_factory=dict)
+
+    kind = "counter"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "time": self.time,
+            "value": self.value,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class GaugeRecord:
+    """An instantaneous sample of gauge ``name``."""
+
+    name: str
+    time: float
+    value: float
+    attrs: Dict = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "time": self.time,
+            "value": self.value,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A completed interval ``[started_at, ended_at]`` of simulated time.
+
+    The record is emitted when the span *ends* — open spans never reach
+    subscribers — so a trace contains only finished work.  ``attrs``
+    merges the attributes given at span start with those given to
+    ``Span.end``.
+    """
+
+    name: str
+    started_at: float
+    ended_at: float
+    span_id: int
+    parent_id: Optional[int] = None
+    attrs: Dict = field(default_factory=dict)
+
+    kind = "span"
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.started_at,
+            "end": self.ended_at,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+def record_from_dict(data: dict):
+    """Rebuild a record from its ``as_dict`` form (JSONL ingestion)."""
+    kind = data.get("kind")
+    if kind == "span":
+        return SpanRecord(
+            name=data["name"],
+            started_at=data["start"],
+            ended_at=data["end"],
+            span_id=data["id"],
+            parent_id=data.get("parent"),
+            attrs=dict(data.get("attrs") or {}),
+        )
+    if kind == "counter":
+        return CounterRecord(
+            name=data["name"],
+            time=data["time"],
+            value=data["value"],
+            attrs=dict(data.get("attrs") or {}),
+        )
+    if kind == "gauge":
+        return GaugeRecord(
+            name=data["name"],
+            time=data["time"],
+            value=data["value"],
+            attrs=dict(data.get("attrs") or {}),
+        )
+    raise ValueError(f"unknown record kind {kind!r}")

@@ -1,0 +1,98 @@
+"""Streaming JSONL trace output.
+
+A :class:`TraceWriter` subscribes to a bus and appends one JSON object
+per record to a file (or any writable text stream) as records are
+emitted — nothing is buffered beyond the underlying stream, so a trace
+survives a run that dies half-way.  :func:`read_trace` is the inverse:
+it parses a trace file back into record objects, from which
+:meth:`~repro.replication.checkpoint.ReplicationStats.from_recorder`
+and friends can reconstruct every derived statistic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Union
+
+from .records import record_from_dict
+from .recorder import Recorder
+
+
+def _jsonable(value):
+    """Coerce one attr value into something JSON round-trips."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class TraceWriter:
+    """Subscriber writing each record as one JSONL line."""
+
+    def __init__(self, target: Union[str, Path, "object"]):
+        """``target`` is a path (opened, parents created) or a stream."""
+        if hasattr(target, "write"):
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        else:
+            self.path = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w")
+            self._owns_stream = True
+        self.records_written = 0
+
+    def __call__(self, record) -> None:
+        self._stream.write(json.dumps(_jsonable(record.as_dict())) + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and (if this writer opened the file) close it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path else "<stream>"
+        return f"<TraceWriter {where} records={self.records_written}>"
+
+
+def read_trace(path: Union[str, Path]) -> List:
+    """Parse a JSONL trace back into record objects."""
+    records = []
+    with Path(path).open() as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+def recorder_from_trace(path: Union[str, Path]) -> Recorder:
+    """Load a trace file into a :class:`Recorder` for analysis."""
+    recorder = Recorder()
+    for record in read_trace(path):
+        recorder(record)
+    return recorder

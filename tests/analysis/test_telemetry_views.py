@@ -1,0 +1,90 @@
+"""Analysis-layer consumers of the telemetry bus."""
+
+from repro.analysis import (
+    ResultsWriter,
+    TimeSeries,
+    load_results,
+    render_metrics,
+)
+from repro.simkernel import Simulation
+from repro.telemetry import MetricsAggregator, Recorder
+
+
+def record_a_run():
+    sim = Simulation()
+    recorder = Recorder.attach(sim.telemetry)
+
+    def proc():
+        for period in (0.1, 0.2, 0.3, 0.4):
+            sim.telemetry.gauge(
+                "replication.period", period, engine="here"
+            )
+            span = sim.telemetry.span("checkpoint")
+            yield sim.timeout(0.05)
+            span.end()
+            sim.telemetry.counter("epochs", 1.0)
+            yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    return recorder
+
+
+class TestTimeSeriesFromRecorder:
+    def test_gauges_become_points(self):
+        recorder = record_a_run()
+        series = TimeSeries.from_recorder(recorder, "replication.period")
+        assert len(series) == 4
+        assert series.values == [0.1, 0.2, 0.3, 0.4]
+        assert series.times[0] == 0.0
+        assert series.name == "replication.period"
+
+    def test_attr_filters_apply(self):
+        recorder = record_a_run()
+        assert (
+            len(
+                TimeSeries.from_recorder(
+                    recorder, "replication.period", engine="nope"
+                )
+            )
+            == 0
+        )
+
+    def test_series_integrates_with_windowing(self):
+        recorder = record_a_run()
+        series = TimeSeries.from_recorder(recorder, "replication.period")
+        assert series.window(0.0, 1.5).values == [0.1, 0.2]
+
+
+class TestRenderMetrics:
+    def test_renders_summary_table(self):
+        aggregator = MetricsAggregator.from_recorder(record_a_run())
+        text = render_metrics(aggregator, title="Run metrics")
+        assert "Run metrics" in text
+        assert "checkpoint" in text
+        assert "p99" in text
+
+    def test_kind_filter(self):
+        aggregator = MetricsAggregator.from_recorder(record_a_run())
+        text = render_metrics(aggregator, kind="counter")
+        assert "epochs" in text
+        assert "checkpoint" not in text
+
+
+class TestResultsWriterAddRecorder:
+    def test_document_carries_summary_and_gauge_series(self, tmp_path):
+        writer = ResultsWriter("telemetry-export")
+        writer.add_recorder(record_a_run())
+        path = writer.write(tmp_path / "results.json")
+        document = load_results(path)
+        names = {row["name"] for row in document["tables"]["telemetry"]}
+        assert names == {"replication.period", "checkpoint", "epochs"}
+        series = document["series"]["telemetry.gauge.replication.period"]
+        assert series["v"] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_custom_section_name(self, tmp_path):
+        writer = ResultsWriter("telemetry-export")
+        writer.add_recorder(record_a_run(), section="bus")
+        document = writer.as_document()
+        assert "bus" in document["tables"]
+        assert "bus.gauge.replication.period" in document["series"]

@@ -64,6 +64,23 @@ class TestEngineIntegration:
             < 0.7 * raw.mean_transfer_duration()
         )
 
+    def test_stats_report_wire_bytes_not_logical_bytes(self):
+        stats = self.build(XBRLE)
+        assert stats.checkpoint_count > 0
+        for checkpoint in stats.checkpoints:
+            assert checkpoint.bytes_sent == pytest.approx(
+                checkpoint.dirty_pages * XBRLE.wire_bytes_per_page
+            )
+            assert checkpoint.bytes_sent < checkpoint.dirty_pages * PAGE_SIZE
+
+    def test_uncompressed_stats_report_full_pages(self):
+        stats = self.build(None)
+        assert stats.checkpoint_count > 0
+        for checkpoint in stats.checkpoints:
+            assert checkpoint.bytes_sent == pytest.approx(
+                checkpoint.dirty_pages * PAGE_SIZE
+            )
+
     def test_compression_costs_cpu_on_fat_links(self):
         raw = self.build(None, link_gbits=100.0)
         compressed = self.build(XBRLE, link_gbits=100.0)

@@ -11,6 +11,16 @@ def sim():
 
 
 class TestRunLoop:
+    def test_step_on_empty_calendar_is_a_clear_error(self, sim):
+        with pytest.raises(RuntimeError, match="empty calendar"):
+            sim.step()
+
+    def test_step_after_exhaustion_is_a_clear_error(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(RuntimeError, match="empty calendar"):
+            sim.step()
+
     def test_run_until_advances_clock_exactly(self, sim):
         sim.timeout(3.0)
         sim.run(until=10.0)

@@ -1,0 +1,97 @@
+"""Percentiles and the live metrics aggregator."""
+
+import math
+
+import pytest
+
+from repro.simkernel import Simulation
+from repro.telemetry import MetricsAggregator, Recorder, percentile
+
+
+class TestPercentile:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+
+def aggregate_some():
+    sim = Simulation()
+    aggregator = MetricsAggregator()
+    sim.telemetry.subscribe(aggregator)
+
+    def proc():
+        for duration in (1.0, 2.0, 3.0):
+            span = sim.telemetry.span("work")
+            yield sim.timeout(duration)
+            span.end()
+            sim.telemetry.counter("done", 1.0)
+        sim.telemetry.gauge("depth", 4.0)
+
+    sim.process(proc())
+    sim.run()
+    return aggregator
+
+
+class TestAggregator:
+    def test_span_durations_aggregate(self):
+        aggregator = aggregate_some()
+        assert aggregator.count("work") == 3
+        assert aggregator.total("work") == 6.0
+        assert aggregator.mean("work") == 2.0
+        assert aggregator.quantile("work", 50.0) == 2.0
+
+    def test_counters_and_gauges(self):
+        aggregator = aggregate_some()
+        assert aggregator.total("done") == 3.0
+        assert aggregator.total("depth") == 4.0
+
+    def test_unknown_name(self):
+        aggregator = aggregate_some()
+        assert aggregator.count("missing") == 0
+        assert aggregator.total("missing") == 0.0
+        assert math.isnan(aggregator.mean("missing"))
+        assert math.isnan(aggregator.quantile("missing", 50.0))
+
+    def test_summary_rows(self):
+        aggregator = aggregate_some()
+        rows = {row["name"]: row for row in aggregator.summary_rows()}
+        assert set(rows) == {"work", "done", "depth"}
+        work = rows["work"]
+        assert work["kind"] == "span"
+        assert work["count"] == 3
+        assert work["max"] == 3.0
+        assert work["p50"] == 2.0
+
+    def test_summary_rows_kind_filter(self):
+        aggregator = aggregate_some()
+        rows = aggregator.summary_rows(kind="counter")
+        assert [row["name"] for row in rows] == ["done"]
+
+    def test_from_recorder_matches_live(self):
+        sim = Simulation()
+        recorder = Recorder.attach(sim.telemetry)
+        live = MetricsAggregator()
+        sim.telemetry.subscribe(live)
+        sim.telemetry.counter("x", 2.0)
+        sim.telemetry.gauge("y", 5.0)
+        replayed = MetricsAggregator.from_recorder(recorder)
+        assert replayed.summary_rows() == live.summary_rows()

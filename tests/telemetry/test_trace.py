@@ -1,0 +1,108 @@
+"""JSONL trace writing and reading."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.simkernel import Simulation
+from repro.telemetry import (
+    Recorder,
+    TraceWriter,
+    read_trace,
+    record_from_dict,
+    recorder_from_trace,
+)
+
+
+def run_traced(target):
+    sim = Simulation()
+    writer = TraceWriter(target)
+    sim.telemetry.subscribe(writer)
+    sim.telemetry.counter("bytes", 12.5, link="x")
+    sim.telemetry.gauge("depth", 3.0)
+    span = sim.telemetry.span("job", worker=1)
+    child = sim.telemetry.span("job.step", parent=span)
+    child.end(ok=True)
+    span.end()
+    return sim, writer
+
+
+class TestWriter:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _sim, writer = run_traced(path)
+        writer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == writer.records_written == 4
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["counter", "gauge", "span", "span"]
+
+    def test_parent_directories_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        _sim, writer = run_traced(path)
+        writer.close()
+        assert path.exists()
+
+    def test_stream_target_is_not_closed(self):
+        stream = io.StringIO()
+        _sim, writer = run_traced(stream)
+        writer.close()
+        assert stream.getvalue().count("\n") == 4
+        stream.write("still open\n")
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sim = Simulation()
+        with TraceWriter(path) as writer:
+            sim.telemetry.subscribe(writer)
+            sim.telemetry.counter("x")
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_non_finite_attrs_are_coerced(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sim = Simulation()
+        writer = TraceWriter(path)
+        sim.telemetry.subscribe(writer)
+        sim.telemetry.counter(
+            "weird", 1.0, nan=math.nan, up=math.inf, down=-math.inf
+        )
+        writer.close()
+        [row] = [json.loads(line) for line in path.read_text().splitlines()]
+        assert row["attrs"] == {"nan": None, "up": "inf", "down": "-inf"}
+
+
+class TestReading:
+    def test_round_trip_preserves_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sim = Simulation()
+        live = Recorder.attach(sim.telemetry)
+        writer = TraceWriter(path)
+        sim.telemetry.subscribe(writer)
+        run = sim.telemetry.span("run", n=2)
+        sim.telemetry.counter("bytes", 4096.0, link="a")
+        sim.telemetry.gauge("period", 0.25, engine="here")
+        run.end(done=True)
+        writer.close()
+        assert read_trace(path) == live.records
+
+    def test_recorder_from_trace_answers_queries(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _sim, writer = run_traced(path)
+        writer.close()
+        recorder = recorder_from_trace(path)
+        assert recorder.counter_total("bytes") == 12.5
+        [job] = recorder.spans("job")
+        assert [s.name for s in recorder.children_of(job)] == ["job.step"]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _sim, writer = run_traced(path)
+        writer.close()
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_trace(path)) == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"kind": "mystery"})

@@ -44,6 +44,22 @@ class TestReplicateCommand:
     def test_bad_degradation_rejected(self, capsys):
         assert main(["replicate", "--degradation", "1.5"]) == 2
 
+    def test_trace_writes_reconstructable_jsonl(self, capsys, tmp_path):
+        from repro.replication.checkpoint import ReplicationStats
+        from repro.telemetry import recorder_from_trace
+
+        path = tmp_path / "run.jsonl"
+        code = main([
+            "replicate", "--engine", "here", "--period", "2",
+            "--memory-gib", "1", "--duration", "15", "--load", "0.2",
+            "--trace", str(path),
+        ])
+        assert code == 0
+        recorder = recorder_from_trace(path)
+        stats = ReplicationStats.from_recorder(recorder)
+        assert stats.checkpoint_count > 0
+        assert recorder.spans("replication.checkpoint.pause")
+
 
 class TestMigrateCommand:
     def test_here_migration(self, capsys):
@@ -53,6 +69,20 @@ class TestMigrateCommand:
 
     def test_xen_migration(self, capsys):
         assert main(["migrate", "--mode", "xen", "--memory-gib", "1"]) == 0
+
+    def test_trace_captures_the_migration(self, capsys, tmp_path):
+        from repro.migration.stats import MigrationStats
+        from repro.telemetry import recorder_from_trace
+
+        path = tmp_path / "migration.jsonl"
+        code = main([
+            "migrate", "--mode", "here", "--memory-gib", "1",
+            "--trace", str(path),
+        ])
+        assert code == 0
+        stats = MigrationStats.from_recorder(recorder_from_trace(path))
+        assert stats.succeeded
+        assert stats.translated
 
 
 class TestDemoCommand:
