@@ -67,11 +67,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "replicate", help="protect a loaded VM and report statistics"
     )
     replicate.add_argument(
-        "--engine", choices=["here", "remus"], default="here"
+        "--engine", choices=["here", "remus", "colo"], default="here"
     )
     replicate.add_argument(
         "--period", type=float, default=5.0,
         help="Remus period / HERE T_max (seconds)",
+    )
+    replicate.add_argument(
+        "--comparison-interval", type=float, default=0.02,
+        help="COLO output-comparison interval (seconds)",
     )
     replicate.add_argument(
         "--degradation", type=float, default=0.0,
@@ -172,8 +176,11 @@ def _cmd_replicate(args) -> int:
     deployment = ProtectedDeployment(
         DeploymentSpec(
             engine=args.engine,
-            secondary_flavor="xen" if args.engine == "remus" else "kvm",
+            # Remus and COLO both need matching device models on the
+            # two sides; only HERE crosses hypervisor families.
+            secondary_flavor="kvm" if args.engine == "here" else "xen",
             period=period,
+            comparison_interval=args.comparison_interval,
             target_degradation=args.degradation,
             memory_bytes=int(args.memory_gib * GIB),
             seed=args.seed,
@@ -188,6 +195,9 @@ def _cmd_replicate(args) -> int:
     mark = workload.mark()
     try:
         deployment.run_for(args.duration)
+        # Measure before the trace close-out below extends the run,
+        # so traced and untraced invocations report identical tables.
+        throughput = workload.throughput_since(mark)
         if trace is not None:
             # Close the session cleanly so the trace carries the
             # whole-run replication.session span.
@@ -197,7 +207,25 @@ def _cmd_replicate(args) -> int:
         if trace is not None:
             trace.close()
     stats = deployment.stats
-    throughput = workload.throughput_since(mark)
+    workload_rows = [
+        {"metric": "workload ops/s", "value": throughput},
+        {"metric": "workload slowdown (%)",
+         "value": 100 * (1 - throughput / workload.work_rate())
+         if workload.work_rate() else 0.0},
+    ]
+    if args.engine == "colo":
+        print(render_table([
+            {"metric": "engine", "value": args.engine},
+            {"metric": "comparison interval (s)",
+             "value": args.comparison_interval},
+            {"metric": "seeding (s)", "value": stats.seeding_duration},
+            {"metric": "comparisons", "value": stats.comparison_count},
+            {"metric": "divergences", "value": stats.divergence_count},
+            {"metric": "divergence rate (%)",
+             "value": stats.divergence_rate * 100},
+            {"metric": "total sync (s)", "value": stats.total_sync_time()},
+        ] + workload_rows))
+        return 0
     print(render_table([
         {"metric": "engine", "value": args.engine},
         {"metric": "controller",
@@ -209,11 +237,7 @@ def _cmd_replicate(args) -> int:
          "value": stats.mean_pause_duration() * 1000},
         {"metric": "mean degradation (%)",
          "value": stats.mean_degradation() * 100},
-        {"metric": "workload ops/s", "value": throughput},
-        {"metric": "workload slowdown (%)",
-         "value": 100 * (1 - throughput / workload.work_rate())
-         if workload.work_rate() else 0.0},
-    ]))
+    ] + workload_rows))
     return 0
 
 

@@ -1,6 +1,12 @@
 """Cluster orchestration: deployments, scenarios, management facade."""
 
-from .deployment import DeploymentSpec, ProtectedDeployment, unprotected_baseline
+from .deployment import (
+    DeploymentSpec,
+    ProtectedDeployment,
+    ProtectedFleet,
+    engines_from_plan,
+    unprotected_baseline,
+)
 from .facade import DomainSpec, VirtConnection, VirtManager
 from .planner import (
     Placement,
@@ -17,10 +23,12 @@ __all__ = [
     "PlacementRequest",
     "PlanResult",
     "ProtectedDeployment",
+    "ProtectedFleet",
     "ReplicationPlanner",
     "ScenarioResult",
     "ScenarioRunner",
     "VirtConnection",
     "VirtManager",
+    "engines_from_plan",
     "unprotected_baseline",
 ]

@@ -11,9 +11,10 @@ consistent.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
+from ..hardware.link import LinkPair
 from ..hardware.perfmodel import TransferCostModel
 from ..hardware.topology import Testbed, build_testbed
 from ..hardware.units import GIB
@@ -21,6 +22,7 @@ from ..hypervisor import registry
 from ..hypervisor.base import Hypervisor
 from ..net.egress import EgressBuffer
 from ..net.service import ServiceConnection
+from ..replication.colo import ColoEngine, colo_engine
 from ..replication.engine import ReplicationEngine
 from ..replication.failover import FailoverController
 from ..replication.heartbeat import HeartbeatMonitor
@@ -28,6 +30,7 @@ from ..replication.here import here_engine
 from ..replication.remus import remus_engine
 from ..simkernel.core import Simulation
 from ..vm.machine import VirtualMachine
+from .planner import Placement, PlanResult
 
 
 @dataclass
@@ -39,10 +42,12 @@ class DeploymentSpec:
     memory_bytes: int = 8 * GIB
     primary_flavor: str = "xen"
     secondary_flavor: str = "kvm"
-    #: "here" or "remus".
+    #: "here", "remus" or "colo" (lock-stepping baseline).
     engine: str = "here"
     #: Remus's fixed period / HERE's T_max (∞ allowed for HERE).
     period: float = 5.0
+    #: COLO's output-comparison interval (engine="colo" only).
+    comparison_interval: float = 0.02
     #: HERE's desired degradation D (0 pins T to T_max).
     target_degradation: float = 0.0
     #: Algorithm 1's adjustment step σ.
@@ -57,10 +62,12 @@ class DeploymentSpec:
     cost_model: Optional[TransferCostModel] = None
 
     def __post_init__(self):
-        if self.engine not in ("here", "remus"):
+        if self.engine not in ("here", "remus", "colo"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.engine == "remus" and not math.isfinite(self.period):
             raise ValueError("Remus needs a finite checkpoint period")
+        if self.engine == "colo" and self.comparison_interval <= 0:
+            raise ValueError("COLO needs a positive comparison interval")
 
 
 class ProtectedDeployment:
@@ -95,6 +102,15 @@ class ProtectedDeployment:
                 period=spec.period,
                 cost_model=spec.cost_model,
             )
+        elif spec.engine == "colo":
+            self.engine = colo_engine(
+                self.sim,
+                self.primary,
+                self.secondary,
+                self.testbed.interconnect,
+                comparison_interval=spec.comparison_interval,
+                cost_model=spec.cost_model,
+            )
         else:
             self.engine = here_engine(
                 self.sim,
@@ -116,12 +132,18 @@ class ProtectedDeployment:
             interval=spec.heartbeat_interval,
             miss_threshold=spec.heartbeat_misses,
         )
-        self.failover = FailoverController(
-            self.sim,
-            self.engine,
-            self.monitor,
-            replica_service_link=self.testbed.service_secondary,
-        )
+        # The ASR failover protocol promotes the replica from the last
+        # *acked checkpoint* via the ReplicaSession; lock-stepping has
+        # neither — its replica is already executing — so a COLO
+        # deployment runs without the ASR failover controller.
+        self.failover: Optional[FailoverController] = None
+        if not isinstance(self.engine, ColoEngine):
+            self.failover = FailoverController(
+                self.sim,
+                self.engine,
+                self.monitor,
+                replica_service_link=self.testbed.service_secondary,
+            )
         self.service: Optional[ServiceConnection] = None
 
     # -- orchestration -------------------------------------------------------
@@ -129,7 +151,8 @@ class ProtectedDeployment:
         """Start replication (and optionally run seeding to completion)."""
         self.engine.start(self.spec.vm_name)
         self.monitor.start()
-        self.failover.arm()
+        if self.failover is not None:
+            self.failover.arm()
         if wait_ready:
             self.sim.run_until_triggered(self.engine.ready)
 
@@ -149,7 +172,8 @@ class ProtectedDeployment:
             service_time=service_time,
             name=f"svc:{self.spec.vm_name}",
         )
-        self.failover.service = self.service
+        if self.failover is not None:
+            self.failover.service = self.service
         return self.service
 
     def run(self, until: float) -> None:
@@ -192,3 +216,103 @@ def unprotected_baseline(
         name=f"svc:{spec.vm_name}:baseline",
     )
     return deployment
+
+
+def engines_from_plan(
+    sim,
+    plan: PlanResult,
+    target_degradation: float = 0.3,
+    t_max: float = 5.0,
+    sigma: float = 0.25,
+    checkpoint_threads: int = 4,
+) -> Tuple[Dict[str, ReplicationEngine], Dict[Tuple[str, str], LinkPair]]:
+    """Instantiate one HERE engine per planned placement.
+
+    All placements of one (primary host, secondary host) pair share a
+    single :class:`LinkPair` over the primary's interconnect NIC — N
+    checkpoint pipelines contending for the same wire, which is exactly
+    the fleet situation the ablation suite measures.  Returns
+    ``(engines by VM name, shared links by host pair)``.
+    """
+    links: Dict[Tuple[str, str], LinkPair] = {}
+    engines: Dict[str, ReplicationEngine] = {}
+    for pair, placements in plan.by_host_pair().items():
+        primary = placements[0].primary
+        link = LinkPair(
+            sim, primary.host.interconnect, name=f"{pair[0]}->{pair[1]}"
+        )
+        links[pair] = link
+        for placement in placements:
+            engines[placement.vm_name] = here_engine(
+                sim,
+                placement.primary,
+                placement.secondary,
+                link,
+                target_degradation=target_degradation,
+                t_max=t_max,
+                sigma=sigma,
+                checkpoint_threads=checkpoint_threads,
+                name=f"here:{placement.vm_name}",
+            )
+    return engines, links
+
+
+class ProtectedFleet:
+    """A planned fleet of replication pipelines over shared interconnects.
+
+    Where :class:`ProtectedDeployment` assembles the paper's two-host
+    testbed, this takes a :class:`~repro.cluster.planner.PlanResult`
+    over an arbitrary fleet and stands up one
+    :class:`~repro.replication.pipeline.CheckpointPipeline`-backed
+    engine per placed VM, with every co-located pair sharing its host
+    pair's interconnect link.
+    """
+
+    def __init__(
+        self,
+        sim,
+        plan: PlanResult,
+        target_degradation: float = 0.3,
+        t_max: float = 5.0,
+        sigma: float = 0.25,
+        checkpoint_threads: int = 4,
+    ):
+        if not plan.placements:
+            raise ValueError("the plan has no placements to deploy")
+        self.sim = sim
+        self.plan = plan
+        self.engines, self.links = engines_from_plan(
+            sim,
+            plan,
+            target_degradation=target_degradation,
+            t_max=t_max,
+            sigma=sigma,
+            checkpoint_threads=checkpoint_threads,
+        )
+
+    def placement_of(self, vm_name: str) -> Placement:
+        for placement in self.plan.placements:
+            if placement.vm_name == vm_name:
+                return placement
+        raise KeyError(f"no placement for {vm_name!r}")
+
+    def start_protection(self, wait_ready: bool = True) -> None:
+        """Start every engine; optionally run all seedings to completion."""
+        for vm_name, engine in self.engines.items():
+            engine.start(vm_name)
+        if wait_ready:
+            self.sim.run_until_triggered(
+                self.sim.all_of([e.ready for e in self.engines.values()])
+            )
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def halt(self, reason: str = "fleet halted") -> None:
+        for engine in self.engines.values():
+            engine.halt(reason)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Per-VM :class:`ReplicationStats`, keyed by VM name."""
+        return {name: e.stats for name, e in self.engines.items()}

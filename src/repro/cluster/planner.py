@@ -77,6 +77,24 @@ class PlanResult:
             load[key] = load.get(key, 0) + 1
         return load
 
+    def by_host_pair(self) -> Dict[Tuple[str, str], List[Placement]]:
+        """Placements grouped by (primary host, secondary host) pair.
+
+        Every VM in one group replicates over the *same* physical
+        interconnect; this is the unit
+        :class:`~repro.cluster.deployment.ProtectedFleet` instantiates
+        one shared link (and N checkpoint pipelines) for.  Insertion
+        order follows the plan, so iteration is deterministic.
+        """
+        pairs: Dict[Tuple[str, str], List[Placement]] = {}
+        for placement in self.placements:
+            key = (
+                placement.primary.host.name,
+                placement.secondary.host.name,
+            )
+            pairs.setdefault(key, []).append(placement)
+        return pairs
+
 
 class ReplicationPlanner:
     """Plans heterogeneous replica placement across a fleet."""

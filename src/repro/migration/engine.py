@@ -27,11 +27,20 @@ from ..hardware.perfmodel import TransferCostModel
 from ..hardware.host import HostFailure
 from ..hypervisor.base import Hypervisor
 from ..hypervisor.errors import HypervisorDown
+from ..replication.pipeline import (
+    CheckpointContext,
+    CheckpointPipeline,
+    ExtractStateStage,
+    FlatTransferPolicy,
+    PauseStage,
+    ShipStateStage,
+    TransferStage,
+    TranslateStage,
+)
 from ..replication.translator import StateTranslator
 from ..telemetry import NULL_SPAN
 from .precopy import iterative_precopy
 from .stats import MigrationStats
-from .transfer import split_evenly, timed_page_send
 
 
 class MigrationMode(Enum):
@@ -89,10 +98,41 @@ class MigrationEngine:
         self.cost = cost_model or source.host.cost_model
         self.translator = translator or StateTranslator()
         self._migration_span = NULL_SPAN
+        #: Stop-and-copy stage pipeline; built per-migration (thread
+        #: count depends on the VM's vCPU count).
+        self.stop_and_copy_pipeline: Optional[CheckpointPipeline] = None
 
     @property
     def heterogeneous(self) -> bool:
         return self.source.state_format != self.destination.state_format
+
+    def _build_stop_and_copy_pipeline(self, threads: int) -> CheckpointPipeline:
+        """The final blackout as ASR checkpoint stages (Fig. 3 ❸).
+
+        Same :class:`TransferStage`/:class:`TranslateStage` machinery as
+        the replication checkpoint, at the stop-and-copy page rate; the
+        destination hand-off (evict/adopt/device switch) stays in
+        :meth:`_run` — it is migration's own tail, not a checkpoint
+        concern.
+        """
+        stages = [
+            PauseStage(span_name=None, check_primary=False, seal_epoch=False),
+            TransferStage(FlatTransferPolicy(threads), page_cost="migration"),
+            ExtractStateStage(),
+        ]
+        if self.heterogeneous:
+            stages.append(
+                TranslateStage(
+                    span_name="migration.translate",
+                    label="vm",
+                    charge_component=None,
+                    report_cpu_seconds=False,
+                )
+            )
+        stages.append(
+            ShipStateStage(charge_component=None, check_secondary=True)
+        )
+        return CheckpointPipeline(stages, name="stop-and-copy")
 
     def migrate(self, vm_name: str):
         """Generator: run the full migration; returns MigrationStats."""
@@ -161,13 +201,11 @@ class MigrationEngine:
 
         # -- final stop-and-copy ---------------------------------------------
         self.source._check_responsive()
-        pause_start = self.sim.now
         stop_span = self.sim.telemetry.span(
             "migration.stop_and_copy",
             parent=self._migration_span,
             vm=vm_name,
         )
-        vm.pause()
         remaining = result.remaining_dirty
         if use_pml:
             if config.resend_problematic:
@@ -175,36 +213,30 @@ class MigrationEngine:
                 stats.problematic_pages_resent = result.problematic_total
             else:
                 stats.consistency_risk_pages = result.problematic_total
-        yield from timed_page_send(
-            self.sim,
-            self.source.host,
-            self.link.forward,
-            split_evenly(remaining, threads),
-            self.cost,
+        self.stop_and_copy_pipeline = self._build_stop_and_copy_pipeline(
+            threads
+        )
+        ctx = CheckpointContext(
+            sim=self.sim,
+            primary=self.source,
+            secondary=self.destination,
+            vm=vm,
+            link=self.link,
+            cost=self.cost,
+            translator=self.translator,
+            engine_name="migration",
             component="migration",
-            per_page_cost=self.cost.migration_page_cost,
         )
+        ctx.dirty_pages = remaining
+        ctx.checkpoint_span = stop_span
+        ctx.state_parent = self._migration_span
+        yield from self.stop_and_copy_pipeline.run(ctx)
         stats.stop_and_copy_pages = remaining
-        payload = self.source.extract_guest_state(vm)
-        if self.heterogeneous:
-            translate_span = self.sim.telemetry.span(
-                "migration.translate", parent=self._migration_span, vm=vm_name
-            )
-            yield self.sim.timeout(
-                self.translator.translation_cost(vm.vcpu_count, len(vm.devices))
-            )
-            payload = self.translator.translate(payload, self.destination)
-            stats.translated = True
-            translate_span.end(
-                vcpus=vm.vcpu_count, devices=len(vm.devices)
-            )
-        yield self.link.transfer(
-            state_payload_bytes(vm.vcpu_count, len(vm.devices))
-        )
-        yield self.sim.timeout(self.cost.checkpoint_constant)
+        stats.translated = ctx.translated
+        payload = ctx.payload
+        pause_start = ctx.pause_started_at
 
         # -- hand-off to the destination ----------------------------------------
-        self.destination._check_responsive()
         self.source.evict_vm(vm_name)
         self.destination.adopt_vm(vm)
         self.destination.load_guest_state(vm, payload)

@@ -44,12 +44,24 @@ from ..hardware.perfmodel import TransferCostModel
 from ..hardware.units import PAGE_SIZE
 from ..hypervisor.base import Hypervisor
 from ..hypervisor.errors import HypervisorDown
-from ..migration.engine import state_payload_bytes
 from ..migration.precopy import iterative_precopy
-from ..migration.transfer import split_evenly, timed_page_send
 from ..simkernel.errors import Interrupt
+from ..telemetry import NULL_SPAN
 from ..vm.machine import VmLifecycleError
 from .devices import DeviceManager
+from .pipeline import (
+    AwaitAckStage,
+    CaptureDirtyStage,
+    CheckpointContext,
+    CheckpointPipeline,
+    ExtractStateStage,
+    FlatTransferPolicy,
+    PauseStage,
+    ResumeStage,
+    ShipStateStage,
+    TransferStage,
+    TranslateStage,
+)
 from .translator import StateTranslator
 
 #: Per-comparison divergence probability for a homogeneous pair (same
@@ -173,11 +185,102 @@ class ColoEngine:
         self.ready = sim.event(name=f"ready:{name}")
         self.ready.callbacks.append(lambda _evt: None)
         self._active = False
+        #: Divergence-sync and initial-sync pipelines; built by start().
+        self.sync_pipeline: Optional[CheckpointPipeline] = None
+        self.seed_pipeline: Optional[CheckpointPipeline] = None
+        #: Whole-run telemetry span (opened by start()).
+        self._session_span = NULL_SPAN
 
     # -- control ------------------------------------------------------------
     @property
     def is_active(self) -> bool:
         return self._active
+
+    def _build_pipelines(self) -> None:
+        """COLO's two checkpoint-shaped paths as stage presets.
+
+        Both reuse the ASR stages verbatim; the COLO flavour is encoded
+        in flags — no output-commit seal inside the pipeline (the
+        comparison round owns the epoch), state applied straight onto
+        the executing replica instead of through a
+        :class:`~repro.replication.protocol.ReplicaSession`, and the
+        baseline COLO model bills neither translation nor the
+        checkpoint constant to host CPU accounting.
+        """
+
+        def load_replica(ctx, message):
+            self.secondary.load_guest_state(
+                self.replica_vm, message.state_payload
+            )
+
+        # Divergence-forced synchronisation: a full ASR-style
+        # checkpoint at the default (checkpoint) page-send rate.
+        sync_stages = [
+            PauseStage(span_name=None, check_primary=False, seal_epoch=False),
+            CaptureDirtyStage(),
+            TransferStage(FlatTransferPolicy(1), page_cost=None),
+            ExtractStateStage(),
+        ]
+        if self.heterogeneous:
+            sync_stages.append(
+                TranslateStage(
+                    span_name="colo.sync.translate", charge_component=None
+                )
+            )
+        sync_stages += [
+            ShipStateStage(charge_component=None, check_secondary=False),
+            AwaitAckStage(span_name=None, counter=None, applier=load_replica),
+            ResumeStage(),
+        ]
+        self.sync_pipeline = CheckpointPipeline(
+            sync_stages, name=f"{self.name}-sync"
+        )
+
+        # Initial stop-and-copy: dirty count comes from the pre-copy
+        # (no bitmap capture), pages move at the migration rate, the
+        # translation is folded into the blackout (untimed), and there
+        # is no per-checkpoint constant yet.
+        seed_stages = [
+            PauseStage(span_name=None, check_primary=False, seal_epoch=False),
+            TransferStage(FlatTransferPolicy(1), page_cost="migration"),
+            ExtractStateStage(),
+        ]
+        if self.heterogeneous:
+            seed_stages.append(
+                TranslateStage(
+                    span_name=None,
+                    charge_component=None,
+                    timed=False,
+                    report_cpu_seconds=False,
+                )
+            )
+        seed_stages += [
+            ShipStateStage(
+                charge_component=None,
+                check_secondary=False,
+                include_constant=False,
+            ),
+            AwaitAckStage(span_name=None, counter=None, applier=load_replica),
+            ResumeStage(),
+        ]
+        self.seed_pipeline = CheckpointPipeline(
+            seed_stages, name=f"{self.name}-seed"
+        )
+
+    def _make_context(self, vm, epoch: int) -> CheckpointContext:
+        return CheckpointContext(
+            sim=self.sim,
+            primary=self.primary,
+            secondary=self.secondary,
+            vm=vm,
+            link=self.link,
+            cost=self.cost,
+            translator=self.translator,
+            engine_name=self.name,
+            component="replication",
+            device_manager=self.device_manager,
+            epoch=epoch,
+        )
 
     def start(self, vm_name: str):
         """Begin lock-stepped protection of ``vm_name``."""
@@ -186,6 +289,14 @@ class ColoEngine:
         self.vm = self.primary.get_vm(vm_name)
         self.device_manager = DeviceManager(self.sim, self.vm)
         self.stats = ColoStats(vm_name=vm_name, started_at=self.sim.now)
+        self._build_pipelines()
+        self._session_span = self.sim.telemetry.span(
+            "colo.session",
+            engine=self.name,
+            vm=vm_name,
+            heterogeneous=self.heterogeneous,
+            divergence_probability=self.divergence_probability,
+        )
         self.process = self.sim.process(
             self._lockstep_loop(), name=f"colo:{self.name}"
         )
@@ -224,6 +335,11 @@ class ColoEngine:
         finally:
             self._active = False
             self.stats.stopped_at = self.sim.now
+            self._session_span.end(
+                stop_reason=self.stats.stop_reason,
+                comparisons=self.stats.comparison_count,
+                divergences=self.stats.divergence_count,
+            )
             if (
                 not vm.is_destroyed
                 and self.primary.is_responsive
@@ -240,6 +356,12 @@ class ColoEngine:
         self.device_manager.admit()
         StateTranslator.prepare_guest(vm, self.primary, self.secondary)
         seed_start = self.sim.now
+        seed_span = self.sim.telemetry.span(
+            "colo.seeding",
+            parent=self._session_span,
+            engine=self.name,
+            vm=vm.name,
+        )
         self.replica_vm = self.secondary.create_vm(
             vm.name,
             vcpus=vm.vcpu_count,
@@ -255,9 +377,11 @@ class ColoEngine:
         self.replica_vm.start()
         self.device_manager.begin_protection()
         self.stats.seeding_duration = self.sim.now - seed_start
+        seed_span.end(iterations=len(precopy.iterations))
 
     def _compare_outputs(self, vm):
         """One comparison point: release matching output or force a sync."""
+        bus = self.sim.telemetry
         self.primary._check_responsive()
         self.secondary._check_responsive()
         traffic_epoch = self.device_manager.seal_epoch()
@@ -268,53 +392,42 @@ class ColoEngine:
         if diverged:
             # Replica state is no longer equivalent: force a full
             # synchronisation before the buffered output may escape.
-            sync_start = self.sim.now
-            vm.pause()
-            snapshot = self.primary.read_dirty_bitmap(vm, clear=True)
-            dirty = snapshot.unique_dirty_pages()
-            yield from timed_page_send(
-                self.sim, self.primary.host, self.link.forward,
-                split_evenly(dirty, 1), self.cost, component="replication",
+            ctx = self._make_context(vm, epoch=self.stats.comparison_count)
+            ctx.checkpoint_span = bus.span(
+                "colo.sync",
+                parent=self._session_span,
+                engine=self.name,
+                comparison=self.stats.comparison_count,
             )
-            payload = self.primary.extract_guest_state(vm)
-            if self.heterogeneous:
-                yield self.sim.timeout(
-                    self.translator.translation_cost(
-                        vm.vcpu_count, len(vm.devices)
-                    )
+            ctx.state_parent = ctx.checkpoint_span
+            yield from self.sync_pipeline.run(ctx)
+            record.sync_duration = ctx.pause_duration
+            record.dirty_pages = ctx.dirty_pages
+            ctx.checkpoint_span.end(
+                dirty_pages=ctx.dirty_pages, duration=ctx.pause_duration
+            )
+            if bus.enabled:
+                bus.counter(
+                    "colo.bytes_sent",
+                    ctx.dirty_pages * PAGE_SIZE,
+                    engine=self.name,
                 )
-                payload = self.translator.translate(payload, self.secondary)
-            yield self.link.transfer(
-                state_payload_bytes(vm.vcpu_count, len(vm.devices))
-            )
-            yield self.sim.timeout(self.cost.checkpoint_constant)
-            self.secondary.load_guest_state(self.replica_vm, payload)
-            yield self.link.ack()
-            vm.resume()
-            record.sync_duration = self.sim.now - sync_start
-            record.dirty_pages = dirty
+                bus.counter("colo.divergence", 1.0, engine=self.name)
         # Either way the compared (or resynchronised) epoch is safe.
         self.device_manager.release_epoch(traffic_epoch)
         self.stats.comparisons.append(record)
+        bus.counter("colo.comparison", 1.0, engine=self.name)
 
     def _synchronise(self, vm, dirty_pages: float):
         """Initial stop-and-copy establishing the lock-step pair."""
-        vm.pause()
-        yield from timed_page_send(
-            self.sim, self.primary.host, self.link.forward,
-            split_evenly(dirty_pages, 1), self.cost,
-            component="replication",
-            per_page_cost=self.cost.migration_page_cost,
+        ctx = self._make_context(vm, epoch=0)
+        ctx.dirty_pages = dirty_pages
+        ctx.checkpoint_span = self.sim.telemetry.span(
+            "colo.sync.initial", parent=self._session_span, engine=self.name
         )
-        payload = self.primary.extract_guest_state(vm)
-        if self.heterogeneous:
-            payload = self.translator.translate(payload, self.secondary)
-        yield self.link.transfer(
-            state_payload_bytes(vm.vcpu_count, len(vm.devices))
-        )
-        self.secondary.load_guest_state(self.replica_vm, payload)
-        yield self.link.ack()
-        vm.resume()
+        ctx.state_parent = ctx.checkpoint_span
+        yield from self.seed_pipeline.run(ctx)
+        ctx.checkpoint_span.end(pages=dirty_pages)
 
 
 def colo_engine(

@@ -7,8 +7,9 @@ state, wait for the replica's acknowledgement, resume, release the
 buffered output.  All four of the paper's architectural components
 meet here:
 
-* the **state manager** is the engine itself plus the transfer
-  machinery of :mod:`repro.migration.transfer`;
+* the **state manager** is the engine itself plus the stage pipeline
+  of :mod:`repro.replication.pipeline` (which in turn drives the
+  transfer machinery of :mod:`repro.migration.transfer`);
 * the **device manager** (:mod:`repro.replication.devices`) owns
   output commit and the heterogeneous device switch;
 * the **state translator** (:mod:`repro.replication.translator`)
@@ -24,27 +25,31 @@ Concrete configurations: :func:`repro.replication.remus.remus_engine`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..hardware.link import LinkPair
 from ..hardware.perfmodel import TransferCostModel
-from ..hardware.units import MIB, PAGE_SIZE
+from ..hardware.units import MIB
 from ..hardware.host import HostFailure
 from ..hypervisor.base import Hypervisor
 from ..hypervisor.errors import HypervisorDown
-from ..migration.chunks import per_thread_dirty_pages
-from ..migration.engine import state_payload_bytes
 from ..migration.precopy import iterative_precopy
-from ..migration.transfer import split_evenly, timed_page_send
 from ..simkernel.errors import Interrupt
 from ..telemetry import NULL_SPAN
 from ..vm.machine import VmLifecycleError
-from .checkpoint import CheckpointRecord, ReplicationStats
+from .checkpoint import ReplicationStats
 from .compression import CompressionModel
 from .devices import DeviceManager
 from .period import PeriodController
-from .protocol import CheckpointMessage, ReplicaSession
+from .pipeline import (
+    CheckpointContext,
+    CheckpointPipeline,
+    StageFault,
+    build_checkpoint_pipeline,
+    build_seeding_sync_pipeline,
+)
+from .protocol import ReplicaSession
 from .translator import StateTranslator
 
 
@@ -89,6 +94,8 @@ class ReplicationEngine:
         translator: Optional[StateTranslator] = None,
         cost_model: Optional[TransferCostModel] = None,
         name: str = "asr",
+        pipeline: Optional[CheckpointPipeline] = None,
+        sync_pipeline: Optional[CheckpointPipeline] = None,
     ):
         self.sim = sim
         self.primary = primary
@@ -98,6 +105,14 @@ class ReplicationEngine:
         self.translator = translator or StateTranslator()
         self.cost = cost_model or primary.host.cost_model
         self.name = name
+        # Custom stage lineups; the config-derived presets are built at
+        # start() time (so late config tweaks are honoured) when unset.
+        self._pipeline_override = pipeline
+        self._sync_pipeline_override = sync_pipeline
+        #: The continuous-checkpoint and seeding-sync pipelines actually
+        #: in use; populated by start().
+        self.pipeline: Optional[CheckpointPipeline] = None
+        self.sync_pipeline: Optional[CheckpointPipeline] = None
         # Populated by start():
         self.vm = None
         self.replica_vm = None
@@ -149,6 +164,15 @@ class ReplicationEngine:
         self.config.controller.bind_telemetry(
             self.sim.telemetry, engine=self.name
         )
+        self.pipeline = self._pipeline_override or build_checkpoint_pipeline(
+            self.config, self.heterogeneous, name=f"{self.name}-checkpoint"
+        )
+        self.sync_pipeline = (
+            self._sync_pipeline_override
+            or build_seeding_sync_pipeline(
+                self.config, self.heterogeneous, name=f"{self.name}-seeding"
+            )
+        )
         self.process = self.sim.process(
             self._replication_loop(), name=f"replication:{self.name}"
         )
@@ -182,7 +206,12 @@ class ReplicationEngine:
                     break
                 try:
                     pause_duration = yield from self._checkpoint(vm, period)
-                except (HypervisorDown, HostFailure, VmLifecycleError) as failure:
+                except (
+                    HypervisorDown,
+                    HostFailure,
+                    VmLifecycleError,
+                    StageFault,
+                ) as failure:
                     self.stats.stop_reason = str(failure)
                     break
                 except Interrupt as interrupt:
@@ -288,18 +317,12 @@ class ReplicationEngine:
         remaining = precopy.remaining_dirty
         if use_pml and config.resend_problematic:
             remaining += precopy.problematic_total
-        yield from timed_page_send(
-            self.sim,
-            self.primary.host,
-            self.link.forward,
-            split_evenly(remaining, config.checkpoint_threads),
-            self.cost,
-            component="replication",
-            per_page_cost=self.cost.migration_page_cost,
-        )
-        yield from self._send_state_and_ack(
-            vm, remaining, initial=True, parent=sync_span
-        )
+        ctx = self._make_context(vm, epoch=self._epoch, initial=True)
+        ctx.dirty_pages = remaining
+        ctx.checkpoint_span = sync_span
+        ctx.state_parent = sync_span
+        yield from self.sync_pipeline.run(ctx)
+        self._epoch += 1
         # All output from now on is buffered until the covering
         # checkpoint is acknowledged (output commit).
         self.device_manager.begin_protection()
@@ -309,168 +332,44 @@ class ReplicationEngine:
         sync_span.end(pages=remaining)
         seed_span.end(iterations=len(precopy.iterations))
 
+    def _make_context(
+        self, vm, epoch: int, period: float = 0.0, initial: bool = False
+    ) -> CheckpointContext:
+        return CheckpointContext(
+            sim=self.sim,
+            primary=self.primary,
+            secondary=self.secondary,
+            vm=vm,
+            link=self.link,
+            cost=self.cost,
+            translator=self.translator,
+            engine_name=self.name,
+            component="replication",
+            device_manager=self.device_manager,
+            replica_session=self.replica_session,
+            stats=self.stats,
+            epoch=epoch,
+            period=period,
+            initial=initial,
+        )
+
     def _checkpoint(self, vm, period: float):
-        """One checkpoint (Fig. 3 steps 1–6); returns the pause duration."""
-        config = self.config
-        self.primary._check_responsive()
-        bus = self.sim.telemetry
-        epoch = self._epoch
-        pause_start = self.sim.now
-        checkpoint_span = bus.span(
+        """One checkpoint (Fig. 3 steps 1–6); returns the pause duration.
+
+        The actual steps live in :mod:`repro.replication.pipeline`; this
+        method only frames the run — the per-epoch context, the covering
+        ``replication.checkpoint`` span — and advances the epoch.
+        """
+        ctx = self._make_context(vm, epoch=self._epoch, period=period)
+        ctx.checkpoint_span = self.sim.telemetry.span(
             "replication.checkpoint",
             parent=self._session_span,
             engine=self.name,
             vm=vm.name,
-            epoch=epoch,
+            epoch=ctx.epoch,
             period=period,
         )
-        pause_span = bus.span(
-            "replication.checkpoint.pause",
-            parent=checkpoint_span,
-            engine=self.name,
-            epoch=epoch,
-        )
-        vm.pause()  # (1)
-        traffic_epoch = self.device_manager.seal_epoch()
-        snapshot = self.primary.read_dirty_bitmap(vm, clear=True)
-        dirty = snapshot.unique_dirty_pages()
-        threads = config.checkpoint_threads
-        if config.chunked_transfer:
-            # HERE §7.2(2): threads own disjoint interleaved 2 MiB
-            # regions; each scans only its own share of the bitmap.
-            shares = per_thread_dirty_pages(snapshot, threads)
-            scan_shares = split_evenly(vm.total_pages, threads)
-        else:
-            # Stock Remus: one thread walks the whole bitmap.
-            shares = split_evenly(dirty, threads)
-            scan_shares = split_evenly(vm.total_pages, threads)
-        if config.compression is not None:
-            per_page = (
-                self.cost.page_send_cost
-                + config.compression.cpu_cost_per_page
-            )
-            wire_per_page = config.compression.wire_bytes_per_page
-        else:
-            per_page = self.cost.page_send_cost
-            wire_per_page = None
-        transfer_span = bus.span(
-            "replication.checkpoint.transfer",
-            parent=checkpoint_span,
-            engine=self.name,
-            epoch=epoch,
-        )
-        transfer_duration = yield from timed_page_send(  # (2)
-            self.sim,
-            self.primary.host,
-            self.link.forward,
-            shares,
-            self.cost,
-            component="replication",
-            scan_pages_per_thread=scan_shares,
-            per_page_cost=per_page,
-            wire_bytes_per_page=wire_per_page,
-        )
-        transfer_span.end(pages=dirty, threads=threads)
-        yield from self._send_state_and_ack(
-            vm, dirty, parent=checkpoint_span
-        )  # (3) + (4)
-        vm.resume()  # (5)
-        pause_duration = self.sim.now - pause_start
-        pause_span.end()
-        released = self.device_manager.release_epoch(traffic_epoch)  # (6)
-        # Wire bytes, not logical bytes: with compression enabled each
-        # page costs wire_bytes_per_page on the link, and the stats (and
-        # the compression ablations built on them) must report what the
-        # interconnect actually carried.
-        bytes_sent = dirty * (
-            wire_per_page if wire_per_page is not None else PAGE_SIZE
-        )
-        self.stats.checkpoints.append(
-            CheckpointRecord(
-                epoch=epoch,
-                started_at=pause_start,
-                period_used=period,
-                pause_duration=pause_duration,
-                transfer_duration=transfer_duration,
-                dirty_pages=dirty,
-                bytes_sent=bytes_sent,
-                acked_at=self.sim.now,
-                packets_released=len(released),
-            )
-        )
-        checkpoint_span.end(
-            dirty_pages=dirty,
-            bytes_sent=bytes_sent,
-            packets_released=len(released),
-        )
-        if bus.enabled:
-            bus.counter(
-                "replication.bytes_sent", bytes_sent, engine=self.name
-            )
-        return pause_duration
-
-    def _send_state_and_ack(
-        self, vm, dirty_pages: int, initial: bool = False, parent=None
-    ):
-        """Extract, translate, ship and apply vCPU/device state; await ack.
-
-        ``dirty_pages`` is a page count.  The dirty-tracking model hands
-        back analytic *expected* counts, which may be fractional; they
-        are rounded to whole pages at the protocol boundary, since the
-        wire message describes discrete pages.  ``parent`` is the
-        telemetry span (checkpoint or seeding sync) the translate/ack
-        sub-spans nest under.
-        """
-        bus = self.sim.telemetry
-        payload = self.primary.extract_guest_state(vm)
-        if self.heterogeneous:
-            translation_time = self.translator.translation_cost(
-                vm.vcpu_count, len(vm.devices)
-            )
-            translate_span = bus.span(
-                "replication.checkpoint.translate",
-                parent=parent,
-                engine=self.name,
-                epoch=self._epoch,
-            )
-            self.primary.host.cpu_accounting.charge(
-                "replication", translation_time
-            )
-            yield self.sim.timeout(translation_time)
-            payload = self.translator.translate(payload, self.secondary)
-            translate_span.end(
-                vcpus=vm.vcpu_count,
-                devices=len(vm.devices),
-                cpu_seconds=translation_time,
-            )
-        yield self.link.transfer(
-            state_payload_bytes(vm.vcpu_count, len(vm.devices))
-        )
-        # Pause/unpause bookkeeping, device-state collection, etc.
-        yield self.sim.timeout(self.cost.checkpoint_constant)
-        self.primary.host.cpu_accounting.charge(
-            "replication", self.cost.checkpoint_constant
-        )
-        self.secondary._check_responsive()
-        page_count = int(round(dirty_pages))
-        message = CheckpointMessage(
-            vm_name=vm.name,
-            epoch=self._epoch,
-            sent_at=self.sim.now,
-            dirty_pages=page_count,
-            memory_bytes=page_count * PAGE_SIZE,
-            state_payload=payload,
-            initial=initial,
-            guest_os_failed=vm.guest_os_failed,
-        )
-        ack_span = bus.span(
-            "replication.checkpoint.ack",
-            parent=parent,
-            engine=self.name,
-            epoch=self._epoch,
-        )
-        self.replica_session.apply(message)
-        yield self.link.ack()  # (4) acknowledgement from the backup
-        ack_span.end()
-        bus.counter("replication.epoch_acked", 1.0, engine=self.name)
+        ctx.state_parent = ctx.checkpoint_span
+        yield from self.pipeline.run(ctx)
         self._epoch += 1
+        return ctx.pause_duration

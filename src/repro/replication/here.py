@@ -18,6 +18,7 @@ from ..hardware.perfmodel import TransferCostModel
 from ..hypervisor.base import Hypervisor
 from .engine import ReplicationConfig, ReplicationEngine
 from .period import DynamicPeriodController, FixedPeriodController, PeriodController
+from .pipeline import CheckpointPipeline, build_checkpoint_pipeline
 from .translator import StateTranslator
 
 #: Default number of checkpoint transfer threads (one per vCPU of the
@@ -59,6 +60,23 @@ def here_config(
         checkpoint_threads=checkpoint_threads,
         chunked_transfer=True,
         per_vcpu_seeding=True,
+    )
+
+
+def here_pipeline(
+    checkpoint_threads: int = DEFAULT_CHECKPOINT_THREADS,
+) -> CheckpointPipeline:
+    """HERE's checkpoint as a declarative stage lineup.
+
+    Identical stage sequence to Remus's — that is the point of the
+    pipeline — differing only in the chunked round-robin multithreaded
+    transfer policy (§7.2(2)) and the ``translate`` stage between state
+    extraction and shipping (§7.4), which *is* the heterogeneity.
+    """
+    return build_checkpoint_pipeline(
+        here_config(here_controller(0.3), checkpoint_threads),
+        heterogeneous=True,
+        name="here-checkpoint",
     )
 
 

@@ -24,7 +24,7 @@ class TestDeploymentSpec:
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
-            DeploymentSpec(engine="colo")
+            DeploymentSpec(engine="vmware-ft")
 
     def test_remus_needs_finite_period(self):
         with pytest.raises(ValueError):
@@ -72,6 +72,105 @@ class TestProtectedDeployment:
         deployment.run_for(20.0)
         assert deployment.vm.pause_count == 0
         assert deployment.service is not None
+
+    def test_colo_deployment(self):
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="colo",
+                comparison_interval=0.05,
+                memory_bytes=GIB,
+                secondary_flavor="xen",
+            )
+        )
+        # Lock-stepping has no ASR failover protocol to arm.
+        assert deployment.failover is None
+        deployment.start_protection()
+        deployment.run_for(5.0)
+        assert deployment.stats.comparison_count > 10
+        assert deployment.replica.is_running
+
+    def test_colo_deployment_serves_through_output_commit(self):
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="colo", memory_bytes=GIB, secondary_flavor="xen"
+            )
+        )
+        deployment.start_protection()
+        connection = deployment.attach_service()
+        request = deployment.sim.process(connection.request())
+        latency = deployment.sim.run_until_triggered(
+            request, limit=deployment.sim.now + 5.0
+        )
+        assert latency < 0.1
+
+
+class TestProtectedFleet:
+    @staticmethod
+    def make_planned_fleet(vms=4, seed=0):
+        from repro.cluster import (
+            PlacementRequest,
+            ProtectedFleet,
+            ReplicationPlanner,
+        )
+        from repro.hardware import Host, MemorySpec
+        from repro.hypervisor import KvmHypervisor, XenHypervisor
+
+        sim = Simulation(seed=seed)
+        xen = XenHypervisor(
+            sim,
+            Host(sim, "xen-0", memory=MemorySpec(total_bytes=64 * GIB)),
+            here_patches=True,
+        )
+        kvms = [
+            KvmHypervisor(
+                sim,
+                Host(sim, f"kvm-{i}", memory=MemorySpec(total_bytes=64 * GIB)),
+            )
+            for i in range(2)
+        ]
+        requests = []
+        for index in range(vms):
+            vm = xen.create_vm(f"vm-{index}", vcpus=2, memory_bytes=GIB)
+            vm.start()
+            requests.append(PlacementRequest(f"vm-{index}", xen, GIB))
+        plan = ReplicationPlanner([xen] + kvms).plan(requests)
+        assert plan.fully_placed
+        fleet = ProtectedFleet(sim, plan, t_max=2.0, target_degradation=0.0)
+        return sim, plan, fleet
+
+    def test_one_engine_per_placement_sharing_pair_links(self):
+        _sim, plan, fleet = self.make_planned_fleet()
+        assert set(fleet.engines) == {p.vm_name for p in plan.placements}
+        # One shared LinkPair per host pair, not per VM.
+        assert set(fleet.links) == set(plan.by_host_pair())
+        for pair, placements in plan.by_host_pair().items():
+            for placement in placements:
+                assert fleet.engines[placement.vm_name].link is (
+                    fleet.links[pair]
+                )
+
+    def test_fleet_replicates_all_vms(self):
+        sim, _plan, fleet = self.make_planned_fleet()
+        fleet.start_protection()
+        fleet.run_for(8.0)
+        for vm_name, stats in fleet.stats.items():
+            assert stats.checkpoint_count >= 2, vm_name
+        fleet.halt("test over")
+        sim.run(until=sim.now + 1.0)
+        assert all(not e.is_active for e in fleet.engines.values())
+
+    def test_every_fleet_engine_runs_the_stage_pipeline(self):
+        _sim, _plan, fleet = self.make_planned_fleet()
+        fleet.start_protection()
+        for engine in fleet.engines.values():
+            assert engine.pipeline.has_stage("translate")  # xen -> kvm
+            assert engine.pipeline.has_stage("commit-release")
+
+    def test_empty_plan_rejected(self):
+        from repro.cluster import PlanResult, ProtectedFleet
+
+        with pytest.raises(ValueError):
+            ProtectedFleet(Simulation(seed=0), PlanResult())
 
 
 class TestVirtManager:

@@ -134,6 +134,79 @@ class TestLockstepExecution:
         assert not engine.device_manager.egress.buffering
 
 
+class TestTelemetry:
+    def test_traced_run_records_comparisons_and_divergences(self):
+        sim, _x, _s, _vm, engine = build(divergence_probability=1.0)
+        from repro.telemetry import Recorder
+
+        recorder = Recorder()
+        sim.telemetry.subscribe(recorder)
+        engine.start("protected")
+        sim.run_until_triggered(engine.ready)
+        sim.run(until=sim.now + 3.0)
+        engine.halt("done")
+        sim.run(until=sim.now + 1.0)
+        stats = engine.stats
+        assert recorder.records  # the PR-1 gap: COLO traces were empty
+        session = recorder.spans("colo.session")[0]
+        assert session.attrs["comparisons"] == stats.comparison_count
+        assert session.attrs["divergences"] == stats.divergence_count
+        comparisons = [
+            r for r in recorder.records if r.name == "colo.comparison"
+        ]
+        assert len(comparisons) == stats.comparison_count
+        divergences = [
+            r for r in recorder.records if r.name == "colo.divergence"
+        ]
+        assert len(divergences) == stats.divergence_count
+        sync_bytes = sum(
+            r.value for r in recorder.records if r.name == "colo.bytes_sent"
+        )
+        assert sync_bytes > 0
+        assert len(recorder.spans("colo.sync")) == stats.divergence_count
+
+    def test_syncs_run_through_pipeline_stages(self):
+        sim, _x, _s, _vm, engine = build(divergence_probability=1.0)
+        from repro.telemetry import Recorder
+
+        recorder = Recorder()
+        sim.telemetry.subscribe(recorder)
+        engine.start("protected")
+        sim.run_until_triggered(engine.ready)
+        sim.run(until=sim.now + 2.0)
+        stage_spans = recorder.spans("pipeline.stage")
+        assert stage_spans
+        pipelines = {span.attrs["pipeline"] for span in stage_spans}
+        assert pipelines == {"colo-seed", "colo-sync"}
+        sync_stages = [
+            span.attrs["stage"]
+            for span in stage_spans
+            if span.attrs["pipeline"] == "colo-sync"
+        ]
+        # Homogeneous pair: the sync lineup carries no translate stage.
+        assert "translate" not in sync_stages
+        assert "transfer" in sync_stages
+
+    def test_untraced_run_is_bit_identical(self):
+        def run(traced):
+            sim, _x, _s, _vm, engine = build(seed=13)
+            if traced:
+                from repro.telemetry import Recorder
+
+                sim.telemetry.subscribe(Recorder())
+            engine.start("protected")
+            sim.run_until_triggered(engine.ready)
+            sim.run(until=sim.now + 8.0)
+            return (
+                sim.now,
+                engine.stats.comparison_count,
+                engine.stats.divergence_count,
+                engine.stats.total_sync_time(),
+            )
+
+        assert run(traced=False) == run(traced=True)
+
+
 class TestHeterogeneousCollapse:
     def test_heterogeneous_lockstep_degenerates(self):
         """The paper's §5.4 argument, measured: a heterogeneous pair

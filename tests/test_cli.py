@@ -44,6 +44,32 @@ class TestReplicateCommand:
     def test_bad_degradation_rejected(self, capsys):
         assert main(["replicate", "--degradation", "1.5"]) == 2
 
+    def test_colo_run_reports_comparisons(self, capsys):
+        code = main([
+            "replicate", "--engine", "colo", "--memory-gib", "1",
+            "--duration", "10", "--load", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "comparisons" in out
+        assert "divergence rate" in out
+
+    def test_colo_trace_is_non_empty(self, capsys, tmp_path):
+        from repro.telemetry import recorder_from_trace
+
+        path = tmp_path / "colo.jsonl"
+        code = main([
+            "replicate", "--engine", "colo", "--memory-gib", "1",
+            "--duration", "10", "--load", "0.2", "--trace", str(path),
+        ])
+        assert code == 0
+        recorder = recorder_from_trace(path)
+        assert recorder.spans("colo.session")
+        comparisons = [
+            r for r in recorder.records if r.name == "colo.comparison"
+        ]
+        assert comparisons  # the PR-1 gap: COLO --trace recorded nothing
+
     def test_trace_writes_reconstructable_jsonl(self, capsys, tmp_path):
         from repro.replication.checkpoint import ReplicationStats
         from repro.telemetry import recorder_from_trace
