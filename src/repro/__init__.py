@@ -30,6 +30,8 @@ Packages:
 * :mod:`repro.analysis`    -- measurement, fitting, reporting
 * :mod:`repro.cluster`     -- deployments, scenarios, libvirt-ish facade
 * :mod:`repro.telemetry`   -- simulation-wide event bus, traces, metrics
+* :mod:`repro.faults`      -- fault injection, adaptive detection,
+  re-protection, chaos campaigns
 """
 
 from .cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline

@@ -6,7 +6,9 @@ from .availability import (
     annual_downtime,
     availability_nines,
     compare_availability,
+    double_failure_risk,
     downtime_per_failure_unprotected,
+    observed_availability_nines,
 )
 from .export import ResultsWriter, load_results
 from .degradation import (
@@ -44,6 +46,7 @@ __all__ = [
     "availability_nines",
     "checkpoint_degradation",
     "compare_availability",
+    "double_failure_risk",
     "downtime_per_failure_unprotected",
     "estimate_alpha",
     "format_value",
@@ -51,6 +54,7 @@ __all__ = [
     "linear_fit",
     "load_results",
     "measure_overhead",
+    "observed_availability_nines",
     "rate_of_progress",
     "relative_change",
     "render_bars",

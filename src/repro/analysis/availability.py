@@ -105,6 +105,44 @@ def availability_nines(annual_downtime_seconds: float) -> float:
     return -math.log10(unavailability)
 
 
+def observed_availability_nines(
+    downtime_seconds: float, observed_seconds: float
+) -> float:
+    """Nines over a *measured* window (e.g. one chaos-campaign trial).
+
+    Unlike :func:`availability_nines` this does not annualise: it is
+    the unavailability fraction actually observed during the window.
+    """
+    if observed_seconds <= 0:
+        raise ValueError("the observation window must be positive")
+    if downtime_seconds < 0:
+        raise ValueError("downtime must be >= 0")
+    if downtime_seconds == 0:
+        return math.inf
+    unavailability = downtime_seconds / observed_seconds
+    if unavailability >= 1.0:
+        return 0.0
+    return -math.log10(unavailability)
+
+
+def double_failure_risk(
+    unprotected_window_s: float, failures_per_year: float
+) -> float:
+    """Probability a second, independent failure lands inside the
+    unprotected window that follows a failover.
+
+    During that window HERE is 0-redundant, so a second failure is
+    fatal.  Failures are modelled as a Poisson process:
+    ``P = 1 - exp(-rate * window)``.  This is the quantity the measured
+    ``reprotection`` spans feed — the faster re-seeding completes, the
+    smaller the risk.
+    """
+    if unprotected_window_s < 0 or failures_per_year < 0:
+        raise ValueError("inputs must be >= 0")
+    rate = failures_per_year / SECONDS_PER_YEAR
+    return 1.0 - math.exp(-rate * unprotected_window_s)
+
+
 @dataclass(frozen=True)
 class AvailabilityComparison:
     """Replicated vs unprotected availability for one failure model."""

@@ -118,6 +118,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma list of name:memory_gib entries (primaries on Xen)",
     )
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded chaos campaign: faults -> failover -> re-protection",
+    )
+    chaos.add_argument("--trials", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--vms", type=int, default=2)
+    chaos.add_argument("--faults", type=int, default=1,
+                       help="faults injected per trial")
+    chaos.add_argument(
+        "--detector", choices=["heartbeat", "phi"], default="heartbeat",
+        help="failure detector: fixed miss threshold or adaptive phi-accrual",
+    )
+    chaos.add_argument(
+        "--kinds", default="host-crash,hypervisor-crash,hypervisor-hang,link-partition",
+        help="comma list of fault kinds to draw from",
+    )
+    chaos.add_argument("--recovery-time", type=float, default=60.0,
+                       help="seconds each trial runs after the fault window")
+    _add_trace_argument(chaos)
+
     subparsers.add_parser(
         "experiments", help="list every paper table/figure benchmark"
     )
@@ -394,8 +415,66 @@ def _cmd_plan(args) -> int:
     return 0 if result.fully_placed else 1
 
 
+def _cmd_chaos(args) -> int:
+    from .faults import CampaignConfig, ChaosCampaign, FaultKind
+
+    try:
+        kinds = tuple(
+            FaultKind(entry.strip())
+            for entry in args.kinds.split(",")
+            if entry.strip()
+        )
+        config = CampaignConfig(
+            trials=args.trials,
+            seed=args.seed,
+            vms=args.vms,
+            faults_per_trial=args.faults,
+            kinds=kinds,
+            detector=args.detector,
+            recovery_time=args.recovery_time,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    subscribers = []
+    writer = None
+    if args.trace is not None:
+        from .telemetry import TraceWriter
+
+        writer = TraceWriter(args.trace)
+        subscribers.append(writer)
+    try:
+        result = ChaosCampaign(config, subscribers=subscribers).run()
+    finally:
+        if writer is not None:
+            writer.close()
+    print(render_table(
+        result.summary_rows(),
+        title=f"Chaos campaign (seed={args.seed}, detector={args.detector})",
+    ))
+    print(render_table(
+        [
+            {
+                "trial": trial.index,
+                "faults": "; ".join(trial.faults) or "none",
+                "failovers": trial.failovers,
+                "dropped": trial.dropped_vms,
+                "mean unprotected (s)": (
+                    sum(trial.unprotected_windows.values())
+                    / len(trial.unprotected_windows)
+                ) if trial.unprotected_windows else float("nan"),
+                "nines": trial.nines,
+            }
+            for trial in result.trials
+        ],
+        title="Per-trial outcomes",
+    ))
+    return 0 if result.total_dropped_vms == 0 else 1
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "chaos": _cmd_chaos,
     "plan": _cmd_plan,
     "replicate": _cmd_replicate,
     "migrate": _cmd_migrate,

@@ -11,6 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+# Import from the concrete faults modules (not the package __init__)
+# to keep the cluster <-> faults import graph acyclic.
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
 from ..net.service import ServiceInterrupted
 from ..security.dataset import build_default_database
 from ..security.exploits import (
@@ -95,6 +99,16 @@ class ScenarioRunner:
         deployment.attach_service()
         return deployment
 
+    @staticmethod
+    def _injector(deployment: ProtectedDeployment) -> FaultInjector:
+        """A fault injector wired to the deployment's whole topology."""
+        return FaultInjector(
+            deployment.sim,
+            hosts=[deployment.testbed.primary, deployment.testbed.secondary],
+            links=[deployment.testbed.interconnect],
+            vms=[deployment.vm],
+        )
+
     def _finish(
         self,
         deployment: ProtectedDeployment,
@@ -132,10 +146,15 @@ class ScenarioRunner:
         deployment = self._build()
         sim = deployment.sim
         injected_at = sim.now + self.settle_time
-        sim.schedule_callback(
-            self.settle_time,
-            lambda: deployment.testbed.primary.fail("power loss"),
-            name="power-cut",
+        self._injector(deployment).schedule(
+            FaultSchedule.single(
+                FaultSpec(
+                    FaultKind.HOST_CRASH,
+                    target=deployment.testbed.primary.name,
+                    at=self.settle_time,
+                    reason="power loss",
+                )
+            )
         )
         return self._finish(
             deployment,
@@ -167,9 +186,17 @@ class ScenarioRunner:
             outcome=outcome,
             seed=self.seed,
         )
-        injector = ExploitInjector(sim)
         injected_at = sim.now + self.settle_time
-        injector.launch_at(exploit, deployment.primary, injected_at)
+        self._injector(deployment).schedule(
+            FaultSchedule.single(
+                FaultSpec(
+                    FaultKind.EXPLOIT,
+                    target=deployment.testbed.primary.name,
+                    at=self.settle_time,
+                    exploit=exploit,
+                )
+            )
+        )
         if outcome is PostAttackOutcome.STARVATION:
             # Starvation keeps the hypervisor responsive; an attack
             # detector (§6) reports it so the failover can proceed.
@@ -202,17 +229,25 @@ class ScenarioRunner:
         deployment = self._build()
         sim = deployment.sim
         injected_at = sim.now + self.settle_time
-        sim.schedule_callback(
-            self.settle_time,
-            lambda: deployment.vm.guest_os_crash("self-inflicted failure"),
-            name="guest-crash",
-        )
         # Give replication time to checkpoint the broken state, then
         # take the primary down so failover activates the replica.
-        sim.schedule_callback(
-            self.settle_time + 12.0,
-            lambda: deployment.primary.crash("follow-up host DoS"),
-            name="host-crash",
+        self._injector(deployment).schedule(
+            FaultSchedule(
+                [
+                    FaultSpec(
+                        FaultKind.GUEST_CRASH,
+                        target=deployment.vm.name,
+                        at=self.settle_time,
+                        reason="self-inflicted failure",
+                    ),
+                    FaultSpec(
+                        FaultKind.HYPERVISOR_CRASH,
+                        target=deployment.testbed.primary.name,
+                        at=self.settle_time + 12.0,
+                        reason="follow-up host DoS",
+                    ),
+                ]
+            )
         )
         return self._finish(
             deployment,

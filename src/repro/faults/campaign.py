@@ -1,0 +1,409 @@
+"""Seeded chaos campaigns over a protected fleet.
+
+One campaign executes N independent trials.  Each trial stands up a
+heterogeneous fleet (Xen primaries, KVM secondaries, one spare Xen
+host), protects every VM through the planner +
+:class:`~repro.cluster.deployment.ProtectedFleet`, arms a detector, a
+failover controller and a re-protection controller per engine, draws a
+randomized :class:`~repro.faults.spec.FaultSchedule` from the trial's
+seeded random stream, and lets detection -> failover -> re-protection
+play out.  Metrics are aggregated *from the telemetry bus* (a
+:class:`~repro.telemetry.recorder.Recorder` per trial), so exactly the
+numbers a trace file carries: MTTR, unprotected windows, dropped VMs
+and availability nines.
+
+Determinism: every random draw comes from the trial simulation's named
+streams, themselves derived from the campaign seed — the same seed
+reproduces the same faults, the same detection times and the same
+aggregate numbers, which is what the regression suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.availability import observed_availability_nines
+from ..cluster.deployment import ProtectedFleet
+from ..cluster.planner import PlacementRequest, ReplicationPlanner
+from ..hardware.host import Host
+from ..hardware.memory import MemorySpec
+from ..hardware.units import GIB
+from ..hypervisor import KvmHypervisor, XenHypervisor
+from ..replication.failover import FailoverController
+from ..replication.heartbeat import HeartbeatMonitor
+from ..simkernel.core import Simulation
+from ..simkernel.random import derive_seed
+from ..telemetry import Recorder
+from .detection import PhiAccrualDetector
+from .injector import FaultInjector
+from .reprotect import ReprotectionController
+from .spec import FaultKind, FaultSchedule
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Declarative description of one chaos campaign."""
+
+    trials: int = 3
+    seed: int = 0
+    #: Protected VMs per trial (all primaried on the Xen host).
+    vms: int = 2
+    vm_memory_bytes: int = GIB
+    host_memory_bytes: int = 64 * GIB
+    #: KVM secondary hosts; the planner spreads replicas across them.
+    kvm_hosts: int = 2
+    #: Replication runs this long before the fault window opens.
+    settle_time: float = 5.0
+    #: Injections land uniformly inside ``[settle, settle + window]``.
+    fault_window: float = 5.0
+    #: How long the trial keeps running after the window closes, so
+    #: detection, failover and re-seeding can complete.
+    recovery_time: float = 60.0
+    faults_per_trial: int = 1
+    kinds: Tuple[FaultKind, ...] = (
+        FaultKind.HOST_CRASH,
+        FaultKind.HYPERVISOR_CRASH,
+        FaultKind.HYPERVISOR_HANG,
+        FaultKind.LINK_PARTITION,
+    )
+    #: "heartbeat" (fixed miss threshold) or "phi" (adaptive accrual).
+    detector: str = "heartbeat"
+    heartbeat_interval: float = 0.03
+    miss_threshold: int = 3
+    phi_threshold: float = 8.0
+    t_max: float = 2.0
+    target_degradation: float = 0.0
+
+    def __post_init__(self):
+        if self.trials < 1:
+            raise ValueError(f"a campaign needs >= 1 trial: {self.trials}")
+        if self.vms < 1:
+            raise ValueError(f"a trial needs >= 1 VM: {self.vms}")
+        if self.kvm_hosts < 1:
+            raise ValueError("a trial needs >= 1 KVM secondary host")
+        if self.detector not in ("heartbeat", "phi"):
+            raise ValueError(f"unknown detector {self.detector!r}")
+        if self.faults_per_trial < 1:
+            raise ValueError("a trial needs >= 1 fault")
+
+
+@dataclass
+class TrialResult:
+    """Telemetry-derived outcome of one trial."""
+
+    index: int
+    seed: int
+    #: Human-readable descriptions of the injected faults.
+    faults: List[str] = field(default_factory=list)
+    fault_times: List[float] = field(default_factory=list)
+    #: Per-VM service MTTR: fault injection -> replica serving again.
+    mttr: Dict[str, float] = field(default_factory=dict)
+    #: Per-VM resumption time (the Fig. 7 metric, detection excluded).
+    resumption_times: Dict[str, float] = field(default_factory=dict)
+    #: Per-VM unprotected window: detection -> redundancy restored.
+    unprotected_windows: Dict[str, float] = field(default_factory=dict)
+    failovers: int = 0
+    failed_failovers: int = 0
+    reprotections: int = 0
+    failed_reprotections: int = 0
+    #: VMs that ended the trial with neither primary nor replica alive.
+    dropped_vms: int = 0
+    observed_seconds: float = 0.0
+    downtime_seconds: float = 0.0
+    #: Availability nines over the observed window (all VMs pooled).
+    nines: float = math.inf
+
+
+@dataclass
+class CampaignResult:
+    """All trials plus the aggregates the CLI prints."""
+
+    config: CampaignConfig
+    trials: List[TrialResult] = field(default_factory=list)
+
+    # -- aggregates ---------------------------------------------------------
+    def _all(self, attribute: str) -> List[float]:
+        values: List[float] = []
+        for trial in self.trials:
+            values.extend(getattr(trial, attribute).values())
+        return values
+
+    @property
+    def mean_mttr(self) -> float:
+        values = self._all("mttr")
+        return sum(values) / len(values) if values else math.nan
+
+    @property
+    def max_mttr(self) -> float:
+        values = self._all("mttr")
+        return max(values) if values else math.nan
+
+    @property
+    def mean_unprotected_window(self) -> float:
+        values = self._all("unprotected_windows")
+        return sum(values) / len(values) if values else math.nan
+
+    @property
+    def max_unprotected_window(self) -> float:
+        values = self._all("unprotected_windows")
+        return max(values) if values else math.nan
+
+    @property
+    def total_dropped_vms(self) -> int:
+        return sum(trial.dropped_vms for trial in self.trials)
+
+    @property
+    def total_failovers(self) -> int:
+        return sum(trial.failovers for trial in self.trials)
+
+    @property
+    def total_reprotections(self) -> int:
+        return sum(trial.reprotections for trial in self.trials)
+
+    @property
+    def pooled_nines(self) -> float:
+        """Nines over every trial's pooled VM-seconds."""
+        downtime = sum(trial.downtime_seconds for trial in self.trials)
+        observed = sum(trial.observed_seconds for trial in self.trials)
+        if observed <= 0:
+            return math.inf
+        return observed_availability_nines(downtime, observed)
+
+    def fingerprint(self) -> dict:
+        """The determinism contract: same seed => identical dict."""
+        return {
+            "mean_mttr": round(self.mean_mttr, 9),
+            "max_mttr": round(self.max_mttr, 9),
+            "mean_unprotected_window": round(self.mean_unprotected_window, 9),
+            "dropped_vms": self.total_dropped_vms,
+            "failovers": self.total_failovers,
+            "reprotections": self.total_reprotections,
+            "pooled_nines": round(self.pooled_nines, 6)
+            if math.isfinite(self.pooled_nines)
+            else "inf",
+        }
+
+    def summary_rows(self) -> List[dict]:
+        return [
+            {"metric": "trials", "value": len(self.trials)},
+            {"metric": "faults injected",
+             "value": sum(len(t.faults) for t in self.trials)},
+            {"metric": "failovers (ok/failed)",
+             "value": f"{self.total_failovers}/"
+                      f"{sum(t.failed_failovers for t in self.trials)}"},
+            {"metric": "re-protections (ok/failed)",
+             "value": f"{self.total_reprotections}/"
+                      f"{sum(t.failed_reprotections for t in self.trials)}"},
+            {"metric": "dropped VMs", "value": self.total_dropped_vms},
+            {"metric": "mean MTTR (s)", "value": self.mean_mttr},
+            {"metric": "max MTTR (s)", "value": self.max_mttr},
+            {"metric": "mean unprotected window (s)",
+             "value": self.mean_unprotected_window},
+            {"metric": "max unprotected window (s)",
+             "value": self.max_unprotected_window},
+            {"metric": "availability (nines)", "value": self.pooled_nines},
+        ]
+
+
+class ChaosCampaign:
+    """Runs seeded chaos trials and aggregates bus telemetry."""
+
+    def __init__(
+        self,
+        config: Optional[CampaignConfig] = None,
+        subscribers: Sequence = (),
+    ):
+        self.config = config or CampaignConfig()
+        #: Extra telemetry subscribers (e.g. a TraceWriter) attached to
+        #: every trial's bus, so one JSONL file carries the campaign.
+        self.subscribers = list(subscribers)
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult(config=self.config)
+        for index in range(self.config.trials):
+            result.trials.append(self.run_trial(index))
+        return result
+
+    # -- one trial ----------------------------------------------------------
+    def run_trial(self, index: int) -> TrialResult:
+        config = self.config
+        trial_seed = derive_seed(config.seed, f"chaos-trial-{index}")
+        sim = Simulation(seed=trial_seed)
+        recorder = Recorder.attach(sim.telemetry)
+        for subscriber in self.subscribers:
+            sim.telemetry.subscribe(subscriber)
+        sim.telemetry.counter("chaos.trial", 1.0, trial=index, seed=trial_seed)
+
+        memory = MemorySpec(total_bytes=config.host_memory_bytes)
+        xen_primary = XenHypervisor(
+            sim, Host(sim, "xen-0", memory=memory), here_patches=True
+        )
+        xen_spare = XenHypervisor(
+            sim, Host(sim, "xen-1", memory=memory), here_patches=True
+        )
+        kvms = [
+            KvmHypervisor(sim, Host(sim, f"kvm-{i}", memory=memory))
+            for i in range(config.kvm_hosts)
+        ]
+        fleet_hypervisors = [xen_primary, xen_spare] + kvms
+        requests = []
+        for number in range(config.vms):
+            vm = xen_primary.create_vm(
+                f"vm-{number}",
+                vcpus=2,
+                memory_bytes=config.vm_memory_bytes,
+                seed=trial_seed,
+            )
+            vm.start()
+            requests.append(
+                PlacementRequest(vm.name, xen_primary, config.vm_memory_bytes)
+            )
+        plan = ReplicationPlanner(fleet_hypervisors).plan(requests)
+        if not plan.fully_placed:
+            raise RuntimeError(f"chaos fleet does not fit: {plan.unplaced}")
+        fleet = ProtectedFleet(
+            sim,
+            plan,
+            target_degradation=config.target_degradation,
+            t_max=config.t_max,
+        )
+        fleet.start_protection(wait_ready=True)
+
+        controllers = {}
+        for vm_name, engine in fleet.engines.items():
+            if config.detector == "phi":
+                monitor = PhiAccrualDetector(
+                    sim,
+                    engine.primary.host,
+                    engine.primary,
+                    engine.link,
+                    interval=config.heartbeat_interval,
+                    threshold=config.phi_threshold,
+                )
+            else:
+                monitor = HeartbeatMonitor(
+                    sim,
+                    engine.primary.host,
+                    engine.primary,
+                    engine.link,
+                    interval=config.heartbeat_interval,
+                    miss_threshold=config.miss_threshold,
+                )
+            monitor.start()
+            failover = FailoverController(sim, engine, monitor)
+            failover.arm()
+            reprotection = ReprotectionController(
+                sim,
+                failover,
+                spares=fleet_hypervisors,
+                target_degradation=config.target_degradation,
+                t_max=config.t_max,
+            )
+            reprotection.arm()
+            controllers[vm_name] = (monitor, failover, reprotection)
+
+        injector = FaultInjector(
+            sim,
+            hosts=[h.host for h in fleet_hypervisors],
+            links=list(fleet.links.values()),
+            vms=list(xen_primary.vms.values()),
+        )
+        schedule = FaultSchedule.random(
+            sim.random.stream("chaos.schedule"),
+            hosts=[xen_primary.host.name],
+            links=[link.name for link in fleet.links.values()],
+            kinds=config.kinds,
+            count=config.faults_per_trial,
+            window=(config.settle_time, config.settle_time + config.fault_window),
+        )
+        trial_start = sim.now
+        injector.schedule(schedule)
+        sim.run(
+            until=trial_start
+            + config.settle_time
+            + config.fault_window
+            + config.recovery_time
+        )
+        trial = self._harvest(
+            index, trial_seed, sim, recorder, fleet, controllers, trial_start
+        )
+        # Close the trial out cleanly so session spans end inside this
+        # trial's bus (and a --trace file), not at garbage collection.
+        for _monitor, _failover, reprotection in controllers.values():
+            _monitor.stop()
+            if reprotection.engine is not None:
+                reprotection.engine.halt("trial over")
+        fleet.halt("trial over")
+        sim.run(until=sim.now + 1.0)
+        return trial
+
+    def _harvest(
+        self, index, trial_seed, sim, recorder, fleet, controllers, trial_start
+    ) -> TrialResult:
+        """Build the TrialResult from the telemetry the bus recorded."""
+        trial = TrialResult(index=index, seed=trial_seed)
+        trial.observed_seconds = (sim.now - trial_start) * len(fleet.engines)
+
+        fault_counters = recorder.counters("fault.injected")
+        trial.fault_times = [record.time for record in fault_counters]
+        trial.faults = [
+            f"{record.attrs.get('kind')} on {record.attrs.get('target')}"
+            for record in fault_counters
+        ]
+
+        def fault_before(when: float) -> Optional[float]:
+            earlier = [t for t in trial.fault_times if t <= when]
+            return max(earlier) if earlier else None
+
+        for span in recorder.spans("failover"):
+            if span.attrs.get("failed"):
+                trial.failed_failovers += 1
+                continue
+            trial.failovers += 1
+            vm_name = span.attrs.get("vm", "")
+            trial.resumption_times[vm_name] = span.attrs.get(
+                "resumption_time", span.duration
+            )
+            caused_by = fault_before(span.started_at)
+            if caused_by is not None:
+                trial.mttr[vm_name] = span.ended_at - caused_by
+        for span in recorder.spans("reprotection"):
+            if span.attrs.get("failed"):
+                trial.failed_reprotections += 1
+                continue
+            trial.reprotections += 1
+            vm_name = span.attrs.get("vm", "")
+            trial.unprotected_windows[vm_name] = span.attrs.get(
+                "unprotected_window", span.duration
+            )
+
+        # Downtime accounting: a failed-over VM was dark from the fault
+        # until replica activation; a dropped VM stays dark to the end.
+        trial_end = sim.now
+        for vm_name, (monitor, failover, _reprotection) in controllers.items():
+            engine = fleet.engines[vm_name]
+            report = failover.report
+            if report is not None and not report.failed:
+                trial.downtime_seconds += trial.mttr.get(
+                    vm_name, report.resumption_time
+                )
+                continue
+            primary_alive = (
+                engine.vm is not None
+                and not engine.vm.is_destroyed
+                and engine.primary.host.is_up
+                and engine.primary.is_responsive
+            )
+            if primary_alive:
+                continue  # fault never touched this VM's primary path
+            trial.dropped_vms += 1
+            failed_at = fault_before(trial_end)
+            trial.downtime_seconds += trial_end - (
+                failed_at if failed_at is not None else trial_end
+            )
+        trial.nines = observed_availability_nines(
+            max(trial.downtime_seconds, 0.0), trial.observed_seconds
+        )
+        return trial

@@ -1,0 +1,212 @@
+"""Adaptive phi-accrual failure detection.
+
+A drop-in alternative to the fixed-threshold
+:class:`~repro.replication.heartbeat.HeartbeatMonitor` (Hayashibara et
+al., "The phi accrual failure detector", SRDS 2004): instead of
+counting consecutive missed probes, the detector models the
+inter-arrival time of *successful* probes as a normal distribution and
+declares failure when the suspicion level
+
+    phi(t) = -log10( P(a probe would arrive later than t) )
+
+crosses a threshold.  On a quiet link phi grows quickly after the mean
+inter-arrival time, so detection adapts to the observed probe rhythm
+rather than a hand-tuned miss count; a noisy (degraded) link widens
+the learned distribution and automatically becomes more tolerant.
+
+The public surface mirrors ``HeartbeatMonitor`` — ``failure_detected``,
+``start``/``stop``, ``report_attack``, ``detection_latency_bound`` —
+so :class:`~repro.replication.failover.FailoverController` accepts
+either without modification.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+from ..hardware.host import Host
+from ..hardware.link import LinkPair
+from ..hypervisor.base import Hypervisor
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def phi_from_normal(elapsed: float, mean: float, std: float) -> float:
+    """Suspicion level for ``elapsed`` under Normal(mean, std).
+
+    ``P_later = 1 - CDF(elapsed) = 0.5 * erfc((elapsed - mean) / (std * sqrt(2)))``
+    and ``phi = -log10(P_later)``, capped to stay finite when erfc
+    underflows to zero.
+    """
+    p_later = 0.5 * math.erfc((elapsed - mean) / (std * _SQRT2))
+    if p_later <= 0.0:
+        return float("inf")
+    return -math.log10(p_later)
+
+
+class PhiAccrualDetector:
+    """Secondary-side adaptive prober of the primary host/hypervisor."""
+
+    def __init__(
+        self,
+        sim,
+        primary_host: Host,
+        primary_hypervisor: Hypervisor,
+        link: LinkPair,
+        interval: float = 0.03,
+        threshold: float = 8.0,
+        window: int = 32,
+        probe_timeout: Optional[float] = None,
+        min_std: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        if window < 2:
+            raise ValueError(f"window must hold >= 2 samples: {window}")
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ValueError(f"probe_timeout must be positive: {probe_timeout}")
+        self.sim = sim
+        self.primary_host = primary_host
+        self.primary_hypervisor = primary_hypervisor
+        self.link = link
+        self.interval = interval
+        self.threshold = threshold
+        self.probe_timeout = probe_timeout if probe_timeout is not None else interval
+        #: Floor on the learned std — a perfectly regular simulated
+        #: rhythm would otherwise collapse the distribution and make
+        #: phi explode on the first microsecond of jitter.
+        self.min_std = min_std if min_std is not None else interval * 0.1
+        self._samples: deque = deque(maxlen=window)
+        #: Succeeds with the failure reason when failure is declared.
+        self.failure_detected = sim.event(name="phi-failure")
+        self.probes_sent = 0
+        self.last_success_at: Optional[float] = None
+        self.process = None
+
+    # -- lifecycle (HeartbeatMonitor-compatible) ----------------------------
+    def start(self):
+        """Begin probing; returns the detector process."""
+        if self.process is not None:
+            raise RuntimeError("phi-accrual detector already started")
+        self.process = self.sim.process(self._probe_loop(), name="phi-detector")
+        return self.process
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt("detector stopped")
+
+    def report_attack(self, description: str) -> None:
+        """External detector path: declare the primary failed now."""
+        if not self.failure_detected.triggered:
+            self.failure_detected.succeed(f"attack detected: {description}")
+
+    # -- the distribution ---------------------------------------------------
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            # No history yet: assume the configured rhythm.
+            return self.interval + self.link.round_trip_latency()
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def std(self) -> float:
+        if len(self._samples) < 2:
+            return self.min_std
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self._samples) / len(self._samples)
+        return max(math.sqrt(variance), self.min_std)
+
+    def phi(self, elapsed: float) -> float:
+        """Current suspicion level for a silence of ``elapsed`` seconds."""
+        return phi_from_normal(elapsed, self.mean, self.std)
+
+    @property
+    def detection_latency_bound(self) -> float:
+        """Worst-case failure-to-detection time under the *current*
+        distribution: the silence at which phi crosses the threshold,
+        plus one full probe cycle (suspicion is only evaluated when a
+        probe resolves) and the probe timeout."""
+        silence = self._silence_for_threshold()
+        return silence + self.interval + self.probe_timeout
+
+    def _silence_for_threshold(self) -> float:
+        """Smallest silence with ``phi(silence) >= threshold`` (bisection
+        on the monotone phi curve)."""
+        low = self.mean
+        high = self.mean + self.std
+        while phi_from_normal(high, self.mean, self.std) < self.threshold:
+            high += self.std * 2
+        for _ in range(60):
+            mid = (low + high) / 2
+            if phi_from_normal(mid, self.mean, self.std) >= self.threshold:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    # -- probing ------------------------------------------------------------
+    def _probe_loop(self):
+        from ..simkernel.errors import Interrupt
+
+        self.last_success_at = self.sim.now
+        try:
+            while not self.failure_detected.triggered:
+                yield self.sim.timeout(self.interval)
+                ack = self.link.ack(64)
+                deadline = self.sim.timeout(self.probe_timeout)
+                yield self.sim.any_of([ack, deadline])
+                answered = ack.triggered
+                self.probes_sent += 1
+                alive = (
+                    answered
+                    and self.primary_host.is_up
+                    and self.primary_hypervisor.is_responsive
+                )
+                now = self.sim.now
+                elapsed = now - self.last_success_at
+                suspicion = self.phi(elapsed)
+                bus = self.sim.telemetry
+                if bus.enabled:
+                    bus.counter(
+                        "heartbeat.probe",
+                        1.0,
+                        host=self.primary_host.name,
+                        link=self.link.name,
+                        alive=alive,
+                        phi=round(suspicion, 3),
+                    )
+                if alive:
+                    self._samples.append(elapsed)
+                    self.last_success_at = now
+                    continue
+                if suspicion >= self.threshold:
+                    if not answered:
+                        reason = (
+                            "heartbeat probes unanswered — primary "
+                            "unreachable (link down or partitioned)"
+                        )
+                    else:
+                        reason = (
+                            self.primary_hypervisor.failure_reason
+                            or self.primary_host.failure_reason
+                            or "primary unresponsive"
+                        )
+                    reason = f"{reason} (phi={suspicion:.1f})"
+                    if bus.enabled:
+                        bus.counter(
+                            "heartbeat.failure_declared",
+                            1.0,
+                            host=self.primary_host.name,
+                            link=self.link.name,
+                            reason=reason,
+                            phi=round(suspicion, 3),
+                        )
+                    if not self.failure_detected.triggered:
+                        self.failure_detected.succeed(reason)
+                    return
+        except Interrupt:
+            return

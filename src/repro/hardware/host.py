@@ -85,6 +85,24 @@ class Host:
         for listener in list(self._failure_listeners):
             listener(self, reason)
 
+    def recover(self, reason: str = "reboot") -> None:
+        """Bring a failed host back up (transient fault, power restored).
+
+        The :attr:`failure_event` is one-shot, so recovery installs a
+        fresh event for the *next* failure; anyone holding the old event
+        saw the failure that already happened.  The installed hypervisor
+        reboots into an empty state — guests do not survive the outage.
+        Idempotent on an up host.
+        """
+        if not self._failed:
+            return
+        self._failed = False
+        self._failure_reason = None
+        self.failure_event = self.sim.event(name=f"hostfail:{self.name}")
+        self.sim.telemetry.counter("host.recovery", 1.0, owner=self.name, reason=reason)
+        if self.hypervisor is not None:
+            self.hypervisor.host_power_restored(reason)
+
     def on_failure(self, listener) -> None:
         """Register ``listener(host, reason)`` for the failure moment."""
         self._failure_listeners.append(listener)

@@ -59,16 +59,74 @@ class Link:
         self._last_update = sim.now
         #: Monotonic token invalidating stale completion callbacks.
         self._epoch = 0
+        # -- fault state (see degrade/partition/restore) --
+        self._bandwidth_factor = 1.0
+        self._extra_latency_s = 0.0
+        self._down = False
         # -- statistics --
         self.bytes_delivered = 0.0
         self.transfers_completed = 0
         self._busy_integral = 0.0
+        self.messages_dropped = 0
 
     # -- public API --------------------------------------------------------
     @property
     def capacity(self) -> float:
-        """Link capacity in bytes/second."""
-        return self.nic.bandwidth_bytes
+        """Link capacity in bytes/second (0 while partitioned)."""
+        if self._down:
+            return 0.0
+        return self.nic.bandwidth_bytes * self._bandwidth_factor
+
+    @property
+    def latency(self) -> float:
+        """One-way propagation latency, including injected degradation."""
+        return self.nic.base_latency_s + self._extra_latency_s
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    # -- fault hooks -------------------------------------------------------
+    def degrade(
+        self, bandwidth_factor: float = 1.0, extra_latency_s: float = 0.0
+    ) -> None:
+        """Throttle the link: scale bandwidth, add propagation latency.
+
+        In-flight transfers keep the progress they already made and
+        continue at the new (shared) rate.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError(f"bandwidth_factor must be in (0, 1]: {bandwidth_factor}")
+        if extra_latency_s < 0:
+            raise ValueError(f"negative extra latency: {extra_latency_s}")
+        self._advance_progress()
+        self._bandwidth_factor = bandwidth_factor
+        self._extra_latency_s = extra_latency_s
+        self._down = False
+        self.sim.telemetry.counter(
+            "link.degraded", 1.0, link=self.name,
+            bandwidth_factor=bandwidth_factor, extra_latency_s=extra_latency_s,
+        )
+        self._reschedule()
+
+    def partition(self) -> None:
+        """Cut the link entirely: nothing in flight makes progress and
+        new messages are silently dropped, exactly like a network
+        partition.  In-flight transfers stay queued (they resume on
+        :meth:`restore`); their events never trigger while down."""
+        self._advance_progress()
+        self._down = True
+        self.sim.telemetry.counter("link.partitioned", 1.0, link=self.name)
+        self._reschedule()
+
+    def restore(self) -> None:
+        """Heal any degradation or partition; queued transfers resume."""
+        self._advance_progress()
+        self._bandwidth_factor = 1.0
+        self._extra_latency_s = 0.0
+        self._down = False
+        self.sim.telemetry.counter("link.restored", 1.0, link=self.name)
+        self._reschedule()
 
     @property
     def active_transfers(self) -> int:
@@ -91,9 +149,9 @@ class Link:
             )
         else:
             span = NULL_SPAN
-        if nbytes == 0:
+        if nbytes == 0 and not self._down:
             span.end(latency_only=True)
-            done.succeed(self.nic.base_latency_s, delay=self.nic.base_latency_s)
+            done.succeed(self.latency, delay=self.latency)
             return done
         self._advance_progress()
         self._active.append(_ActiveTransfer(nbytes, done, self.sim.now, span))
@@ -106,8 +164,17 @@ class Link:
         Used for checkpoint acknowledgements and heartbeats, which are
         tiny and latency- rather than bandwidth-bound.
         """
-        delay = self.nic.base_latency_s + (nbytes / self.capacity)
         event = Event(self.sim, name=f"msg:{self.name}")
+        if self._down:
+            # A partitioned wire drops the packet: the event stays
+            # pending forever, exactly what a sender waiting on an ack
+            # would observe.  Callers must race it against a timeout.
+            self.messages_dropped += 1
+            bus = self.sim.telemetry
+            if bus.enabled:
+                bus.counter("link.message_dropped", 1.0, link=self.name, nbytes=nbytes)
+            return event
+        delay = self.latency + (nbytes / self.capacity)
         event.succeed(delay, delay=delay)
         self.sim.telemetry.counter("link.message", 1.0, link=self.name, nbytes=nbytes)
         return event
@@ -118,7 +185,10 @@ class Link:
         elapsed = self.sim.now - since
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self._busy_integral / (self.capacity * elapsed))
+        # Utilisation is always reported against the *nominal* capacity,
+        # so a degraded link shows up as under-utilised rather than
+        # dividing by a throttled (possibly zero) rate.
+        return min(1.0, self._busy_integral / (self.nic.bandwidth_bytes * elapsed))
 
     # -- internals -----------------------------------------------------------
     def _per_transfer_rate(self) -> float:
@@ -129,7 +199,7 @@ class Link:
         now = self.sim.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._active:
+        if elapsed <= 0 or not self._active or self._down:
             return
         rate = self._per_transfer_rate()
         moved = 0.0
@@ -149,17 +219,15 @@ class Link:
             ]
             for item in finished:
                 self.transfers_completed += 1
-                duration = (
-                    self.sim.now - item.started_at + self.nic.base_latency_s
-                )
+                duration = self.sim.now - item.started_at + self.latency
                 item.span.end(duration=duration)
-                item.done_event.succeed(duration, delay=self.nic.base_latency_s)
+                item.done_event.succeed(duration, delay=self.latency)
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the next transfer completion time."""
         self._epoch += 1
-        if not self._active:
-            return
+        if not self._active or self.capacity <= 0:
+            return  # nothing queued, or a partition froze the queue
         rate = self._per_transfer_rate()
         shortest = min(t.remaining for t in self._active)
         delay = max(shortest / rate, self.MIN_WAKE_DELAY)
@@ -184,8 +252,9 @@ class LinkPair:
     """Convenience bundle: a data link plus its reverse control path."""
 
     def __init__(self, sim, nic: Nic, name: str = ""):
-        self.forward = Link(sim, nic, name=f"{name or nic.name}:fwd")
-        self.backward = Link(sim, nic, name=f"{name or nic.name}:rev")
+        self.name = name or nic.name
+        self.forward = Link(sim, nic, name=f"{self.name}:fwd")
+        self.backward = Link(sim, nic, name=f"{self.name}:rev")
 
     def transfer(self, nbytes: float) -> Event:
         """Bulk transfer in the forward direction."""
@@ -197,6 +266,23 @@ class LinkPair:
 
     def round_trip_latency(self) -> float:
         """Minimal request/ack round-trip time."""
-        return (
-            self.forward.nic.base_latency_s + self.backward.nic.base_latency_s
-        )
+        return self.forward.latency + self.backward.latency
+
+    # -- fault hooks (applied to both directions) ---------------------------
+    def degrade(
+        self, bandwidth_factor: float = 1.0, extra_latency_s: float = 0.0
+    ) -> None:
+        self.forward.degrade(bandwidth_factor, extra_latency_s)
+        self.backward.degrade(bandwidth_factor, extra_latency_s)
+
+    def partition(self) -> None:
+        self.forward.partition()
+        self.backward.partition()
+
+    def restore(self) -> None:
+        self.forward.restore()
+        self.backward.restore()
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.forward.is_down and self.backward.is_down

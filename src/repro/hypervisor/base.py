@@ -254,6 +254,31 @@ class Hypervisor:
             vm.destroy()
         self._notify_failure(self.failure_reason)
 
+    def host_power_restored(self, reason: str) -> None:
+        """Called by the host when power returns after an outage."""
+        self.reboot(f"host power restored: {reason}")
+
+    def reboot(self, reason: str = "reboot") -> None:
+        """Restart a failed hypervisor into an empty, healthy state.
+
+        Guests do not survive: whatever :meth:`crash`/:meth:`hang` left
+        behind is destroyed and its memory released, mirroring a real
+        reboot wiping RAM.  A responsive hypervisor reboots too (losing
+        its guests), so transient host faults can use one code path.
+        """
+        for name, vm in list(self.vms.items()):
+            if not vm.is_destroyed:
+                vm.destroy()
+            self.host.memory_pool.release(f"vm:{name}")
+        self.vms.clear()
+        self.state = HypervisorState.RUNNING
+        self.failure_reason = None
+        self.starvation_factor = 1.0
+        self.sim.telemetry.counter(
+            "hypervisor.reboot", 1.0, host=self.host.name,
+            flavor=self.flavor, reason=reason,
+        )
+
     def _notify_failure(self, reason: str) -> None:
         for listener in list(self._failure_listeners):
             listener(self, self.state, reason)

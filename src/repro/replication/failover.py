@@ -64,12 +64,30 @@ class FailoverController:
         self.sim = sim
         self.engine = engine
         self.monitor = monitor
-        self.service = service
         self.replica_service_link = replica_service_link
+        self._service: Optional[ServiceConnection] = None
+        self.service = service  # validated: a service needs a replica link
         self.report: Optional[FailoverReport] = None
         #: Succeeds with the FailoverReport when failover completes.
         self.completed = sim.event(name="failover-complete")
         self.process = None
+
+    @property
+    def service(self) -> Optional[ServiceConnection]:
+        """The client-facing connection re-homed after failover."""
+        return self._service
+
+    @service.setter
+    def service(self, connection: Optional[ServiceConnection]) -> None:
+        # Validated here — not mid-failover — so a misconfigured
+        # controller fails loudly at wiring time instead of killing the
+        # failover process unobserved after replica activation.
+        if connection is not None and self.replica_service_link is None:
+            raise ValueError(
+                "a replica_service_link is required to switch a service "
+                "after failover; pass one to FailoverController()"
+            )
+        self._service = connection
 
     def arm(self):
         """Start waiting for a failure; returns the controller process."""
@@ -157,15 +175,13 @@ class FailoverController:
         activated_at = self.sim.now
         # Re-home the client-facing service path.
         if self.service is not None:
+            # The service setter guarantees the link exists.
             replica_egress = EgressBuffer(
                 self.sim, name=f"egress:{replica.name}@{secondary.host.name}"
             )
-            link = self.replica_service_link
-            if link is None:
-                raise ValueError(
-                    "a replica_service_link is required to switch a service"
-                )
-            self.service.switch_target(replica, link, replica_egress)
+            self.service.switch_target(
+                replica, self.replica_service_link, replica_egress
+            )
         failover_span.end(
             failed=False,
             resumption_time=activated_at - detected_at,

@@ -32,17 +32,24 @@ class HeartbeatMonitor:
         link: LinkPair,
         interval: float = 0.03,
         miss_threshold: int = 3,
+        probe_timeout: Optional[float] = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive: {interval}")
         if miss_threshold < 1:
             raise ValueError(f"miss_threshold must be >= 1: {miss_threshold}")
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ValueError(f"probe_timeout must be positive: {probe_timeout}")
         self.sim = sim
         self.primary_host = primary_host
         self.primary_hypervisor = primary_hypervisor
         self.link = link
         self.interval = interval
         self.miss_threshold = miss_threshold
+        #: How long to wait for a probe's ack before counting a miss.
+        #: Defaults to the probe interval — generous against jitter, yet
+        #: bounded so a partitioned link cannot stall detection forever.
+        self.probe_timeout = probe_timeout if probe_timeout is not None else interval
         #: Succeeds with the failure reason when failure is declared.
         self.failure_detected = sim.event(name="heartbeat-failure")
         self.probes_sent = 0
@@ -74,8 +81,16 @@ class HeartbeatMonitor:
 
     @property
     def detection_latency_bound(self) -> float:
-        """Worst-case time from failure to detection."""
-        return self.interval * self.miss_threshold + self.link.round_trip_latency()
+        """Worst-case time from failure to detection.
+
+        Each probe cycle costs the interval plus, at worst, a full probe
+        timeout (an unanswered probe on a partitioned link): after
+        ``miss_threshold`` such cycles failure is declared.
+        """
+        per_cycle = self.interval + max(
+            self.probe_timeout, self.link.round_trip_latency()
+        )
+        return per_cycle * self.miss_threshold
 
     def _probe_loop(self):
         from ..simkernel.errors import Interrupt
@@ -83,11 +98,18 @@ class HeartbeatMonitor:
         try:
             while not self.failure_detected.triggered:
                 yield self.sim.timeout(self.interval)
-                # Round trip to the primary (the probe itself).
-                yield self.link.ack(64)
+                # Round trip to the primary (the probe itself), raced
+                # against the probe timeout: a dead or partitioned link
+                # drops the ack, and waiting on it alone would block
+                # this loop forever.
+                ack = self.link.ack(64)
+                deadline = self.sim.timeout(self.probe_timeout)
+                yield self.sim.any_of([ack, deadline])
+                answered = ack.triggered
                 self.probes_sent += 1
                 alive = (
-                    self.primary_host.is_up
+                    answered
+                    and self.primary_host.is_up
                     and self.primary_hypervisor.is_responsive
                 )
                 bus = self.sim.telemetry
@@ -96,6 +118,7 @@ class HeartbeatMonitor:
                         "heartbeat.probe",
                         1.0,
                         host=self.primary_host.name,
+                        link=self.link.name,
                         alive=alive,
                     )
                 if alive:
@@ -104,18 +127,26 @@ class HeartbeatMonitor:
                 else:
                     self.consecutive_misses += 1
                     if self.consecutive_misses >= self.miss_threshold:
-                        reason = (
-                            self.primary_hypervisor.failure_reason
-                            or self.primary_host.failure_reason
-                            or "primary unresponsive"
-                        )
-                        bus.counter(
-                            "heartbeat.failure_declared",
-                            1.0,
-                            host=self.primary_host.name,
-                            reason=reason,
-                            misses=self.consecutive_misses,
-                        )
+                        if not answered:
+                            reason = (
+                                "heartbeat probes unanswered — primary "
+                                "unreachable (link down or partitioned)"
+                            )
+                        else:
+                            reason = (
+                                self.primary_hypervisor.failure_reason
+                                or self.primary_host.failure_reason
+                                or "primary unresponsive"
+                            )
+                        if bus.enabled:
+                            bus.counter(
+                                "heartbeat.failure_declared",
+                                1.0,
+                                host=self.primary_host.name,
+                                link=self.link.name,
+                                reason=reason,
+                                misses=self.consecutive_misses,
+                            )
                         if not self.failure_detected.triggered:
                             self.failure_detected.succeed(reason)
                         return

@@ -21,7 +21,7 @@ windows and expected outage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -137,18 +137,62 @@ def here_exposure(
     )
 
 
+def here_reprotection_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    recovery_time: float = 0.1,
+    unprotected_window: float = 10.0,
+) -> ExposureReport:
+    """HERE with a *measured* re-protection window.
+
+    :func:`here_exposure` prices every attack at one RTO, which assumes
+    redundancy is instantly restored.  In reality the service runs
+    unprotected until a fresh backup is seeded (the ``reprotection``
+    span the fault subsystem measures); an attacker who fires again
+    inside that window causes a full reboot-scale outage.  The expected
+    cost per attack is therefore the RTO plus the follow-up probability
+    times the unprotected outage.
+    """
+    if recovery_time < 0 or unprotected_window < 0:
+        raise ValueError("times must be >= 0")
+    follow_up_probability = min(
+        1.0, attacker.attacks_per_day * unprotected_window / 86_400.0
+    )
+    return ExposureReport(
+        strategy="HERE (measured re-protection)",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=recovery_time
+        + follow_up_probability * attacker.outage_per_attack,
+    )
+
+
 def compare_strategies(
     timeline: VulnerabilityTimeline,
     attacker: AttackerModel,
     transplant_time: float = 60.0,
     here_recovery_time: float = 0.1,
+    here_unprotected_window: Optional[float] = None,
 ) -> List[Dict]:
-    """Rows for the related-work exposure table."""
+    """Rows for the related-work exposure table.
+
+    Pass ``here_unprotected_window`` (a measured re-protection window,
+    seconds) to append the fourth row pricing HERE's post-failover
+    0-redundancy period.
+    """
     reports = [
         patching_exposure(timeline, attacker),
         transplant_exposure(timeline, attacker, transplant_time),
         here_exposure(timeline, attacker, here_recovery_time),
     ]
+    if here_unprotected_window is not None:
+        reports.append(
+            here_reprotection_exposure(
+                timeline,
+                attacker,
+                recovery_time=here_recovery_time,
+                unprotected_window=here_unprotected_window,
+            )
+        )
     return [
         {
             "strategy": report.strategy,

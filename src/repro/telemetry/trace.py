@@ -54,8 +54,14 @@ class TraceWriter:
             self._stream = self.path.open("w")
             self._owns_stream = True
         self.records_written = 0
+        self._closed = False
 
     def __call__(self, record) -> None:
+        if self._closed:
+            # Records can still arrive after close() — e.g. spans ended
+            # while a simulation's generators are garbage-collected —
+            # and must not blow up on the closed stream.
+            return
         self._stream.write(json.dumps(_jsonable(record.as_dict())) + "\n")
         self.records_written += 1
 
@@ -63,10 +69,14 @@ class TraceWriter:
         self._stream.flush()
 
     def close(self) -> None:
-        """Flush and (if this writer opened the file) close it."""
+        """Flush and (if this writer opened the file) close it.
+
+        Records published after close are silently dropped.
+        """
         self._stream.flush()
         if self._owns_stream:
             self._stream.close()
+        self._closed = True
 
     def __enter__(self) -> "TraceWriter":
         return self

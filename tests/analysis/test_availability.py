@@ -102,3 +102,61 @@ class TestComparison:
         # The rolled-back window is bounded by the worst-case RPO.
         last_ack = deployment.stats.checkpoints[-1].acked_at
         assert crash_at - last_ack <= timings.worst_case_rpo + 0.5
+
+
+class TestObservedNines:
+    def test_matches_unavailability_fraction(self):
+        from repro.analysis import observed_availability_nines
+
+        # 0.1 % of the window down -> exactly three nines.
+        assert observed_availability_nines(0.1, 100.0) == pytest.approx(3.0)
+
+    def test_zero_downtime_is_infinite(self):
+        from repro.analysis import observed_availability_nines
+
+        assert observed_availability_nines(0.0, 100.0) == math.inf
+
+    def test_total_outage_is_zero_nines(self):
+        from repro.analysis import observed_availability_nines
+
+        assert observed_availability_nines(100.0, 100.0) == 0.0
+        assert observed_availability_nines(150.0, 100.0) == 0.0
+
+    def test_validation(self):
+        from repro.analysis import observed_availability_nines
+
+        with pytest.raises(ValueError):
+            observed_availability_nines(1.0, 0.0)
+        with pytest.raises(ValueError):
+            observed_availability_nines(-1.0, 10.0)
+
+
+class TestDoubleFailureRisk:
+    def test_poisson_second_failure_probability(self):
+        from repro.analysis import double_failure_risk
+
+        year = 365.25 * 24 * 3600
+        # One failure a year, a one-year unprotected window: 1 - 1/e.
+        assert double_failure_risk(year, 1.0) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+
+    def test_short_windows_are_nearly_safe(self):
+        from repro.analysis import double_failure_risk
+
+        # Ten seconds unprotected at 4 failures/year is ~1e-6.
+        risk = double_failure_risk(10.0, 4.0)
+        assert 0.0 < risk < 1e-5
+
+    def test_shrinking_the_window_shrinks_the_risk(self):
+        from repro.analysis import double_failure_risk
+
+        assert double_failure_risk(2.0, 4.0) < double_failure_risk(20.0, 4.0)
+
+    def test_validation(self):
+        from repro.analysis import double_failure_risk
+
+        with pytest.raises(ValueError):
+            double_failure_risk(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            double_failure_risk(1.0, -1.0)

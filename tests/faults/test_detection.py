@@ -1,0 +1,161 @@
+"""Phi-accrual adaptive failure detection."""
+
+import math
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.faults import FaultInjector, FaultKind, FaultSpec, PhiAccrualDetector
+from repro.faults.detection import phi_from_normal
+from repro.hardware.units import GIB
+from repro.replication.failover import FailoverController
+
+
+def build(seed=7, **spec_kwargs):
+    defaults = dict(
+        engine="here",
+        period=2.0,
+        target_degradation=0.0,
+        memory_bytes=2 * GIB,
+        seed=seed,
+    )
+    defaults.update(spec_kwargs)
+    deployment = ProtectedDeployment(DeploymentSpec(**defaults))
+    deployment.start_protection(wait_ready=True)
+    return deployment
+
+
+def phi_detector(deployment, **kwargs):
+    return PhiAccrualDetector(
+        deployment.sim,
+        deployment.testbed.primary,
+        deployment.primary,
+        deployment.testbed.interconnect,
+        **kwargs,
+    )
+
+
+class TestPhiFunction:
+    def test_monotone_in_elapsed(self):
+        values = [phi_from_normal(t, 0.03, 0.003) for t in (0.03, 0.05, 0.1)]
+        assert values[0] < values[1] < values[2]
+
+    def test_half_probability_at_the_mean(self):
+        # P(later) = 0.5 at the mean, so phi = -log10(0.5).
+        assert phi_from_normal(0.03, 0.03, 0.003) == pytest.approx(
+            -math.log10(0.5)
+        )
+
+    def test_underflow_caps_to_infinity(self):
+        assert phi_from_normal(1e6, 0.03, 0.003) == math.inf
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        deployment = build()
+        for kwargs in (
+            dict(interval=0.0),
+            dict(threshold=0.0),
+            dict(window=1),
+            dict(probe_timeout=0.0),
+        ):
+            with pytest.raises(ValueError):
+                phi_detector(deployment, **kwargs)
+
+    def test_double_start_rejected(self):
+        deployment = build()
+        detector = phi_detector(deployment)
+        detector.start()
+        with pytest.raises(RuntimeError):
+            detector.start()
+
+
+class TestAdaptiveDetection:
+    def test_steady_run_no_false_positive(self):
+        deployment = build()
+        detector = phi_detector(deployment)
+        detector.start()
+        deployment.run_for(10.0)
+        assert not detector.failure_detected.triggered
+        assert detector.probes_sent > 100
+        # The learned rhythm hugs the configured interval.
+        assert detector.mean == pytest.approx(detector.interval, rel=0.2)
+
+    def test_crash_detected_within_bound(self):
+        deployment = build()
+        detector = phi_detector(deployment)
+        detector.start()
+        sim = deployment.sim
+        deployment.run_for(5.0)  # learn the healthy rhythm first
+        bound = detector.detection_latency_bound
+        crash_at = sim.now
+        deployment.primary.crash("DoS")
+        reason = sim.run_until_triggered(
+            detector.failure_detected, limit=sim.now + 20.0
+        )
+        assert sim.now - crash_at <= bound + 0.05
+        assert "phi=" in str(reason)
+
+    def test_partition_detected_within_bound(self):
+        deployment = build()
+        detector = phi_detector(deployment)
+        detector.start()
+        sim = deployment.sim
+        deployment.run_for(5.0)
+        bound = detector.detection_latency_bound
+        injector = FaultInjector(sim, links=[deployment.testbed.interconnect])
+        partition_at = sim.now
+        injector.inject(
+            FaultSpec(
+                FaultKind.LINK_PARTITION,
+                target=deployment.testbed.interconnect.name,
+            )
+        )
+        reason = sim.run_until_triggered(
+            detector.failure_detected, limit=sim.now + 20.0
+        )
+        assert sim.now - partition_at <= bound + 0.05
+        assert "unreachable" in str(reason)
+
+    def test_stop_and_report_attack(self):
+        deployment = build()
+        detector = phi_detector(deployment)
+        detector.start()
+        deployment.run_for(2.0)
+        detector.report_attack("CVE-2021-0000")
+        assert detector.failure_detected.triggered
+        assert "CVE-2021-0000" in detector.failure_detected.value
+        detector.stop()
+        deployment.run_for(1.0)
+
+    def test_noisy_link_widens_tolerance(self):
+        deployment = build()
+        detector = phi_detector(deployment, min_std=1e-4)
+        # Feed a jittery history by hand: the learned distribution must
+        # require a longer silence before the same threshold trips.
+        for sample in (0.03, 0.031, 0.03, 0.029, 0.03):
+            detector._samples.append(sample)
+        quiet_bound = detector.detection_latency_bound
+        detector._samples.clear()
+        for sample in (0.02, 0.06, 0.03, 0.09, 0.04):
+            detector._samples.append(sample)
+        noisy_bound = detector.detection_latency_bound
+        assert noisy_bound > quiet_bound
+
+
+class TestDropInWithFailover:
+    def test_failover_accepts_phi_detector(self):
+        deployment = build()
+        deployment.monitor.stop()
+        detector = phi_detector(deployment)
+        detector.start()
+        sim = deployment.sim
+        failover = FailoverController(sim, deployment.engine, detector)
+        failover.arm()
+        sim.schedule_callback(5.0, lambda: deployment.primary.crash("DoS"))
+        report = sim.run_until_triggered(
+            failover.completed, limit=sim.now + 30.0
+        )
+        assert not report.failed
+        assert report.replica_hypervisor == "Linux KVM"
+        assert deployment.replica.is_running

@@ -1,0 +1,154 @@
+"""Failover failure modes: double failure, incomplete seeding, races.
+
+HERE is 1-redundant — when the failover itself cannot succeed, the
+controller must *report* the loss (``FailoverReport.failed``) instead
+of dying unobserved and hanging everything waiting on ``completed``.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.hardware.units import GIB
+from repro.replication.failover import FailoverController
+from repro.telemetry import Recorder
+from repro.workloads import MemoryMicrobenchmark
+
+
+def build(seed=7, wait_ready=True, **spec_kwargs):
+    defaults = dict(
+        engine="here",
+        period=2.0,
+        target_degradation=0.0,
+        memory_bytes=2 * GIB,
+        seed=seed,
+    )
+    defaults.update(spec_kwargs)
+    deployment = ProtectedDeployment(DeploymentSpec(**defaults))
+    deployment.start_protection(wait_ready=wait_ready)
+    return deployment
+
+
+class TestDoubleFailure:
+    def test_simultaneous_double_failure_is_reported_fatal(self):
+        deployment = build()
+        sim = deployment.sim
+
+        def rack_power_loss():
+            deployment.testbed.primary.fail("rack power loss")
+            deployment.testbed.secondary.fail("rack power loss")
+
+        sim.schedule_callback(5.0, rack_power_loss)
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        assert report.failed
+        assert "double failure" in report.failure_reason
+        assert math.isnan(report.resumption_time)
+        assert deployment.replica is None or not deployment.replica.is_running
+
+    def test_failed_failover_span_carries_the_reason(self):
+        deployment = build()
+        sim = deployment.sim
+        recorder = Recorder.attach(sim.telemetry)
+        sim.schedule_callback(
+            5.0,
+            lambda: (
+                deployment.testbed.primary.fail("x"),
+                deployment.testbed.secondary.fail("x"),
+            ),
+        )
+        sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        spans = recorder.spans("failover")
+        assert len(spans) == 1
+        assert spans[0].attrs["failed"] is True
+        assert "double failure" in spans[0].attrs["failure_reason"]
+
+
+class TestSeedingIncomplete:
+    def test_crash_before_seeding_completes_loses_the_vm(self):
+        deployment = build(wait_ready=False)
+        sim = deployment.sim
+        # The initial full-memory migration is still streaming when the
+        # primary dies: no acknowledged checkpoint exists anywhere.
+        sim.schedule_callback(0.001, lambda: deployment.primary.crash("DoS"))
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        assert report.failed
+        assert "seeding incomplete" in report.failure_reason
+        assert report.last_acked_epoch < 0
+
+
+class TestMidCheckpointRace:
+    def test_crash_during_checkpoint_resumes_from_last_acked_epoch(self):
+        # First run: observe where checkpoint epochs actually fall.
+        probe = build()
+        recorder = Recorder.attach(probe.sim.telemetry)
+        MemoryMicrobenchmark(probe.sim, probe.vm, load=0.4).start()
+        probe.run_for(10.0)
+        spans = [
+            span
+            for span in recorder.spans("replication.checkpoint")
+            if span.attrs["epoch"] >= 1 and span.duration > 0
+        ]
+        assert spans, "no checkpoint observed in the probe run"
+        target = spans[-1]
+        crash_at = target.started_at + target.duration / 2
+
+        # Second run, same seed: crash exactly mid-checkpoint.  The
+        # half-received epoch must be discarded and the replica resume
+        # from the last *acknowledged* one.
+        deployment = build()
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=0.4).start()
+        sim = deployment.sim
+        sim.schedule_callback(
+            crash_at - sim.now, lambda: deployment.primary.crash("DoS")
+        )
+        report = sim.run_until_triggered(
+            deployment.failover.completed, limit=sim.now + 30.0
+        )
+        assert not report.failed
+        assert 0 <= report.last_acked_epoch < target.attrs["epoch"]
+        assert (
+            deployment.engine.replica_session.last_applied_epoch
+            == report.last_acked_epoch
+        )
+        assert deployment.replica.is_running
+
+
+class TestServiceLinkValidation:
+    def test_constructor_rejects_service_without_replica_link(self):
+        deployment = build()
+        service = deployment.attach_service()
+        with pytest.raises(ValueError, match="replica_service_link"):
+            FailoverController(
+                deployment.sim,
+                deployment.engine,
+                deployment.monitor,
+                service=service,
+            )
+
+    def test_late_attachment_rejected_too(self):
+        deployment = build()
+        service = deployment.attach_service()
+        controller = FailoverController(
+            deployment.sim, deployment.engine, deployment.monitor
+        )
+        with pytest.raises(ValueError, match="replica_service_link"):
+            controller.service = service
+
+    def test_link_supplied_passes_validation(self):
+        deployment = build()
+        service = deployment.attach_service()
+        controller = FailoverController(
+            deployment.sim,
+            deployment.engine,
+            deployment.monitor,
+            service=service,
+            replica_service_link=deployment.testbed.service_secondary,
+        )
+        assert controller.service is service

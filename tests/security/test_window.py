@@ -100,3 +100,57 @@ class TestComparison:
         measured_rto = report.activated_at - crash_at
         here = here_exposure(TIMELINE, ATTACKER, recovery_time=measured_rto)
         assert here.expected_outage(ATTACKER) < 60.0  # seconds over 111 days
+
+
+class TestReprotectionExposure:
+    def test_window_prices_the_follow_up_attack(self):
+        from repro.security import here_reprotection_exposure
+
+        instant = here_reprotection_exposure(
+            TIMELINE, ATTACKER, recovery_time=0.1, unprotected_window=0.0
+        )
+        slow = here_reprotection_exposure(
+            TIMELINE, ATTACKER, recovery_time=0.1, unprotected_window=3600.0
+        )
+        assert instant.outage_per_attack == pytest.approx(0.1)
+        assert slow.outage_per_attack > instant.outage_per_attack
+        # 2 attacks/day * 1 h window = 1/12 follow-up probability.
+        assert slow.outage_per_attack == pytest.approx(
+            0.1 + (2.0 * 3600.0 / DAY) * ATTACKER.outage_per_attack
+        )
+
+    def test_follow_up_probability_caps_at_one(self):
+        from repro.security import here_reprotection_exposure
+
+        report = here_reprotection_exposure(
+            TIMELINE, ATTACKER, recovery_time=0.1, unprotected_window=10 * DAY
+        )
+        assert report.outage_per_attack == pytest.approx(
+            0.1 + ATTACKER.outage_per_attack
+        )
+
+    def test_validation(self):
+        from repro.security import here_reprotection_exposure
+
+        with pytest.raises(ValueError):
+            here_reprotection_exposure(
+                TIMELINE, ATTACKER, unprotected_window=-1.0
+            )
+
+    def test_compare_strategies_grows_a_fourth_row(self):
+        rows = compare_strategies(TIMELINE, ATTACKER)
+        assert len(rows) == 3
+        rows = compare_strategies(
+            TIMELINE, ATTACKER, here_unprotected_window=10.0
+        )
+        assert [row["strategy"] for row in rows] == [
+            "patching",
+            "hypervisor-transplant",
+            "HERE",
+            "HERE (measured re-protection)",
+        ]
+        here, measured = rows[2], rows[3]
+        # Pricing the unprotected window only ever makes HERE look
+        # worse, but it still dominates the alternatives.
+        assert measured["expected_outage_s"] >= here["expected_outage_s"]
+        assert measured["expected_outage_s"] < rows[0]["expected_outage_s"]

@@ -148,3 +148,33 @@ class TestPlanCommand:
 
     def test_plan_malformed_vm_entry(self, capsys):
         assert main(["plan", "--vms", "nonsense"]) == 2
+
+
+class TestChaosCommand:
+    def test_campaign_prints_unprotected_window(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean unprotected window (s)" in out
+        assert "dropped VMs" in out
+        assert "host-crash" in out
+
+    def test_trace_carries_the_campaign(self, capsys, tmp_path):
+        from repro.telemetry.trace import read_trace
+
+        path = tmp_path / "chaos.jsonl"
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+            "--trace", str(path),
+        ]) == 0
+        names = {getattr(r, "name", "") for r in read_trace(path)}
+        assert "reprotection" in names
+        assert "fault.injected" in names
+        assert "failover" in names
+
+    def test_unknown_kind_exits(self, capsys):
+        assert main(["chaos", "--kinds", "gamma-rays"]) == 2
+        assert "gamma-rays" in capsys.readouterr().err
