@@ -7,6 +7,11 @@ testbed, prints the same rows/series the paper reports, and asserts the
 fall).  Absolute values are not expected to match the paper's hardware;
 EXPERIMENTS.md records paper-vs-measured for every experiment.
 
+The Table-6 replication setups, the benchmark seed and the workload
+attachment helper live in :mod:`repro.experiments.presets` — the same
+definitions drive ``repro sweep`` — and are re-exported here so
+benchmark files keep importing from ``harness``.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -14,108 +19,19 @@ Run with::
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline
-from repro.hardware.units import GIB
-from repro.workloads import (
-    CORE_WORKLOADS,
-    IdleWorkload,
-    MemoryMicrobenchmark,
-    SPEC_PROFILES,
-    SpecWorkload,
-    YcsbWorkload,
+from repro.cluster import ProtectedDeployment, unprotected_baseline
+from repro.experiments.presets import (  # noqa: F401  (re-exports)
+    BENCH_SEED,
+    MEASURE_WINDOW,
+    TABLE6,
+    ReplicationSetup,
+    attach_workload,
+    slowdown_pct,
 )
-
-#: Seed shared by every benchmark (experiments are deterministic).
-BENCH_SEED = 2023
-
-#: Post-seeding measurement window for throughput experiments.
-MEASURE_WINDOW = 120.0
-
-
-# ---------------------------------------------------------------------------
-# Replication configurations (the paper's Table 6 surface)
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class ReplicationSetup:
-    """One named engine configuration from Table 6."""
-
-    label: str
-    engine: str  # "remus" | "here" | "none"
-    period: float = 5.0  # Remus T / HERE T_max
-    target_degradation: float = 0.0
-    sigma: float = 0.25
-    initial_period: Optional[float] = None
-
-    def spec(self, memory_bytes: int, seed: int = BENCH_SEED) -> DeploymentSpec:
-        secondary = "xen" if self.engine == "remus" else "kvm"
-        return DeploymentSpec(
-            engine="here" if self.engine == "none" else self.engine,
-            secondary_flavor=secondary,
-            period=self.period if math.isfinite(self.period) else math.inf,
-            target_degradation=self.target_degradation,
-            sigma=self.sigma,
-            initial_period=self.initial_period,
-            memory_bytes=memory_bytes,
-            seed=seed,
-        )
-
-
-#: Table 6 of the paper, as code.
-TABLE6 = {
-    "Xen": ReplicationSetup("Xen", "none"),
-    "HERE(3Sec,0%)": ReplicationSetup("HERE(3Sec,0%)", "here", period=3.0),
-    "HERE(5Sec,0%)": ReplicationSetup("HERE(5Sec,0%)", "here", period=5.0),
-    "HERE(inf,20%)": ReplicationSetup(
-        "HERE(inf,20%)", "here", period=math.inf,
-        target_degradation=0.2, initial_period=0.5, sigma=0.1,
-    ),
-    "HERE(inf,30%)": ReplicationSetup(
-        "HERE(inf,30%)", "here", period=math.inf,
-        target_degradation=0.3, initial_period=0.5, sigma=0.1,
-    ),
-    "HERE(inf,40%)": ReplicationSetup(
-        "HERE(inf,40%)", "here", period=math.inf,
-        target_degradation=0.4, initial_period=0.5, sigma=0.1,
-    ),
-    "HERE(5sec,30%)": ReplicationSetup(
-        "HERE(5sec,30%)", "here", period=5.0,
-        target_degradation=0.3, initial_period=0.5, sigma=0.1,
-    ),
-    "HERE(3sec,40%)": ReplicationSetup(
-        "HERE(3sec,40%)", "here", period=3.0,
-        target_degradation=0.4, initial_period=0.5, sigma=0.1,
-    ),
-    "Remus3Sec": ReplicationSetup("Remus3Sec", "remus", period=3.0),
-    "Remus5Sec": ReplicationSetup("Remus5Sec", "remus", period=5.0),
-}
-
-
-# ---------------------------------------------------------------------------
-# Workload attachment
-# ---------------------------------------------------------------------------
-
-def attach_workload(deployment: ProtectedDeployment, kind: str, **kwargs):
-    """Attach one of the paper's Table 4 workloads to the protected VM."""
-    sim, vm = deployment.sim, deployment.vm
-    if kind == "idle":
-        workload = IdleWorkload(sim, vm)
-    elif kind == "membench":
-        workload = MemoryMicrobenchmark(sim, vm, **kwargs)
-    elif kind == "ycsb":
-        kwargs.setdefault("sample_fraction", 2e-4)
-        kwargs.setdefault("preload_records", 300)
-        workload = YcsbWorkload(sim, vm, **kwargs)
-    elif kind == "spec":
-        workload = SpecWorkload(sim, vm, **kwargs)
-    else:
-        raise ValueError(f"unknown workload kind {kind!r}")
-    workload.start()
-    return workload
+from repro.hardware.units import GIB
+from repro.workloads import IdleWorkload, MemoryMicrobenchmark
 
 
 # ---------------------------------------------------------------------------
@@ -188,13 +104,6 @@ def run_checkpoint_experiment(
         "stats": stats,
         "deployment": deployment,
     }
-
-
-def slowdown_pct(throughput: float, baseline: float) -> float:
-    """The number printed above each bar in Figs. 11–16."""
-    if baseline <= 0:
-        return float("nan")
-    return 100.0 * (1.0 - throughput / baseline)
 
 
 def print_header(title: str) -> None:

@@ -8,6 +8,8 @@ operator would do with the real system's tooling:
 * ``repro migrate``    — one live migration, Xen stock vs HERE;
 * ``repro table1``     — the vulnerability study (Table 1);
 * ``repro coverage``   — the Table 2 coverage matrix, derived live;
+* ``repro sweep``      — a parallel, cached experiment sweep with
+  optional regression gating (``--baseline``);
 * ``repro experiments``— list every table/figure benchmark and how to
   run it.
 """
@@ -24,6 +26,32 @@ from .cluster import DeploymentSpec, ProtectedDeployment, ScenarioRunner
 from .hardware.units import GIB
 from .security import build_default_database, table1_stats
 from .workloads import MemoryMicrobenchmark
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
@@ -122,10 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="seeded chaos campaign: faults -> failover -> re-protection",
     )
-    chaos.add_argument("--trials", type=int, default=3)
+    chaos.add_argument("--trials", type=_positive_int, default=3)
     chaos.add_argument("--seed", type=int, default=0)
-    chaos.add_argument("--vms", type=int, default=2)
-    chaos.add_argument("--faults", type=int, default=1,
+    chaos.add_argument("--vms", type=_positive_int, default=2)
+    chaos.add_argument("--faults", type=_positive_int, default=1,
                        help="faults injected per trial")
     chaos.add_argument(
         "--detector", choices=["heartbeat", "phi"], default="heartbeat",
@@ -138,6 +166,45 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--recovery-time", type=float, default=60.0,
                        help="seconds each trial runs after the fault window")
     _add_trace_argument(chaos)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="parallel, cached experiment sweep with regression gating",
+    )
+    sweep.add_argument(
+        "--preset", choices=["chaos", "ycsb", "table6"], default="chaos",
+        help="which built-in trial matrix to run",
+    )
+    sweep.add_argument("--trials", type=_positive_int, default=4,
+                       help="trial count (chaos preset)")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="sweep seed (default: 0 for chaos, the "
+                            "benchmark seed for ycsb/table6)")
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="per-trial measure window in simulated "
+                            "seconds (ycsb/table6 presets)")
+    sweep.add_argument("--recovery-time", type=float, default=30.0,
+                       help="chaos preset: post-fault run time per trial")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed result cache "
+                            "(default .repro-results)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore cached results; re-run and refresh")
+    sweep.add_argument("--log", default=None, metavar="PATH",
+                       help="JSONL sweep log (default "
+                            "<cache-dir>/sweeps.jsonl)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-trial wall-clock timeout in seconds")
+    sweep.add_argument("--retries", type=_non_negative_int, default=0,
+                       help="retries for crashed/timed-out trials")
+    sweep.add_argument("--baseline", default=None, metavar="PATH",
+                       help="gate the sweep against this BENCH json")
+    sweep.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative per-metric gate tolerance")
+    sweep.add_argument("--emit-bench", default=None, metavar="PATH",
+                       help="write the BENCH_sweep.json payload to PATH")
 
     subparsers.add_parser(
         "experiments", help="list every paper table/figure benchmark"
@@ -472,8 +539,113 @@ def _cmd_chaos(args) -> int:
     return 0 if result.total_dropped_vms == 0 else 1
 
 
+def _cmd_sweep(args) -> int:
+    import json
+    import os
+
+    from .experiments import (
+        DEFAULT_CACHE_DIR,
+        RegressionGate,
+        ResultStore,
+        SweepLog,
+        SweepRunner,
+        Tolerance,
+        load_baseline,
+    )
+    from .experiments.presets import (
+        BENCH_SEED,
+        chaos_sweep,
+        table6_sweep,
+        ycsb_sweep,
+    )
+
+    try:
+        if args.preset == "chaos":
+            specs = chaos_sweep(
+                trials=args.trials,
+                seed=args.seed if args.seed is not None else 0,
+                settle_time=3.0,
+                fault_window=3.0,
+                recovery_time=args.recovery_time,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        elif args.preset == "ycsb":
+            specs = ycsb_sweep(
+                duration=args.duration if args.duration is not None else 60.0,
+                seed=args.seed if args.seed is not None else BENCH_SEED,
+                timeout=args.timeout,
+            )
+        else:
+            specs = table6_sweep(
+                duration=args.duration if args.duration is not None else 100.0,
+                seed=args.seed if args.seed is not None else BENCH_SEED,
+                timeout=args.timeout,
+            )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    store = ResultStore(cache_dir)
+    log = SweepLog(args.log or os.path.join(cache_dir, "sweeps.jsonl"))
+    runner = SweepRunner(
+        jobs=args.jobs,
+        store=store,
+        use_cache=not args.no_cache,
+        log=log,
+        default_timeout=args.timeout,
+    )
+    result = runner.run(specs)
+
+    print(render_table(
+        result.summary_rows(),
+        title=f"Sweep '{args.preset}' ({len(specs)} trials, "
+              f"jobs={args.jobs})",
+    ))
+    print(render_table(
+        [
+            {
+                "trial": outcome.spec.name,
+                "status": outcome.status,
+                "cached": outcome.cached,
+                "wall (s)": outcome.wall_clock,
+            }
+            for outcome in result.outcomes
+        ],
+        title="Per-trial outcomes",
+    ))
+
+    exit_code = 0 if not result.failed_outcomes else 1
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+        report = RegressionGate(Tolerance(relative=args.tolerance)).compare(
+            baseline, result.metric_summary()
+        )
+        print(render_table(
+            report.summary_rows(),
+            title=f"Regression gate vs {args.baseline} "
+                  f"({'PASS' if report.passed else 'FAIL'})",
+        ))
+        if not report.passed:
+            exit_code = 1
+
+    if args.emit_bench is not None:
+        with open(args.emit_bench, "w", encoding="utf-8") as handle:
+            json.dump(result.to_bench(name=args.preset), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"bench payload written to {args.emit_bench}")
+    return exit_code
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "plan": _cmd_plan,
     "replicate": _cmd_replicate,

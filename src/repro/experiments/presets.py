@@ -1,0 +1,357 @@
+"""Built-in trial runners and sweep presets.
+
+This module is the single source of truth for the paper's Table-6
+replication configurations (:data:`TABLE6`) — ``benchmarks/harness.py``
+re-exports them — and registers the built-in trial kinds:
+
+* ``throughput``  — one bar of Figs. 10–16: a workload under one
+  Table-6 configuration, reporting ops/s, slowdown and checkpoint
+  statistics;
+* ``checkpoint``  — one point of Fig. 8: mean transfer/pause times and
+  degradation under a memory load;
+* ``chaos-trial`` — one trial of a :class:`~repro.faults.campaign.
+  ChaosCampaign`, reporting the trial's MTTR/unprotected-window/nines
+  block.
+
+Every runner subscribes a :class:`~repro.telemetry.metrics.
+MetricsAggregator` to the trial simulation's bus and returns its
+summary alongside the metrics, so the sweep JSONL log carries the
+full telemetry percentile table per trial.
+
+The ``*_sweep`` builders assemble ready-to-run trial matrices for the
+CLI (``repro sweep --preset ...``) and CI smoke.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import DeploymentSpec, ProtectedDeployment, unprotected_baseline
+from ..hardware.units import GIB
+from ..simkernel.random import derive_seed
+from ..telemetry import MetricsAggregator
+from ..workloads import (
+    IdleWorkload,
+    MemoryMicrobenchmark,
+    SpecWorkload,
+    YcsbWorkload,
+)
+from .registry import register_trial
+from .spec import ExperimentSpec, ParameterGrid
+
+#: Seed shared by every benchmark (experiments are deterministic).
+BENCH_SEED = 2023
+
+#: Post-seeding measurement window for throughput experiments.
+MEASURE_WINDOW = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Replication configurations (the paper's Table 6 surface)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicationSetup:
+    """One named engine configuration from Table 6."""
+
+    label: str
+    engine: str  # "remus" | "here" | "none"
+    period: float = 5.0  # Remus T / HERE T_max
+    target_degradation: float = 0.0
+    sigma: float = 0.25
+    initial_period: Optional[float] = None
+
+    def spec(self, memory_bytes: int, seed: int = BENCH_SEED) -> DeploymentSpec:
+        secondary = "xen" if self.engine == "remus" else "kvm"
+        return DeploymentSpec(
+            engine="here" if self.engine == "none" else self.engine,
+            secondary_flavor=secondary,
+            period=self.period if math.isfinite(self.period) else math.inf,
+            target_degradation=self.target_degradation,
+            sigma=self.sigma,
+            initial_period=self.initial_period,
+            memory_bytes=memory_bytes,
+            seed=seed,
+        )
+
+
+#: Table 6 of the paper, as code.
+TABLE6 = {
+    "Xen": ReplicationSetup("Xen", "none"),
+    "HERE(3Sec,0%)": ReplicationSetup("HERE(3Sec,0%)", "here", period=3.0),
+    "HERE(5Sec,0%)": ReplicationSetup("HERE(5Sec,0%)", "here", period=5.0),
+    "HERE(inf,20%)": ReplicationSetup(
+        "HERE(inf,20%)", "here", period=math.inf,
+        target_degradation=0.2, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(inf,30%)": ReplicationSetup(
+        "HERE(inf,30%)", "here", period=math.inf,
+        target_degradation=0.3, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(inf,40%)": ReplicationSetup(
+        "HERE(inf,40%)", "here", period=math.inf,
+        target_degradation=0.4, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(5sec,30%)": ReplicationSetup(
+        "HERE(5sec,30%)", "here", period=5.0,
+        target_degradation=0.3, initial_period=0.5, sigma=0.1,
+    ),
+    "HERE(3sec,40%)": ReplicationSetup(
+        "HERE(3sec,40%)", "here", period=3.0,
+        target_degradation=0.4, initial_period=0.5, sigma=0.1,
+    ),
+    "Remus3Sec": ReplicationSetup("Remus3Sec", "remus", period=3.0),
+    "Remus5Sec": ReplicationSetup("Remus5Sec", "remus", period=5.0),
+}
+
+
+def resolve_setup(setup: Any) -> ReplicationSetup:
+    """A Table-6 label, a field dict, or a ready setup — normalised."""
+    if isinstance(setup, ReplicationSetup):
+        return setup
+    if isinstance(setup, str):
+        try:
+            return TABLE6[setup]
+        except KeyError:
+            raise KeyError(
+                f"unknown Table-6 setup {setup!r}; known: {sorted(TABLE6)}"
+            ) from None
+    if isinstance(setup, dict):
+        return ReplicationSetup(**setup)
+    raise TypeError(f"cannot resolve a ReplicationSetup from {setup!r}")
+
+
+# ---------------------------------------------------------------------------
+# Workload attachment
+# ---------------------------------------------------------------------------
+
+def attach_workload(deployment: ProtectedDeployment, kind: str, **kwargs):
+    """Attach one of the paper's Table 4 workloads to the protected VM."""
+    sim, vm = deployment.sim, deployment.vm
+    if kind == "idle":
+        workload = IdleWorkload(sim, vm)
+    elif kind == "membench":
+        workload = MemoryMicrobenchmark(sim, vm, **kwargs)
+    elif kind == "ycsb":
+        kwargs.setdefault("sample_fraction", 2e-4)
+        kwargs.setdefault("preload_records", 300)
+        workload = YcsbWorkload(sim, vm, **kwargs)
+    elif kind == "spec":
+        workload = SpecWorkload(sim, vm, **kwargs)
+    else:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    workload.start()
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Registered trial runners
+# ---------------------------------------------------------------------------
+
+def _telemetry(deployment: ProtectedDeployment) -> MetricsAggregator:
+    aggregator = MetricsAggregator()
+    deployment.sim.telemetry.subscribe(aggregator)
+    return aggregator
+
+
+def _replication_metrics(stats) -> Dict[str, float]:
+    if stats is None:
+        return {}
+    return {
+        "checkpoints": stats.checkpoint_count,
+        "mean_period_s": stats.mean_period(),
+        "mean_pause_s": stats.mean_pause_duration(),
+        "mean_transfer_s": stats.mean_transfer_duration(),
+        "mean_degradation": stats.mean_degradation(),
+    }
+
+
+@register_trial("throughput")
+def run_throughput_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
+    """One bar of Figs. 11–16: a workload under one configuration."""
+    setup = resolve_setup(params["setup"])
+    seed = int(params.get("seed", BENCH_SEED))
+    memory_bytes = int(float(params.get("memory_gib", 8.0)) * GIB)
+    duration = float(params.get("duration", MEASURE_WINDOW))
+    workload_kind = params.get("workload", "ycsb")
+    workload_kwargs = dict(params.get("workload_kwargs", {}))
+    if setup.engine == "none":
+        deployment = unprotected_baseline(setup.spec(memory_bytes, seed))
+        aggregator = _telemetry(deployment)
+        workload = attach_workload(deployment, workload_kind, **workload_kwargs)
+        deployment.run_for(duration)
+        throughput = workload.throughput()
+        stats = None
+    else:
+        deployment = ProtectedDeployment(setup.spec(memory_bytes, seed))
+        aggregator = _telemetry(deployment)
+        workload = attach_workload(deployment, workload_kind, **workload_kwargs)
+        deployment.start_protection(wait_ready=True)
+        mark = workload.mark()
+        deployment.run_for(duration)
+        throughput = workload.throughput_since(mark)
+        stats = deployment.stats
+    baseline = workload.work_rate()
+    metrics = {
+        "config": setup.label,
+        "throughput_ops_s": throughput,
+        "baseline_ops_s": baseline,
+        "slowdown_pct": slowdown_pct(throughput, baseline),
+    }
+    metrics.update(_replication_metrics(stats))
+    return metrics, aggregator.summary_rows()
+
+
+@register_trial("checkpoint")
+def run_checkpoint_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
+    """One point of Fig. 8: transfer/pause times under a memory load."""
+    setup = resolve_setup(params["setup"])
+    seed = int(params.get("seed", BENCH_SEED))
+    memory_gib = float(params.get("memory_gib", 8.0))
+    load = float(params.get("load", 0.0))
+    duration = float(params.get("duration", 100.0))
+    deployment = ProtectedDeployment(setup.spec(int(memory_gib * GIB), seed))
+    aggregator = _telemetry(deployment)
+    if load > 0:
+        MemoryMicrobenchmark(deployment.sim, deployment.vm, load=load).start()
+    else:
+        IdleWorkload(deployment.sim, deployment.vm).start()
+    deployment.start_protection(wait_ready=True)
+    deployment.run_for(duration)
+    metrics = {
+        "config": setup.label,
+        "memory_gib": memory_gib,
+        "load": load,
+    }
+    metrics.update(_replication_metrics(deployment.stats))
+    return metrics, aggregator.summary_rows()
+
+
+@register_trial("chaos-trial")
+def run_chaos_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
+    """One trial of a chaos campaign, by campaign config + trial index."""
+    from ..faults import CampaignConfig, ChaosCampaign, FaultKind
+
+    params = dict(params)
+    index = int(params.pop("index", 0))
+    kinds = params.pop("kinds", None)
+    if kinds is not None:
+        params["kinds"] = tuple(FaultKind(kind) for kind in kinds)
+    aggregator = MetricsAggregator()
+    campaign = ChaosCampaign(CampaignConfig(**params), subscribers=[aggregator])
+    trial = campaign.run_trial(index)
+    return {"trial": trial.to_dict()}, aggregator.summary_rows()
+
+
+def slowdown_pct(throughput: float, baseline: float) -> float:
+    """The number printed above each bar in Figs. 11–16."""
+    if baseline <= 0:
+        return float("nan")
+    return 100.0 * (1.0 - throughput / baseline)
+
+
+# ---------------------------------------------------------------------------
+# Sweep builders (the CLI presets)
+# ---------------------------------------------------------------------------
+
+def chaos_sweep(
+    trials: int,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    **config_overrides: Any,
+) -> List[ExperimentSpec]:
+    """One spec per chaos trial of one campaign configuration.
+
+    The per-trial seed lives inside the campaign (derived from the
+    campaign seed and the trial index), so the specs here carry the
+    campaign seed explicitly in their params and fingerprints change
+    exactly when the campaign config does.
+    """
+    if trials < 1:
+        raise ValueError(f"a chaos sweep needs >= 1 trial: {trials}")
+    from ..faults import CampaignConfig
+
+    config = CampaignConfig(
+        trials=trials, seed=seed, **config_overrides
+    )
+    params = asdict(config)
+    params["kinds"] = [kind.value for kind in config.kinds]
+    del params["trials"]
+    return [
+        ExperimentSpec(
+            name=f"chaos/trial-{index}",
+            kind="chaos-trial",
+            params={**params, "index": index, "trials": 1},
+            seed=derive_seed(seed, f"chaos-trial-{index}"),
+            timeout=timeout,
+            retries=retries,
+        )
+        for index in range(trials)
+    ]
+
+
+def ycsb_sweep(
+    setups: Sequence[str] = ("Xen", "HERE(5Sec,0%)", "HERE(inf,30%)", "Remus5Sec"),
+    mixes: Sequence[str] = ("a", "b"),
+    duration: float = MEASURE_WINDOW,
+    memory_gib: float = 8.0,
+    seed: int = BENCH_SEED,
+    timeout: Optional[float] = None,
+) -> List[ExperimentSpec]:
+    """The Fig. 10–13 YCSB series: Table-6 setups × YCSB mixes."""
+    unknown = [label for label in setups if label not in TABLE6]
+    if unknown:
+        raise KeyError(f"unknown Table-6 setups: {unknown}")
+    grid = ParameterGrid({"setup": list(setups), "mix": list(mixes)})
+    base = ExperimentSpec(
+        name="ycsb",
+        kind="throughput",
+        params={
+            "workload": "ycsb",
+            "duration": duration,
+            "memory_gib": memory_gib,
+            "seed": seed,
+        },
+        seed=seed,
+        timeout=timeout,
+    )
+    specs = []
+    for spec in grid.expand(base):
+        params = {key: value for key, value in spec.params.items() if key != "mix"}
+        params["workload_kwargs"] = {"mix": spec.params["mix"]}
+        specs.append(replace(spec, params=params))
+    return specs
+
+
+def table6_sweep(
+    memory_gib: float = 8.0,
+    load: float = 0.3,
+    duration: float = 100.0,
+    seed: int = BENCH_SEED,
+    timeout: Optional[float] = None,
+) -> List[ExperimentSpec]:
+    """Checkpoint behaviour of every protected Table-6 configuration."""
+    labels = [
+        label for label, setup in TABLE6.items() if setup.engine != "none"
+    ]
+    grid = ParameterGrid({"setup": labels})
+    base = ExperimentSpec(
+        name="table6",
+        kind="checkpoint",
+        params={
+            "memory_gib": memory_gib,
+            "load": load,
+            "duration": duration,
+            "seed": seed,
+        },
+        seed=seed,
+        timeout=timeout,
+    )
+    return grid.expand(base)
+
+
+#: CLI preset name -> builder keyword arguments it accepts.
+SWEEP_PRESETS = ("chaos", "ycsb", "table6")

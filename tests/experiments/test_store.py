@@ -1,0 +1,55 @@
+"""The content-addressed ResultStore and the JSONL sweep log."""
+
+import json
+import os
+
+from repro.experiments import ResultStore, SweepLog
+
+FP = "a" * 64
+PAYLOAD = {"status": "ok", "metrics": {"x": 1.5}, "wall_clock": 0.2}
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        assert store.load(FP) is None
+        store.save(FP, PAYLOAD)
+        assert store.load(FP)["metrics"] == {"x": 1.5}
+        assert FP in store
+
+    def test_save_is_atomic_and_clean(self, tmp_path):
+        root = tmp_path / "cache"
+        store = ResultStore(str(root))
+        store.save(FP, PAYLOAD)
+        # No temp droppings left behind.
+        assert sorted(os.listdir(root)) == [f"{FP}.json"]
+
+    def test_corrupted_file_is_a_miss_and_evicted(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save(FP, PAYLOAD)
+        path = tmp_path / f"{FP}.json"
+        path.write_text("{ not json at all")
+        assert store.load(FP) is None
+        assert not path.exists()
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        (tmp_path / f"{FP}.json").write_text(json.dumps([1, 2, 3]))
+        assert store.load(FP) is None
+
+    def test_non_ok_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save(FP, {"status": "failed", "error": "boom"})
+        assert store.load(FP) is None
+
+    def test_evict_missing_is_quiet(self, tmp_path):
+        ResultStore(str(tmp_path)).evict(FP)
+
+
+class TestSweepLog:
+    def test_appends_jsonl_records(self, tmp_path):
+        log = SweepLog(str(tmp_path / "logs" / "sweeps.jsonl"))
+        log.append({"name": "t0", "status": "ok"})
+        log.append({"name": "t1", "status": "failed"})
+        lines = (tmp_path / "logs" / "sweeps.jsonl").read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["t0", "t1"]

@@ -116,3 +116,55 @@ class TestTrace:
             r for r in records if getattr(r, "name", "") == "fault.injected"
         ]
         assert len(fault_counters) == 1
+
+
+class TestCampaignThroughSweepRunner:
+    """The injected-runner path: trials execute through SweepRunner."""
+
+    def test_serial_equals_parallel_fingerprint(self):
+        from repro.experiments import SweepRunner
+
+        config = fast_config(
+            trials=3, kinds=(FaultKind.HOST_CRASH, FaultKind.HYPERVISOR_CRASH)
+        )
+        serial = ChaosCampaign(config).run()
+        parallel = ChaosCampaign(config, runner=SweepRunner(jobs=3)).run()
+        assert parallel.fingerprint() == serial.fingerprint()
+        assert [t.faults for t in parallel.trials] == [
+            t.faults for t in serial.trials
+        ]
+        assert [t.seed for t in parallel.trials] == [
+            t.seed for t in serial.trials
+        ]
+
+    def test_runner_path_uses_the_cache(self, tmp_path):
+        from repro.experiments import ResultStore, SweepRunner
+
+        config = fast_config(trials=2, kinds=(FaultKind.HOST_CRASH,))
+        store = ResultStore(str(tmp_path))
+        first = ChaosCampaign(
+            config, runner=SweepRunner(jobs=1, store=store)
+        ).run()
+        rerun = SweepRunner(jobs=1, store=store)
+        second = ChaosCampaign(config, runner=rerun).run()
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_live_subscribers_cannot_cross_processes(self):
+        from repro.experiments import SweepRunner
+
+        campaign = ChaosCampaign(
+            fast_config(), subscribers=[lambda record: None],
+            runner=SweepRunner(jobs=2),
+        )
+        with pytest.raises(ValueError, match="subscribers"):
+            campaign.run()
+
+
+class TestTrialResultRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self):
+        result = ChaosCampaign(
+            fast_config(kinds=(FaultKind.HOST_CRASH,))
+        ).run()
+        trial = result.trials[0]
+        clone = trial.from_dict(trial.to_dict())
+        assert clone == trial

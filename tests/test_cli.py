@@ -178,3 +178,118 @@ class TestChaosCommand:
     def test_unknown_kind_exits(self, capsys):
         assert main(["chaos", "--kinds", "gamma-rays"]) == 2
         assert "gamma-rays" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    def test_chaos_rejects_non_positive_trials(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--trials", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_chaos_rejects_non_positive_faults(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--faults", "-1"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_positive_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--jobs", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_positive_trials(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--trials", "-3"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_integer_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--jobs", "many"])
+        assert "not an integer" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def sweep(self, tmp_path, *extra):
+        return main([
+            "sweep", "--preset", "chaos", "--trials", "2", "--jobs", "2",
+            "--recovery-time", "10",
+            "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ])
+
+    def test_sweep_runs_and_reports(self, capsys, tmp_path):
+        assert self.sweep(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "cache hits / misses" in out
+        assert "0/2" in out
+        assert "chaos/trial-0" in out
+
+    def test_second_run_is_all_cache_hits(self, capsys, tmp_path):
+        assert self.sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert self.sweep(tmp_path) == 0
+        assert "2/0" in capsys.readouterr().out
+
+    def test_emit_bench_writes_payload(self, capsys, tmp_path):
+        import json
+
+        bench_path = tmp_path / "BENCH_sweep.json"
+        assert self.sweep(tmp_path, "--emit-bench", str(bench_path)) == 0
+        bench = json.loads(bench_path.read_text())
+        assert bench["sweep"] == "chaos"
+        assert bench["trials_total"] == 2
+        assert len(bench["aggregate_fingerprint"]) == 64
+        assert all("wall_clock_s" in trial for trial in bench["trials"])
+        assert "speedup" in bench
+
+    def test_serial_and_parallel_fingerprints_match(self, capsys, tmp_path):
+        import json
+
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main([
+            "sweep", "--preset", "chaos", "--trials", "2", "--jobs", "1",
+            "--recovery-time", "10", "--no-cache",
+            "--cache-dir", str(tmp_path / "c1"), "--emit-bench", str(first),
+        ]) == 0
+        assert main([
+            "sweep", "--preset", "chaos", "--trials", "2", "--jobs", "2",
+            "--recovery-time", "10", "--no-cache",
+            "--cache-dir", str(tmp_path / "c2"), "--emit-bench", str(second),
+        ]) == 0
+        fp1 = json.loads(first.read_text())["aggregate_fingerprint"]
+        fp2 = json.loads(second.read_text())["aggregate_fingerprint"]
+        assert fp1 == fp2
+
+    def test_baseline_gate_passes_against_own_bench(self, capsys, tmp_path):
+        bench_path = tmp_path / "BENCH_sweep.json"
+        assert self.sweep(tmp_path, "--emit-bench", str(bench_path)) == 0
+        capsys.readouterr()
+        assert self.sweep(tmp_path, "--baseline", str(bench_path)) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_baseline_gate_fails_on_drift(self, capsys, tmp_path):
+        import json
+
+        bench_path = tmp_path / "BENCH_sweep.json"
+        assert self.sweep(tmp_path, "--emit-bench", str(bench_path)) == 0
+        bench = json.loads(bench_path.read_text())
+        bench["metrics"]["trial.failovers"] = 99.0
+        bench_path.write_text(json.dumps(bench))
+        capsys.readouterr()
+        assert self.sweep(tmp_path, "--baseline", str(bench_path)) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_baseline_is_a_clean_error(self, capsys, tmp_path):
+        assert self.sweep(tmp_path, "--baseline", "/nonexistent.json") == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_sweep_log_is_written(self, tmp_path, capsys):
+        import json
+
+        assert self.sweep(tmp_path) == 0
+        log = tmp_path / "cache" / "sweeps.jsonl"
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(record["status"] == "ok" for record in records)
+        assert all(record["telemetry"] for record in records)
