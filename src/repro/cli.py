@@ -150,6 +150,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="seeded chaos campaign: faults -> failover -> re-protection",
     )
+    chaos.add_argument(
+        "--preset", choices=["default", "lossy"], default="default",
+        help="'lossy' draws link impairments and runs the hardened "
+             "transport (reliable chunked commit + degradation ladder)",
+    )
     chaos.add_argument("--trials", type=_positive_int, default=3)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--vms", type=_positive_int, default=2)
@@ -160,8 +165,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="failure detector: fixed miss threshold or adaptive phi-accrual",
     )
     chaos.add_argument(
-        "--kinds", default="host-crash,hypervisor-crash,hypervisor-hang,link-partition",
-        help="comma list of fault kinds to draw from",
+        "--kinds", default=None,
+        help="comma list of fault kinds to draw from (default depends "
+             "on --preset)",
+    )
+    chaos.add_argument("--miss-threshold", type=_positive_int, default=3,
+                       help="consecutive heartbeat misses before failover")
+    chaos.add_argument(
+        "--degraded-miss-threshold", type=_positive_int, default=None,
+        help="misses tolerated while the transport reports the link "
+             "lossy-but-alive (default 12 under --preset lossy)",
     )
     chaos.add_argument("--recovery-time", type=float, default=60.0,
                        help="seconds each trial runs after the fault window")
@@ -172,7 +185,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parallel, cached experiment sweep with regression gating",
     )
     sweep.add_argument(
-        "--preset", choices=["chaos", "ycsb", "table6"], default="chaos",
+        "--preset", choices=["chaos", "lossy", "ycsb", "table6"],
+        default="chaos",
         help="which built-in trial matrix to run",
     )
     sweep.add_argument("--trials", type=_positive_int, default=4,
@@ -485,10 +499,19 @@ def _cmd_plan(args) -> int:
 def _cmd_chaos(args) -> int:
     from .faults import CampaignConfig, ChaosCampaign, FaultKind
 
+    lossy = args.preset == "lossy"
+    default_kinds = (
+        "link-loss,packet-corrupt,latency-jitter"
+        if lossy
+        else "host-crash,hypervisor-crash,hypervisor-hang,link-partition"
+    )
+    degraded_misses = args.degraded_miss_threshold
+    if degraded_misses is None and lossy:
+        degraded_misses = max(12, args.miss_threshold)
     try:
         kinds = tuple(
             FaultKind(entry.strip())
-            for entry in args.kinds.split(",")
+            for entry in (args.kinds or default_kinds).split(",")
             if entry.strip()
         )
         config = CampaignConfig(
@@ -498,7 +521,10 @@ def _cmd_chaos(args) -> int:
             faults_per_trial=args.faults,
             kinds=kinds,
             detector=args.detector,
+            miss_threshold=args.miss_threshold,
             recovery_time=args.recovery_time,
+            reliable_transport=lossy,
+            degraded_miss_threshold=degraded_misses,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -555,13 +581,15 @@ def _cmd_sweep(args) -> int:
     from .experiments.presets import (
         BENCH_SEED,
         chaos_sweep,
+        lossy_sweep,
         table6_sweep,
         ycsb_sweep,
     )
 
     try:
-        if args.preset == "chaos":
-            specs = chaos_sweep(
+        if args.preset in ("chaos", "lossy"):
+            builder = lossy_sweep if args.preset == "lossy" else chaos_sweep
+            specs = builder(
                 trials=args.trials,
                 seed=args.seed if args.seed is not None else 0,
                 settle_time=3.0,

@@ -28,6 +28,7 @@ from ..replication.failover import FailoverController
 from ..replication.heartbeat import HeartbeatMonitor
 from ..replication.here import here_engine
 from ..replication.remus import remus_engine
+from ..replication.transport import TransportConfig
 from ..simkernel.core import Simulation
 from ..vm.machine import VirtualMachine
 from .planner import Placement, PlanResult
@@ -58,8 +59,14 @@ class DeploymentSpec:
     checkpoint_threads: int = 4
     heartbeat_interval: float = 0.03
     heartbeat_misses: int = 3
+    #: Tolerated consecutive misses while the transport reports "link
+    #: degraded but alive" (lossy links; needs a reliable transport).
+    degraded_heartbeat_misses: Optional[int] = None
     seed: int = 0
     cost_model: Optional[TransferCostModel] = None
+    #: Hardened transport config; None keeps the classic protocol
+    #: ("here" engines only — Remus/COLO model the original papers).
+    transport: Optional[TransportConfig] = None
 
     def __post_init__(self):
         if self.engine not in ("here", "remus", "colo"):
@@ -68,6 +75,18 @@ class DeploymentSpec:
             raise ValueError("Remus needs a finite checkpoint period")
         if self.engine == "colo" and self.comparison_interval <= 0:
             raise ValueError("COLO needs a positive comparison interval")
+        if self.transport is not None and self.engine != "here":
+            raise ValueError(
+                "the hardened transport is a HERE feature; "
+                f"engine {self.engine!r} does not support it"
+            )
+        if (
+            self.degraded_heartbeat_misses is not None
+            and self.degraded_heartbeat_misses < self.heartbeat_misses
+        ):
+            raise ValueError(
+                "degraded_heartbeat_misses must be >= heartbeat_misses"
+            )
 
 
 class ProtectedDeployment:
@@ -123,6 +142,7 @@ class ProtectedDeployment:
                 initial_period=spec.initial_period,
                 checkpoint_threads=spec.checkpoint_threads,
                 cost_model=spec.cost_model,
+                transport=spec.transport,
             )
         self.monitor = HeartbeatMonitor(
             self.sim,
@@ -131,6 +151,8 @@ class ProtectedDeployment:
             self.testbed.interconnect,
             interval=spec.heartbeat_interval,
             miss_threshold=spec.heartbeat_misses,
+            degraded_miss_threshold=spec.degraded_heartbeat_misses,
+            loss_signal=self._transport_loss_signal,
         )
         # The ASR failover protocol promotes the replica from the last
         # *acked checkpoint* via the ReplicaSession; lock-stepping has
@@ -145,6 +167,11 @@ class ProtectedDeployment:
                 replica_service_link=self.testbed.service_secondary,
             )
         self.service: Optional[ServiceConnection] = None
+
+    def _transport_loss_signal(self) -> bool:
+        # Bound late: the engine's transport only exists after start().
+        transport = getattr(self.engine, "transport", None)
+        return transport is not None and transport.link_appears_lossy()
 
     # -- orchestration -------------------------------------------------------
     def start_protection(self, wait_ready: bool = True) -> None:
@@ -225,6 +252,7 @@ def engines_from_plan(
     t_max: float = 5.0,
     sigma: float = 0.25,
     checkpoint_threads: int = 4,
+    transport: Optional[TransportConfig] = None,
 ) -> Tuple[Dict[str, ReplicationEngine], Dict[Tuple[str, str], LinkPair]]:
     """Instantiate one HERE engine per planned placement.
 
@@ -253,6 +281,7 @@ def engines_from_plan(
                 sigma=sigma,
                 checkpoint_threads=checkpoint_threads,
                 name=f"here:{placement.vm_name}",
+                transport=transport,
             )
     return engines, links
 
@@ -276,6 +305,7 @@ class ProtectedFleet:
         t_max: float = 5.0,
         sigma: float = 0.25,
         checkpoint_threads: int = 4,
+        transport: Optional[TransportConfig] = None,
     ):
         if not plan.placements:
             raise ValueError("the plan has no placements to deploy")
@@ -288,6 +318,7 @@ class ProtectedFleet:
             t_max=t_max,
             sigma=sigma,
             checkpoint_threads=checkpoint_threads,
+            transport=transport,
         )
 
     def placement_of(self, vm_name: str) -> Placement:

@@ -261,6 +261,7 @@ def chaos_sweep(
     seed: int = 0,
     timeout: Optional[float] = None,
     retries: int = 0,
+    name: str = "chaos",
     **config_overrides: Any,
 ) -> List[ExperimentSpec]:
     """One spec per chaos trial of one campaign configuration.
@@ -268,7 +269,9 @@ def chaos_sweep(
     The per-trial seed lives inside the campaign (derived from the
     campaign seed and the trial index), so the specs here carry the
     campaign seed explicitly in their params and fingerprints change
-    exactly when the campaign config does.
+    exactly when the campaign config does.  ``name`` only relabels the
+    specs — trial seeds stay keyed on the trial index, so a renamed
+    sweep replays the identical campaign.
     """
     if trials < 1:
         raise ValueError(f"a chaos sweep needs >= 1 trial: {trials}")
@@ -282,7 +285,7 @@ def chaos_sweep(
     del params["trials"]
     return [
         ExperimentSpec(
-            name=f"chaos/trial-{index}",
+            name=f"{name}/trial-{index}",
             kind="chaos-trial",
             params={**params, "index": index, "trials": 1},
             seed=derive_seed(seed, f"chaos-trial-{index}"),
@@ -291,6 +294,40 @@ def chaos_sweep(
         )
         for index in range(trials)
     ]
+
+
+def lossy_sweep(
+    trials: int,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    **config_overrides: Any,
+) -> List[ExperimentSpec]:
+    """Chaos trials over impaired links with the hardened transport.
+
+    Every fault is a link impairment (loss, corruption, latency
+    jitter), every engine runs the reliable transport, and the
+    heartbeat tolerates extra misses while the transport still commits
+    epochs — so the campaign measures retransmission and degradation
+    behaviour rather than failover.
+    """
+    from ..faults import FaultKind
+
+    defaults: Dict[str, Any] = dict(
+        kinds=(
+            FaultKind.LINK_LOSS,
+            FaultKind.PACKET_CORRUPT,
+            FaultKind.LATENCY_JITTER,
+        ),
+        reliable_transport=True,
+        degraded_miss_threshold=12,
+        faults_per_trial=2,
+    )
+    defaults.update(config_overrides)
+    return chaos_sweep(
+        trials, seed=seed, timeout=timeout, retries=retries,
+        name="lossy", **defaults,
+    )
 
 
 def ycsb_sweep(
@@ -354,4 +391,4 @@ def table6_sweep(
 
 
 #: CLI preset name -> builder keyword arguments it accepts.
-SWEEP_PRESETS = ("chaos", "ycsb", "table6")
+SWEEP_PRESETS = ("chaos", "lossy", "ycsb", "table6")

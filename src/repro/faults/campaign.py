@@ -33,6 +33,7 @@ from ..hardware.units import GIB
 from ..hypervisor import KvmHypervisor, XenHypervisor
 from ..replication.failover import FailoverController
 from ..replication.heartbeat import HeartbeatMonitor
+from ..replication.transport import DegradationController, TransportConfig
 from ..simkernel.core import Simulation
 from ..simkernel.random import derive_seed
 from ..telemetry import Recorder
@@ -75,6 +76,13 @@ class CampaignConfig:
     phi_threshold: float = 8.0
     t_max: float = 2.0
     target_degradation: float = 0.0
+    #: Run every engine over the hardened transport (two-phase commit,
+    #: retransmission, fencing) — required for the lossy fault kinds to
+    #: be survivable rather than just degrade throughput.
+    reliable_transport: bool = False
+    #: Tolerated consecutive heartbeat misses while the transport says
+    #: "link degraded but alive"; None keeps the plain threshold.
+    degraded_miss_threshold: Optional[int] = None
 
     def __post_init__(self):
         if self.trials < 1:
@@ -87,6 +95,14 @@ class CampaignConfig:
             raise ValueError(f"unknown detector {self.detector!r}")
         if self.faults_per_trial < 1:
             raise ValueError("a trial needs >= 1 fault")
+        if (
+            self.degraded_miss_threshold is not None
+            and self.degraded_miss_threshold < self.miss_threshold
+        ):
+            raise ValueError(
+                "degraded_miss_threshold must be >= miss_threshold: "
+                f"{self.degraded_miss_threshold} < {self.miss_threshold}"
+            )
 
 
 @dataclass
@@ -114,6 +130,11 @@ class TrialResult:
     downtime_seconds: float = 0.0
     #: Availability nines over the observed window (all VMs pooled).
     nines: float = math.inf
+    #: Hardened-transport telemetry: chunk/commit retransmissions and
+    #: stale-generation rejections across all engines (0 when the
+    #: campaign runs the classic protocol).
+    retransmits: int = 0
+    fencing_rejections: int = 0
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (``from_dict`` round-trips it)."""
@@ -179,21 +200,44 @@ class CampaignResult:
             return math.inf
         return observed_availability_nines(downtime, observed)
 
+    @property
+    def total_retransmits(self) -> int:
+        return sum(trial.retransmits for trial in self.trials)
+
+    @property
+    def total_fencing_rejections(self) -> int:
+        return sum(trial.fencing_rejections for trial in self.trials)
+
     def fingerprint(self) -> dict:
         """The determinism contract: same seed => identical dict."""
+        def _finite(value: float):
+            # A zero-failover campaign has no MTTR: NaN would poison
+            # the contract (NaN != NaN), so encode it as a string.
+            return round(value, 9) if math.isfinite(value) else str(value)
+
         return {
-            "mean_mttr": round(self.mean_mttr, 9),
-            "max_mttr": round(self.max_mttr, 9),
-            "mean_unprotected_window": round(self.mean_unprotected_window, 9),
+            "mean_mttr": _finite(self.mean_mttr),
+            "max_mttr": _finite(self.max_mttr),
+            "mean_unprotected_window": _finite(self.mean_unprotected_window),
             "dropped_vms": self.total_dropped_vms,
             "failovers": self.total_failovers,
             "reprotections": self.total_reprotections,
+            "retransmits": self.total_retransmits,
+            "fencing_rejections": self.total_fencing_rejections,
             "pooled_nines": round(self.pooled_nines, 6)
             if math.isfinite(self.pooled_nines)
             else "inf",
         }
 
     def summary_rows(self) -> List[dict]:
+        transport_rows = []
+        if self.config.reliable_transport:
+            transport_rows = [
+                {"metric": "transport retransmits",
+                 "value": self.total_retransmits},
+                {"metric": "fencing rejections",
+                 "value": self.total_fencing_rejections},
+            ]
         return [
             {"metric": "trials", "value": len(self.trials)},
             {"metric": "faults injected",
@@ -212,7 +256,7 @@ class CampaignResult:
             {"metric": "max unprotected window (s)",
              "value": self.max_unprotected_window},
             {"metric": "availability (nines)", "value": self.pooled_nines},
-        ]
+        ] + transport_rows
 
 
 class ChaosCampaign:
@@ -312,10 +356,12 @@ class ChaosCampaign:
             plan,
             target_degradation=config.target_degradation,
             t_max=config.t_max,
+            transport=TransportConfig() if config.reliable_transport else None,
         )
         fleet.start_protection(wait_ready=True)
 
         controllers = {}
+        degradation_controllers = []
         for vm_name, engine in fleet.engines.items():
             if config.detector == "phi":
                 monitor = PhiAccrualDetector(
@@ -334,8 +380,18 @@ class ChaosCampaign:
                     engine.link,
                     interval=config.heartbeat_interval,
                     miss_threshold=config.miss_threshold,
+                    degraded_miss_threshold=config.degraded_miss_threshold,
+                    loss_signal=(
+                        engine.transport.link_appears_lossy
+                        if engine.transport is not None
+                        else None
+                    ),
                 )
             monitor.start()
+            if engine.transport is not None:
+                degradation = DegradationController(sim, engine)
+                degradation.start()
+                degradation_controllers.append(degradation)
             failover = FailoverController(sim, engine, monitor)
             failover.arm()
             reprotection = ReprotectionController(
@@ -375,6 +431,8 @@ class ChaosCampaign:
         )
         # Close the trial out cleanly so session spans end inside this
         # trial's bus (and a --trace file), not at garbage collection.
+        for degradation in degradation_controllers:
+            degradation.stop()
         for _monitor, _failover, reprotection in controllers.values():
             _monitor.stop()
             if reprotection.engine is not None:
@@ -447,6 +505,13 @@ class ChaosCampaign:
             trial.downtime_seconds += trial_end - (
                 failed_at if failed_at is not None else trial_end
             )
+        trial.retransmits = int(
+            sum(r.value for r in recorder.counters("transport.retransmits"))
+            + sum(r.value for r in recorder.counters("transport.commit_resend"))
+        )
+        trial.fencing_rejections = int(
+            sum(r.value for r in recorder.counters("transport.fencing_rejected"))
+        )
         trial.nines = observed_availability_nines(
             max(trial.downtime_seconds, 0.0), trial.observed_seconds
         )

@@ -175,6 +175,23 @@ class FaultInjector:
         if kind is FaultKind.LINK_PARTITION:
             self.links[spec.target].partition()
             return f"link {spec.target} partitioned"
+        if kind is FaultKind.LINK_LOSS:
+            self.links[spec.target].impair(loss_rate=spec.loss_rate)
+            return (
+                f"link {spec.target} dropping {spec.loss_rate:.0%} of packets"
+            )
+        if kind is FaultKind.PACKET_CORRUPT:
+            self.links[spec.target].impair(corrupt_rate=spec.corrupt_rate)
+            return (
+                f"link {spec.target} corrupting {spec.corrupt_rate:.0%} "
+                "of chunks"
+            )
+        if kind is FaultKind.LATENCY_JITTER:
+            self.links[spec.target].impair(latency_jitter_s=spec.jitter_s)
+            return (
+                f"link {spec.target} jittering messages by up to "
+                f"{spec.jitter_s:g}s"
+            )
         if kind is FaultKind.EXPLOIT:
             hypervisor = self.hosts[spec.target].hypervisor
             if hypervisor is None:
@@ -183,11 +200,21 @@ class FaultInjector:
             return result.detail
         raise AssertionError(f"unhandled fault kind {kind}")
 
+    _IMPAIRMENT_KINDS = (
+        FaultKind.LINK_LOSS,
+        FaultKind.PACKET_CORRUPT,
+        FaultKind.LATENCY_JITTER,
+    )
+
     def _revert(self, spec: FaultSpec, record: InjectedFault, span) -> None:
         if spec.kind is FaultKind.HOST_TRANSIENT:
             self.hosts[spec.target].recover(
                 f"transient fault over: {spec.reason or 'reboot'}"
             )
+        elif spec.kind in self._IMPAIRMENT_KINDS:
+            # Impairments clear without touching degradation/partition
+            # state a concurrent fault may have applied to the same link.
+            self.links[spec.target].clear_impairment()
         else:  # LINK_DEGRADE / LINK_PARTITION
             self.links[spec.target].restore()
         record.reverted_at = self.sim.now

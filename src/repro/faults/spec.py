@@ -44,6 +44,13 @@ class FaultKind(Enum):
     LINK_DEGRADE = "link-degrade"
     #: Cut a link entirely (network partition), optionally reverting.
     LINK_PARTITION = "link-partition"
+    #: Drop each packet on a link with probability ``loss_rate``.
+    LINK_LOSS = "link-loss"
+    #: Corrupt each checkpoint chunk with probability ``corrupt_rate``
+    #: (caught by the reliable transport's checksums and NACKed).
+    PACKET_CORRUPT = "packet-corrupt"
+    #: Add a uniform random delay in ``[0, jitter_s]`` to each message.
+    LATENCY_JITTER = "latency-jitter"
     #: Launch a real DoS exploit from the CVE dataset at the target
     #: host's hypervisor (bounces if the CVE does not affect it).
     EXPLOIT = "exploit"
@@ -54,7 +61,14 @@ class FaultKind(Enum):
 
 #: Kinds the injector reverts after ``duration`` (when finite).
 TRANSIENT_KINDS = frozenset(
-    {FaultKind.HOST_TRANSIENT, FaultKind.LINK_DEGRADE, FaultKind.LINK_PARTITION}
+    {
+        FaultKind.HOST_TRANSIENT,
+        FaultKind.LINK_DEGRADE,
+        FaultKind.LINK_PARTITION,
+        FaultKind.LINK_LOSS,
+        FaultKind.PACKET_CORRUPT,
+        FaultKind.LATENCY_JITTER,
+    }
 )
 #: Kinds whose target is a host name.
 HOST_KINDS = frozenset(
@@ -68,7 +82,15 @@ HOST_KINDS = frozenset(
     }
 )
 #: Kinds whose target is a link (or link-pair) name.
-LINK_KINDS = frozenset({FaultKind.LINK_DEGRADE, FaultKind.LINK_PARTITION})
+LINK_KINDS = frozenset(
+    {
+        FaultKind.LINK_DEGRADE,
+        FaultKind.LINK_PARTITION,
+        FaultKind.LINK_LOSS,
+        FaultKind.PACKET_CORRUPT,
+        FaultKind.LATENCY_JITTER,
+    }
+)
 #: Kinds whose target is a VM name.
 VM_KINDS = frozenset({FaultKind.GUEST_CRASH})
 
@@ -91,6 +113,10 @@ class FaultSpec:
     # -- LINK_DEGRADE knobs --
     bandwidth_factor: float = 1.0
     extra_latency_s: float = 0.0
+    # -- lossy-link knobs (LINK_LOSS / PACKET_CORRUPT / LATENCY_JITTER) --
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    jitter_s: float = 0.0
     # -- HYPERVISOR_STARVE knob --
     starvation_factor: float = 8.0
     # -- EXPLOIT payload --
@@ -126,6 +152,22 @@ class FaultSpec:
                 raise ValueError(f"negative extra latency: {self.extra_latency_s}")
             if self.bandwidth_factor == 1.0 and self.extra_latency_s == 0.0:
                 raise ValueError("a LINK_DEGRADE fault must actually degrade")
+        if self.kind is FaultKind.LINK_LOSS and not 0.0 < self.loss_rate <= 1.0:
+            raise ValueError(
+                f"a LINK_LOSS fault needs loss_rate in (0, 1]: {self.loss_rate}"
+            )
+        if (
+            self.kind is FaultKind.PACKET_CORRUPT
+            and not 0.0 < self.corrupt_rate <= 1.0
+        ):
+            raise ValueError(
+                "a PACKET_CORRUPT fault needs corrupt_rate in (0, 1]: "
+                f"{self.corrupt_rate}"
+            )
+        if self.kind is FaultKind.LATENCY_JITTER and self.jitter_s <= 0.0:
+            raise ValueError(
+                f"a LATENCY_JITTER fault needs jitter_s > 0: {self.jitter_s}"
+            )
         if self.kind is FaultKind.HYPERVISOR_STARVE and self.starvation_factor < 1.0:
             raise ValueError(
                 f"starvation_factor must be >= 1: {self.starvation_factor}"
@@ -230,6 +272,12 @@ class FaultSchedule:
             if kind is FaultKind.LINK_DEGRADE:
                 kwargs["bandwidth_factor"] = rng.uniform(0.05, 0.5)
                 kwargs["extra_latency_s"] = rng.uniform(0.0, 2e-3)
+            elif kind is FaultKind.LINK_LOSS:
+                kwargs["loss_rate"] = rng.uniform(0.02, 0.15)
+            elif kind is FaultKind.PACKET_CORRUPT:
+                kwargs["corrupt_rate"] = rng.uniform(0.02, 0.1)
+            elif kind is FaultKind.LATENCY_JITTER:
+                kwargs["jitter_s"] = rng.uniform(1e-4, 2e-3)
             specs.append(FaultSpec(**kwargs))
         return cls(specs=tuple(specs))
 

@@ -63,11 +63,17 @@ class Link:
         self._bandwidth_factor = 1.0
         self._extra_latency_s = 0.0
         self._down = False
+        # -- impairment state (see impair/clear_impairment) --
+        self._loss_rate = 0.0
+        self._corrupt_rate = 0.0
+        self._latency_jitter_s = 0.0
+        self._rng = None  # lazily bound: an unimpaired link never draws
         # -- statistics --
         self.bytes_delivered = 0.0
         self.transfers_completed = 0
         self._busy_integral = 0.0
         self.messages_dropped = 0
+        self.messages_lost = 0
 
     # -- public API --------------------------------------------------------
     @property
@@ -120,13 +126,120 @@ class Link:
         self._reschedule()
 
     def restore(self) -> None:
-        """Heal any degradation or partition; queued transfers resume."""
+        """Heal any degradation, partition or impairment; queued
+        transfers resume."""
         self._advance_progress()
         self._bandwidth_factor = 1.0
         self._extra_latency_s = 0.0
         self._down = False
+        self._loss_rate = 0.0
+        self._corrupt_rate = 0.0
+        self._latency_jitter_s = 0.0
         self.sim.telemetry.counter("link.restored", 1.0, link=self.name)
         self._reschedule()
+
+    # -- impairment (lossy-link semantics) -----------------------------------
+    def impair(
+        self,
+        loss_rate: Optional[float] = None,
+        corrupt_rate: Optional[float] = None,
+        latency_jitter_s: Optional[float] = None,
+    ) -> None:
+        """Make the wire lossy: drop/corrupt packets, jitter latency.
+
+        Unlike :meth:`degrade`, impairment is per-*packet*: each control
+        message is dropped with probability ``loss_rate`` and delayed by
+        a uniform draw in ``[0, latency_jitter_s]``; bulk checkpoint
+        chunks additionally corrupt with probability ``corrupt_rate``
+        (see :meth:`draw_chunk_outcomes`).  Draws come from a seeded
+        named stream, so impaired runs are reproducible.  ``None``
+        leaves that knob unchanged (impairments compose).
+        """
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate <= 1.0:
+                raise ValueError(f"loss_rate must be in [0, 1]: {loss_rate}")
+            self._loss_rate = loss_rate
+        if corrupt_rate is not None:
+            if not 0.0 <= corrupt_rate <= 1.0:
+                raise ValueError(
+                    f"corrupt_rate must be in [0, 1]: {corrupt_rate}"
+                )
+            self._corrupt_rate = corrupt_rate
+        if latency_jitter_s is not None:
+            if latency_jitter_s < 0:
+                raise ValueError(
+                    f"negative latency jitter: {latency_jitter_s}"
+                )
+            self._latency_jitter_s = latency_jitter_s
+        self.sim.telemetry.counter(
+            "link.impaired", 1.0, link=self.name,
+            loss_rate=self._loss_rate, corrupt_rate=self._corrupt_rate,
+            latency_jitter_s=self._latency_jitter_s,
+        )
+
+    def clear_impairment(self) -> None:
+        """Heal packet loss/corruption/jitter (degradation untouched)."""
+        if not self.is_impaired:
+            return
+        self._loss_rate = 0.0
+        self._corrupt_rate = 0.0
+        self._latency_jitter_s = 0.0
+        self.sim.telemetry.counter(
+            "link.impairment_cleared", 1.0, link=self.name
+        )
+
+    @property
+    def is_impaired(self) -> bool:
+        return (
+            self._loss_rate > 0.0
+            or self._corrupt_rate > 0.0
+            or self._latency_jitter_s > 0.0
+        )
+
+    @property
+    def loss_rate(self) -> float:
+        return self._loss_rate
+
+    @property
+    def corrupt_rate(self) -> float:
+        return self._corrupt_rate
+
+    @property
+    def latency_jitter_s(self) -> float:
+        return self._latency_jitter_s
+
+    def _impairment_rng(self):
+        if self._rng is None:
+            self._rng = self.sim.random.stream(f"link.impair.{self.name}")
+        return self._rng
+
+    def draw_chunk_outcomes(self, count: int) -> List[str]:
+        """Per-chunk delivery verdicts: ``"ok"``/``"lost"``/``"corrupt"``.
+
+        The fluid fair-share model cannot drop individual packets, so
+        the reliable transport layers chunk semantics on top: after a
+        bulk send it asks the wire what happened to each chunk.  An
+        unimpaired link answers all-ok without consuming any randomness
+        (existing seeded runs stay bit-for-bit unchanged); a partitioned
+        link delivers nothing.
+        """
+        if count <= 0:
+            return []
+        if self._down:
+            return ["lost"] * count
+        if self._loss_rate <= 0.0 and self._corrupt_rate <= 0.0:
+            return ["ok"] * count
+        rng = self._impairment_rng()
+        outcomes = []
+        for _ in range(count):
+            draw = rng.random()
+            if draw < self._loss_rate:
+                outcomes.append("lost")
+            elif draw < self._loss_rate + self._corrupt_rate:
+                outcomes.append("corrupt")
+            else:
+                outcomes.append("ok")
+        return outcomes
 
     @property
     def active_transfers(self) -> int:
@@ -174,7 +287,22 @@ class Link:
             if bus.enabled:
                 bus.counter("link.message_dropped", 1.0, link=self.name, nbytes=nbytes)
             return event
+        if self._loss_rate > 0.0:
+            if self._impairment_rng().random() < self._loss_rate:
+                # A lossy wire eats the packet: like a partition drop,
+                # the event never fires and the sender's timeout wins.
+                self.messages_lost += 1
+                bus = self.sim.telemetry
+                if bus.enabled:
+                    bus.counter(
+                        "link.message_lost", 1.0, link=self.name, nbytes=nbytes
+                    )
+                return event
         delay = self.latency + (nbytes / self.capacity)
+        if self._latency_jitter_s > 0.0:
+            delay += self._impairment_rng().uniform(
+                0.0, self._latency_jitter_s
+            )
         event.succeed(delay, delay=delay)
         self.sim.telemetry.counter("link.message", 1.0, link=self.name, nbytes=nbytes)
         return event
@@ -282,6 +410,23 @@ class LinkPair:
     def restore(self) -> None:
         self.forward.restore()
         self.backward.restore()
+
+    def impair(
+        self,
+        loss_rate: Optional[float] = None,
+        corrupt_rate: Optional[float] = None,
+        latency_jitter_s: Optional[float] = None,
+    ) -> None:
+        self.forward.impair(loss_rate, corrupt_rate, latency_jitter_s)
+        self.backward.impair(loss_rate, corrupt_rate, latency_jitter_s)
+
+    def clear_impairment(self) -> None:
+        self.forward.clear_impairment()
+        self.backward.clear_impairment()
+
+    @property
+    def is_impaired(self) -> bool:
+        return self.forward.is_impaired or self.backward.is_impaired
 
     @property
     def is_partitioned(self) -> bool:

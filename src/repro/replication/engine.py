@@ -51,6 +51,13 @@ from .pipeline import (
 )
 from .protocol import ReplicaSession
 from .translator import StateTranslator
+from .transport import (
+    CheckpointTransport,
+    EpochTorn,
+    StalePrimaryError,
+    TransportConfig,
+    remerge_dirty,
+)
 
 
 @dataclass
@@ -74,6 +81,9 @@ class ReplicationConfig:
     #: Optional checkpoint-stream compressor (Remus XBRLE-style);
     #: None sends raw pages.
     compression: Optional[CompressionModel] = None
+    #: Hardened transport (two-phase commit, retry/backoff, checksums,
+    #: fencing); None keeps the classic perfect-wire protocol.
+    transport: Optional[TransportConfig] = None
 
     def seeding_thread_count(self, vcpus: int) -> int:
         if self.seeding_threads is not None:
@@ -96,6 +106,7 @@ class ReplicationEngine:
         name: str = "asr",
         pipeline: Optional[CheckpointPipeline] = None,
         sync_pipeline: Optional[CheckpointPipeline] = None,
+        generation: int = 0,
     ):
         self.sim = sim
         self.primary = primary
@@ -128,6 +139,21 @@ class ReplicationEngine:
         self.ready.callbacks.append(lambda _evt: None)
         self._active = False
         self._epoch = 0
+        #: Primary generation stamped on every wire message; a failover
+        #: bumps the replica's fence past it, fencing this engine out.
+        self.generation = generation
+        #: Reliable transport instance (populated by start() when the
+        #: config carries a TransportConfig).
+        self.transport: Optional[CheckpointTransport] = None
+        #: Checkpoint-interval multiplier driven by the
+        #: DegradationController (1.0 = the controller's own period).
+        self.period_scale = 1.0
+        #: True once the replica's fence rejected us and we stood down.
+        self.demoted = False
+        self._suspended = False
+        self._suspend_requested: Optional[str] = None
+        self._resume_event = None
+        self.suspensions = 0
         #: Whole-run telemetry span (opened by start()).
         self._session_span = NULL_SPAN
 
@@ -164,6 +190,10 @@ class ReplicationEngine:
         self.config.controller.bind_telemetry(
             self.sim.telemetry, engine=self.name
         )
+        if self.config.transport is not None:
+            self.transport = CheckpointTransport(
+                self.sim, self.link, self.config.transport, name=self.name
+            )
         self.pipeline = self._pipeline_override or build_checkpoint_pipeline(
             self.config, self.heterogeneous, name=f"{self.name}-checkpoint"
         )
@@ -184,40 +214,35 @@ class ReplicationEngine:
         if self.process is not None and self.process.is_alive:
             self.process.interrupt(reason)
 
+    # -- graceful degradation (driven by DegradationController) ---------------
+    @property
+    def is_suspended(self) -> bool:
+        return self._suspended
+
+    def suspend_protection(self, reason: str = "link degraded") -> None:
+        """Ask the loop to suspend protection between checkpoints.
+
+        Suspension is enacted at the next loop iteration, never in the
+        middle of a checkpoint — interrupting a half-run pipeline would
+        break the seal/release invariants of output commit.
+        """
+        if self._suspend_requested is None and not self._suspended:
+            self._suspend_requested = reason
+
+    def resume_protection(self) -> None:
+        """Resume a suspended engine (the link recovered)."""
+        self._suspend_requested = None
+        if self._resume_event is not None and not self._resume_event.triggered:
+            self._resume_event.succeed(self.sim.now)
+
     # -- the replication process ------------------------------------------------
     def _replication_loop(self):
         vm = self.vm
-        config = self.config
         try:
             yield from self._setup_and_seed(vm)
             self.ready.succeed(self.sim.now)
             self._active = True
-            period = config.controller.initial_period()
-            while self._active:
-                try:
-                    yield self.sim.timeout(period)
-                except Interrupt as interrupt:
-                    self.stats.stop_reason = str(interrupt.cause)
-                    break
-                if not self._active:
-                    break
-                if vm.is_destroyed:
-                    self.stats.stop_reason = "protected VM destroyed"
-                    break
-                try:
-                    pause_duration = yield from self._checkpoint(vm, period)
-                except (
-                    HypervisorDown,
-                    HostFailure,
-                    VmLifecycleError,
-                    StageFault,
-                ) as failure:
-                    self.stats.stop_reason = str(failure)
-                    break
-                except Interrupt as interrupt:
-                    self.stats.stop_reason = str(interrupt.cause)
-                    break
-                period = config.controller.next_period(pause_duration)
+            yield from self._protection_loop(vm)
         except (HypervisorDown, HostFailure) as failure:
             self.stats.stop_reason = str(failure)
             if not self.ready.triggered:
@@ -242,18 +267,156 @@ class ReplicationEngine:
                 stop_reason=self.stats.stop_reason,
                 checkpoints=len(self.stats.checkpoints),
             )
-            # If the engine stopped while the primary is still healthy
-            # (secondary died, operator halt), the protected VM must
-            # keep running — unprotected, with output commit lifted.
-            if (
-                not vm.is_destroyed
-                and self.primary.is_responsive
-                and self.primary.host.is_up
-            ):
-                if vm.is_paused:
-                    vm.resume()
-                if self.device_manager is not None:
-                    self.device_manager.end_protection()
+            self._release_vm(vm)
+        return self.stats
+
+    def _release_vm(self, vm) -> None:
+        # If the engine stopped while the primary is still healthy
+        # (secondary died, operator halt), the protected VM must
+        # keep running — unprotected, with output commit lifted.  A
+        # *demoted* engine is the exception: the fence proved another
+        # copy of the VM is serving, so this one must stay paused.
+        if (
+            not self.demoted
+            and not vm.is_destroyed
+            and self.primary.is_responsive
+            and self.primary.host.is_up
+        ):
+            if vm.is_paused:
+                vm.resume()
+            if self.device_manager is not None:
+                self.device_manager.end_protection()
+
+    def _protection_loop(self, vm):
+        """The steady-state checkpoint loop (seeding already done)."""
+        config = self.config
+        period = config.controller.initial_period()
+        while self._active:
+            try:
+                yield self.sim.timeout(period * self.period_scale)
+            except Interrupt as interrupt:
+                self.stats.stop_reason = str(interrupt.cause)
+                break
+            if not self._active:
+                break
+            if self._suspend_requested is not None:
+                resumed = yield from self._suspension(vm)
+                if not resumed:
+                    break
+                continue
+            if vm.is_destroyed:
+                self.stats.stop_reason = "protected VM destroyed"
+                break
+            try:
+                pause_duration = yield from self._checkpoint(vm, period)
+            except StalePrimaryError as stale:
+                self._demote(str(stale))
+                break
+            except (
+                HypervisorDown,
+                HostFailure,
+                VmLifecycleError,
+                StageFault,
+            ) as failure:
+                self.stats.stop_reason = str(failure)
+                break
+            except Interrupt as interrupt:
+                self.stats.stop_reason = str(interrupt.cause)
+                break
+            period = config.controller.next_period(pause_duration)
+
+    def _suspension(self, vm):
+        """Generator: enact a requested suspension; True once resumed.
+
+        Protection is lifted cleanly (buffered output released, the VM
+        keeps serving unprotected) and the loop parks on a resume event.
+        On resume the dirty log has accumulated everything the VM wrote
+        meanwhile, so the next checkpoint re-seeds the replica with the
+        full backlog before normal cadence resumes.
+        """
+        reason = self._suspend_requested
+        self._suspend_requested = None
+        self._suspended = True
+        self.suspensions += 1
+        bus = self.sim.telemetry
+        span = bus.span(
+            "replication.suspended",
+            parent=self._session_span,
+            engine=self.name,
+            reason=reason,
+        )
+        bus.counter(
+            "replication.protection_suspended", 1.0, engine=self.name
+        )
+        self.device_manager.end_protection()
+        self._resume_event = self.sim.event(name=f"resume:{self.name}")
+        try:
+            yield self._resume_event
+        except Interrupt as interrupt:
+            self.stats.stop_reason = str(interrupt.cause)
+            self._suspended = False
+            span.end(resumed=False)
+            return False
+        self._resume_event = None
+        self._suspended = False
+        self.device_manager.begin_protection()
+        if self.transport is not None:
+            self.transport.reset_health()
+        bus.counter("replication.protection_resumed", 1.0, engine=self.name)
+        span.end(resumed=True)
+        return True
+
+    def _demote(self, reason: str) -> None:
+        """Stand down: the replica's fence proved we are a stale primary.
+
+        The VM stays paused (it was paused by the checkpoint that got
+        fenced) and its unreleased output is discarded — the promoted
+        copy on the other host is the live one; double-serving would be
+        a split brain.
+        """
+        self.demoted = True
+        self._active = False
+        self.stats.stop_reason = f"demoted: {reason}"
+        if self.device_manager is not None:
+            self.device_manager.discard_unreleased()
+        self.sim.telemetry.counter(
+            "replication.demoted", 1.0, engine=self.name
+        )
+
+    def re_arm(self):
+        """Restart the checkpoint loop after a halt (no re-seeding).
+
+        Models a resurrected old primary that still believes it owns
+        the VM: it resumes checkpointing at its old generation, and — if
+        a failover promoted the replica meanwhile — the fence rejects
+        it on the first commit, driving :meth:`_demote`.
+        """
+        if self.process is not None and self.process.is_alive:
+            raise RuntimeError(f"engine {self.name!r} is still running")
+        if self.vm is None:
+            raise RuntimeError(f"engine {self.name!r} was never started")
+        self.demoted = False
+        self._active = True
+        self.stats.stop_reason = None
+        if self.vm.is_paused:
+            self.vm.resume()
+        self.process = self.sim.process(
+            self._re_arm_loop(), name=f"replication:{self.name}:rearm"
+        )
+        return self.process
+
+    def _re_arm_loop(self):
+        vm = self.vm
+        try:
+            yield from self._protection_loop(vm)
+        except (HypervisorDown, HostFailure) as failure:
+            self.stats.stop_reason = str(failure)
+        except Interrupt as interrupt:
+            self.stats.stop_reason = str(interrupt.cause)
+        finally:
+            self._active = False
+            self.stats.stopped_at = self.sim.now
+            self._release_vm(vm)
         return self.stats
 
     def _setup_and_seed(self, vm):
@@ -351,6 +514,8 @@ class ReplicationEngine:
             epoch=epoch,
             period=period,
             initial=initial,
+            generation=self.generation,
+            transport=self.transport,
         )
 
     def _checkpoint(self, vm, period: float):
@@ -370,6 +535,35 @@ class ReplicationEngine:
             period=period,
         )
         ctx.state_parent = ctx.checkpoint_span
-        yield from self.pipeline.run(ctx)
+        try:
+            yield from self.pipeline.run(ctx)
+        except EpochTorn as torn:
+            pause_duration = self._abort_torn_epoch(ctx, torn)
+            self._epoch += 1
+            return pause_duration
         self._epoch += 1
         return ctx.pause_duration
+
+    def _abort_torn_epoch(self, ctx, torn: EpochTorn) -> float:
+        """Roll back a torn epoch and keep protecting.
+
+        The replica drops its staged chunks (its committed state is one
+        epoch old, never torn), the captured-but-unsent dirty pages are
+        re-merged into the live dirty log so the next checkpoint resends
+        them, the VM resumes, and the loop carries on — a long pause
+        also makes Algorithm 1 widen the next period, which is exactly
+        the right reflex under loss.
+        """
+        if self.transport is not None:
+            self.transport.discard_epoch(ctx, str(torn))
+        remerge_dirty(ctx.vm, ctx.snapshot)
+        if ctx.vm.is_paused:
+            ctx.vm.resume()
+        pause_duration = self.sim.now - ctx.pause_started_at
+        ctx.pause_duration = pause_duration
+        ctx.pause_span.end(discarded=True)
+        ctx.checkpoint_span.end(discarded=True, reason=str(torn))
+        self.sim.telemetry.counter(
+            "replication.epoch_torn", 1.0, engine=self.name, epoch=ctx.epoch
+        )
+        return pause_duration

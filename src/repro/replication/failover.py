@@ -48,6 +48,10 @@ class FailoverReport:
     #: rather than crash the control plane.
     failed: bool = False
     failure_reason: str = ""
+    #: Generation of the fencing token installed on the promoted
+    #: replica (0 when the failover aborted before promotion); a
+    #: resurrected old primary stamping an older generation is rejected.
+    fencing_generation: int = 0
 
 
 class FailoverController:
@@ -137,6 +141,17 @@ class FailoverController:
                 "— the protected VM is lost",
                 span=failover_span,
             )
+        # Split-brain fence: from this instant the session only accepts
+        # generations newer than the old primary's, so if it resurrects
+        # mid-activation its stale checkpoints already bounce.
+        fence = engine.replica_session.install_fence()
+        self.sim.telemetry.counter(
+            "transport.fence_installed",
+            1.0,
+            engine=engine.name,
+            generation=fence.generation,
+            epoch=fence.epoch,
+        )
         # Output commit: whatever the primary buffered but never got
         # acknowledged was never visible outside; drop it.
         dropped = engine.device_manager.discard_unreleased()
@@ -189,6 +204,7 @@ class FailoverController:
             dropped_packets=len(dropped),
             replica_host=secondary.host.name,
             replica_hypervisor=secondary.product,
+            fencing_generation=fence.generation,
         )
         self.report = FailoverReport(
             reason=str(reason),
@@ -199,6 +215,7 @@ class FailoverController:
             dropped_packets=len(dropped),
             replica_host=secondary.host.name,
             replica_hypervisor=secondary.product,
+            fencing_generation=fence.generation,
         )
         self.completed.succeed(self.report)
         return self.report

@@ -14,7 +14,7 @@ can also declare failure directly via :meth:`HeartbeatMonitor.report_attack`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..hardware.host import Host
 from ..hardware.link import LinkPair
@@ -33,6 +33,8 @@ class HeartbeatMonitor:
         interval: float = 0.03,
         miss_threshold: int = 3,
         probe_timeout: Optional[float] = None,
+        degraded_miss_threshold: Optional[int] = None,
+        loss_signal: Optional[Callable[[], bool]] = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive: {interval}")
@@ -40,6 +42,14 @@ class HeartbeatMonitor:
             raise ValueError(f"miss_threshold must be >= 1: {miss_threshold}")
         if probe_timeout is not None and probe_timeout <= 0:
             raise ValueError(f"probe_timeout must be positive: {probe_timeout}")
+        if (
+            degraded_miss_threshold is not None
+            and degraded_miss_threshold < miss_threshold
+        ):
+            raise ValueError(
+                "degraded_miss_threshold must be >= miss_threshold: "
+                f"{degraded_miss_threshold} < {miss_threshold}"
+            )
         self.sim = sim
         self.primary_host = primary_host
         self.primary_hypervisor = primary_hypervisor
@@ -50,10 +60,20 @@ class HeartbeatMonitor:
         #: Defaults to the probe interval — generous against jitter, yet
         #: bounded so a partitioned link cannot stall detection forever.
         self.probe_timeout = probe_timeout if probe_timeout is not None else interval
+        #: Degraded-vs-dead discrimination (lossy links): while
+        #: ``loss_signal()`` reports the transport is seeing loss *but
+        #: still getting through*, missed probes are tolerated up to
+        #: this higher threshold before failover fires.  A dead peer
+        #: stops producing transport successes, so the signal drops and
+        #: the normal threshold applies — degradation never masks a
+        #: real failure.  Both default to None (classic behaviour).
+        self.degraded_miss_threshold = degraded_miss_threshold
+        self.loss_signal = loss_signal
         #: Succeeds with the failure reason when failure is declared.
         self.failure_detected = sim.event(name="heartbeat-failure")
         self.probes_sent = 0
         self.consecutive_misses = 0
+        self.degraded_probes = 0
         self.last_success_at: Optional[float] = None
         self.process = None
 
@@ -126,7 +146,25 @@ class HeartbeatMonitor:
                     self.last_success_at = self.sim.now
                 else:
                     self.consecutive_misses += 1
-                    if self.consecutive_misses >= self.miss_threshold:
+                    threshold = self.miss_threshold
+                    if (
+                        self.degraded_miss_threshold is not None
+                        and self.loss_signal is not None
+                        and self.loss_signal()
+                    ):
+                        # The transport still commits epochs through the
+                        # loss — the peer is alive behind a bad wire.
+                        threshold = self.degraded_miss_threshold
+                        self.degraded_probes += 1
+                        if bus.enabled:
+                            bus.counter(
+                                "heartbeat.degraded_miss",
+                                1.0,
+                                host=self.primary_host.name,
+                                link=self.link.name,
+                                misses=self.consecutive_misses,
+                            )
+                    if self.consecutive_misses >= threshold:
                         if not answered:
                             reason = (
                                 "heartbeat probes unanswered — primary "

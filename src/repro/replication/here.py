@@ -17,6 +17,7 @@ from ..hardware.link import LinkPair
 from ..hardware.perfmodel import TransferCostModel
 from ..hypervisor.base import Hypervisor
 from .engine import ReplicationConfig, ReplicationEngine
+from .transport import TransportConfig
 from .period import DynamicPeriodController, FixedPeriodController, PeriodController
 from .pipeline import CheckpointPipeline, build_checkpoint_pipeline
 from .translator import StateTranslator
@@ -53,6 +54,7 @@ def here_controller(
 def here_config(
     controller: PeriodController,
     checkpoint_threads: int = DEFAULT_CHECKPOINT_THREADS,
+    transport: Optional[TransportConfig] = None,
 ) -> ReplicationConfig:
     """HERE parameters with the given period controller."""
     return ReplicationConfig(
@@ -60,6 +62,7 @@ def here_config(
         checkpoint_threads=checkpoint_threads,
         chunked_transfer=True,
         per_vcpu_seeding=True,
+        transport=transport,
     )
 
 
@@ -94,6 +97,8 @@ def here_engine(
     cost_model: Optional[TransferCostModel] = None,
     translator: Optional[StateTranslator] = None,
     name: str = "here",
+    transport: Optional[TransportConfig] = None,
+    generation: int = 0,
 ) -> ReplicationEngine:
     """A HERE replication engine.
 
@@ -113,8 +118,9 @@ def here_engine(
         primary,
         secondary,
         link,
-        here_config(chosen, checkpoint_threads),
+        here_config(chosen, checkpoint_threads, transport=transport),
         translator=translator or StateTranslator(),
         cost_model=cost_model,
         name=name,
+        generation=generation,
     )

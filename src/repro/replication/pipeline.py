@@ -72,6 +72,11 @@ class CheckpointContext:
     period: float = 0.0
     #: True for the seeding-final checkpoint establishing the replica.
     initial: bool = False
+    #: Primary generation stamped on wire messages (split-brain fence).
+    generation: int = 0
+    #: Optional :class:`~repro.replication.transport.CheckpointTransport`
+    #: driving the reliable chunk/commit protocol; None = classic path.
+    transport: object = None
     # -- telemetry anchors ------------------------------------------------
     #: Span the per-stage ``pipeline.stage`` spans nest under (the
     #: checkpoint span, seeding-sync span, or stop-and-copy span).
@@ -310,6 +315,26 @@ class TransferStage(Stage):
         span.end(pages=ctx.dirty_pages, threads=self.policy.threads)
 
 
+class ReliableTransferStage(TransferStage):
+    """A :class:`TransferStage` followed by per-chunk reliable delivery.
+
+    The bulk timing model is unchanged (same ``timed_page_send``); the
+    transport then stages the epoch's chunks on the replica, drawing
+    per-chunk loss/corruption verdicts from the link and retransmitting
+    until everything is staged (or the epoch tears).  Without a
+    transport in the context this degenerates to the classic stage.
+    """
+
+    name = "transfer"
+
+    def run(self, ctx):
+        yield from super().run(ctx)
+        if ctx.transport is not None:
+            yield from ctx.transport.chunk_rounds(
+                ctx, threads=self.policy.threads
+            )
+
+
 class ExtractStateStage(Stage):
     """Pull the vCPU/device state payload out of the primary."""
 
@@ -464,6 +489,48 @@ class AwaitAckStage(Stage):
             ctx.bus.counter(self.counter, 1.0, engine=ctx.engine_name)
 
 
+class ReliableAwaitAckStage(AwaitAckStage):
+    """Epoch commit through the reliable transport (two-phase commit).
+
+    The replica only applies the payload when every chunk of the epoch
+    is staged; lost acks are retried with backoff, a fenced-out commit
+    surfaces :class:`~repro.replication.transport.StalePrimaryError`.
+    Without a transport in the context this degenerates to the classic
+    stage, so the same pipeline serves both paths.
+    """
+
+    name = "await-ack"
+
+    def run(self, ctx):
+        if ctx.transport is None:
+            yield from super().run(ctx)
+            return
+        page_count = int(round(ctx.dirty_pages))
+        message = CheckpointMessage(
+            vm_name=ctx.vm.name,
+            epoch=ctx.epoch,
+            sent_at=ctx.sim.now,
+            dirty_pages=page_count,
+            memory_bytes=page_count * PAGE_SIZE,
+            state_payload=ctx.payload,
+            initial=ctx.initial,
+            guest_os_failed=ctx.vm.guest_os_failed,
+            generation=ctx.generation,
+        )
+        span = NULL_SPAN
+        if self.span_name:
+            span = ctx.bus.span(
+                self.span_name,
+                parent=ctx.state_parent,
+                engine=ctx.engine_name,
+                epoch=ctx.epoch,
+            )
+        yield from ctx.transport.commit_epoch(ctx, message)
+        span.end()
+        if self.counter:
+            ctx.bus.counter(self.counter, 1.0, engine=ctx.engine_name)
+
+
 class ResumeStage(Stage):
     """Fig. 3 step 5: let the VM run again; the pause is over."""
 
@@ -609,11 +676,14 @@ def checkpoint_stages(config, heterogeneous: bool) -> List[Stage]:
         policy: TransferPolicy = ChunkedTransferPolicy(threads)
     else:
         policy = FlatTransferPolicy(threads, scan_tracked=True)
+    reliable = getattr(config, "transport", None) is not None
+    transfer_cls = ReliableTransferStage if reliable else TransferStage
+    ack_cls = ReliableAwaitAckStage if reliable else AwaitAckStage
     stages: List[Stage] = [
         PauseStage(),
         CaptureDirtyStage(),
         CompressStage(config.compression),
-        TransferStage(
+        transfer_cls(
             policy,
             span_name="replication.checkpoint.transfer",
             page_cost="context",
@@ -624,7 +694,7 @@ def checkpoint_stages(config, heterogeneous: bool) -> List[Stage]:
         stages.append(TranslateStage())
     stages += [
         ShipStateStage(),
-        AwaitAckStage(),
+        ack_cls(),
         ResumeStage(),
         CommitReleaseStage(),
     ]
@@ -648,8 +718,11 @@ def seeding_sync_stages(config, heterogeneous: bool) -> List[Stage]:
     transfer/translate/ack tail: ship the residual dirty set at the
     stop-and-copy page rate, then establish checkpoint 0.
     """
+    reliable = getattr(config, "transport", None) is not None
+    transfer_cls = ReliableTransferStage if reliable else TransferStage
+    ack_cls = ReliableAwaitAckStage if reliable else AwaitAckStage
     stages: List[Stage] = [
-        TransferStage(
+        transfer_cls(
             FlatTransferPolicy(config.checkpoint_threads),
             page_cost="migration",
         ),
@@ -657,7 +730,7 @@ def seeding_sync_stages(config, heterogeneous: bool) -> List[Stage]:
     ]
     if heterogeneous:
         stages.append(TranslateStage())
-    stages += [ShipStateStage(), AwaitAckStage()]
+    stages += [ShipStateStage(), ack_cls()]
     return stages
 
 

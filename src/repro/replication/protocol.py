@@ -21,6 +21,24 @@ class ProtocolError(Exception):
     """Checkpoint stream violated ordering or addressing rules."""
 
 
+class FencedOut(ProtocolError):
+    """A stale primary generation tried to write past a fencing token."""
+
+
+@dataclass(frozen=True, order=True)
+class FencingToken:
+    """Split-brain fence installed by failover (generation + epoch).
+
+    After failover promotes the replica, the session only accepts
+    checkpoint traffic from generations >= ``generation``; a resurrected
+    old primary (which still stamps the previous generation) is rejected
+    with :class:`FencedOut` and must demote itself.
+    """
+
+    generation: int
+    epoch: int
+
+
 @dataclass
 class CheckpointMessage:
     """One checkpoint's metadata + translated state payload."""
@@ -38,6 +56,9 @@ class CheckpointMessage:
     #: Replication is faithful: a guest whose OS has failed from within
     #: checkpoints its failed state onto the replica (Table 2).
     guest_os_failed: bool = False
+    #: Primary generation stamped on every message; bumped by failover's
+    #: fencing token so stale primaries are rejected (split-brain fence).
+    generation: int = 0
 
 
 @dataclass
@@ -47,6 +68,26 @@ class CheckpointAck:
     vm_name: str
     epoch: int
     acked_at: float
+
+
+class _StagedEpoch:
+    """Receiver-side bookkeeping for one in-flight two-phase epoch."""
+
+    __slots__ = ("epoch", "generation", "total_chunks", "valid")
+
+    def __init__(self, epoch: int, generation: int, total_chunks: int):
+        self.epoch = epoch
+        self.generation = generation
+        self.total_chunks = total_chunks
+        self.valid: set = set()
+
+    @property
+    def complete(self) -> bool:
+        return len(self.valid) >= self.total_chunks
+
+    @property
+    def missing(self) -> int:
+        return self.total_chunks - len(self.valid)
 
 
 class ReplicaSession:
@@ -61,6 +102,41 @@ class ReplicaSession:
         #: Application log for diagnostics: (time, epoch, dirty_pages).
         self.apply_log: List = []
         self._last_payload: Optional[dict] = None
+        #: Split-brain fence; installed by failover, None until then.
+        self.fence: Optional[FencingToken] = None
+        self.fencing_rejections = 0
+        #: Two-phase commit state (reliable transport only).
+        self._staged: Optional[_StagedEpoch] = None
+        self.chunks_staged = 0
+        self.chunks_rejected = 0
+        self.epochs_discarded = 0
+        self.commits_duplicate = 0
+
+    # -- fencing ------------------------------------------------------------
+    def install_fence(self, token: Optional[FencingToken] = None) -> FencingToken:
+        """Install (or bump) the split-brain fence; returns the token.
+
+        Called by the failover controller when the replica is promoted:
+        from then on only generations >= the token's are accepted, so a
+        resurrected old primary's stale stream bounces off with
+        :class:`FencedOut` instead of silently double-serving.
+        """
+        if token is None:
+            generation = (self.fence.generation if self.fence else 0) + 1
+            token = FencingToken(
+                generation=generation, epoch=self.last_applied_epoch
+            )
+        self.fence = token
+        self._staged = None  # anything half-staged predates the fence
+        return token
+
+    def _check_fence(self, generation: int) -> None:
+        if self.fence is not None and generation < self.fence.generation:
+            self.fencing_rejections += 1
+            raise FencedOut(
+                f"generation {generation} rejected: replica was promoted "
+                f"under fencing token {self.fence}"
+            )
 
     def apply(self, message: CheckpointMessage) -> CheckpointAck:
         """Validate and apply one checkpoint; returns the ack.
@@ -68,6 +144,7 @@ class ReplicaSession:
         Epochs must arrive in strictly increasing order — the primary
         never pipelines checkpoints in the ASR model.
         """
+        self._check_fence(message.generation)
         if message.vm_name != self.replica.name:
             raise ProtocolError(
                 f"checkpoint for {message.vm_name!r} reached session of "
@@ -92,6 +169,105 @@ class ReplicaSession:
             epoch=message.epoch,
             acked_at=self.hypervisor.sim.now,
         )
+
+    # -- two-phase commit (reliable transport) -------------------------------
+    def begin_epoch(
+        self, epoch: int, total_chunks: int, generation: int = 0
+    ) -> None:
+        """Phase 1 start: announce an epoch of ``total_chunks`` chunks.
+
+        A previously staged (torn) epoch is implicitly superseded — the
+        replica's committed state is untouched either way.
+        """
+        self._check_fence(generation)
+        if epoch <= self.last_applied_epoch:
+            raise ProtocolError(
+                f"epoch {epoch} staged after epoch "
+                f"{self.last_applied_epoch} was already committed"
+            )
+        if total_chunks < 0:
+            raise ProtocolError(f"negative chunk count: {total_chunks}")
+        self._staged = _StagedEpoch(epoch, generation, total_chunks)
+
+    def stage_chunk(self, epoch: int, index: int, valid: bool = True) -> bool:
+        """Phase 1: receive one chunk; ``False`` means NACK (re-send).
+
+        ``valid`` is the receiver-side checksum verdict; a corrupted
+        chunk is counted and rejected, never staged.  Staging is
+        idempotent per index, so retransmitted chunks are harmless.
+        """
+        staged = self._staged
+        if staged is None or staged.epoch != epoch:
+            raise ProtocolError(
+                f"chunk {index} for epoch {epoch} arrived with no such "
+                "epoch staged (begin_epoch first)"
+            )
+        if not 0 <= index < staged.total_chunks:
+            raise ProtocolError(
+                f"chunk index {index} outside epoch {epoch}'s "
+                f"{staged.total_chunks} chunks"
+            )
+        if not valid:
+            self.chunks_rejected += 1
+            return False
+        staged.valid.add(index)
+        self.chunks_staged += 1
+        return True
+
+    def staged_chunks_missing(self, epoch: int) -> Optional[int]:
+        """How many chunks the staged epoch still lacks (None if other)."""
+        if self._staged is None or self._staged.epoch != epoch:
+            return None
+        return self._staged.missing
+
+    def discard_epoch(self, epoch: Optional[int] = None) -> bool:
+        """Torn-epoch rollback: drop the staged (uncommitted) epoch.
+
+        The committed state — ``last_applied_epoch`` and the replica's
+        loaded payload — is untouched: the backup always holds the last
+        *fully committed* epoch.
+        """
+        staged = self._staged
+        if staged is None or (epoch is not None and staged.epoch != epoch):
+            return False
+        self._staged = None
+        self.epochs_discarded += 1
+        return True
+
+    def commit(self, message: CheckpointMessage) -> CheckpointAck:
+        """Phase 2: commit a fully staged epoch (idempotent re-ack).
+
+        A duplicate commit of the already-applied epoch (the primary
+        retried because the ack was lost) returns a fresh ack instead
+        of raising; a commit whose staged chunks are incomplete is a
+        protocol violation — the transport must retransmit first.
+        """
+        self._check_fence(message.generation)
+        if (
+            message.epoch == self.last_applied_epoch
+            and message.vm_name == self.replica.name
+        ):
+            self.commits_duplicate += 1
+            return CheckpointAck(
+                vm_name=message.vm_name,
+                epoch=message.epoch,
+                acked_at=self.hypervisor.sim.now,
+            )
+        staged = self._staged
+        if (
+            staged is not None
+            and staged.epoch == message.epoch
+            and not staged.complete
+        ):
+            raise ProtocolError(
+                f"epoch {message.epoch} committed with {staged.missing} of "
+                f"{staged.total_chunks} chunks missing — torn epochs must "
+                "be retransmitted or discarded, never committed"
+            )
+        ack = self.apply(message)
+        if staged is not None and staged.epoch == message.epoch:
+            self._staged = None
+        return ack
 
     @property
     def has_consistent_state(self) -> bool:

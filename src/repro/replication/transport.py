@@ -1,0 +1,630 @@
+"""The hardened checkpoint transport (epoch-fenced two-phase commit).
+
+The baseline protocol of :mod:`repro.replication.protocol` assumes a
+perfect wire: every chunk arrives intact and every ack returns.  This
+module layers a reliable transport on top for lossy interconnects:
+
+* **chunked two-phase commit** — each checkpoint epoch is carved into
+  fixed-size chunks; the replica stages chunks (phase 1) and only a
+  commit of a *fully staged* epoch is applied (phase 2), so the backup
+  always holds the last fully committed epoch and a torn epoch is
+  discarded, never exposed;
+* **retry with exponential backoff + deterministic jitter** — lost or
+  corrupted chunks and lost acks are retransmitted a bounded number of
+  times, with backoff waits jittered from a seeded named stream
+  (``transport.<name>``) so runs replay bit-for-bit;
+* **integrity verification** — per-chunk checksums over the simulated
+  page payload; a corrupted chunk is NACKed by the replica and re-sent;
+* **split-brain fencing** — failover installs a
+  :class:`~repro.replication.protocol.FencingToken`; a resurrected old
+  primary's stale-generation traffic raises :class:`StalePrimaryError`
+  and the engine demotes itself instead of double-serving;
+* **graceful degradation** — the :class:`DegradationController` watches
+  the transport's loss estimate and walks a ladder (widen the
+  checkpoint interval → escalate compression → suspend protection),
+  stepping back down — and resuming protection — once the link heals.
+
+The transport is strictly opt-in (``ReplicationConfig.transport=None``
+leaves the classic path untouched) and, when enabled over a lossless
+link, consumes **zero** random draws and adds **zero** simulated time,
+so fixed-seed :class:`~repro.replication.checkpoint.ReplicationStats`
+stay bit-for-bit identical — the golden equivalence tests pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..migration.transfer import split_evenly, timed_page_send
+from .compression import XBRLE
+from .protocol import FencedOut, FencingToken  # noqa: F401  (re-export)
+
+#: Smoothing factor for the transport's packet-loss estimate.
+EWMA_ALPHA = 0.3
+
+
+class TransportError(Exception):
+    """Base class for reliable-transport failures."""
+
+
+class EpochTorn(TransportError):
+    """Retries exhausted mid-epoch; the epoch must be discarded."""
+
+
+class StalePrimaryError(TransportError):
+    """The replica's fence rejected us: we are a stale primary."""
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Tunables of the hardened checkpoint transport."""
+
+    #: Pages per chunk for staging/checksum granularity.
+    chunk_pages: int = 512
+    #: Seconds to wait for the epoch-commit ack before retrying.
+    ack_timeout: float = 0.25
+    #: Bounded retransmission: attempts per epoch before it is torn.
+    max_retries: int = 8
+    #: Exponential backoff: first wait, growth factor, and ceiling.
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_cap: float = 1.0
+    #: Relative jitter applied to each backoff wait (0.25 = ±25%),
+    #: drawn from the transport's seeded stream.
+    jitter: float = 0.25
+    #: Verify per-chunk checksums on the replica (NACK on mismatch).
+    verify_checksums: bool = True
+
+    def __post_init__(self):
+        if self.chunk_pages < 1:
+            raise ValueError(f"chunk_pages must be >= 1: {self.chunk_pages}")
+        if self.ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be positive: {self.ack_timeout}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1: {self.max_retries}")
+        if self.backoff_base <= 0:
+            raise ValueError(
+                f"backoff_base must be positive: {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+
+
+def chunk_checksum(vm_name: str, epoch: int, index: int, pages: float) -> str:
+    """Checksum of one simulated chunk's page payload.
+
+    The simulator has no real page bytes, so the checksum binds the
+    chunk's *identity* (vm, epoch, index, page count) — enough to model
+    verification cost-free and let fault injection flip the verdict.
+    """
+    digest = hashlib.blake2b(
+        f"{vm_name}/{epoch}/{index}/{pages:.6f}".encode(), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+def remerge_dirty(vm, snapshot) -> None:
+    """Put a captured dirty snapshot back into the VM's live dirty log.
+
+    Used by the torn-epoch abort path: the dirty bitmap was cleared at
+    capture time, so discarding the epoch without re-marking those
+    pages would silently lose them — the replica would never receive
+    them.  Per-vCPU attribution is reconstructed exactly (every write
+    routes through ``DirtyLog.record``, so the per-vCPU arrays sum to
+    the chunk totals); a snapshot without per-vCPU data falls back to
+    crediting vCPU 0.
+    """
+    if snapshot is None:
+        return
+    log = vm.dirty_log
+    merged_any = False
+    for vcpu, touches in snapshot.per_vcpu_touches.items():
+        ids = np.nonzero(touches > 0)[0]
+        if ids.size == 0:
+            continue
+        log.record(vcpu, ids, touches[ids])
+        merged_any = True
+    if not merged_any:
+        touches = snapshot.chunk_touches
+        ids = np.nonzero(touches > 0)[0]
+        if ids.size > 0:
+            log.record(0, ids, touches[ids])
+
+
+class CheckpointTransport:
+    """Per-engine reliable transport state: retries, health, telemetry."""
+
+    def __init__(self, sim, link, config: TransportConfig, name: str = "asr"):
+        self.sim = sim
+        self.link = link
+        self.config = config
+        self.name = name
+        #: Named stream: jitter draws never perturb other consumers.
+        self._rng = sim.random.stream(f"transport.{name}")
+        # -- counters (mirrored onto the telemetry bus) --------------------
+        self.retransmits = 0
+        self.chunks_sent = 0
+        self.chunks_lost = 0
+        self.chunk_nacks = 0
+        self.ack_timeouts = 0
+        self.commit_resends = 0
+        self.epochs_discarded = 0
+        self.torn_epochs = 0
+        self.fencing_rejections = 0
+        self.backoff_waits = 0
+        self.backoff_wait_s = 0.0
+        # -- link-health estimate ------------------------------------------
+        #: EWMA of the per-round chunk/ack loss fraction.
+        self.loss_ewma = 0.0
+        self._last_success_at = sim.now
+
+    # -- health ------------------------------------------------------------
+    def observe_round(self, total: int, failed: int) -> None:
+        """Fold one send round's outcome into the loss estimate."""
+        if total <= 0:
+            return
+        sample = failed / total
+        self.loss_ewma = (
+            EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * self.loss_ewma
+        )
+        self.sim.telemetry.gauge(
+            "transport.loss_ewma", self.loss_ewma, engine=self.name
+        )
+
+    def link_appears_lossy(self, window: float = 5.0) -> bool:
+        """Degraded-not-dead signal for the heartbeat monitor.
+
+        True only while the transport both *sees loss* and *still gets
+        through* (a commit succeeded within ``window`` seconds).  A dead
+        peer stops producing successes, so this goes False and the
+        heartbeat falls back to its normal miss threshold — degradation
+        must never mask an actual failure.
+        """
+        if self.loss_ewma <= 0.0:
+            return False
+        return (self.sim.now - self._last_success_at) <= window
+
+    def reset_health(self) -> None:
+        """Forget accumulated loss history (protection resume)."""
+        self.loss_ewma = 0.0
+        self._last_success_at = self.sim.now
+
+    # -- backoff -----------------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter for ``attempt``."""
+        cfg = self.config
+        base = min(
+            cfg.backoff_cap,
+            cfg.backoff_base * cfg.backoff_factor ** max(0, attempt - 1),
+        )
+        if cfg.jitter > 0.0:
+            base *= 1.0 + cfg.jitter * (2.0 * self._rng.random() - 1.0)
+        return base
+
+    def _backoff_wait(self, attempt: int):
+        delay = self.backoff_delay(attempt)
+        self.backoff_waits += 1
+        self.backoff_wait_s += delay
+        self.sim.telemetry.counter(
+            "transport.backoff_wait", delay, engine=self.name, attempt=attempt
+        )
+        yield self.sim.timeout(delay)
+
+    def _record_fencing_rejection(self, ctx) -> None:
+        self.fencing_rejections += 1
+        self.sim.telemetry.counter(
+            "transport.fencing_rejected", 1.0,
+            engine=self.name, epoch=ctx.epoch,
+        )
+
+    # -- phase 1: chunked dirty-page delivery --------------------------------
+    def chunk_rounds(self, ctx, threads: int = 1):
+        """Generator: stage every chunk of ``ctx``'s epoch on the replica.
+
+        Runs after the bulk :class:`TransferStage` timing model: the
+        pages are already "on the wire"; this models the per-chunk
+        delivery verdicts (loss / corruption via the link's impairment
+        draws), NACK/retransmission rounds, and the staging bookkeeping
+        on the :class:`~repro.replication.protocol.ReplicaSession`.
+        Over a lossless link this costs zero draws and zero time.
+
+        Raises :class:`EpochTorn` when retries are exhausted.
+        """
+        cfg = self.config
+        session = ctx.replica_session
+        page_count = int(round(ctx.dirty_pages))
+        n_chunks = -(-page_count // cfg.chunk_pages) if page_count else 0
+        try:
+            session.begin_epoch(
+                ctx.epoch, n_chunks, generation=getattr(ctx, "generation", 0)
+            )
+        except FencedOut as fenced:
+            # A stale primary is rejected at epoch *open*, before any
+            # chunk hits the wire — same demotion signal as a fenced
+            # commit.
+            self._record_fencing_rejection(ctx)
+            raise StalePrimaryError(str(fenced)) from fenced
+        if n_chunks == 0:
+            return
+        bus = self.sim.telemetry
+        self.chunks_sent += n_chunks
+        if bus.enabled:
+            bus.counter(
+                "transport.chunks_sent", float(n_chunks),
+                engine=self.name, epoch=ctx.epoch,
+            )
+        pending = self._stage_round(
+            ctx, session, list(range(n_chunks)), page_count
+        )
+        attempt = 0
+        while pending:
+            attempt += 1
+            if attempt > cfg.max_retries:
+                raise EpochTorn(
+                    f"epoch {ctx.epoch}: {len(pending)} of {n_chunks} chunks "
+                    f"still undelivered after {cfg.max_retries} retries"
+                )
+            yield from self._backoff_wait(attempt)
+            self.retransmits += len(pending)
+            if bus.enabled:
+                bus.counter(
+                    "transport.retransmits", float(len(pending)),
+                    engine=self.name, epoch=ctx.epoch, attempt=attempt,
+                )
+            span = bus.span(
+                "transport.retransmit",
+                parent=ctx.checkpoint_span,
+                engine=self.name,
+                epoch=ctx.epoch,
+                attempt=attempt,
+                chunks=len(pending),
+            )
+            resend_pages = min(
+                float(page_count), float(len(pending) * cfg.chunk_pages)
+            )
+            yield from timed_page_send(
+                self.sim,
+                ctx.primary.host,
+                ctx.link.forward,
+                split_evenly(resend_pages, max(1, threads)),
+                ctx.cost,
+                component=ctx.component,
+                per_page_cost=ctx.per_page_cost,
+                wire_bytes_per_page=ctx.wire_bytes_per_page,
+            )
+            span.end()
+            pending = self._stage_round(ctx, session, pending, page_count)
+        self._last_success_at = self.sim.now
+
+    def _stage_round(self, ctx, session, indices: List[int], page_count: int):
+        """One delivery round: draw verdicts, stage survivors.
+
+        Returns the chunk indices still pending (lost or NACKed).
+        """
+        cfg = self.config
+        outcomes = ctx.link.forward.draw_chunk_outcomes(len(indices))
+        pending: List[int] = []
+        lost = nacked = 0
+        for index, outcome in zip(indices, outcomes):
+            if outcome == "lost":
+                lost += 1
+                pending.append(index)
+                continue
+            valid = True
+            if outcome == "corrupt" and cfg.verify_checksums:
+                # The replica recomputes the chunk checksum and sees a
+                # mismatch — the identity digest models that verdict.
+                chunk_pages = min(
+                    cfg.chunk_pages, page_count - index * cfg.chunk_pages
+                )
+                chunk_checksum(ctx.vm.name, ctx.epoch, index, chunk_pages)
+                valid = False
+            if not session.stage_chunk(ctx.epoch, index, valid=valid):
+                nacked += 1
+                pending.append(index)
+        self.chunks_lost += lost
+        self.chunk_nacks += nacked
+        bus = self.sim.telemetry
+        if bus.enabled and lost:
+            bus.counter(
+                "transport.chunks_lost", float(lost),
+                engine=self.name, epoch=ctx.epoch,
+            )
+        if bus.enabled and nacked:
+            bus.counter(
+                "transport.chunk_nack", float(nacked),
+                engine=self.name, epoch=ctx.epoch,
+            )
+        self.observe_round(len(indices), lost + nacked)
+        return pending
+
+    # -- phase 2: epoch commit ----------------------------------------------
+    def commit_epoch(self, ctx, message):
+        """Generator: commit the staged epoch; retry on lost acks.
+
+        The commit itself reaches the replica with the already-shipped
+        state payload; only the *ack* races the timeout.  A duplicate
+        commit after an ack loss is re-acked idempotently by the
+        session.  Raises :class:`StalePrimaryError` when fenced and
+        :class:`EpochTorn` when ack retries are exhausted.
+        """
+        cfg = self.config
+        session = ctx.replica_session
+        bus = self.sim.telemetry
+        attempt = 0
+        while True:
+            try:
+                session.commit(message)
+            except FencedOut as fenced:
+                self._record_fencing_rejection(ctx)
+                raise StalePrimaryError(str(fenced)) from fenced
+            ack = ctx.link.ack()
+            if ack.triggered:
+                # Lossless fast path: the ack already carries its delay;
+                # wait on it directly (identical to the classic stage).
+                yield ack
+                self._last_success_at = self.sim.now
+                self.observe_round(1, 0)
+                return
+            deadline = self.sim.timeout(cfg.ack_timeout)
+            yield self.sim.any_of([ack, deadline])
+            if ack.triggered:
+                self._last_success_at = self.sim.now
+                self.observe_round(1, 0)
+                return
+            # Lost acks feed the loss estimate too: an idle VM sends no
+            # dirty chunks, yet its heartbeat still needs the
+            # degraded-not-dead signal to avoid failing over on loss.
+            self.observe_round(1, 1)
+            self.ack_timeouts += 1
+            bus.counter(
+                "transport.ack_timeout", 1.0, engine=self.name, epoch=ctx.epoch
+            )
+            attempt += 1
+            if attempt > cfg.max_retries:
+                raise EpochTorn(
+                    f"epoch {ctx.epoch}: commit ack lost "
+                    f"{cfg.max_retries} times"
+                )
+            yield from self._backoff_wait(attempt)
+            self.commit_resends += 1
+            bus.counter(
+                "transport.commit_resend", 1.0,
+                engine=self.name, epoch=ctx.epoch, attempt=attempt,
+            )
+
+    # -- torn-epoch rollback -------------------------------------------------
+    def discard_epoch(self, ctx, reason: str) -> None:
+        """Roll back a torn epoch on the replica (commit never happened)."""
+        session = ctx.replica_session
+        if session is not None:
+            session.discard_epoch(ctx.epoch)
+        self.epochs_discarded += 1
+        self.torn_epochs += 1
+        self.sim.telemetry.counter(
+            "transport.epoch_discarded", 1.0,
+            engine=self.name, epoch=ctx.epoch, reason=reason,
+        )
+
+
+class DegradationController:
+    """Walks the degradation ladder as the link gets worse (or better).
+
+    Levels, in escalation order:
+
+    0. ``normal`` — nothing special.
+    1. ``widen`` — stretch the checkpoint interval
+       (``engine.period_scale``), trading staleness for wire pressure;
+       Algorithm 1's controller keeps adapting inside the wider budget.
+    2. ``compress`` — force checkpoint-stream compression (fewer wire
+       bytes per page at extra CPU cost).
+    3. ``suspend`` — give up protection *temporarily*: the engine
+       pauses its checkpoint loop, the VM keeps serving unprotected,
+       and the controller probes the link until it answers again, then
+       resumes protection and steps back down.
+
+    Escalation triggers on sustained loss (``escalate_loss`` for
+    ``patience`` consecutive polls, or a torn epoch); recovery requires
+    ``recover_patience`` consecutive clean polls.
+    """
+
+    LEVELS = ("normal", "widen", "compress", "suspend")
+
+    def __init__(
+        self,
+        sim,
+        engine,
+        check_interval: float = 1.0,
+        escalate_loss: float = 0.05,
+        recover_loss: float = 0.01,
+        patience: int = 2,
+        recover_patience: int = 3,
+        widen_factor: float = 2.0,
+        compression_model=None,
+        probe_timeout: float = 0.25,
+    ):
+        if check_interval <= 0:
+            raise ValueError(f"check_interval must be positive: {check_interval}")
+        if not 0 < escalate_loss <= 1:
+            raise ValueError(f"escalate_loss must be in (0, 1]: {escalate_loss}")
+        if not 0 <= recover_loss < escalate_loss:
+            raise ValueError(
+                "recover_loss must be in [0, escalate_loss): "
+                f"{recover_loss}"
+            )
+        if patience < 1 or recover_patience < 1:
+            raise ValueError("patience values must be >= 1")
+        if widen_factor <= 1.0:
+            raise ValueError(f"widen_factor must be > 1: {widen_factor}")
+        self.sim = sim
+        self.engine = engine
+        self.check_interval = check_interval
+        self.escalate_loss = escalate_loss
+        self.recover_loss = recover_loss
+        self.patience = patience
+        self.recover_patience = recover_patience
+        self.widen_factor = widen_factor
+        self.compression_model = compression_model or XBRLE
+        self.probe_timeout = probe_timeout
+        self.level = 0
+        self.transitions: List = []
+        self.process = None
+        self._bad_polls = 0
+        self._good_polls = 0
+        self._saved_compression = None
+        #: True only when *we* turned compression on — never restore a
+        #: model the pipeline was configured with.
+        self._forced_compression = False
+        self._torn_seen = 0
+
+    @property
+    def level_name(self) -> str:
+        return self.LEVELS[self.level]
+
+    def start(self):
+        if self.process is not None:
+            raise RuntimeError("degradation controller already started")
+        self.process = self.sim.process(
+            self._loop(), name=f"degradation:{self.engine.name}"
+        )
+        return self.process
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt("degradation controller stopped")
+
+    # -- internals -----------------------------------------------------------
+    def _compress_stage(self):
+        pipeline = self.engine.pipeline
+        if pipeline is None:
+            return None
+        for stage in pipeline.stages:
+            if stage.name == "compress":
+                return stage
+        return None
+
+    def _transition(self, new_level: int, reason: str) -> None:
+        old = self.level
+        if new_level == old:
+            return
+        self.level = new_level
+        self.transitions.append((self.sim.now, old, new_level, reason))
+        bus = self.sim.telemetry
+        bus.counter(
+            "transport.degradation_transition", 1.0,
+            engine=self.engine.name,
+            level=self.LEVELS[new_level],
+            previous=self.LEVELS[old],
+            reason=reason,
+        )
+        bus.gauge(
+            "transport.degradation_level", float(new_level),
+            engine=self.engine.name,
+        )
+
+    def _escalate(self, reason: str) -> None:
+        engine = self.engine
+        if self.level == 0:
+            engine.period_scale = self.widen_factor
+            self._transition(1, reason)
+        elif self.level == 1:
+            stage = self._compress_stage()
+            # Only escalate through compression when the pipeline has a
+            # compress stage that is not already doing better.
+            if stage is not None and stage.model is None:
+                self._saved_compression = stage.model
+                self._forced_compression = True
+                stage.model = self.compression_model
+                self._transition(2, reason)
+            else:
+                engine.suspend_protection(reason)
+                self._transition(3, reason)
+        elif self.level == 2:
+            engine.suspend_protection(reason)
+            self._transition(3, reason)
+        self._bad_polls = 0
+        self._good_polls = 0
+
+    def _deescalate(self, reason: str) -> None:
+        engine = self.engine
+        if self.level == 3:
+            engine.resume_protection()
+            self._transition(2 if self._forced_compression else 1, reason)
+        elif self.level == 2:
+            stage = self._compress_stage()
+            if self._forced_compression and stage is not None:
+                stage.model = self._saved_compression
+            self._saved_compression = None
+            self._forced_compression = False
+            self._transition(1, reason)
+        elif self.level == 1:
+            engine.period_scale = 1.0
+            self._transition(0, reason)
+        self._bad_polls = 0
+        self._good_polls = 0
+
+    def _probe_link(self):
+        """Generator: one link probe; returns True when it answered."""
+        ack = self.engine.link.ack()
+        if ack.triggered:
+            yield ack
+            return True
+        deadline = self.sim.timeout(self.probe_timeout)
+        yield self.sim.any_of([ack, deadline])
+        return ack.triggered
+
+    def _loop(self):
+        from ..simkernel.errors import Interrupt
+
+        engine = self.engine
+        try:
+            while True:
+                yield self.sim.timeout(self.check_interval)
+                transport = engine.transport
+                if transport is None or engine.demoted:
+                    continue
+                if engine.is_suspended:
+                    # Probe until the wire answers again, then resume.
+                    alive = yield from self._probe_link()
+                    if alive:
+                        self._good_polls += 1
+                        if self._good_polls >= self.recover_patience:
+                            transport.reset_health()
+                            self._deescalate("link recovered")
+                    else:
+                        self._good_polls = 0
+                    continue
+                if not engine.is_active:
+                    continue
+                torn = transport.torn_epochs
+                torn_delta = torn - self._torn_seen
+                self._torn_seen = torn
+                loss = transport.loss_ewma
+                if torn_delta > 0 or loss >= self.escalate_loss:
+                    self._bad_polls += 1
+                    self._good_polls = 0
+                    if torn_delta > 0 or self._bad_polls >= self.patience:
+                        self._escalate(
+                            "torn epoch" if torn_delta > 0
+                            else f"loss {loss:.3f}"
+                        )
+                elif loss <= self.recover_loss:
+                    self._good_polls += 1
+                    self._bad_polls = 0
+                    if self.level > 0 and self._good_polls >= self.recover_patience:
+                        self._deescalate(f"loss {loss:.3f}")
+                else:
+                    self._bad_polls = 0
+                    self._good_polls = 0
+        except Interrupt:
+            pass

@@ -1,0 +1,187 @@
+"""Lossy-link fault kinds: LINK_LOSS, PACKET_CORRUPT, LATENCY_JITTER."""
+
+import random
+
+import pytest
+
+from repro.cluster import DeploymentSpec, ProtectedDeployment
+from repro.faults import FaultInjector, FaultKind, FaultSchedule, FaultSpec
+from repro.hardware.units import GIB
+
+
+def build(seed=7, **spec_kwargs):
+    defaults = dict(
+        engine="here",
+        period=2.0,
+        target_degradation=0.0,
+        memory_bytes=2 * GIB,
+        seed=seed,
+    )
+    defaults.update(spec_kwargs)
+    deployment = ProtectedDeployment(DeploymentSpec(**defaults))
+    deployment.start_protection(wait_ready=True)
+    return deployment
+
+
+def injector_for(deployment):
+    return FaultInjector(
+        deployment.sim,
+        hosts=[deployment.testbed.primary, deployment.testbed.secondary],
+        links=[deployment.testbed.interconnect],
+        vms=[deployment.vm],
+    )
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_link_loss_needs_a_rate_in_range(self, rate):
+        with pytest.raises(ValueError, match="loss_rate"):
+            FaultSpec(FaultKind.LINK_LOSS, target="wire", loss_rate=rate)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_packet_corrupt_needs_a_rate_in_range(self, rate):
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            FaultSpec(
+                FaultKind.PACKET_CORRUPT, target="wire", corrupt_rate=rate
+            )
+
+    @pytest.mark.parametrize("jitter", [0.0, -1e-3])
+    def test_latency_jitter_needs_positive_jitter(self, jitter):
+        with pytest.raises(ValueError, match="jitter_s"):
+            FaultSpec(
+                FaultKind.LATENCY_JITTER, target="wire", jitter_s=jitter
+            )
+
+    def test_boundary_rate_of_one_is_allowed(self):
+        FaultSpec(FaultKind.LINK_LOSS, target="wire", loss_rate=1.0)
+        FaultSpec(FaultKind.PACKET_CORRUPT, target="wire", corrupt_rate=1.0)
+
+    def test_lossy_kinds_are_transient_link_kinds(self):
+        spec = FaultSpec(
+            FaultKind.LINK_LOSS, target="wire", loss_rate=0.1, duration=5.0
+        )
+        assert spec.reverts
+        assert "link-loss" in spec.describe()
+        assert "for 5s" in spec.describe()
+
+
+class TestRandomSchedules:
+    def test_random_draws_rates_in_documented_ranges(self):
+        rng = random.Random(1234)
+        schedule = FaultSchedule.random(
+            rng,
+            links=["wire"],
+            kinds=(
+                FaultKind.LINK_LOSS,
+                FaultKind.PACKET_CORRUPT,
+                FaultKind.LATENCY_JITTER,
+            ),
+            count=30,
+        )
+        kinds_seen = set()
+        for spec in schedule:
+            kinds_seen.add(spec.kind)
+            if spec.kind is FaultKind.LINK_LOSS:
+                assert 0.02 <= spec.loss_rate <= 0.15
+            elif spec.kind is FaultKind.PACKET_CORRUPT:
+                assert 0.02 <= spec.corrupt_rate <= 0.1
+            else:
+                assert 1e-4 <= spec.jitter_s <= 2e-3
+            assert spec.reverts  # all lossy kinds are transient
+        assert kinds_seen == {
+            FaultKind.LINK_LOSS,
+            FaultKind.PACKET_CORRUPT,
+            FaultKind.LATENCY_JITTER,
+        }
+
+    def test_random_is_seed_deterministic(self):
+        def draw(seed):
+            schedule = FaultSchedule.random(
+                random.Random(seed),
+                links=["wire"],
+                kinds=(FaultKind.LINK_LOSS, FaultKind.PACKET_CORRUPT),
+                count=10,
+            )
+            return [
+                (s.kind, s.target, s.at, s.loss_rate, s.corrupt_rate)
+                for s in schedule
+            ]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+
+class TestInjection:
+    def test_link_loss_impairs_and_reverts(self):
+        deployment = build()
+        sim = deployment.sim
+        link = deployment.testbed.interconnect
+        injector_for(deployment).schedule(
+            FaultSchedule.single(
+                FaultSpec(
+                    FaultKind.LINK_LOSS,
+                    target=link.name,
+                    at=1.0,
+                    duration=3.0,
+                    loss_rate=0.25,
+                )
+            )
+        )
+        sim.run(until=sim.now + 2.0)
+        assert link.is_impaired
+        assert link.forward.loss_rate == 0.25
+        sim.run(until=sim.now + 3.0)
+        assert not link.is_impaired
+
+    def test_packet_corrupt_and_jitter_compose_on_one_link(self):
+        deployment = build()
+        sim = deployment.sim
+        link = deployment.testbed.interconnect
+        injector = injector_for(deployment)
+        injector.schedule(
+            FaultSchedule(
+                specs=(
+                    FaultSpec(
+                        FaultKind.PACKET_CORRUPT,
+                        target=link.name,
+                        at=1.0,
+                        duration=10.0,
+                        corrupt_rate=0.1,
+                    ),
+                    FaultSpec(
+                        FaultKind.LATENCY_JITTER,
+                        target=link.name,
+                        at=1.5,
+                        duration=10.0,
+                        jitter_s=1e-3,
+                    ),
+                )
+            )
+        )
+        sim.run(until=sim.now + 3.0)
+        # ``impair`` composes: the second fault must not reset the first.
+        assert link.forward.corrupt_rate == 0.1
+        assert link.forward.latency_jitter_s == 1e-3
+
+    def test_revert_leaves_concurrent_degradation_alone(self):
+        deployment = build()
+        sim = deployment.sim
+        link = deployment.testbed.interconnect
+        link.degrade(bandwidth_factor=0.5)
+        injector_for(deployment).schedule(
+            FaultSchedule.single(
+                FaultSpec(
+                    FaultKind.LINK_LOSS,
+                    target=link.name,
+                    at=0.5,
+                    duration=2.0,
+                    loss_rate=0.3,
+                )
+            )
+        )
+        sim.run(until=sim.now + 4.0)
+        assert not link.is_impaired
+        # clear_impairment (not restore) ran: degradation survives.
+        assert link.forward.capacity == pytest.approx(
+            0.5 * link.forward.nic.bandwidth_bytes
+        )

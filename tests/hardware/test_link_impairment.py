@@ -1,0 +1,132 @@
+"""Lossy-link impairment semantics (loss, corruption, jitter)."""
+
+import pytest
+
+from repro.hardware import Link, LinkPair, omnipath_hfi100
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=11)
+
+
+@pytest.fixture
+def link(sim):
+    return Link(sim, omnipath_hfi100(), name="wire")
+
+
+class TestImpairValidation:
+    def test_loss_rate_out_of_range(self, link):
+        with pytest.raises(ValueError):
+            link.impair(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            link.impair(loss_rate=-0.1)
+
+    def test_corrupt_rate_out_of_range(self, link):
+        with pytest.raises(ValueError):
+            link.impair(corrupt_rate=2.0)
+
+    def test_negative_jitter(self, link):
+        with pytest.raises(ValueError):
+            link.impair(latency_jitter_s=-1e-3)
+
+    def test_none_leaves_knob_unchanged(self, link):
+        link.impair(loss_rate=0.1)
+        link.impair(corrupt_rate=0.05)
+        assert link.loss_rate == 0.1
+        assert link.corrupt_rate == 0.05
+
+    def test_is_impaired(self, link):
+        assert not link.is_impaired
+        link.impair(latency_jitter_s=1e-4)
+        assert link.is_impaired
+
+
+class TestChunkOutcomes:
+    def test_unimpaired_link_answers_all_ok_without_randomness(self, link):
+        outcomes = link.draw_chunk_outcomes(64)
+        assert outcomes == ["ok"] * 64
+        # No draws means existing seeded runs stay bit-for-bit intact.
+        assert link._rng is None
+
+    def test_empty_round(self, link):
+        assert link.draw_chunk_outcomes(0) == []
+
+    def test_partitioned_link_delivers_nothing(self, link):
+        link.partition()
+        assert link.draw_chunk_outcomes(5) == ["lost"] * 5
+
+    def test_lossy_link_drops_some(self, link):
+        link.impair(loss_rate=0.5)
+        outcomes = link.draw_chunk_outcomes(200)
+        assert 0 < outcomes.count("lost") < 200
+        assert "corrupt" not in outcomes
+
+    def test_corrupting_link_flips_some(self, link):
+        link.impair(corrupt_rate=0.5)
+        outcomes = link.draw_chunk_outcomes(200)
+        assert 0 < outcomes.count("corrupt") < 200
+        assert "lost" not in outcomes
+
+    def test_outcomes_are_seed_deterministic(self):
+        def draw(seed):
+            sim = Simulation(seed=seed)
+            link = Link(sim, omnipath_hfi100(), name="wire")
+            link.impair(loss_rate=0.2, corrupt_rate=0.1)
+            return link.draw_chunk_outcomes(100)
+
+        assert draw(42) == draw(42)
+        assert draw(42) != draw(43)
+
+
+class TestMessages:
+    def test_total_loss_eats_every_message(self, sim, link):
+        link.impair(loss_rate=1.0)
+        events = [link.message(64) for _ in range(10)]
+        sim.run(until=sim.now + 1.0)
+        assert not any(event.triggered for event in events)
+        assert link.messages_lost == 10
+
+    def test_jitter_delays_but_delivers(self, sim, link):
+        jitter = 5e-3
+        link.impair(latency_jitter_s=jitter)
+        base = link.latency + 64 / link.capacity
+        durations = []
+        for _ in range(20):
+            event = link.message(64)
+            durations.append(sim.run_until_triggered(event))
+        assert all(base <= d <= base + jitter + 1e-12 for d in durations)
+        assert len(set(durations)) > 1  # actually jittered
+
+
+class TestClearing:
+    def test_clear_impairment_heals_only_impairment(self, link):
+        link.degrade(bandwidth_factor=0.5)
+        link.impair(loss_rate=0.3, corrupt_rate=0.1, latency_jitter_s=1e-3)
+        link.clear_impairment()
+        assert not link.is_impaired
+        assert link.capacity == pytest.approx(
+            0.5 * link.nic.bandwidth_bytes
+        )  # degradation survives
+
+    def test_clear_is_a_noop_when_clean(self, link):
+        link.clear_impairment()  # must not raise
+        assert not link.is_impaired
+
+    def test_restore_heals_impairment_too(self, link):
+        link.impair(loss_rate=0.3)
+        link.restore()
+        assert not link.is_impaired
+        assert link.draw_chunk_outcomes(10) == ["ok"] * 10
+
+
+class TestLinkPair:
+    def test_impair_applies_to_both_directions(self, sim):
+        pair = LinkPair(sim, omnipath_hfi100(), name="pair")
+        pair.impair(loss_rate=0.25)
+        assert pair.is_impaired
+        assert pair.forward.loss_rate == 0.25
+        assert pair.backward.loss_rate == 0.25
+        pair.clear_impairment()
+        assert not pair.is_impaired

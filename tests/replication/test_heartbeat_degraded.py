@@ -1,0 +1,111 @@
+"""Degraded-vs-dead discrimination in the heartbeat monitor.
+
+A lossy link eats probes the same way a dead peer does.  While the
+transport's loss signal reports "seeing loss but still committing",
+missed probes are tolerated up to ``degraded_miss_threshold`` before
+failover fires; a dead peer produces no transport successes, so the
+signal drops and the classic threshold applies.
+"""
+
+import pytest
+
+from repro.hardware import build_testbed
+from repro.hypervisor import XenHypervisor
+from repro.replication import HeartbeatMonitor
+from repro.simkernel import Simulation
+
+
+def build_monitor(seed=3, loss_signal=None, **kwargs):
+    sim = Simulation(seed=seed)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    defaults = dict(interval=0.05, miss_threshold=3, probe_timeout=0.05)
+    defaults.update(kwargs)
+    monitor = HeartbeatMonitor(
+        sim, testbed.primary, xen, testbed.interconnect,
+        loss_signal=loss_signal, **defaults
+    )
+    return sim, testbed, monitor
+
+
+class TestValidation:
+    def test_degraded_threshold_below_miss_threshold_rejected(self):
+        with pytest.raises(ValueError, match="degraded_miss_threshold"):
+            build_monitor(miss_threshold=3, degraded_miss_threshold=2)
+
+    def test_degraded_threshold_equal_is_allowed(self):
+        build_monitor(miss_threshold=3, degraded_miss_threshold=3)
+
+
+class TestDefaultsAreInert:
+    def test_without_degraded_config_behaviour_is_classic(self):
+        sim, testbed, monitor = build_monitor()
+        monitor.start()
+        testbed.interconnect.partition()
+        sim.run_until_triggered(monitor.failure_detected, limit=sim.now + 5.0)
+        assert monitor.failure_detected.triggered
+        assert monitor.consecutive_misses == monitor.miss_threshold
+        assert monitor.degraded_probes == 0
+
+
+class TestDegradedDiscrimination:
+    def test_loss_signal_widens_the_failure_threshold(self):
+        """Same dead wire, but the transport says 'lossy, not dead'."""
+        sim, testbed, monitor = build_monitor(
+            degraded_miss_threshold=10, loss_signal=lambda: True
+        )
+        monitor.start()
+        testbed.interconnect.partition()
+        start = sim.now
+        sim.run_until_triggered(monitor.failure_detected, limit=sim.now + 10.0)
+        assert monitor.failure_detected.triggered
+        # Ten missed probes, not three, before failure was declared.
+        assert monitor.consecutive_misses == 10
+        assert monitor.degraded_probes >= 10
+        elapsed = sim.now - start
+        per_cycle = monitor.interval + monitor.probe_timeout
+        assert elapsed >= 10 * monitor.interval
+        assert elapsed <= 10 * per_cycle + monitor.interval
+
+    def test_dead_signal_keeps_the_classic_threshold(self):
+        sim, testbed, monitor = build_monitor(
+            degraded_miss_threshold=10, loss_signal=lambda: False
+        )
+        monitor.start()
+        testbed.interconnect.partition()
+        sim.run_until_triggered(monitor.failure_detected, limit=sim.now + 5.0)
+        assert monitor.failure_detected.triggered
+        assert monitor.consecutive_misses == monitor.miss_threshold
+        assert monitor.degraded_probes == 0
+
+    def test_signal_dropping_mid_streak_fails_over_promptly(self):
+        """Degraded turns into dead: the monitor must not keep waiting."""
+        calls = {"n": 0}
+
+        def flaky_then_dead():
+            calls["n"] += 1
+            return calls["n"] <= 4  # transport stops committing after that
+
+        sim, testbed, monitor = build_monitor(
+            degraded_miss_threshold=50, loss_signal=flaky_then_dead
+        )
+        monitor.start()
+        testbed.interconnect.partition()
+        sim.run_until_triggered(monitor.failure_detected, limit=sim.now + 10.0)
+        assert monitor.failure_detected.triggered
+        # Four degraded misses, then the classic threshold applied.
+        assert monitor.degraded_probes == 4
+        assert monitor.consecutive_misses < 50
+
+    def test_degraded_misses_are_counted_in_telemetry(self):
+        from repro.telemetry import Recorder
+
+        sim, testbed, monitor = build_monitor(
+            degraded_miss_threshold=6, loss_signal=lambda: True
+        )
+        recorder = Recorder.attach(sim.telemetry)
+        monitor.start()
+        testbed.interconnect.partition()
+        sim.run_until_triggered(monitor.failure_detected, limit=sim.now + 10.0)
+        degraded = recorder.counters("heartbeat.degraded_miss")
+        assert len(degraded) == 6

@@ -179,6 +179,28 @@ class TestChaosCommand:
         assert main(["chaos", "--kinds", "gamma-rays"]) == 2
         assert "gamma-rays" in capsys.readouterr().err
 
+    def test_lossy_preset_reports_transport_rows(self, capsys):
+        assert main([
+            "chaos", "--preset", "lossy", "--trials", "1", "--seed", "3",
+            "--vms", "1", "--faults", "1", "--recovery-time", "15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transport retransmits" in out
+        assert "fencing rejections" in out
+
+    def test_default_preset_has_no_transport_rows(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+        ]) == 0
+        assert "transport retransmits" not in capsys.readouterr().out
+
+    def test_degraded_threshold_must_cover_miss_threshold(self, capsys):
+        assert main([
+            "chaos", "--preset", "lossy", "--trials", "1",
+            "--miss-threshold", "5", "--degraded-miss-threshold", "2",
+        ]) == 2
+
 
 class TestArgumentValidation:
     def test_chaos_rejects_non_positive_trials(self, capsys):
@@ -223,6 +245,16 @@ class TestSweepCommand:
         assert "cache hits / misses" in out
         assert "0/2" in out
         assert "chaos/trial-0" in out
+
+    def test_lossy_preset_sweeps_lossy_trials(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--preset", "lossy", "--trials", "1", "--jobs", "1",
+            "--recovery-time", "10",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lossy/trial-0" in out
+        assert "cache hits / misses" in out
 
     def test_second_run_is_all_cache_hits(self, capsys, tmp_path):
         assert self.sweep(tmp_path) == 0
