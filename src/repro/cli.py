@@ -8,6 +8,8 @@ operator would do with the real system's tooling:
 * ``repro migrate``    — one live migration, Xen stock vs HERE;
 * ``repro table1``     — the vulnerability study (Table 1);
 * ``repro coverage``   — the Table 2 coverage matrix, derived live;
+* ``repro fleet``      — a fleet-scale campaign on the sharded kernel:
+  correlated outage -> failovers -> queued re-protection onto spares;
 * ``repro sweep``      — a parallel, cached experiment sweep with
   optional regression gating (``--baseline``);
 * ``repro experiments``— list every table/figure benchmark and how to
@@ -37,6 +39,19 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text}"
         )
     return value
 
@@ -151,10 +166,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded chaos campaign: faults -> failover -> re-protection",
     )
     chaos.add_argument(
-        "--preset", choices=["default", "lossy"], default="default",
+        "--preset", choices=["default", "lossy", "fleet"], default="default",
         help="'lossy' draws link impairments and runs the hardened "
-             "transport (reliable chunked commit + degradation ladder)",
+             "transport (reliable chunked commit + degradation ladder); "
+             "'fleet' runs each trial as a fleet-scale zone-outage "
+             "campaign on the sharded kernel",
     )
+    chaos.add_argument("--zones", type=_positive_int, default=3,
+                       help="fleet preset: availability zones")
+    chaos.add_argument("--spares", type=_positive_int, default=3,
+                       help="fleet preset: spare-pool hosts")
+    chaos.add_argument("--quantum", type=_positive_float, default=0.5,
+                       help="fleet preset: sharded-kernel quantum (seconds)")
     chaos.add_argument("--trials", type=_positive_int, default=3)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--vms", type=_positive_int, default=2)
@@ -180,12 +203,49 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds each trial runs after the fault window")
     _add_trace_argument(chaos)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="fleet-scale campaign: zone outage -> failovers -> "
+             "queued re-protection onto spares",
+    )
+    fleet.add_argument("--zones", type=_positive_int, default=3)
+    fleet.add_argument("--racks", type=_positive_int, default=2,
+                       help="racks per zone")
+    fleet.add_argument("--hosts-per-rack", type=_positive_int, default=2)
+    fleet.add_argument("--spares", type=_positive_int, default=3,
+                       help="spare-pool hosts (round-robined over zones)")
+    fleet.add_argument("--vms", type=_positive_int, default=8)
+    fleet.add_argument("--vm-memory-mib", type=_positive_float, default=256.0)
+    fleet.add_argument(
+        "--quantum", type=_positive_float, default=0.5,
+        help="sharded-kernel quantum = control-loop cadence (seconds)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--faults", type=_positive_int, default=1)
+    fleet.add_argument(
+        "--kind", choices=["zone-outage", "rack-outage"],
+        default="zone-outage",
+        help="which correlated outage kind the campaign draws",
+    )
+    fleet.add_argument("--settle-time", type=_positive_float, default=3.0,
+                       help="protection warm-up before the fault window")
+    fleet.add_argument("--fault-window", type=_positive_float, default=5.0)
+    fleet.add_argument("--recovery-time", type=_positive_float, default=30.0)
+    fleet.add_argument(
+        "--anti-affinity", choices=["none", "rack", "zone"], default="zone",
+        help="failure-domain separation the planner enforces per pair",
+    )
+    fleet.add_argument(
+        "--max-vms-per-link", type=_positive_int, default=None,
+        help="link budget: VMs sharing one replication pair",
+    )
+
     sweep = subparsers.add_parser(
         "sweep",
         help="parallel, cached experiment sweep with regression gating",
     )
     sweep.add_argument(
-        "--preset", choices=["chaos", "lossy", "ycsb", "table6"],
+        "--preset", choices=["chaos", "lossy", "fleet", "ycsb", "table6"],
         default="chaos",
         help="which built-in trial matrix to run",
     )
@@ -200,7 +260,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-trial measure window in simulated "
                             "seconds (ycsb/table6 presets)")
     sweep.add_argument("--recovery-time", type=float, default=30.0,
-                       help="chaos preset: post-fault run time per trial")
+                       help="chaos/fleet presets: post-fault run time "
+                            "per trial")
+    sweep.add_argument("--zones", type=_positive_int, default=3,
+                       help="fleet preset: availability zones per trial")
+    sweep.add_argument("--spares", type=_positive_int, default=3,
+                       help="fleet preset: spare-pool hosts per trial")
+    sweep.add_argument("--quantum", type=_positive_float, default=0.5,
+                       help="fleet preset: sharded-kernel quantum (seconds)")
     sweep.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed result cache "
                             "(default .repro-results)")
@@ -496,9 +563,59 @@ def _cmd_plan(args) -> int:
     return 0 if result.fully_placed else 1
 
 
+def _run_fleet_chaos(args) -> int:
+    """``repro chaos --preset fleet``: one fleet campaign per trial."""
+    from .faults import FaultKind
+    from .fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
+    from .simkernel.random import derive_seed
+
+    rows = []
+    dropped = 0
+    try:
+        for index in range(args.trials):
+            spec = FleetSpec(
+                zones=args.zones,
+                racks_per_zone=1,
+                hosts_per_rack=2,
+                spares=args.spares,
+                vms=args.vms,
+                quantum=args.quantum,
+                seed=derive_seed(args.seed, f"fleet-trial-{index}"),
+            )
+            config = FleetCampaignConfig(
+                spec=spec,
+                faults=args.faults,
+                recovery_time=args.recovery_time,
+                kinds=(FaultKind.ZONE_OUTAGE,),
+            )
+            result = FleetCampaign(config).run()
+            dropped += result.dropped_vms
+            rows.append({
+                "trial": index,
+                "faults": "; ".join(result.fault_descriptions) or "none",
+                "failovers": result.failovers,
+                "re-protected": result.reprotections,
+                "dropped": result.dropped_vms,
+                "mean unprotected (s)": result.mean_unprotected_window,
+                "nines": result.nines,
+            })
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_table(
+        rows,
+        title=f"Fleet chaos campaign (seed={args.seed}, "
+              f"zones={args.zones}, spares={args.spares}, "
+              f"quantum={args.quantum:g}s)",
+    ))
+    return 0 if dropped == 0 else 1
+
+
 def _cmd_chaos(args) -> int:
     from .faults import CampaignConfig, ChaosCampaign, FaultKind
 
+    if args.preset == "fleet":
+        return _run_fleet_chaos(args)
     lossy = args.preset == "lossy"
     default_kinds = (
         "link-loss,packet-corrupt,latency-jitter"
@@ -565,6 +682,67 @@ def _cmd_chaos(args) -> int:
     return 0 if result.total_dropped_vms == 0 else 1
 
 
+def _cmd_fleet(args) -> int:
+    from .faults import FaultKind
+    from .fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
+    from .hardware.units import MIB
+
+    try:
+        spec = FleetSpec(
+            zones=args.zones,
+            racks_per_zone=args.racks,
+            hosts_per_rack=args.hosts_per_rack,
+            spares=args.spares,
+            vms=args.vms,
+            vm_memory_bytes=int(args.vm_memory_mib * MIB),
+            quantum=args.quantum,
+            seed=args.seed,
+            anti_affinity=args.anti_affinity,
+            max_vms_per_link=args.max_vms_per_link,
+        )
+        config = FleetCampaignConfig(
+            spec=spec,
+            settle_time=args.settle_time,
+            fault_window=args.fault_window,
+            recovery_time=args.recovery_time,
+            faults=args.faults,
+            kinds=(FaultKind(args.kind),),
+        )
+        campaign = FleetCampaign(config)
+        result = campaign.run()
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_table(
+        result.summary_rows(),
+        title=f"Fleet campaign (seed={args.seed}, kind={args.kind}, "
+              f"quantum={args.quantum:g}s)",
+    ))
+    if result.fault_descriptions:
+        print(render_table(
+            [{"fault": detail} for detail in result.fault_descriptions],
+            title="Injected faults",
+        ))
+    reprotected = [
+        record
+        for record in campaign.orchestrator.reprotections
+        if not record.failed
+    ]
+    if reprotected:
+        print(render_table(
+            [
+                {
+                    "vm": record.vm_name,
+                    "spare": record.spare_host,
+                    "unprotected (s)": record.unprotected_window,
+                }
+                for record in reprotected
+            ],
+            title="Re-protections",
+        ))
+    return 0 if result.dropped_vms == 0 else 1
+
+
 def _cmd_sweep(args) -> int:
     import json
     import os
@@ -581,13 +759,27 @@ def _cmd_sweep(args) -> int:
     from .experiments.presets import (
         BENCH_SEED,
         chaos_sweep,
+        fleet_sweep,
         lossy_sweep,
         table6_sweep,
         ycsb_sweep,
     )
 
     try:
-        if args.preset in ("chaos", "lossy"):
+        if args.preset == "fleet":
+            specs = fleet_sweep(
+                trials=args.trials,
+                seed=args.seed if args.seed is not None else 0,
+                recovery_time=args.recovery_time,
+                timeout=args.timeout,
+                retries=args.retries,
+                spec=dict(
+                    zones=args.zones,
+                    spares=args.spares,
+                    quantum=args.quantum,
+                ),
+            )
+        elif args.preset in ("chaos", "lossy"):
             builder = lossy_sweep if args.preset == "lossy" else chaos_sweep
             specs = builder(
                 trials=args.trials,
@@ -675,6 +867,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "plan": _cmd_plan,
     "replicate": _cmd_replicate,
     "migrate": _cmd_migrate,

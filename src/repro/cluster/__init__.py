@@ -8,6 +8,13 @@ from .deployment import (
     unprotected_baseline,
 )
 from .facade import DomainSpec, VirtConnection, VirtManager
+from .fleetplan import (
+    ANTI_AFFINITY_SCOPES,
+    FleetConstraints,
+    FleetPlanner,
+    HostLocation,
+    Topology,
+)
 from .planner import (
     Placement,
     PlacementRequest,
@@ -17,8 +24,12 @@ from .planner import (
 from .scenarios import ScenarioResult, ScenarioRunner
 
 __all__ = [
+    "ANTI_AFFINITY_SCOPES",
     "DeploymentSpec",
     "DomainSpec",
+    "FleetConstraints",
+    "FleetPlanner",
+    "HostLocation",
     "Placement",
     "PlacementRequest",
     "PlanResult",
@@ -27,6 +38,7 @@ __all__ = [
     "ReplicationPlanner",
     "ScenarioResult",
     "ScenarioRunner",
+    "Topology",
     "VirtConnection",
     "VirtManager",
     "engines_from_plan",

@@ -1,0 +1,317 @@
+"""Fleet-scale placement: zones, racks, anti-affinity, spares, budgets.
+
+The paper's planner (:mod:`repro.cluster.planner`) places VMs across a
+flat list of hosts.  A datacenter is not flat: hosts live in racks,
+racks in zones, and software failures correlate along those lines —
+ReHype's failure analysis (PAPERS.md) is the motivation for treating a
+zone or rack as a fault domain of its own.  This module adds what the
+fleet control plane (:mod:`repro.fleet`) plans with:
+
+* :class:`Topology` — zone/rack labels for every host;
+* :class:`FleetConstraints` — anti-affinity scope (the secondary must
+  live in a different zone/rack than the primary), per-interconnect
+  link budgets (at most N VMs replicating over one host pair), and the
+  spare-pool size;
+* :class:`FleetPlanner` — the deterministic greedy planner extended
+  with those constraints plus a reserved **spare pool**: hosts held
+  out of regular placement so fleet-wide re-protection always has
+  somewhere to land (:meth:`FleetPlanner.plan_spare`).
+
+Determinism matches the base planner's hardened contract: capacity
+ties break by stable host-name order, never input order, so a shuffled
+fleet plans identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..hypervisor.base import Hypervisor
+from .planner import PlacementRequest, PlanResult, ReplicationPlanner
+
+
+@dataclass(frozen=True)
+class HostLocation:
+    """Where one host sits in the failure-domain hierarchy."""
+
+    zone: str
+    rack: str
+
+
+class Topology:
+    """Zone/rack labels for the fleet's hosts.
+
+    Rack names are namespaced per zone internally (``zone/rack``), so
+    two zones may both have a ``r0`` without colliding.
+    """
+
+    def __init__(self):
+        self._locations: Dict[str, HostLocation] = {}
+
+    def add(self, host_name: str, zone: str, rack: str) -> None:
+        if not host_name or not zone or not rack:
+            raise ValueError("host, zone and rack names must be non-empty")
+        if host_name in self._locations:
+            raise ValueError(f"host {host_name!r} already placed")
+        self._locations[host_name] = HostLocation(zone=zone, rack=rack)
+
+    def location_of(self, host_name: str) -> HostLocation:
+        try:
+            return self._locations[host_name]
+        except KeyError:
+            raise KeyError(
+                f"host {host_name!r} has no topology label "
+                f"(have: {sorted(self._locations)})"
+            ) from None
+
+    def zone_of(self, host_name: str) -> str:
+        return self.location_of(host_name).zone
+
+    def rack_of(self, host_name: str) -> Tuple[str, str]:
+        """The (zone, rack) pair — racks are namespaced per zone."""
+        location = self.location_of(host_name)
+        return (location.zone, location.rack)
+
+    def zones(self) -> List[str]:
+        return sorted({loc.zone for loc in self._locations.values()})
+
+    def racks(self) -> List[Tuple[str, str]]:
+        return sorted(
+            {(loc.zone, loc.rack) for loc in self._locations.values()}
+        )
+
+    def hosts(self) -> List[str]:
+        return sorted(self._locations)
+
+    def hosts_in_zone(self, zone: str) -> List[str]:
+        return sorted(
+            name
+            for name, loc in self._locations.items()
+            if loc.zone == zone
+        )
+
+    def hosts_in_rack(self, zone: str, rack: str) -> List[str]:
+        return sorted(
+            name
+            for name, loc in self._locations.items()
+            if loc.zone == zone and loc.rack == rack
+        )
+
+    def __contains__(self, host_name: str) -> bool:
+        return host_name in self._locations
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+
+#: Valid anti-affinity scopes, weakest to strongest.
+ANTI_AFFINITY_SCOPES = ("none", "rack", "zone")
+
+
+@dataclass(frozen=True)
+class FleetConstraints:
+    """Placement constraints the fleet planner enforces.
+
+    anti_affinity:
+        ``"zone"`` — the secondary must live in a different zone than
+        the primary (survives a zone outage); ``"rack"`` — a different
+        rack suffices; ``"none"`` — heterogeneity only (the base
+        planner's behaviour).
+    max_vms_per_link:
+        Link budget: at most this many VMs may replicate over one
+        (primary host, secondary host) interconnect.  ``None`` leaves
+        the wire uncapped (contention is still simulated — the budget
+        is about *bounding* it).
+    """
+
+    anti_affinity: str = "zone"
+    max_vms_per_link: Optional[int] = None
+
+    def __post_init__(self):
+        if self.anti_affinity not in ANTI_AFFINITY_SCOPES:
+            raise ValueError(
+                f"unknown anti-affinity scope {self.anti_affinity!r} "
+                f"(choose from {ANTI_AFFINITY_SCOPES})"
+            )
+        if self.max_vms_per_link is not None and self.max_vms_per_link < 1:
+            raise ValueError(
+                f"max_vms_per_link must be >= 1: {self.max_vms_per_link}"
+            )
+
+
+class FleetPlanner(ReplicationPlanner):
+    """The greedy heterogeneous planner plus fleet constraints.
+
+    ``spares`` names hosts reserved for re-protection: they never take
+    regular placements, and :meth:`plan_spare` places onto them (and
+    only them).  ``committed_spare_bytes`` lets the fleet orchestrator
+    project capacity already promised to in-flight re-seedings.
+    """
+
+    def __init__(
+        self,
+        hypervisors: List[Hypervisor],
+        topology: Optional[Topology] = None,
+        constraints: Optional[FleetConstraints] = None,
+        spares: Iterable[str] = (),
+    ):
+        super().__init__(hypervisors)
+        self.topology = topology
+        self.constraints = constraints or FleetConstraints()
+        self.spares: FrozenSet[str] = frozenset(spares)
+        unknown = self.spares - {h.host.name for h in self.hypervisors}
+        if unknown:
+            raise ValueError(f"spare hosts not in the fleet: {sorted(unknown)}")
+        if self.constraints.anti_affinity != "none" and topology is None:
+            raise ValueError(
+                f"anti_affinity={self.constraints.anti_affinity!r} needs a "
+                "Topology (zone/rack labels) to enforce"
+            )
+
+    # -- constraint filters -------------------------------------------------
+    def _separated(self, primary: Hypervisor, candidate: Hypervisor) -> bool:
+        scope = self.constraints.anti_affinity
+        if scope == "none":
+            return True
+        if scope == "zone":
+            return self.topology.zone_of(
+                candidate.host.name
+            ) != self.topology.zone_of(primary.host.name)
+        return self.topology.rack_of(
+            candidate.host.name
+        ) != self.topology.rack_of(primary.host.name)
+
+    def candidates_for(self, request: PlacementRequest) -> List[Hypervisor]:
+        """Heterogeneous, alive, with capacity, non-spare, anti-affine."""
+        return [
+            hypervisor
+            for hypervisor in super().candidates_for(request)
+            if hypervisor.host.name not in self.spares
+            and self._separated(request.primary, hypervisor)
+        ]
+
+    def _admits(self, request, hypervisor, pair_load) -> bool:
+        budget = self.constraints.max_vms_per_link
+        if budget is None:
+            return True
+        pair = (request.primary.host.name, hypervisor.host.name)
+        return pair_load.get(pair, 0) < budget
+
+    def _explain(self, request: PlacementRequest) -> str:
+        # Diagnose which constraint bit, in the order they are applied.
+        unconstrained = ReplicationPlanner.candidates_for(self, request)
+        if not unconstrained:
+            return super()._explain(request)
+        non_spare = [
+            h for h in unconstrained if h.host.name not in self.spares
+        ]
+        if not non_spare:
+            return (
+                "every admissible secondary is reserved in the spare "
+                f"pool ({len(self.spares)} host(s))"
+            )
+        affine = [
+            h for h in non_spare if self._separated(request.primary, h)
+        ]
+        if not affine:
+            return (
+                f"anti-affinity scope {self.constraints.anti_affinity!r} "
+                "excludes every admissible secondary"
+            )
+        if self.constraints.max_vms_per_link is not None:
+            return (
+                "no admissible secondary: link budget "
+                f"({self.constraints.max_vms_per_link} VMs/pair) or "
+                "projected capacity exhausted"
+            )
+        return super()._explain(request)
+
+    # -- the spare pool -----------------------------------------------------
+    def spare_hypervisors(self) -> List[Hypervisor]:
+        """The reserved spare hosts, in stable name order."""
+        return [
+            h for h in self.hypervisors if h.host.name in self.spares
+        ]
+
+    def plan_spare(
+        self,
+        request: PlacementRequest,
+        committed_spare_bytes: Optional[Dict[str, int]] = None,
+        exclude_hosts: Iterable[str] = (),
+    ) -> PlanResult:
+        """Place one re-protection request onto the spare pool.
+
+        ``committed_spare_bytes`` (host name -> bytes) projects memory
+        already promised to re-seedings the fleet admitted but that
+        have not finished; ``exclude_hosts`` removes spares known-bad
+        for this request (e.g. inside the failed zone).  Anti-affinity
+        is enforced against the *new* primary, exactly like a regular
+        placement — a spare in the failed zone would re-create the
+        correlated exposure the plan avoided.
+        """
+        committed = committed_spare_bytes or {}
+        excluded = set(exclude_hosts)
+        result = PlanResult()
+        candidates = [
+            hypervisor
+            for hypervisor in self.spare_hypervisors()
+            if hypervisor.host.name not in excluded
+            and hypervisor is not request.primary
+            and hypervisor.flavor != request.primary.flavor
+            and hypervisor.is_responsive
+            and hypervisor.host.is_up
+            and self._separated(request.primary, hypervisor)
+            and (
+                hypervisor.host.memory_pool.free_bytes
+                - committed.get(hypervisor.host.name, 0)
+            )
+            >= request.memory_bytes
+        ]
+        if not candidates:
+            result.unplaced[request.vm_name] = self._explain_spare(request)
+            return result
+        chosen = min(
+            candidates,
+            key=lambda h: (
+                -(
+                    h.host.memory_pool.free_bytes
+                    - committed.get(h.host.name, 0)
+                ),
+                h.host.name,
+            ),
+        )
+        from .planner import Placement
+
+        result.placements.append(
+            Placement(
+                vm_name=request.vm_name,
+                primary=request.primary,
+                secondary=chosen,
+            )
+        )
+        return result
+
+    def _explain_spare(self, request: PlacementRequest) -> str:
+        if not self.spares:
+            return "the fleet reserves no spare pool"
+        alive = [
+            h
+            for h in self.spare_hypervisors()
+            if h.is_responsive and h.host.is_up
+        ]
+        if not alive:
+            return "every spare host is down"
+        heterogeneous = [
+            h for h in alive if h.flavor != request.primary.flavor
+        ]
+        if not heterogeneous:
+            return (
+                "no spare is heterogeneous with primary flavor "
+                f"{request.primary.flavor!r}"
+            )
+        return (
+            "no admissible spare: anti-affinity "
+            f"({self.constraints.anti_affinity!r}) or capacity "
+            f"({request.memory_bytes} bytes needed) excludes them all"
+        )

@@ -85,6 +85,12 @@ class PlanResult:
         :class:`~repro.cluster.deployment.ProtectedFleet` instantiates
         one shared link (and N checkpoint pipelines) for.  Insertion
         order follows the plan, so iteration is deterministic.
+
+        Only *placed* VMs appear here: a partially-placed plan's
+        missing VMs are surfaced in :attr:`unplaced` (name -> reason),
+        never silently dropped — callers deploying by pair must check
+        :attr:`fully_placed` (as :class:`~repro.cluster.deployment.
+        ProtectedFleet` and the fleet orchestrator do).
         """
         pairs: Dict[Tuple[str, str], List[Placement]] = {}
         for placement in self.placements:
@@ -102,7 +108,11 @@ class ReplicationPlanner:
     def __init__(self, hypervisors: List[Hypervisor]):
         if not hypervisors:
             raise ValueError("the fleet must contain at least one hypervisor")
-        self.hypervisors = list(hypervisors)
+        # Normalised to stable host-name order at construction: every
+        # downstream iteration (candidates, explanations) is then
+        # independent of the caller's list order, so a shuffled input
+        # fleet can never change a plan.
+        self.hypervisors = sorted(hypervisors, key=lambda h: h.host.name)
 
     def candidates_for(self, request: PlacementRequest) -> List[Hypervisor]:
         """Admissible secondaries: heterogeneous, alive, with capacity."""
@@ -130,6 +140,7 @@ class ReplicationPlanner:
         projected_free: Dict[int, int] = {
             id(h): h.host.memory_pool.free_bytes for h in self.hypervisors
         }
+        pair_load: Dict[Tuple[str, str], int] = {}
         ordered = sorted(
             requests, key=lambda r: (-r.memory_bytes, r.vm_name)
         )
@@ -138,17 +149,22 @@ class ReplicationPlanner:
                 hypervisor
                 for hypervisor in self.candidates_for(request)
                 if projected_free[id(hypervisor)] >= request.memory_bytes
+                and self._admits(request, hypervisor, pair_load)
             ]
             if not candidates:
                 result.unplaced[request.vm_name] = self._explain(request)
                 continue
-            # Most projected-free capacity first; host name breaks ties
-            # deterministically.
-            chosen = max(
+            # Most projected-free capacity first; capacity ties break by
+            # stable hypervisor host-name order (lexicographically
+            # smallest wins) — never by dict or input insertion order,
+            # so shuffled fleets plan identically.
+            chosen = min(
                 candidates,
-                key=lambda h: (projected_free[id(h)], h.host.name),
+                key=lambda h: (-projected_free[id(h)], h.host.name),
             )
             projected_free[id(chosen)] -= request.memory_bytes
+            pair = (request.primary.host.name, chosen.host.name)
+            pair_load[pair] = pair_load.get(pair, 0) + 1
             result.placements.append(
                 Placement(
                     vm_name=request.vm_name,
@@ -157,6 +173,17 @@ class ReplicationPlanner:
                 )
             )
         return result
+
+    def _admits(self, request, hypervisor, pair_load) -> bool:
+        """Constraint hook: may ``hypervisor`` take one more placement?
+
+        ``pair_load`` maps (primary host, secondary host) pairs to the
+        placements already planned onto that pair's shared interconnect.
+        The base planner admits everything;
+        :class:`~repro.cluster.fleetplan.FleetPlanner` enforces link
+        budgets here.
+        """
+        return True
 
     def _explain(self, request: PlacementRequest) -> str:
         """Why no secondary could take this VM."""

@@ -245,6 +245,39 @@ def run_chaos_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
     return {"trial": trial.to_dict()}, aggregator.summary_rows()
 
 
+@register_trial("fleet-trial")
+def run_fleet_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
+    """One seeded fleet chaos campaign (zone/rack outages at scale)."""
+    from ..faults import FaultKind
+    from ..fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
+
+    params = dict(params)
+    spec_params = dict(params.pop("spec", {}))
+    config_kwargs: Dict[str, Any] = {}
+    for key in ("settle_time", "fault_window", "recovery_time", "faults"):
+        if key in params:
+            config_kwargs[key] = params.pop(key)
+    if "outage_duration" in params:
+        config_kwargs["outage_duration"] = tuple(
+            params.pop("outage_duration")
+        )
+    kinds = params.pop("kinds", None)
+    if kinds is not None:
+        config_kwargs["kinds"] = tuple(FaultKind(kind) for kind in kinds)
+    # The sweep runner injects the spec-level seed; the fleet seed
+    # rides inside the nested FleetSpec params, so it is redundant here.
+    params.pop("seed", None)
+    if params:
+        raise ValueError(f"unknown fleet-trial params: {sorted(params)}")
+    campaign = FleetCampaign(
+        FleetCampaignConfig(spec=FleetSpec(**spec_params), **config_kwargs)
+    )
+    result = campaign.run()
+    metrics: Dict[str, Any] = {"fingerprint": result.fingerprint()}
+    metrics.update(result.metrics())
+    return metrics, campaign.aggregator.summary_rows()
+
+
 def slowdown_pct(throughput: float, baseline: float) -> float:
     """The number printed above each bar in Figs. 11–16."""
     if baseline <= 0:
@@ -330,6 +363,58 @@ def lossy_sweep(
     )
 
 
+def fleet_sweep(
+    trials: int,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    **overrides: Any,
+) -> List[ExperimentSpec]:
+    """One spec per seeded fleet chaos campaign.
+
+    Each trial stands up its own fleet (default: a small 3-zone grid)
+    and runs one zone-outage campaign with a per-trial derived seed.
+    Keyword overrides split naturally: :class:`~repro.fleet.FleetSpec`
+    fields go under ``spec`` (a dict), campaign knobs
+    (``settle_time`` / ``fault_window`` / ``recovery_time`` /
+    ``faults`` / ``outage_duration`` / ``kinds``) ride at top level.
+    """
+    if trials < 1:
+        raise ValueError(f"a fleet sweep needs >= 1 trial: {trials}")
+    spec_defaults: Dict[str, Any] = dict(
+        zones=3,
+        racks_per_zone=1,
+        hosts_per_rack=2,
+        spares=3,
+        vms=6,
+    )
+    spec_defaults.update(overrides.pop("spec", {}))
+    params_base: Dict[str, Any] = dict(
+        settle_time=3.0,
+        fault_window=4.0,
+        recovery_time=25.0,
+        faults=1,
+    )
+    params_base.update(overrides)
+    specs = []
+    for index in range(trials):
+        trial_seed = derive_seed(seed, f"fleet-trial-{index}")
+        specs.append(
+            ExperimentSpec(
+                name=f"fleet/trial-{index}",
+                kind="fleet-trial",
+                params={
+                    **params_base,
+                    "spec": {**spec_defaults, "seed": trial_seed},
+                },
+                seed=trial_seed,
+                timeout=timeout,
+                retries=retries,
+            )
+        )
+    return specs
+
+
 def ycsb_sweep(
     setups: Sequence[str] = ("Xen", "HERE(5Sec,0%)", "HERE(inf,30%)", "Remus5Sec"),
     mixes: Sequence[str] = ("a", "b"),
@@ -391,4 +476,4 @@ def table6_sweep(
 
 
 #: CLI preset name -> builder keyword arguments it accepts.
-SWEEP_PRESETS = ("chaos", "lossy", "ycsb", "table6")
+SWEEP_PRESETS = ("chaos", "lossy", "fleet", "ycsb", "table6")

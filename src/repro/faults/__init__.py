@@ -26,6 +26,7 @@ from .spec import (
     LINK_KINDS,
     TRANSIENT_KINDS,
     VM_KINDS,
+    ZONE_KINDS,
 )
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "TRANSIENT_KINDS",
     "TrialResult",
     "VM_KINDS",
+    "ZONE_KINDS",
     "phi_from_normal",
 ]

@@ -78,6 +78,14 @@ class FaultInjector:
             for part in spec.parts:
                 self._resolve_targets(part)
             return
+        from .spec import ZONE_KINDS
+
+        if spec.kind in ZONE_KINDS:
+            raise ValueError(
+                f"{spec.kind.value} is a fleet-scale fault: this "
+                "injector has no topology to fan it out over — arm it "
+                "through repro.fleet's FleetFaultInjector instead"
+            )
         registry, label = self._registry_for(spec)
         if spec.target not in registry:
             raise KeyError(

@@ -54,6 +54,14 @@ class FaultKind(Enum):
     #: Launch a real DoS exploit from the CVE dataset at the target
     #: host's hypervisor (bounces if the CVE does not affect it).
     EXPLOIT = "exploit"
+    #: Every host in one zone goes dark at once (power/cooling domain
+    #: failure).  A fleet-scale fault: the per-pair injector rejects
+    #: it; :class:`repro.fleet` fans it out across shards — finite
+    #: ``duration`` means the zone's hosts reboot afterwards, infinite
+    #: means they stay down.  Target is a zone name.
+    ZONE_OUTAGE = "zone-outage"
+    #: Same blast semantics scoped to one rack; target is "zone/rack".
+    RACK_OUTAGE = "rack-outage"
     #: A correlated multi-fault event: ``parts`` fire relative to this
     #: spec's trigger time (e.g. a partition followed by a host crash).
     CORRELATED = "correlated"
@@ -93,6 +101,10 @@ LINK_KINDS = frozenset(
 )
 #: Kinds whose target is a VM name.
 VM_KINDS = frozenset({FaultKind.GUEST_CRASH})
+#: Fleet-scale kinds whose target is a failure domain (zone or
+#: "zone/rack"), not a single host — only the fleet layer, which knows
+#: the :class:`~repro.cluster.fleetplan.Topology`, can fan them out.
+ZONE_KINDS = frozenset({FaultKind.ZONE_OUTAGE, FaultKind.RACK_OUTAGE})
 
 
 @dataclass(frozen=True)
@@ -183,7 +195,9 @@ class FaultSpec:
         if self.kind is FaultKind.CORRELATED:
             inner = ", ".join(p.describe() for p in self.parts)
             return f"correlated at +{self.at:g}s [{inner}]"
-        if self.reverts:
+        if self.reverts or (
+            self.kind in ZONE_KINDS and math.isfinite(self.duration)
+        ):
             label += f" for {self.duration:g}s"
         return label
 
@@ -226,6 +240,7 @@ class FaultSchedule:
         hosts: Sequence[str] = (),
         links: Sequence[str] = (),
         vms: Sequence[str] = (),
+        zones: Sequence[str] = (),
         kinds: Sequence[FaultKind] = (
             FaultKind.HOST_CRASH,
             FaultKind.HYPERVISOR_CRASH,
@@ -240,6 +255,9 @@ class FaultSchedule:
         Only kinds whose target category has candidates are eligible; a
         kind with no possible target is skipped rather than raising, so
         one kind list serves topologies with and without link targets.
+        ``zones`` feeds the fleet-scale :data:`ZONE_KINDS` (zone names
+        for ZONE_OUTAGE, "zone/rack" labels for RACK_OUTAGE) — drawn
+        outages get a finite duration so the domain reboots.
         """
         eligible = [
             kind
@@ -247,6 +265,7 @@ class FaultSchedule:
             if (kind in HOST_KINDS and hosts)
             or (kind in LINK_KINDS and links)
             or (kind in VM_KINDS and vms)
+            or (kind in ZONE_KINDS and zones)
         ]
         if not eligible:
             raise ValueError(
@@ -262,11 +281,13 @@ class FaultSchedule:
                 target = rng.choice(list(hosts))
             elif kind in LINK_KINDS:
                 target = rng.choice(list(links))
+            elif kind in ZONE_KINDS:
+                target = rng.choice(list(zones))
             else:
                 target = rng.choice(list(vms))
             at = rng.uniform(low, high)
             duration = math.inf
-            if kind in TRANSIENT_KINDS:
+            if kind in TRANSIENT_KINDS or kind in ZONE_KINDS:
                 duration = rng.uniform(*transient_duration)
             kwargs = dict(kind=kind, target=target, at=at, duration=duration)
             if kind is FaultKind.LINK_DEGRADE:

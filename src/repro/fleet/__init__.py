@@ -1,0 +1,56 @@
+"""The fleet control plane: from one protected host pair to thousands.
+
+``repro.fleet`` scales the per-pair HERE protection stack out across a
+zone/rack-labelled fleet on the sharded simulation kernel:
+
+* :class:`FleetSpec` — the declarative shape of a fleet (grid of
+  hosts, spare pool, VM population, control-loop quantum).
+* :class:`FleetOrchestrator` — materializes one shard per planned host
+  pair, runs initial seeding, and drives the boundary control loop.
+* :class:`ReprotectionQueue` / :class:`AdmissionController` — the
+  fleet-wide redundancy-restoration queue and its concurrency cap.
+* :class:`FleetControlLogic` — the pure feedback policy (observation
+  in, admission limit + checkpoint-interval scale out).
+* :class:`FleetFaultInjector` — zone/rack outage fan-out across every
+  shard materialization of the failure domain.
+* :class:`FleetCampaign` — seeded end-to-end chaos runs with a
+  deterministic :meth:`~FleetCampaignResult.fingerprint`.
+"""
+
+from .campaign import FleetCampaign, FleetCampaignConfig, FleetCampaignResult
+from .control import ControlAction, FleetControlLogic, FleetObservation
+from .faults import FleetFaultInjector
+from .orchestrator import (
+    MAX_REPROTECT_ATTEMPTS,
+    FleetOrchestrator,
+    PairShard,
+    ReprotectionRecord,
+    Reseeding,
+)
+from .queue import (
+    AdmissionController,
+    QueueStats,
+    ReprotectRequest,
+    ReprotectionQueue,
+)
+from .spec import FleetSpec
+
+__all__ = [
+    "AdmissionController",
+    "ControlAction",
+    "FleetCampaign",
+    "FleetCampaignConfig",
+    "FleetCampaignResult",
+    "FleetControlLogic",
+    "FleetFaultInjector",
+    "FleetObservation",
+    "FleetOrchestrator",
+    "FleetSpec",
+    "MAX_REPROTECT_ATTEMPTS",
+    "PairShard",
+    "QueueStats",
+    "ReprotectRequest",
+    "ReprotectionQueue",
+    "ReprotectionRecord",
+    "Reseeding",
+]

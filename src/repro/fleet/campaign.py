@@ -1,0 +1,319 @@
+"""Seeded fleet campaigns: correlated outages against the control plane.
+
+One :class:`FleetCampaign` stands up a whole fleet through the
+:class:`~repro.fleet.orchestrator.FleetOrchestrator`, lets it settle,
+draws a correlated fault schedule (zone/rack outages) from the fleet
+calendar's seeded stream, fans it out through the
+:class:`~repro.fleet.faults.FleetFaultInjector`, and runs detection ->
+failover -> queued re-protection to quiescence.  Per-shard telemetry
+is merged through one :class:`~repro.telemetry.MetricsAggregator`
+subscribed to every calendar.
+
+Determinism: everything — placement, shard seeds, outage draws,
+admission decisions — derives from ``FleetSpec.seed``, so
+:meth:`FleetCampaignResult.fingerprint` is bit-identical across runs
+of the same config.  The benchmark suite pins it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.availability import observed_availability_nines
+from ..faults.spec import FaultKind, FaultSchedule, ZONE_KINDS
+from ..telemetry import MetricsAggregator
+from .faults import FleetFaultInjector
+from .orchestrator import FleetOrchestrator
+from .spec import FleetSpec
+
+
+@dataclass(frozen=True)
+class FleetCampaignConfig:
+    """One fleet chaos run."""
+
+    spec: FleetSpec = field(default_factory=FleetSpec)
+    #: Protection runs this long before the fault window opens (also
+    #: the initial-seeding deadline).
+    settle_time: float = 5.0
+    #: Outages land uniformly inside ``[settle, settle + window]``.
+    fault_window: float = 5.0
+    #: Extra time for detection, failover and queued re-seeding.
+    recovery_time: float = 30.0
+    faults: int = 1
+    kinds: Tuple[FaultKind, ...] = (FaultKind.ZONE_OUTAGE,)
+    #: Outage length range (finite: the domain reboots).
+    outage_duration: Tuple[float, float] = (5.0, 15.0)
+
+    def __post_init__(self):
+        if self.faults < 1:
+            raise ValueError(f"a campaign needs >= 1 fault: {self.faults}")
+        for name in ("settle_time", "fault_window", "recovery_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        zone_kinds = set(self.kinds) & ZONE_KINDS
+        if zone_kinds == ZONE_KINDS:
+            raise ValueError(
+                "mixing zone-outage and rack-outage in one random draw "
+                "is ambiguous (their targets differ) — pick one"
+            )
+        allowed = ZONE_KINDS | {
+            FaultKind.HOST_CRASH, FaultKind.HOST_TRANSIENT
+        }
+        unknown = set(self.kinds) - allowed
+        if unknown:
+            raise ValueError(
+                "fleet campaigns inject domain/host power faults only, "
+                f"not {sorted(k.value for k in unknown)}"
+            )
+
+
+@dataclass
+class FleetCampaignResult:
+    """Aggregates of one campaign, all derived from simulation state."""
+
+    config: FleetCampaignConfig
+    # -- scale ---------------------------------------------------------------
+    vms: int = 0
+    hosts: int = 0
+    zones: int = 0
+    shards: int = 0
+    quanta_executed: int = 0
+    events_processed: int = 0
+    # -- faults --------------------------------------------------------------
+    faults_injected: int = 0
+    fault_descriptions: List[str] = field(default_factory=list)
+    # -- protection outcomes -------------------------------------------------
+    failovers: int = 0
+    failed_failovers: int = 0
+    secondary_losses: int = 0
+    reprotections: int = 0
+    failed_reprotections: int = 0
+    dropped_vms: int = 0
+    unprotected_windows: Dict[str, float] = field(default_factory=dict)
+    # -- queue / control -----------------------------------------------------
+    enqueued: int = 0
+    admitted: int = 0
+    deferred: int = 0
+    requeued: int = 0
+    max_queue_depth: int = 0
+    final_admission_limit: int = 0
+    # -- availability --------------------------------------------------------
+    observed_seconds: float = 0.0
+    downtime_seconds: float = 0.0
+    nines: float = math.inf
+    #: Merged per-shard telemetry (rows from MetricsAggregator).
+    telemetry: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_unprotected_window(self) -> float:
+        values = list(self.unprotected_windows.values())
+        return sum(values) / len(values) if values else math.nan
+
+    @property
+    def max_unprotected_window(self) -> float:
+        values = list(self.unprotected_windows.values())
+        return max(values) if values else math.nan
+
+    def fingerprint(self) -> dict:
+        """The determinism contract: same seed => identical dict."""
+
+        def _finite(value: float):
+            return round(value, 9) if math.isfinite(value) else str(value)
+
+        return {
+            "vms": self.vms,
+            "shards": self.shards,
+            "quanta": self.quanta_executed,
+            "events_processed": self.events_processed,
+            "faults": self.faults_injected,
+            "failovers": self.failovers,
+            "failed_failovers": self.failed_failovers,
+            "secondary_losses": self.secondary_losses,
+            "reprotections": self.reprotections,
+            "failed_reprotections": self.failed_reprotections,
+            "dropped_vms": self.dropped_vms,
+            "enqueued": self.enqueued,
+            "admitted": self.admitted,
+            "deferred": self.deferred,
+            "requeued": self.requeued,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_unprotected_window": _finite(self.mean_unprotected_window),
+            "nines": round(self.nines, 6)
+            if math.isfinite(self.nines)
+            else "inf",
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat numeric metrics for the benchmark RegressionGate."""
+        mean_window = self.mean_unprotected_window
+        return {
+            "events_processed": float(self.events_processed),
+            "quanta": float(self.quanta_executed),
+            "failovers": float(self.failovers),
+            "reprotections": float(self.reprotections),
+            "dropped_vms": float(self.dropped_vms),
+            "enqueued": float(self.enqueued),
+            "admitted": float(self.admitted),
+            "max_queue_depth": float(self.max_queue_depth),
+            "mean_unprotected_window": (
+                mean_window if math.isfinite(mean_window) else 0.0
+            ),
+            "nines": self.nines if math.isfinite(self.nines) else 9.0,
+        }
+
+    def summary_rows(self) -> List[dict]:
+        return [
+            {"metric": "VMs / hosts / zones",
+             "value": f"{self.vms} / {self.hosts} / {self.zones}"},
+            {"metric": "shards (host pairs)", "value": self.shards},
+            {"metric": "quanta executed", "value": self.quanta_executed},
+            {"metric": "events processed", "value": self.events_processed},
+            {"metric": "faults injected", "value": self.faults_injected},
+            {"metric": "failovers (ok/failed)",
+             "value": f"{self.failovers}/{self.failed_failovers}"},
+            {"metric": "secondary losses", "value": self.secondary_losses},
+            {"metric": "re-protections (ok/failed)",
+             "value": f"{self.reprotections}/{self.failed_reprotections}"},
+            {"metric": "queue enqueued/admitted/deferred",
+             "value": f"{self.enqueued}/{self.admitted}/{self.deferred}"},
+            {"metric": "max queue depth", "value": self.max_queue_depth},
+            {"metric": "dropped VMs", "value": self.dropped_vms},
+            {"metric": "mean unprotected window (s)",
+             "value": self.mean_unprotected_window},
+            {"metric": "availability (nines)", "value": self.nines},
+        ]
+
+
+class FleetCampaign:
+    """Runs one seeded fleet chaos campaign to completion."""
+
+    def __init__(self, config: Optional[FleetCampaignConfig] = None):
+        self.config = config or FleetCampaignConfig()
+        #: Populated by :meth:`run` (kept for inspection in tests).
+        self.orchestrator: Optional[FleetOrchestrator] = None
+        self.injector: Optional[FleetFaultInjector] = None
+        self.aggregator: Optional[MetricsAggregator] = None
+
+    def run(self) -> FleetCampaignResult:
+        config = self.config
+        orchestrator = FleetOrchestrator(config.spec)
+        self.orchestrator = orchestrator
+        aggregator = MetricsAggregator()
+        self.aggregator = aggregator
+        orchestrator.sharded.subscribe(aggregator)
+        injector = FleetFaultInjector(orchestrator)
+        self.injector = injector
+
+        start = orchestrator.now
+        orchestrator.start_protection(
+            seed_deadline=max(config.settle_time, 1.0)
+        )
+        settle_until = start + config.settle_time
+        if orchestrator.now < settle_until:
+            orchestrator.run(until=settle_until)
+        schedule = self._draw_schedule(orchestrator)
+        injector.schedule(schedule)
+        orchestrator.run_for(config.fault_window + config.recovery_time)
+        result = self._harvest(orchestrator, injector, aggregator, start)
+        orchestrator.halt("campaign over")
+        return result
+
+    def _draw_schedule(self, orchestrator: FleetOrchestrator) -> FaultSchedule:
+        config = self.config
+        spec = config.spec
+        zone_targets: List[str] = []
+        if FaultKind.ZONE_OUTAGE in config.kinds:
+            zone_targets = orchestrator.topology.zones()
+        elif FaultKind.RACK_OUTAGE in config.kinds:
+            zone_targets = [
+                f"{zone}/{rack}"
+                for zone, rack in orchestrator.topology.racks()
+                if rack != "spare"
+            ]
+        grid_hosts = [name for name, _, _, _ in spec.grid_hosts]
+        return FaultSchedule.random(
+            orchestrator.fleet_sim.random.stream("fleet.chaos"),
+            hosts=grid_hosts,
+            zones=zone_targets,
+            kinds=config.kinds,
+            count=config.faults,
+            window=(0.0, config.fault_window),
+            transient_duration=config.outage_duration,
+        )
+
+    def _harvest(
+        self,
+        orchestrator: FleetOrchestrator,
+        injector: FleetFaultInjector,
+        aggregator: MetricsAggregator,
+        start: float,
+    ) -> FleetCampaignResult:
+        config = self.config
+        spec = config.spec
+        result = FleetCampaignResult(config=config)
+        result.vms = spec.vms
+        result.hosts = spec.total_hosts
+        result.zones = spec.zones
+        result.shards = len(orchestrator.shards)
+        result.quanta_executed = orchestrator.sharded.quanta_executed
+        result.events_processed = orchestrator.fleet_sim.events_processed + sum(
+            orchestrator.shards[name].sim.events_processed
+            for name in orchestrator.sharded.shard_names()
+        )
+        result.faults_injected = len(injector.injected)
+        result.fault_descriptions = [
+            record.detail for record in injector.injected
+        ]
+        result.failovers = orchestrator.failovers
+        result.failed_failovers = orchestrator.failed_failovers
+        result.secondary_losses = orchestrator.secondary_losses
+        for record in orchestrator.reprotections:
+            if record.failed:
+                result.failed_reprotections += 1
+            else:
+                result.reprotections += 1
+                result.unprotected_windows[record.vm_name] = (
+                    record.unprotected_window
+                )
+        result.dropped_vms = len(orchestrator.dropped)
+        stats = orchestrator.queue.stats
+        result.enqueued = stats.enqueued
+        result.admitted = stats.admitted
+        result.deferred = stats.deferred
+        result.requeued = stats.requeued
+        result.max_queue_depth = stats.max_depth
+        result.final_admission_limit = orchestrator.admission.limit
+
+        # Availability: a failed-over VM was dark for its resumption
+        # time; a VM whose failover failed stays dark to the end.
+        end = orchestrator.now
+        downtime = 0.0
+        for shard in orchestrator.shards.values():
+            for failover in shard.failovers.values():
+                report = failover.report
+                if report is None:
+                    continue
+                if report.failed:
+                    downtime += end - report.detected_at
+                elif math.isfinite(report.resumption_time):
+                    downtime += report.resumption_time
+        result.observed_seconds = (end - start) * spec.vms
+        result.downtime_seconds = downtime
+        result.nines = observed_availability_nines(
+            max(downtime, 0.0), result.observed_seconds
+        )
+        # Merged per-shard telemetry: pin the counters that prove the
+        # fan-out actually crossed shard boundaries.
+        for row in aggregator.summary_rows():
+            if row["name"] in (
+                "host.failure",
+                "host.recovery",
+                "fleet.fault.injected",
+                "fleet.reprotect.enqueued",
+                "fleet.reprotect.started",
+                "fleet.quantum",
+            ):
+                result.telemetry[row["name"]] = int(row["count"])
+        return result

@@ -1,0 +1,135 @@
+"""The fleet feedback controller, split decision-from-actuation.
+
+Following the orchestrator/logic split used by DR control planes (and
+by this repo's :class:`~repro.replication.transport.DegradationController`
+at pair scope): :class:`FleetControlLogic` is a *pure function* from a
+:class:`FleetObservation` to a :class:`ControlAction` — no clock, no
+side effects, trivially unit-testable — while the
+:class:`~repro.fleet.orchestrator.FleetOrchestrator` samples the
+observation and applies the action at quantum boundaries.
+
+The controlled variables:
+
+* **admission limit** — how many re-seedings may stream concurrently.
+  Below the SLO the logic widens admission (restore redundancy fast);
+  at the SLO with an empty queue it narrows back down so background
+  re-protection never saturates the interconnect.
+* **period scale** — a multiplier on the checkpoint interval T_max for
+  newly seeded engines.  Under SLO pressure the logic tightens the
+  interval (smaller loss windows while the fleet is fragile), at the
+  cost of higher checkpoint overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FleetObservation:
+    """A boundary snapshot of the fleet's protection state."""
+
+    time: float
+    total_vms: int
+    #: VMs currently redundant (primary + live replica).
+    protected: int
+    #: VMs queued or mid-re-seed.
+    unprotected: int
+    #: VMs permanently lost (failed failover, exhausted retries).
+    dropped: int
+    queue_depth: int
+    inflight_reseedings: int
+    #: Fraction of spare-pool memory not yet committed to re-seedings.
+    spare_free_fraction: float
+    availability_slo: float
+
+    @property
+    def protected_fraction(self) -> float:
+        if self.total_vms <= 0:
+            return 1.0
+        return self.protected / self.total_vms
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """What the orchestrator should apply at this boundary."""
+
+    admission_limit: int
+    #: Multiplier on T_max for engines seeded from now on (<= 1 means
+    #: tighter checkpoints than steady state).
+    period_scale: float = 1.0
+    reason: str = ""
+
+
+class FleetControlLogic:
+    """Pure admission/interval policy against the availability SLO."""
+
+    def __init__(
+        self,
+        min_admission: int = 1,
+        max_admission: int = 8,
+        #: Checkpoint-interval multiplier applied under SLO pressure.
+        pressure_period_scale: float = 0.5,
+        #: Protected-fraction deficit treated as "mild" (one extra
+        #: admission slot) rather than "severe" (open the floodgates).
+        mild_deficit: float = 0.05,
+    ):
+        if not 1 <= min_admission <= max_admission:
+            raise ValueError(
+                "need 1 <= min_admission <= max_admission: "
+                f"{min_admission}, {max_admission}"
+            )
+        if not 0.0 < pressure_period_scale <= 1.0:
+            raise ValueError(
+                f"pressure_period_scale must be in (0, 1]: "
+                f"{pressure_period_scale}"
+            )
+        self.min_admission = min_admission
+        self.max_admission = max_admission
+        self.pressure_period_scale = pressure_period_scale
+        self.mild_deficit = mild_deficit
+
+    def decide(self, observation: FleetObservation) -> ControlAction:
+        deficit = (
+            observation.availability_slo - observation.protected_fraction
+        )
+        backlog = observation.queue_depth > 0
+        if deficit <= 0 and not backlog:
+            # At or above SLO with nothing waiting: converge back to
+            # minimal admission so re-protection traffic never competes
+            # with steady-state checkpointing.
+            return ControlAction(
+                admission_limit=self.min_admission,
+                period_scale=1.0,
+                reason="at SLO, queue empty",
+            )
+        if deficit <= self.mild_deficit:
+            # Mildly below SLO (or at SLO with a backlog): one slot per
+            # queued request above the floor, capped — proportional
+            # rather than bang-bang, so a single failover does not
+            # trigger a fleet-wide re-seeding storm.
+            limit = min(
+                self.max_admission,
+                self.min_admission + max(observation.queue_depth, 1),
+            )
+            return ControlAction(
+                admission_limit=limit,
+                period_scale=1.0,
+                reason="mild deficit",
+            )
+        # Severe deficit (correlated failure): open admission fully —
+        # unless the spare pool is nearly exhausted, in which case more
+        # concurrency only burns interconnect on requests that will
+        # fail planning anyway — and tighten checkpoint intervals on
+        # everything seeded while the fleet is fragile.
+        if observation.spare_free_fraction < 0.1:
+            limit = self.min_admission + 1
+            why = "severe deficit, spare pool nearly exhausted"
+        else:
+            limit = self.max_admission
+            why = "severe deficit"
+        return ControlAction(
+            admission_limit=limit,
+            period_scale=self.pressure_period_scale,
+            reason=why,
+        )

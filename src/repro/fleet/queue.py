@@ -1,0 +1,132 @@
+"""The fleet-wide re-protection queue and its admission control.
+
+When a shard loses redundancy (failover fired, or a secondary died
+under its replica), the orchestrator enqueues a
+:class:`ReprotectRequest` here.  The queue drains at quantum
+boundaries onto planner-chosen spares, but never more than the
+:class:`AdmissionController`'s current limit of *concurrent*
+re-seedings: every admitted request streams a full VM image across the
+fleet interconnect, and admitting all of them at once after a zone
+outage would collapse the very links surviving VMs checkpoint over.
+The feedback controller (:mod:`repro.fleet.control`) moves the limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+
+@dataclass
+class ReprotectRequest:
+    """One VM that lost redundancy and needs a fresh backup."""
+
+    vm_name: str
+    shard_name: str
+    #: Logical host name the surviving side runs on — the planner
+    #: enforces heterogeneity and anti-affinity against this host.
+    primary_host: str
+    memory_bytes: int
+    #: When the shard detected the redundancy loss (shard clock).
+    detected_at: float
+    enqueued_at: float
+    #: Drain attempts that found no admissible spare.
+    attempts: int = 0
+    #: "failover" (replica promoted, old primary dead) or
+    #: "secondary-loss" (primary fine, replica host died).
+    cause: str = "failover"
+    #: Retry backoff: the queue will not re-admit this request before
+    #: this fleet time (set after a failed planning attempt, so a
+    #: transient outage can revert before the retries are exhausted).
+    not_before: float = 0.0
+
+
+class AdmissionController:
+    """Caps concurrent re-seedings; the limit is moved by the control loop."""
+
+    def __init__(self, limit: int = 2, min_limit: int = 1, max_limit: int = 8):
+        if not 1 <= min_limit <= max_limit:
+            raise ValueError(
+                f"need 1 <= min_limit <= max_limit: {min_limit}, {max_limit}"
+            )
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.limit = limit
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @limit.setter
+    def limit(self, value: int) -> None:
+        self._limit = max(self.min_limit, min(self.max_limit, int(value)))
+
+    def admit(self, inflight: int) -> bool:
+        return inflight < self._limit
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters the campaign fingerprint pins."""
+
+    enqueued: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Drain passes that left requests waiting on the admission limit.
+    deferred: int = 0
+    max_depth: int = 0
+    requeued: int = 0
+
+
+class ReprotectionQueue:
+    """FIFO of redundancy losses awaiting an admission slot."""
+
+    def __init__(self):
+        self._pending: Deque[ReprotectRequest] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: ReprotectRequest) -> None:
+        self._pending.append(request)
+        self.stats.enqueued += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._pending))
+
+    def requeue(self, request: ReprotectRequest) -> None:
+        """Put a deferred request back at the *front* (oldest first)."""
+        self._pending.appendleft(request)
+        self.stats.requeued += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._pending))
+
+    def drain(
+        self, now: float, inflight: int, admission: AdmissionController
+    ) -> List[ReprotectRequest]:
+        """Pop eligible requests while admission allows.
+
+        Requests still inside their retry backoff (``not_before >
+        now``) stay queued without consuming an admission slot.  A
+        deferral is counted only when an *eligible* request was left
+        waiting purely because of the admission limit.
+        """
+        admitted: List[ReprotectRequest] = []
+        kept: Deque[ReprotectRequest] = deque()
+        while self._pending:
+            request = self._pending.popleft()
+            if request.not_before <= now and admission.admit(
+                inflight + len(admitted)
+            ):
+                admitted.append(request)
+            else:
+                kept.append(request)
+        self._pending = kept
+        self.stats.admitted += len(admitted)
+        if any(request.not_before <= now for request in kept):
+            self.stats.deferred += 1
+        return admitted

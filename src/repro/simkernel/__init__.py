@@ -4,6 +4,8 @@ The kernel underpins every simulated subsystem in this repository
 (hardware, hypervisors, networks, workloads).  Public surface:
 
 * :class:`Simulation` — the clock and calendar; create one per experiment.
+* :class:`ShardedSimulation` — many per-pair shard calendars advanced in
+  lockstep quanta under one fleet clock (fleet-scale runs).
 * :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
   waitable occurrences.
 * :class:`Process` — generator-backed concurrent activities.
@@ -45,6 +47,7 @@ from .random import (
     largest_remainder_allocation,
 )
 from .resources import Gate, Resource, Store
+from .sharded import ShardedSimulation
 
 __all__ = [
     "AllOf",
@@ -59,6 +62,7 @@ __all__ = [
     "RandomRegistry",
     "Resource",
     "ScrambledZipfian",
+    "ShardedSimulation",
     "Simulation",
     "SimulationError",
     "StopSimulation",

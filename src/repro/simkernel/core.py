@@ -110,7 +110,12 @@ class Simulation:
 
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        After ``run(until=h)`` returns, ``peek() > h`` strictly: any
+        event scheduled *exactly at* the horizon has already fired (see
+        :meth:`run` for the pinned horizon contract).
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
@@ -149,6 +154,22 @@ class Simulation:
         that simulated time (the clock is advanced exactly to ``until``).
         A process may also end the run early by calling :meth:`stop`,
         whose value is then returned.
+
+        Horizon contract (pinned — quantum stepping depends on it):
+
+        * An event scheduled **exactly at** ``until`` fires inside this
+          call, and so does any zero-delay cascade it triggers at the
+          same instant; only events strictly *later* than ``until``
+          survive on the calendar (``peek() > until`` afterwards).
+        * The clock reads exactly ``until`` when the call returns, even
+          if the calendar emptied earlier (or was empty throughout).
+
+        Together these make horizon stepping *exact*: running to ``h1``
+        and then to ``h2`` is indistinguishable from one run to ``h2``.
+        :class:`~repro.simkernel.sharded.ShardedSimulation` advances
+        every shard in bounded quanta on the strength of this — a
+        coincident event must never fire twice, be skipped, or slide
+        into the next quantum.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} lies in the past (now={self._now})")

@@ -1,0 +1,190 @@
+"""Sharded simulation: many per-pair calendars under one fleet clock.
+
+A fleet-scale run is thousands of protected host pairs whose internals
+(checkpoints, heartbeats, workloads) never interact — only placement,
+re-protection and correlated zone faults cross pair boundaries.
+:class:`ShardedSimulation` exploits that: each host pair gets its own
+independent :class:`~repro.simkernel.core.Simulation` calendar (a
+*shard*), and a separate fleet-level calendar carries the coordinator's
+own processes.  Time advances in bounded **quanta**: every shard runs
+to the next quantum boundary (in deterministic shard-name order), then
+the fleet calendar runs to the same boundary.  Cross-shard effects —
+a zone outage fanning out, a re-protection landing on a spare — are
+therefore only ever applied *at* quantum boundaries, never inside a
+shard's quantum.
+
+Determinism contract:
+
+* Shards advance in sorted shard-name order each quantum, so telemetry
+  interleaving and any coordinator observation order is reproducible.
+* Each shard owns a private seeded RNG registry (seed derived from the
+  sharded seed and the shard name, unless pinned explicitly), so adding
+  or removing one shard never perturbs another shard's draws.
+* Because :meth:`Simulation.run` treats its horizon exactly (events at
+  the boundary fire in the earlier call, never twice, never late — the
+  pinned contract in :meth:`Simulation.run`'s docstring), running a
+  shard quantum-by-quantum is **bit-for-bit identical** to running the
+  same calendar in one monolithic call.  The golden equivalence suite
+  (``tests/integration/test_golden_sharded.py``) pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .core import Simulation
+from .random import derive_seed
+
+
+class ShardedSimulation:
+    """N per-shard calendars advanced in lockstep quanta plus a fleet calendar.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Shard seeds and the fleet calendar's seed are
+        derived from it by name, so the same seed reproduces the whole
+        fleet run bit-for-bit.
+    quantum:
+        Width of one time quantum in simulated seconds.  Cross-shard
+        coordination (everything on the fleet calendar) happens only at
+        multiples of this granularity.
+    """
+
+    def __init__(self, seed: int = 0, quantum: float = 0.25):
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive: {quantum}")
+        self.seed = seed
+        self.quantum = quantum
+        #: The fleet-level calendar: coordinator processes live here and
+        #: only ever observe shards frozen at a quantum boundary.
+        self.fleet = Simulation(seed=derive_seed(seed, "fleet"))
+        self._shards: Dict[str, Simulation] = {}
+        self._subscribers: List[Callable] = []
+        #: Quanta executed so far (diagnostic; feeds the fleet bench's
+        #: shards-per-second throughput figure).
+        self.quanta_executed = 0
+
+    # -- shard management ---------------------------------------------------
+    def add_shard(self, name: str, seed: Optional[int] = None) -> Simulation:
+        """Create the shard calendar ``name`` and return it.
+
+        ``seed`` defaults to ``derive_seed(self.seed, "shard:<name>")``;
+        pass it explicitly to pin a shard to a known stream (the golden
+        equivalence tests pin a shard to the monolithic run's seed).
+        A shard added mid-run starts its clock at the current fleet
+        time, so its local timestamps stay fleet-comparable.
+        """
+        if not name:
+            raise ValueError("a shard needs a non-empty name")
+        if name in self._shards:
+            raise ValueError(f"shard {name!r} already exists")
+        if seed is None:
+            seed = derive_seed(self.seed, f"shard:{name}")
+        shard = Simulation(seed=seed)
+        if self.fleet.now > 0:
+            shard.run(until=self.fleet.now)  # align an empty calendar
+        for subscriber in self._subscribers:
+            shard.telemetry.subscribe(subscriber)
+        self._shards[name] = shard
+        return shard
+
+    def shard(self, name: str) -> Simulation:
+        """The shard calendar registered as ``name``."""
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown shard {name!r} (have: {self.shard_names()})"
+            ) from None
+
+    def shard_names(self) -> List[str]:
+        """All shard names in the deterministic advancement order."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    # -- telemetry ----------------------------------------------------------
+    def subscribe(self, subscriber: Callable) -> None:
+        """Attach ``subscriber`` to the fleet bus and every shard bus.
+
+        Shards added later are subscribed automatically, so one
+        :class:`~repro.telemetry.metrics.MetricsAggregator` (or trace
+        writer) merges the whole fleet's telemetry.
+        """
+        self._subscribers.append(subscriber)
+        self.fleet.telemetry.subscribe(subscriber)
+        for shard in self._shards.values():
+            shard.telemetry.subscribe(subscriber)
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current fleet time (== every shard's clock at a boundary)."""
+        return self.fleet.now
+
+    @property
+    def idle(self) -> bool:
+        """True when no calendar holds any pending event."""
+        import math
+
+        return math.isinf(self.fleet.peek()) and all(
+            math.isinf(shard.peek()) for shard in self._shards.values()
+        )
+
+    def peek(self) -> float:
+        """Earliest pending event time across every calendar."""
+        earliest = self.fleet.peek()
+        for shard in self._shards.values():
+            earliest = min(earliest, shard.peek())
+        return earliest
+
+    # -- run loop -----------------------------------------------------------
+    def step_quantum(self, target: Optional[float] = None) -> float:
+        """Advance every calendar to ``target`` (default: one quantum).
+
+        Shards advance first, in sorted-name order, then the fleet
+        calendar — so fleet processes always observe shards already at
+        the boundary.  Returns the new fleet time.
+        """
+        if target is None:
+            target = self.now + self.quantum
+        if target < self.now:
+            raise ValueError(
+                f"quantum target {target} lies in the past (now={self.now})"
+            )
+        for name in sorted(self._shards):
+            self._shards[name].run(until=target)
+        self.fleet.run(until=target)
+        self.quanta_executed += 1
+        if self.fleet.telemetry.enabled:
+            self.fleet.telemetry.counter(
+                "fleet.quantum", 1.0, shards=len(self._shards)
+            )
+        return self.now
+
+    def run(self, until: float) -> None:
+        """Advance the whole fleet to absolute time ``until`` in quanta.
+
+        The final quantum is truncated to land exactly on ``until``.
+        """
+        if until < self.now:
+            raise ValueError(f"until={until} lies in the past (now={self.now})")
+        while self.now < until:
+            self.step_quantum(min(self.now + self.quantum, until))
+
+    def run_for(self, duration: float) -> None:
+        """Advance the whole fleet by ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0: {duration}")
+        self.run(until=self.now + duration)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedSimulation now={self.now:.6f} shards={len(self._shards)} "
+            f"quantum={self.quantum:g} quanta={self.quanta_executed}>"
+        )

@@ -1,0 +1,303 @@
+"""Fleet planner: topology labels, anti-affinity, spares, link budgets."""
+
+import pytest
+
+from repro.cluster import (
+    FleetConstraints,
+    FleetPlanner,
+    PlacementRequest,
+    Topology,
+)
+from repro.hardware import GIB, Host, MemorySpec
+from repro.hypervisor import KvmHypervisor, XenHypervisor
+from repro.simkernel import Simulation
+
+
+def make_zoned_fleet(sim, zones=2, racks_per_zone=2, memory_gib=64):
+    """One xen + one kvm host per rack, labelled in a Topology."""
+    topology = Topology()
+    hypervisors = []
+    for z in range(zones):
+        for r in range(racks_per_zone):
+            for flavor, cls, kwargs in (
+                ("xen", XenHypervisor, {"here_patches": True}),
+                ("kvm", KvmHypervisor, {}),
+            ):
+                name = f"{flavor}-z{z}r{r}"
+                host = Host(
+                    sim, name,
+                    memory=MemorySpec(total_bytes=int(memory_gib * GIB)),
+                )
+                hypervisors.append(cls(sim, host, **kwargs))
+                topology.add(name, zone=f"z{z}", rack=f"r{r}")
+    return hypervisors, topology
+
+
+@pytest.fixture
+def zoned():
+    sim = Simulation(seed=0)
+    hypervisors, topology = make_zoned_fleet(sim)
+    return sim, hypervisors, topology
+
+
+def by_name(hypervisors, name):
+    return next(h for h in hypervisors if h.host.name == name)
+
+
+class TestTopology:
+    def test_labels_and_accessors(self):
+        topology = Topology()
+        topology.add("h0", zone="z0", rack="r0")
+        topology.add("h1", zone="z0", rack="r1")
+        topology.add("h2", zone="z1", rack="r0")
+        assert topology.zone_of("h2") == "z1"
+        assert topology.rack_of("h0") == ("z0", "r0")
+        assert topology.zones() == ["z0", "z1"]
+        assert topology.racks() == [("z0", "r0"), ("z0", "r1"), ("z1", "r0")]
+        assert topology.hosts_in_zone("z0") == ["h0", "h1"]
+        assert topology.hosts_in_rack("z0", "r1") == ["h1"]
+        assert "h0" in topology and "missing" not in topology
+        assert len(topology) == 3
+
+    def test_racks_are_namespaced_per_zone(self):
+        topology = Topology()
+        topology.add("a", zone="z0", rack="r0")
+        topology.add("b", zone="z1", rack="r0")
+        assert topology.rack_of("a") != topology.rack_of("b")
+
+    def test_duplicate_and_missing_hosts_are_clear_errors(self):
+        topology = Topology()
+        topology.add("h0", zone="z0", rack="r0")
+        with pytest.raises(ValueError, match="already placed"):
+            topology.add("h0", zone="z1", rack="r1")
+        with pytest.raises(KeyError, match="no topology label"):
+            topology.zone_of("ghost")
+        with pytest.raises(ValueError, match="non-empty"):
+            topology.add("", zone="z", rack="r")
+
+
+class TestConstraintValidation:
+    def test_scope_and_budget_validated(self):
+        with pytest.raises(ValueError, match="anti-affinity"):
+            FleetConstraints(anti_affinity="datacenter")
+        with pytest.raises(ValueError, match="max_vms_per_link"):
+            FleetConstraints(max_vms_per_link=0)
+
+    def test_anti_affinity_without_topology_rejected(self, zoned):
+        _sim, hypervisors, _topology = zoned
+        with pytest.raises(ValueError, match="Topology"):
+            FleetPlanner(hypervisors, topology=None)
+
+    def test_unknown_spares_rejected(self, zoned):
+        _sim, hypervisors, topology = zoned
+        with pytest.raises(ValueError, match="not in the fleet"):
+            FleetPlanner(
+                hypervisors, topology=topology, spares=["nonexistent"]
+            )
+
+
+class TestAntiAffinity:
+    def test_zone_scope_places_secondary_in_other_zone(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            constraints=FleetConstraints(anti_affinity="zone"),
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan([PlacementRequest("vm", primary, GIB)])
+        assert result.fully_placed
+        secondary = result.secondary_of("vm")
+        assert topology.zone_of(secondary.host.name) == "z1"
+        assert secondary.flavor == "kvm"
+
+    def test_rack_scope_allows_same_zone_other_rack(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            constraints=FleetConstraints(anti_affinity="rack"),
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        candidates = planner.candidates_for(
+            PlacementRequest("vm", primary, GIB)
+        )
+        names = {c.host.name for c in candidates}
+        assert "kvm-z0r0" not in names  # same rack: excluded
+        assert "kvm-z0r1" in names  # same zone, other rack: fine
+
+    def test_none_scope_matches_base_heterogeneity_only(self, zoned):
+        _sim, hypervisors, _topology = zoned
+        planner = FleetPlanner(
+            hypervisors, constraints=FleetConstraints(anti_affinity="none")
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        names = {
+            c.host.name
+            for c in planner.candidates_for(
+                PlacementRequest("vm", primary, GIB)
+            )
+        }
+        assert "kvm-z0r0" in names
+
+    def test_unsatisfiable_affinity_is_explained(self):
+        sim = Simulation(seed=0)
+        hypervisors, topology = make_zoned_fleet(sim, zones=1)
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            constraints=FleetConstraints(anti_affinity="zone"),
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan([PlacementRequest("vm", primary, GIB)])
+        assert not result.fully_placed
+        assert "anti-affinity" in result.unplaced["vm"]
+
+
+class TestLinkBudget:
+    def test_budget_caps_vms_per_pair(self):
+        sim = Simulation(seed=0)
+        hypervisors, topology = make_zoned_fleet(sim, zones=2, racks_per_zone=1)
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            constraints=FleetConstraints(
+                anti_affinity="zone", max_vms_per_link=2
+            ),
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        requests = [
+            PlacementRequest(f"vm-{i}", primary, GIB) for i in range(5)
+        ]
+        result = planner.plan(requests)
+        # Two heterogeneous anti-affine secondaries exist (kvm-z1r0 and
+        # xen-z1r0 is homogeneous — only kvm-z1r0 qualifies), budget 2.
+        assert len(result.placements) == 2
+        assert len(result.unplaced) == 3
+        for reason in result.unplaced.values():
+            assert "link budget" in reason
+
+    def test_uncapped_budget_places_everything(self):
+        sim = Simulation(seed=0)
+        hypervisors, topology = make_zoned_fleet(sim, zones=2, racks_per_zone=1)
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            constraints=FleetConstraints(anti_affinity="zone"),
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan(
+            [PlacementRequest(f"vm-{i}", primary, GIB) for i in range(5)]
+        )
+        assert result.fully_placed
+
+
+class TestSparePool:
+    def test_spares_never_take_regular_placements(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors,
+            topology=topology,
+            spares=["kvm-z1r1"],
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan(
+            [PlacementRequest(f"vm-{i}", primary, GIB) for i in range(4)]
+        )
+        assert result.fully_placed
+        assert "kvm-z1r1" not in result.load_by_secondary()
+
+    def test_plan_spare_places_only_on_spares(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors, topology=topology, spares=["kvm-z1r1"]
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan_spare(PlacementRequest("vm", primary, GIB))
+        assert result.fully_placed
+        assert result.secondary_of("vm").host.name == "kvm-z1r1"
+
+    def test_plan_spare_respects_anti_affinity(self, zoned):
+        _sim, hypervisors, topology = zoned
+        # The only spare shares the primary's zone: zone anti-affinity
+        # must refuse it rather than re-create correlated exposure.
+        planner = FleetPlanner(
+            hypervisors, topology=topology, spares=["kvm-z0r1"]
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan_spare(PlacementRequest("vm", primary, GIB))
+        assert not result.fully_placed
+        assert "anti-affinity" in result.unplaced["vm"]
+
+    def test_plan_spare_projects_committed_bytes(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors, topology=topology, spares=["kvm-z1r1"]
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        spare = by_name(hypervisors, "kvm-z1r1")
+        free = spare.host.memory_pool.free_bytes
+        result = planner.plan_spare(
+            PlacementRequest("vm", primary, GIB),
+            committed_spare_bytes={"kvm-z1r1": free},
+        )
+        assert not result.fully_placed
+
+    def test_plan_spare_excludes_named_hosts(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(
+            hypervisors, topology=topology, spares=["kvm-z1r0", "kvm-z1r1"]
+        )
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan_spare(
+            PlacementRequest("vm", primary, GIB),
+            exclude_hosts=["kvm-z1r0"],
+        )
+        assert result.secondary_of("vm").host.name == "kvm-z1r1"
+
+    def test_empty_pool_is_explained(self, zoned):
+        _sim, hypervisors, topology = zoned
+        planner = FleetPlanner(hypervisors, topology=topology)
+        primary = by_name(hypervisors, "xen-z0r0")
+        result = planner.plan_spare(PlacementRequest("vm", primary, GIB))
+        assert "no spare pool" in result.unplaced["vm"]
+
+
+class TestFleetDeterminism:
+    def test_shuffled_input_yields_identical_fleet_plan(self):
+        import random
+
+        sim = Simulation(seed=0)
+        hypervisors, topology = make_zoned_fleet(sim, zones=3)
+        primary_name = "xen-z0r0"
+
+        def signature(fleet):
+            planner = FleetPlanner(
+                fleet,
+                topology=topology,
+                constraints=FleetConstraints(
+                    anti_affinity="zone", max_vms_per_link=4
+                ),
+                spares=["kvm-z2r1"],
+            )
+            primary = by_name(fleet, primary_name)
+            result = planner.plan(
+                [
+                    PlacementRequest(f"vm-{i}", primary, 4 * GIB)
+                    for i in range(8)
+                ]
+            )
+            return (
+                [
+                    (p.vm_name, p.secondary.host.name)
+                    for p in result.placements
+                ],
+                dict(result.unplaced),
+            )
+
+        baseline = signature(list(hypervisors))
+        shuffler = random.Random(7)
+        for _ in range(5):
+            shuffled = list(hypervisors)
+            shuffler.shuffle(shuffled)
+            assert signature(shuffled) == baseline

@@ -160,3 +160,85 @@ class TestPlanning:
         fleet = make_fleet(sim)
         with pytest.raises(ValueError):
             PlacementRequest("vm", fleet[0], 0)
+
+
+class TestInputOrderIndependence:
+    """The planner's determinism contract: capacity ties break by stable
+    host-name order, so the caller's list order can never change a plan."""
+
+    def _plan_signature(self, hypervisors):
+        planner = ReplicationPlanner(hypervisors)
+        xen = next(h for h in hypervisors if h.flavor == "xen")
+        requests = [
+            PlacementRequest(f"vm-{i}", xen, 8 * GIB) for i in range(6)
+        ]
+        result = planner.plan(requests)
+        return (
+            [(p.vm_name, p.secondary.host.name) for p in result.placements],
+            dict(result.unplaced),
+        )
+
+    def test_shuffled_hypervisor_input_yields_identical_plan(self):
+        import random
+
+        sim = Simulation(seed=0)
+        hypervisors = make_fleet(sim, xen_hosts=1, kvm_hosts=4)
+        baseline = self._plan_signature(list(hypervisors))
+        shuffler = random.Random(1234)
+        for _ in range(10):
+            shuffled = list(hypervisors)
+            shuffler.shuffle(shuffled)
+            assert self._plan_signature(shuffled) == baseline
+
+    def test_capacity_tie_breaks_by_smallest_host_name(self):
+        sim = Simulation(seed=0)
+        hypervisors = make_fleet(sim, xen_hosts=1, kvm_hosts=3)
+        xen = hypervisors[0]
+        planner = ReplicationPlanner(list(reversed(hypervisors)))
+        result = planner.plan([PlacementRequest("vm", xen, GIB)])
+        # All three KVM hosts have identical free capacity: the
+        # lexicographically smallest name must win, regardless of the
+        # reversed construction order.
+        assert result.secondary_of("vm").host.name == "kvm-host-0"
+
+
+class TestPartiallyPlacedPlans:
+    """A plan that could not place every VM must surface the misses —
+    grouping and deployment only ever see the placed subset."""
+
+    def _partial_plan(self, sim):
+        hypervisors = make_fleet(sim, xen_hosts=2, kvm_hosts=1, memory_gib=64)
+        xen = hypervisors[0]
+        planner = ReplicationPlanner(hypervisors)
+        # One 64 GiB secondary: two 20 GiB VMs fit, the third does not.
+        requests = [
+            PlacementRequest(f"vm-{i}", xen, 25 * GIB) for i in range(3)
+        ]
+        return planner.plan(requests)
+
+    def test_by_host_pair_covers_only_placed_vms(self):
+        sim = Simulation(seed=0)
+        result = self._partial_plan(sim)
+        assert not result.fully_placed
+        pairs = result.by_host_pair()
+        grouped = {
+            p.vm_name for placements in pairs.values() for p in placements
+        }
+        assert grouped == {p.vm_name for p in result.placements}
+        assert len(grouped) == 2
+        # The missing VM is surfaced with a reason, not silently dropped.
+        (missing,) = set(result.unplaced)
+        assert missing not in grouped
+        assert "free" in result.unplaced[missing]
+
+    def test_engines_from_plan_builds_only_placed_engines(self):
+        from repro.cluster import engines_from_plan
+
+        sim = Simulation(seed=0)
+        result = self._partial_plan(sim)
+        engines, links = engines_from_plan(sim, result)
+        assert set(engines) == {p.vm_name for p in result.placements}
+        assert set(links) == set(result.by_host_pair())
+        # Callers must notice the miss via the plan itself.
+        assert set(result.unplaced) & set(engines) == set()
+        assert len(result.unplaced) == 1

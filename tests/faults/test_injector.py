@@ -58,6 +58,13 @@ class TestTargetResolution:
         injector = injector_for(deployment)
         assert deployment.testbed.primary.name in injector.hosts
         assert deployment.testbed.interconnect.name in injector.links
+
+    def test_zone_faults_rejected_with_a_pointer_to_the_fleet(self):
+        deployment = build()
+        injector = injector_for(deployment)
+        for kind in (FaultKind.ZONE_OUTAGE, FaultKind.RACK_OUTAGE):
+            with pytest.raises(ValueError, match="fleet-scale"):
+                injector.inject(FaultSpec(kind, target="z0", duration=5.0))
         assert deployment.vm.name in injector.vms
 
 

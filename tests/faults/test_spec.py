@@ -13,6 +13,7 @@ from repro.faults import (
     LINK_KINDS,
     TRANSIENT_KINDS,
     VM_KINDS,
+    ZONE_KINDS,
 )
 
 
@@ -89,9 +90,12 @@ class TestFaultSpecValidation:
             host_crash(parts=(host_crash(),))
 
     def test_kind_partition_is_exhaustive(self):
-        categorised = HOST_KINDS | LINK_KINDS | VM_KINDS
+        categorised = HOST_KINDS | LINK_KINDS | VM_KINDS | ZONE_KINDS
         assert categorised == set(FaultKind) - {FaultKind.CORRELATED}
         assert TRANSIENT_KINDS < set(FaultKind)
+        # Zone kinds are their own category: the per-pair injector
+        # rejects them, only the fleet layer fans them out.
+        assert not ZONE_KINDS & (HOST_KINDS | LINK_KINDS | VM_KINDS)
 
 
 class TestRevertsAndDescribe:
@@ -183,6 +187,21 @@ class TestRandomSchedules:
             FaultSchedule.random(
                 random.Random(1), hosts=["h0"], window=(5.0, 1.0)
             )
+
+    def test_zone_kinds_drawn_from_zone_targets(self):
+        schedule = FaultSchedule.random(
+            random.Random(2),
+            zones=["z0", "z1", "z2"],
+            kinds=(FaultKind.ZONE_OUTAGE,),
+            count=6,
+            transient_duration=(3.0, 8.0),
+        )
+        for spec in schedule:
+            assert spec.kind is FaultKind.ZONE_OUTAGE
+            assert spec.target in {"z0", "z1", "z2"}
+            # Drawn outages are finite: the zone reboots afterwards.
+            assert 3.0 <= spec.duration <= 8.0
+            assert "for" in spec.describe()
 
     def test_draws_stay_inside_window_with_valid_knobs(self):
         schedule = FaultSchedule.random(

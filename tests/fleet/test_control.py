@@ -1,0 +1,88 @@
+"""The pure fleet feedback policy."""
+
+import pytest
+
+from repro.fleet import FleetControlLogic, FleetObservation
+
+
+def observation(**kwargs):
+    defaults = dict(
+        time=10.0,
+        total_vms=100,
+        protected=100,
+        unprotected=0,
+        dropped=0,
+        queue_depth=0,
+        inflight_reseedings=0,
+        spare_free_fraction=1.0,
+        availability_slo=0.999,
+    )
+    defaults.update(kwargs)
+    return FleetObservation(**defaults)
+
+
+class TestValidation:
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError, match="min_admission"):
+            FleetControlLogic(min_admission=5, max_admission=2)
+
+    def test_pressure_scale_must_tighten(self):
+        with pytest.raises(ValueError, match="pressure_period_scale"):
+            FleetControlLogic(pressure_period_scale=1.5)
+
+
+class TestDecide:
+    def test_at_slo_with_empty_queue_converges_to_minimum(self):
+        action = FleetControlLogic().decide(observation())
+        assert action.admission_limit == 1
+        assert action.period_scale == 1.0
+
+    def test_mild_deficit_opens_one_slot_per_queued_request(self):
+        logic = FleetControlLogic(min_admission=1, max_admission=8)
+        action = logic.decide(
+            observation(protected=96, unprotected=4, queue_depth=3)
+        )
+        assert action.admission_limit == 4
+        assert action.period_scale == 1.0
+
+    def test_mild_deficit_is_capped_at_max_admission(self):
+        logic = FleetControlLogic(min_admission=1, max_admission=4)
+        action = logic.decide(
+            observation(protected=96, unprotected=4, queue_depth=50)
+        )
+        assert action.admission_limit == 4
+
+    def test_backlog_at_slo_still_gets_a_slot(self):
+        # protected_fraction == SLO but requests wait: drain them.
+        action = FleetControlLogic().decide(
+            observation(queue_depth=2)
+        )
+        assert action.admission_limit >= 2
+
+    def test_severe_deficit_opens_admission_and_tightens_intervals(self):
+        logic = FleetControlLogic(max_admission=8, pressure_period_scale=0.5)
+        action = logic.decide(
+            observation(protected=60, unprotected=40, queue_depth=40)
+        )
+        assert action.admission_limit == 8
+        assert action.period_scale == 0.5
+        assert "severe" in action.reason
+
+    def test_exhausted_spare_pool_narrows_admission(self):
+        logic = FleetControlLogic(max_admission=8)
+        action = logic.decide(
+            observation(
+                protected=60,
+                unprotected=40,
+                queue_depth=40,
+                spare_free_fraction=0.05,
+            )
+        )
+        assert action.admission_limit == 2
+        assert "spare pool" in action.reason
+
+    def test_empty_fleet_counts_as_fully_protected(self):
+        action = FleetControlLogic().decide(
+            observation(total_vms=0, protected=0)
+        )
+        assert action.admission_limit == 1

@@ -1,0 +1,113 @@
+"""Zone/rack outage fan-out across shard materializations."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultSpec
+from repro.fleet import FleetFaultInjector, FleetOrchestrator, FleetSpec
+from repro.hardware.units import MIB
+
+
+def orchestrator(**kwargs):
+    defaults = dict(
+        zones=2,
+        racks_per_zone=2,
+        hosts_per_rack=2,
+        spares=2,
+        vms=4,
+        vm_memory_bytes=128 * MIB,
+        quantum=0.5,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return FleetOrchestrator(FleetSpec(**defaults))
+
+
+class TestValidation:
+    def test_unknown_zone_rejected(self):
+        injector = FleetFaultInjector(orchestrator())
+        with pytest.raises(KeyError, match="matches no host"):
+            injector.inject(
+                FaultSpec(kind=FaultKind.ZONE_OUTAGE, target="z9")
+            )
+
+    def test_rack_target_needs_zone_slash_rack(self):
+        injector = FleetFaultInjector(orchestrator())
+        with pytest.raises(ValueError, match="zone/rack"):
+            injector.inject(
+                FaultSpec(kind=FaultKind.RACK_OUTAGE, target="r0")
+            )
+
+    def test_unknown_host_power_target_rejected(self):
+        injector = FleetFaultInjector(orchestrator())
+        with pytest.raises(KeyError, match="unknown host"):
+            injector.inject(
+                FaultSpec(kind=FaultKind.HOST_CRASH, target="nope")
+            )
+
+    def test_pair_scale_kinds_are_refused(self):
+        injector = FleetFaultInjector(orchestrator())
+        with pytest.raises(ValueError, match="per-shard"):
+            injector.inject(
+                FaultSpec(kind=FaultKind.LINK_PARTITION, target="ic")
+            )
+
+
+class TestFanOut:
+    def test_zone_outage_downs_every_materialization(self):
+        orch = orchestrator()
+        injector = FleetFaultInjector(orch)
+        injector.inject(
+            FaultSpec(kind=FaultKind.ZONE_OUTAGE, target="z0", at=1.0)
+        )
+        orch.sharded.run(until=2.0)
+        downed = orch.topology.hosts_in_zone("z0")
+        for name in downed:
+            assert not orch.logical[name].host.is_up
+            for _shard, host in orch.materializations.get(name, []):
+                assert not host.is_up
+        # The other zone is untouched.
+        for name in orch.topology.hosts_in_zone("z1"):
+            assert orch.logical[name].host.is_up
+        assert len(injector.injected) == 1
+        assert "host(s)" in injector.injected[0].detail
+
+    def test_rack_outage_scopes_to_one_rack(self):
+        orch = orchestrator()
+        injector = FleetFaultInjector(orch)
+        injector.inject(
+            FaultSpec(kind=FaultKind.RACK_OUTAGE, target="z0/r0", at=1.0)
+        )
+        orch.sharded.run(until=2.0)
+        for name in orch.topology.hosts_in_rack("z0", "r0"):
+            assert not orch.logical[name].host.is_up
+        for name in orch.topology.hosts_in_rack("z0", "r1"):
+            assert orch.logical[name].host.is_up
+
+    def test_finite_outage_recovers_the_domain(self):
+        orch = orchestrator()
+        injector = FleetFaultInjector(orch)
+        injector.inject(
+            FaultSpec(
+                kind=FaultKind.ZONE_OUTAGE, target="z0", at=1.0, duration=3.0
+            )
+        )
+        orch.sharded.run(until=2.0)
+        assert not orch.logical["xen-z0r0n0"].host.is_up
+        orch.sharded.run(until=6.0)
+        for name in orch.topology.hosts_in_zone("z0"):
+            assert orch.logical[name].host.is_up
+            for _shard, host in orch.materializations.get(name, []):
+                assert host.is_up
+        assert injector.injected[0].reverted_at is not None
+
+    def test_host_power_faults_fan_out_over_one_host(self):
+        orch = orchestrator()
+        injector = FleetFaultInjector(orch)
+        injector.inject(
+            FaultSpec(kind=FaultKind.HOST_CRASH, target="xen-z0r0n0", at=1.0)
+        )
+        orch.sharded.run(until=2.0)
+        assert not orch.logical["xen-z0r0n0"].host.is_up
+        for _shard, host in orch.materializations["xen-z0r0n0"]:
+            assert not host.is_up
+        assert orch.logical["kvm-z0r0n1"].host.is_up

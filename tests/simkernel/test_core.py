@@ -35,6 +35,62 @@ class TestRunLoop:
         sim.run(until=20.0)
         assert fired == [5, 15]
 
+    def test_horizon_coincident_event_fires(self, sim):
+        """The pinned horizon contract: an event exactly at ``until``
+        fires inside that run call, and peek() is strictly later."""
+        fired = []
+        sim.timeout(10.0).callbacks.append(lambda e: fired.append("at"))
+        sim.timeout(10.0 + 1e-9).callbacks.append(lambda e: fired.append("after"))
+        sim.run(until=10.0)
+        assert fired == ["at"]
+        assert sim.peek() > 10.0
+
+    def test_horizon_cascade_completes_within_the_run(self, sim):
+        """A zero-delay cascade landing exactly at the horizon runs to
+        completion — quantum stepping must never split it."""
+        fired = []
+
+        def chain():
+            yield sim.timeout(10.0)
+            fired.append("first")
+            yield sim.timeout(0.0)
+            fired.append("second")
+
+        sim.process(chain())
+        sim.run(until=10.0)
+        assert fired == ["first", "second"]
+        assert sim.now == 10.0
+
+    def test_horizon_stepping_is_exact(self):
+        """Running to h1 then h2 is indistinguishable from one run to
+        h2 — the property ShardedSimulation's quanta rely on."""
+
+        def scenario():
+            sim = Simulation(seed=7)
+            log = []
+
+            def worker(label, period):
+                while True:
+                    yield sim.timeout(period)
+                    log.append((sim.now, label, sim.random.stream("w").random()))
+
+            sim.process(worker("a", 0.25))
+            sim.process(worker("b", 0.4))
+            return sim, log
+
+        mono_sim, mono_log = scenario()
+        mono_sim.run(until=10.0)
+
+        step_sim, step_log = scenario()
+        horizon = 0.0
+        while horizon < 10.0:
+            horizon = min(horizon + 0.5, 10.0)
+            step_sim.run(until=horizon)
+
+        assert step_log == mono_log
+        assert step_sim.now == mono_sim.now
+        assert step_sim.events_processed == mono_sim.events_processed
+
     def test_run_until_in_the_past_rejected(self, sim):
         sim.run(until=10.0)
         with pytest.raises(ValueError):

@@ -1,0 +1,214 @@
+"""ShardedSimulation: lockstep quanta, determinism, telemetry merge."""
+
+import math
+
+import pytest
+
+from repro.simkernel import ShardedSimulation, Simulation
+from repro.simkernel.random import derive_seed
+from repro.telemetry import MetricsAggregator, Recorder
+
+
+def ticking_process(sim, log, label, period):
+    while True:
+        yield sim.timeout(period)
+        log.append((sim.now, label))
+
+
+class TestShardManagement:
+    def test_add_and_lookup(self):
+        sharded = ShardedSimulation(seed=1)
+        shard = sharded.add_shard("pair-0")
+        assert sharded.shard("pair-0") is shard
+        assert "pair-0" in sharded
+        assert len(sharded) == 1
+
+    def test_duplicate_and_empty_names_rejected(self):
+        sharded = ShardedSimulation()
+        sharded.add_shard("pair-0")
+        with pytest.raises(ValueError, match="already exists"):
+            sharded.add_shard("pair-0")
+        with pytest.raises(ValueError, match="non-empty"):
+            sharded.add_shard("")
+
+    def test_unknown_shard_is_a_clear_error(self):
+        sharded = ShardedSimulation()
+        sharded.add_shard("pair-0")
+        with pytest.raises(KeyError, match="unknown shard"):
+            sharded.shard("pair-9")
+
+    def test_shard_names_sorted(self):
+        sharded = ShardedSimulation()
+        for name in ("zeta", "alpha", "mid"):
+            sharded.add_shard(name)
+        assert sharded.shard_names() == ["alpha", "mid", "zeta"]
+
+    def test_shard_seeds_derived_and_pinnable(self):
+        sharded = ShardedSimulation(seed=42)
+        derived = sharded.add_shard("pair-0")
+        assert derived.random.master_seed == derive_seed(42, "shard:pair-0")
+        pinned = sharded.add_shard("pair-1", seed=1234)
+        assert pinned.random.master_seed == 1234
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(ValueError, match="quantum"):
+            ShardedSimulation(quantum=0.0)
+
+    def test_late_shard_starts_at_fleet_time(self):
+        sharded = ShardedSimulation(quantum=0.5)
+        sharded.add_shard("early")
+        sharded.run(until=2.0)
+        late = sharded.add_shard("late")
+        assert late.now == 2.0
+
+
+class TestQuantumStepping:
+    def test_all_calendars_reach_each_boundary(self):
+        sharded = ShardedSimulation(quantum=0.5)
+        a = sharded.add_shard("a")
+        b = sharded.add_shard("b")
+        log = []
+        a.process(ticking_process(a, log, "a", 0.3))
+        b.process(ticking_process(b, log, "b", 0.7))
+        sharded.run(until=2.0)
+        assert a.now == 2.0 and b.now == 2.0 and sharded.now == 2.0
+        assert (0.3, "a") in log and (0.7, "b") in log
+
+    def test_truncated_final_quantum_lands_exactly(self):
+        sharded = ShardedSimulation(quantum=0.4)
+        sharded.add_shard("a")
+        sharded.run(until=1.0)
+        assert sharded.now == 1.0
+
+    def test_fleet_process_observes_shards_at_boundary(self):
+        """Shards advance before the fleet calendar runs the boundary."""
+        sharded = ShardedSimulation(quantum=0.5)
+        shard = sharded.add_shard("a")
+        shard_log = []
+        shard.process(ticking_process(shard, shard_log, "a", 0.2))
+        observed = []
+
+        def coordinator():
+            while True:
+                yield sharded.fleet.timeout(0.5)
+                observed.append((sharded.fleet.now, shard.now, len(shard_log)))
+
+        sharded.fleet.process(coordinator())
+        sharded.run(until=1.0)
+        # At fleet time 0.5 the shard has already run 0.2 and 0.4.
+        assert observed[0] == (0.5, 0.5, 2)
+
+    def test_run_for_and_past_rejection(self):
+        sharded = ShardedSimulation()
+        sharded.add_shard("a")
+        sharded.run_for(1.0)
+        assert sharded.now == 1.0
+        with pytest.raises(ValueError, match="past"):
+            sharded.run(until=0.5)
+        with pytest.raises(ValueError, match=">= 0"):
+            sharded.run_for(-1.0)
+
+    def test_idle_and_peek(self):
+        sharded = ShardedSimulation()
+        shard = sharded.add_shard("a")
+        assert sharded.idle
+        assert math.isinf(sharded.peek())
+        shard.timeout(3.0)
+        sharded.fleet.timeout(5.0)
+        assert not sharded.idle
+        assert sharded.peek() == 3.0
+
+    def test_quanta_counted(self):
+        sharded = ShardedSimulation(quantum=0.25)
+        sharded.add_shard("a")
+        sharded.run(until=1.0)
+        assert sharded.quanta_executed == 4
+
+
+class TestDeterminism:
+    def _run_fleet(self, seed):
+        sharded = ShardedSimulation(seed=seed, quantum=0.5)
+        trace = []
+        for name in ("s0", "s1", "s2"):
+            shard = sharded.add_shard(name)
+
+            def worker(shard=shard, name=name):
+                while True:
+                    delay = shard.random.stream("work").uniform(0.1, 0.9)
+                    yield shard.timeout(delay)
+                    trace.append((name, round(shard.now, 12)))
+
+            shard.process(worker())
+        sharded.run(until=5.0)
+        return trace
+
+    def test_same_seed_same_trace(self):
+        assert self._run_fleet(9) == self._run_fleet(9)
+
+    def test_adding_a_shard_never_perturbs_others(self):
+        """Per-shard seeded streams: shard s1's draws are identical
+        whether or not an unrelated shard exists."""
+
+        def draws(extra_shard):
+            sharded = ShardedSimulation(seed=3)
+            if extra_shard:
+                sharded.add_shard("s0")
+            shard = sharded.add_shard("s1")
+            stream = shard.random.stream("work")
+            return [stream.random() for _ in range(5)]
+
+        assert draws(False) == draws(True)
+
+
+class TestSingleShardEquivalence:
+    """Kernel-level golden property: one shard stepped in quanta equals
+    the identical monolithic calendar run in one call."""
+
+    def _scenario(self, sim):
+        log = []
+
+        def worker(label, stream):
+            while True:
+                delay = sim.random.stream(stream).uniform(0.05, 0.6)
+                yield sim.timeout(delay)
+                log.append((sim.now, label))
+
+        sim.process(worker("a", "alpha"))
+        sim.process(worker("b", "beta"))
+        return log
+
+    def test_bit_for_bit(self):
+        mono = Simulation(seed=77)
+        mono_log = self._scenario(mono)
+        mono.run(until=20.0)
+
+        sharded = ShardedSimulation(seed=0, quantum=0.25)
+        shard = sharded.add_shard("only", seed=77)
+        shard_log = self._scenario(shard)
+        sharded.run(until=20.0)
+
+        assert shard_log == mono_log
+        assert shard.now == mono.now
+        assert shard.events_processed == mono.events_processed
+
+
+class TestTelemetry:
+    def test_subscriber_merges_all_buses_including_late_shards(self):
+        sharded = ShardedSimulation(quantum=0.5)
+        early = sharded.add_shard("early")
+        aggregator = MetricsAggregator()
+        sharded.subscribe(aggregator)
+        late = sharded.add_shard("late")
+        early.telemetry.counter("work.done", 1.0)
+        late.telemetry.counter("work.done", 2.0)
+        sharded.fleet.telemetry.counter("fleet.tick", 1.0)
+        rows = {row["name"]: row for row in aggregator.summary_rows()}
+        assert rows["work.done"]["count"] == 2
+        assert "fleet.tick" in rows
+
+    def test_quantum_counter_on_enabled_fleet_bus(self):
+        sharded = ShardedSimulation(quantum=1.0)
+        sharded.add_shard("a")
+        recorder = Recorder.attach(sharded.fleet.telemetry)
+        sharded.run(until=2.0)
+        assert len(recorder.counters("fleet.quantum")) == 2

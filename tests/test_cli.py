@@ -325,3 +325,74 @@ class TestSweepCommand:
         assert len(records) == 2
         assert all(record["status"] == "ok" for record in records)
         assert all(record["telemetry"] for record in records)
+
+
+class TestFleetCommand:
+    def fleet(self, *extra):
+        return main([
+            "fleet", "--zones", "3", "--racks", "1", "--spares", "3",
+            "--vms", "6", "--recovery-time", "25", *extra,
+        ])
+
+    def test_campaign_reports_reprotections(self, capsys):
+        code = self.fleet()
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "shards (host pairs)" in out
+        assert "zone-outage" in out
+        assert "re-protections" in out
+
+    def test_rack_outage_kind(self, capsys):
+        self.fleet("--kind", "rack-outage")
+        assert "rack-outage" in capsys.readouterr().out
+
+    def test_unplaceable_fleet_is_a_clean_error(self, capsys):
+        # One zone + zone anti-affinity: no admissible secondary.
+        assert main(["fleet", "--zones", "1", "--spares", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_fleet_preset_runs_trials(self, capsys):
+        code = main([
+            "chaos", "--preset", "fleet", "--trials", "2", "--vms", "4",
+            "--recovery-time", "25",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "Fleet chaos campaign" in out
+        assert "trial" in out
+
+    def test_sweep_fleet_preset(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--preset", "fleet", "--trials", "2",
+            "--recovery-time", "25",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet/trial-0" in out
+        assert "fleet/trial-1" in out
+
+
+class TestFleetArgumentValidation:
+    @pytest.mark.parametrize("command", ["fleet", "chaos", "sweep"])
+    def test_zones_must_be_positive(self, capsys, command):
+        with pytest.raises(SystemExit):
+            main([command, "--zones", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["fleet", "chaos", "sweep"])
+    def test_spares_must_be_positive(self, capsys, command):
+        with pytest.raises(SystemExit):
+            main([command, "--spares", "-2"])
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["fleet", "chaos", "sweep"])
+    def test_quantum_must_be_positive(self, capsys, command):
+        with pytest.raises(SystemExit):
+            main([command, "--quantum", "0"])
+        assert "positive number" in capsys.readouterr().err
+
+    def test_quantum_rejects_non_numeric(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--quantum", "fast"])
+        assert "not a number" in capsys.readouterr().err
