@@ -287,6 +287,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--emit-bench", default=None, metavar="PATH",
                        help="write the BENCH_sweep.json payload to PATH")
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a campaign under cProfile and rank host-time hot spots",
+    )
+    profile.add_argument(
+        "--preset", choices=["chaos", "fleet"], default="chaos",
+        help="which campaign to profile",
+    )
+    profile.add_argument("--trials", type=_positive_int, default=2,
+                         help="chaos preset: trials per run")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--sort", choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative", help="pstats sort key",
+    )
+    profile.add_argument("--limit", type=_positive_int, default=20,
+                         help="rows of profiler output to print")
+    profile.add_argument(
+        "--spans", action="store_true",
+        help="also attribute host time to telemetry record names "
+             "(attaches a WallClockSampler to the bus)",
+    )
+
     subparsers.add_parser(
         "experiments", help="list every paper table/figure benchmark"
     )
@@ -646,6 +669,11 @@ def _cmd_chaos(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    import time
+
+    from .profiling import throughput_line
+    from .telemetry import MetricsAggregator
+
     subscribers = []
     writer = None
     if args.trace is not None:
@@ -653,11 +681,17 @@ def _cmd_chaos(args) -> int:
 
         writer = TraceWriter(args.trace)
         subscribers.append(writer)
+    # Per-trial kernels publish their event totals as ``sim.events``
+    # counters; aggregating them off the bus feeds the steps/sec line.
+    aggregator = MetricsAggregator()
+    subscribers.append(aggregator)
+    started = time.perf_counter()
     try:
         result = ChaosCampaign(config, subscribers=subscribers).run()
     finally:
         if writer is not None:
             writer.close()
+    wall = time.perf_counter() - started
     print(render_table(
         result.summary_rows(),
         title=f"Chaos campaign (seed={args.seed}, detector={args.detector})",
@@ -679,13 +713,17 @@ def _cmd_chaos(args) -> int:
         ],
         title="Per-trial outcomes",
     ))
+    print(throughput_line(aggregator.total("sim.events"), wall))
     return 0 if result.total_dropped_vms == 0 else 1
 
 
 def _cmd_fleet(args) -> int:
+    import time
+
     from .faults import FaultKind
     from .fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
     from .hardware.units import MIB
+    from .profiling import throughput_line
 
     try:
         spec = FleetSpec(
@@ -709,7 +747,9 @@ def _cmd_fleet(args) -> int:
             kinds=(FaultKind(args.kind),),
         )
         campaign = FleetCampaign(config)
+        started = time.perf_counter()
         result = campaign.run()
+        wall = time.perf_counter() - started
     except (ValueError, RuntimeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -740,7 +780,27 @@ def _cmd_fleet(args) -> int:
             ],
             title="Re-protections",
         ))
+    print(throughput_line(result.events_processed, wall))
     return 0 if result.dropped_vms == 0 else 1
+
+
+def _sweep_events(outcomes) -> float:
+    """Total simulated events across sweep outcomes (0.0 when absent).
+
+    Chaos/lossy trials report per-trial ``events_processed`` inside
+    their serialized trial payload; fleet trials report it as a flat
+    metric.  Presets without event counts yield 0, which suppresses
+    the steps/sec line.
+    """
+    total = 0.0
+    for outcome in outcomes:
+        metrics = outcome.metrics or {}
+        trial = metrics.get("trial")
+        if isinstance(trial, dict):
+            total += float(trial.get("events_processed", 0) or 0)
+        else:
+            total += float(metrics.get("events_processed", 0) or 0)
+    return total
 
 
 def _cmd_sweep(args) -> int:
@@ -835,6 +895,11 @@ def _cmd_sweep(args) -> int:
         ],
         title="Per-trial outcomes",
     ))
+    events = _sweep_events(result.outcomes)
+    if events:
+        from .profiling import throughput_line
+
+        print(throughput_line(events, result.wall_clock))
 
     exit_code = 0 if not result.failed_outcomes else 1
     if args.baseline is not None:
@@ -863,8 +928,66 @@ def _cmd_sweep(args) -> int:
     return exit_code
 
 
+def _cmd_profile(args) -> int:
+    import time
+
+    from .profiling import WallClockSampler, profile_call, throughput_line
+
+    sampler = WallClockSampler() if args.spans else None
+
+    if args.preset == "chaos":
+        from .faults import CampaignConfig, ChaosCampaign, FaultKind
+
+        config = CampaignConfig(
+            trials=args.trials,
+            seed=args.seed,
+            vms=2,
+            kinds=(FaultKind.HOST_CRASH, FaultKind.HYPERVISOR_CRASH),
+            recovery_time=30.0,
+        )
+        subscribers = [sampler] if sampler else []
+
+        def run():
+            return ChaosCampaign(config, subscribers=subscribers).run()
+
+        def events(result):
+            return float(result.total_events_processed)
+    else:
+        from .faults import FaultKind
+        from .fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
+
+        spec = FleetSpec(zones=3, racks_per_zone=1, hosts_per_rack=2,
+                         spares=3, vms=8, seed=args.seed)
+        config = FleetCampaignConfig(
+            spec=spec, faults=1, kinds=(FaultKind.ZONE_OUTAGE,),
+        )
+
+        def run():
+            return FleetCampaign(
+                config, subscribers=[sampler] if sampler else []
+            ).run()
+
+        def events(result):
+            return float(result.events_processed)
+
+    if sampler:
+        sampler.start()
+    started = time.perf_counter()
+    result, stats_text = profile_call(run, sort=args.sort, limit=args.limit)
+    wall = time.perf_counter() - started
+    print(stats_text, end="")
+    if sampler:
+        print(render_table(
+            [spot.to_dict() for spot in sampler.hotspots(limit=args.limit)],
+            title="Host time by telemetry record name (flat attribution)",
+        ))
+    print(throughput_line(events(result), wall))
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,

@@ -3,11 +3,18 @@
 A :class:`RegressionGate` takes two flat metric mappings — typically a
 previous ``BENCH_sweep.json``'s ``metrics`` block and the current
 :meth:`~repro.experiments.runner.SweepResult.metric_summary` — and
-reports the per-metric delta against a tolerance.  Deviations in
-*either* direction fail the gate: the simulation is deterministic, so
-any drift means the code changed behaviour, not that the hardware had
-a slow day.  Improvements are surfaced the same way and acknowledged
-by refreshing the baseline.
+reports the per-metric delta against a tolerance.  For deterministic
+metrics, deviations in *either* direction fail the gate: the
+simulation is deterministic, so any drift means the code changed
+behaviour, not that the hardware had a slow day.  Improvements are
+surfaced the same way and acknowledged by refreshing the baseline.
+
+Host-performance metrics (steps/sec throughput) are the exception:
+they legitimately vary with the machine, and only a *drop* is a
+regression.  A :class:`Tolerance` with ``direction="at-least"`` gates
+one-sidedly — the current value must reach the baseline minus the
+margin, while any improvement passes (a faster machine or a real
+optimisation never fails the gate).
 """
 
 from __future__ import annotations
@@ -20,10 +27,28 @@ from typing import Any, Dict, List, Mapping, Optional
 
 @dataclass(frozen=True)
 class Tolerance:
-    """Allowed drift for one metric: max(absolute, relative·|baseline|)."""
+    """Allowed drift for one metric: max(absolute, relative·|baseline|).
+
+    ``direction`` selects which deviations count:
+
+    * ``"both"`` (default) — any drift beyond the margin fails; right
+      for deterministic simulation statistics.
+    * ``"at-least"`` — only a drop below ``baseline - margin`` fails;
+      right for throughput, where exceeding the baseline is good.
+    * ``"at-most"`` — only a rise above ``baseline + margin`` fails;
+      right for cost-like metrics (wall-time budgets).
+    """
 
     relative: float = 0.05
     absolute: float = 1e-9
+    direction: str = "both"
+
+    def __post_init__(self):
+        if self.direction not in ("both", "at-least", "at-most"):
+            raise ValueError(
+                f"direction must be 'both', 'at-least' or 'at-most', "
+                f"got {self.direction!r}"
+            )
 
     def allows(self, baseline: float, current: float) -> bool:
         if math.isnan(baseline) or math.isnan(current):
@@ -31,6 +56,10 @@ class Tolerance:
         if math.isinf(baseline) or math.isinf(current):
             return baseline == current
         margin = max(self.absolute, self.relative * abs(baseline))
+        if self.direction == "at-least":
+            return current >= baseline - margin
+        if self.direction == "at-most":
+            return current <= baseline + margin
         return abs(current - baseline) <= margin
 
 

@@ -52,6 +52,9 @@ class CampaignConfig:
     #: Protected VMs per trial (all primaried on the Xen host).
     vms: int = 2
     vm_memory_bytes: int = GIB
+    #: vCPUs per protected VM.  The historical value is 2; the perf
+    #: benchmark raises it to stress per-vCPU dirty accumulation.
+    vm_vcpus: int = 2
     host_memory_bytes: int = 64 * GIB
     #: KVM secondary hosts; the planner spreads replicas across them.
     kvm_hosts: int = 2
@@ -83,12 +86,24 @@ class CampaignConfig:
     #: Tolerated consecutive heartbeat misses while the transport says
     #: "link degraded but alive"; None keeps the plain threshold.
     degraded_miss_threshold: Optional[int] = None
+    #: Optional guest workload attached to every protected VM:
+    #: ``None`` (the historical default — trials run idle guests and
+    #: existing campaign fingerprints are unchanged), ``"idle"``
+    #: (kernel background writes) or ``"membench"`` (the Table-4
+    #: memory microbenchmark at :attr:`workload_load`).  The perf
+    #: benchmark uses ``"membench"`` so the dirty-page hot path is
+    #: actually exercised under chaos.
+    workload: Optional[str] = None
+    #: MemoryMicrobenchmark load factor when ``workload="membench"``.
+    workload_load: float = 0.3
 
     def __post_init__(self):
         if self.trials < 1:
             raise ValueError(f"a campaign needs >= 1 trial: {self.trials}")
         if self.vms < 1:
             raise ValueError(f"a trial needs >= 1 VM: {self.vms}")
+        if self.vm_vcpus < 1:
+            raise ValueError(f"a VM needs >= 1 vCPU: {self.vm_vcpus}")
         if self.kvm_hosts < 1:
             raise ValueError("a trial needs >= 1 KVM secondary host")
         if self.detector not in ("heartbeat", "phi"):
@@ -102,6 +117,15 @@ class CampaignConfig:
             raise ValueError(
                 "degraded_miss_threshold must be >= miss_threshold: "
                 f"{self.degraded_miss_threshold} < {self.miss_threshold}"
+            )
+        if self.workload not in (None, "idle", "membench"):
+            raise ValueError(
+                f"unknown trial workload {self.workload!r}; "
+                "expected None, 'idle' or 'membench'"
+            )
+        if not 0.0 <= self.workload_load <= 1.0:
+            raise ValueError(
+                f"workload_load must be in [0, 1]: {self.workload_load}"
             )
 
 
@@ -135,6 +159,13 @@ class TrialResult:
     #: campaign runs the classic protocol).
     retransmits: int = 0
     fencing_rejections: int = 0
+    #: Kernel events the trial simulation processed and checkpoints the
+    #: trial's engines committed — the numerators of the perf
+    #: benchmark's steps/sec and checkpoints/sec (not part of the
+    #: campaign fingerprint: they are throughput bookkeeping, and the
+    #: event count is pinned separately by the perf gate).
+    events_processed: int = 0
+    checkpoints: int = 0
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (``from_dict`` round-trips it)."""
@@ -207,6 +238,14 @@ class CampaignResult:
     @property
     def total_fencing_rejections(self) -> int:
         return sum(trial.fencing_rejections for trial in self.trials)
+
+    @property
+    def total_events_processed(self) -> int:
+        return sum(trial.events_processed for trial in self.trials)
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(trial.checkpoints for trial in self.trials)
 
     def fingerprint(self) -> dict:
         """The determinism contract: same seed => identical dict."""
@@ -340,11 +379,12 @@ class ChaosCampaign:
         for number in range(config.vms):
             vm = xen_primary.create_vm(
                 f"vm-{number}",
-                vcpus=2,
+                vcpus=config.vm_vcpus,
                 memory_bytes=config.vm_memory_bytes,
                 seed=trial_seed,
             )
             vm.start()
+            self._attach_workload(sim, vm)
             requests.append(
                 PlacementRequest(vm.name, xen_primary, config.vm_memory_bytes)
             )
@@ -439,7 +479,33 @@ class ChaosCampaign:
                 reprotection.engine.halt("trial over")
         fleet.halt("trial over")
         sim.run(until=sim.now + 1.0)
+        # Throughput bookkeeping, measured after close-out so the perf
+        # benchmark's steps/sec covers everything the trial cost.  The
+        # checkpoint count comes off the bus (every engine's epochs,
+        # including the re-protection engines fleet.engines never saw);
+        # the counters put both numbers back on it for traces and CLI
+        # aggregators.
+        trial.events_processed = sim.events_processed
+        trial.checkpoints = sum(
+            1
+            for span in recorder.spans("replication.checkpoint")
+            if not span.attrs.get("discarded")
+        )
+        sim.telemetry.counter("sim.events", float(trial.events_processed))
+        sim.telemetry.counter("sim.checkpoints", float(trial.checkpoints))
         return trial
+
+    def _attach_workload(self, sim, vm) -> None:
+        """Start the configured guest workload inside one trial VM."""
+        config = self.config
+        if config.workload is None:
+            return
+        from ..workloads import IdleWorkload, MemoryMicrobenchmark
+
+        if config.workload == "membench":
+            MemoryMicrobenchmark(sim, vm, load=config.workload_load).start()
+        else:
+            IdleWorkload(sim, vm).start()
 
     def _harvest(
         self, index, trial_seed, sim, recorder, fleet, controllers, trial_start

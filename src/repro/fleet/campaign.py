@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.availability import observed_availability_nines
 from ..faults.spec import FaultKind, FaultSchedule, ZONE_KINDS
@@ -189,8 +189,16 @@ class FleetCampaignResult:
 class FleetCampaign:
     """Runs one seeded fleet chaos campaign to completion."""
 
-    def __init__(self, config: Optional[FleetCampaignConfig] = None):
+    def __init__(
+        self,
+        config: Optional[FleetCampaignConfig] = None,
+        subscribers: Sequence[Callable] = (),
+    ):
         self.config = config or FleetCampaignConfig()
+        #: Extra telemetry subscribers attached to every calendar the
+        #: campaign creates (mirrors :class:`ChaosCampaign`) — used by
+        #: ``repro profile --spans`` and trace capture.
+        self.subscribers = list(subscribers)
         #: Populated by :meth:`run` (kept for inspection in tests).
         self.orchestrator: Optional[FleetOrchestrator] = None
         self.injector: Optional[FleetFaultInjector] = None
@@ -203,6 +211,8 @@ class FleetCampaign:
         aggregator = MetricsAggregator()
         self.aggregator = aggregator
         orchestrator.sharded.subscribe(aggregator)
+        for subscriber in self.subscribers:
+            orchestrator.sharded.subscribe(subscriber)
         injector = FleetFaultInjector(orchestrator)
         self.injector = injector
 

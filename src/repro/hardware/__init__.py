@@ -19,9 +19,12 @@ from .units import (
     MIB,
     PAGE_SIZE,
     PAGES_PER_CHUNK,
+    chunk_fill,
     chunks_for,
+    chunks_for_pages,
     gbit,
     pages_for,
+    whole_pages,
 )
 
 __all__ = [
@@ -45,7 +48,9 @@ __all__ = [
     "Testbed",
     "TransferCostModel",
     "build_testbed",
+    "chunk_fill",
     "chunks_for",
+    "chunks_for_pages",
     "custom_nic",
     "ethernet_x710",
     "gbit",
@@ -53,4 +58,5 @@ __all__ = [
     "omnipath_hfi100",
     "pages_for",
     "testbed_host",
+    "whole_pages",
 ]

@@ -41,3 +41,47 @@ def chunks_for(size_bytes: int) -> int:
     if size_bytes < 0:
         raise ValueError(f"negative size: {size_bytes}")
     return (size_bytes + CHUNK_SIZE - 1) // CHUNK_SIZE
+
+
+def whole_pages(expected_pages: float) -> int:
+    """Whole pages crossing the wire for a fractional page estimate.
+
+    The occupancy model produces fractional *expected* unique pages;
+    the protocol moves whole pages.  This is the single rounding rule
+    applied at the protocol boundary (transport staging rounds, ack
+    sizing) — keep every caller on it so page counts can never drift
+    between the sender's chunking and the receiver's accounting.
+    """
+    return int(round(expected_pages))
+
+
+def chunks_for_pages(page_count: int, chunk_pages: int = PAGES_PER_CHUNK) -> int:
+    """Transfer chunks covering ``page_count`` whole pages (ceil).
+
+    Zero pages means zero chunks — an empty checkpoint stages no
+    rounds.  This, :func:`whole_pages` and :func:`chunk_fill` are the
+    single source of truth for ``PAGES_PER_CHUNK`` arithmetic shared
+    by the transport, the checkpoint pipeline and migration chunking.
+    """
+    if chunk_pages <= 0:
+        raise ValueError(f"chunk_pages must be positive: {chunk_pages}")
+    if page_count < 0:
+        raise ValueError(f"negative page count: {page_count}")
+    if page_count == 0:
+        return 0
+    return -(-page_count // chunk_pages)
+
+
+def chunk_fill(
+    page_count: int, index: int, chunk_pages: int = PAGES_PER_CHUNK
+) -> int:
+    """Pages actually occupied by chunk ``index`` of a payload.
+
+    Every chunk is full except possibly the last, which holds the
+    remainder of ``page_count``.
+    """
+    if chunk_pages <= 0:
+        raise ValueError(f"chunk_pages must be positive: {chunk_pages}")
+    if index < 0:
+        raise ValueError(f"negative chunk index: {index}")
+    return min(chunk_pages, page_count - index * chunk_pages)

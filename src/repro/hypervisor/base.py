@@ -66,6 +66,26 @@ class Hypervisor:
         self.starvation_factor = 1.0
         #: Listeners notified as ``listener(hypervisor, state, reason)``.
         self._failure_listeners: List = []
+        #: ``id(record) -> (record, parsed state)`` reuse across guest
+        #: loads.  Serialisers memoise records on the immutable state
+        #: objects, so a steady checkpoint stream presents the same
+        #: record dicts every epoch; re-parsing them is pure waste.
+        #: The strong record reference pins the id against recycling.
+        self._vcpu_parse_cache: Dict[int, tuple] = {}
+
+    def parse_vcpu_records(self, records, parse_record) -> List:
+        """Parse vCPU records through the per-hypervisor identity cache."""
+        cache = self._vcpu_parse_cache
+        vcpus = []
+        for record in records:
+            hit = cache.get(id(record))
+            if hit is not None and hit[0] is record:
+                vcpus.append(hit[1])
+            else:
+                state = parse_record(record)
+                cache[id(record)] = (record, state)
+                vcpus.append(state)
+        return vcpus
 
     # -- feature surface ----------------------------------------------------
     def cpuid_features(self) -> FrozenSet[str]:

@@ -29,7 +29,18 @@ _SEGMENTS = ("cs", "ds", "es", "fs", "gs", "ss", "tr", "ldt")
 
 
 def vcpu_to_record(state: VcpuArchState) -> Dict:
-    """Serialise one vCPU into KVM ioctl-shaped records."""
+    """Serialise one vCPU into KVM ioctl-shaped records.
+
+    The record is memoised on the state object: architectural vCPU
+    state never mutates in place after boot (hypervisor loads replace
+    ``vm.vcpu_states`` wholesale with freshly parsed objects), so
+    re-checkpointing the same paused guest reuses the serialisation.
+    Consumers treat records as read-only — nothing in the transport,
+    translator or load path writes into a received record.
+    """
+    cached = state.__dict__.get("_kvm_record")
+    if cached is not None:
+        return cached
     regs = {name: state.gp[name] for name in GP_REGISTERS}
     sregs: Dict = {
         name: {
@@ -54,7 +65,7 @@ def vcpu_to_record(state: VcpuArchState) -> Dict:
     entries = [
         {"index": index, "data": value} for index, value in sorted(state.msrs.items())
     ]
-    return {
+    record = {
         "cpu_index": state.index,
         "kvm_regs": regs,
         "kvm_sregs": sregs,
@@ -76,6 +87,8 @@ def vcpu_to_record(state: VcpuArchState) -> Dict:
         "kvm_xsave": list(state.xsave_area),
         "runnable": state.online,
     }
+    state.__dict__["_kvm_record"] = record
+    return record
 
 
 def record_to_vcpu(record: Dict) -> VcpuArchState:

@@ -85,7 +85,7 @@ class KvmHypervisor(Hypervisor):
             raise IncompatibleGuest(
                 f"guest uses features KVM cannot expose: {sorted(missing)}"
             )
-        vm.vcpu_states = [
-            formats.record_to_vcpu(record) for record in payload["vcpu_records"]
-        ]
+        vm.vcpu_states = self.parse_vcpu_records(
+            payload["vcpu_records"], formats.record_to_vcpu
+        )
         vm.enabled_features = features

@@ -35,7 +35,18 @@ _SEGMENTS = ("cs", "ds", "es", "fs", "gs", "ss", "tr", "ldt")
 
 
 def vcpu_to_record(state: VcpuArchState) -> Dict:
-    """Serialise one vCPU into a Xen-format record."""
+    """Serialise one vCPU into a Xen-format record.
+
+    The record is memoised on the state object: architectural vCPU
+    state never mutates in place after boot (hypervisor loads replace
+    ``vm.vcpu_states`` wholesale with freshly parsed objects), so
+    re-checkpointing the same paused guest reuses the serialisation.
+    Consumers treat records as read-only — nothing in the transport,
+    translator or load path writes into a received record.
+    """
+    cached = state.__dict__.get("_xen_record")
+    if cached is not None:
+        return cached
     user_regs = {}
     for name in GP_REGISTERS:
         key = "eflags" if name == "rflags" else name
@@ -43,7 +54,7 @@ def vcpu_to_record(state: VcpuArchState) -> Dict:
     ctrlreg = [0] * 9
     for name, slot in _CTRLREG_SLOTS.items():
         ctrlreg[slot] = state.control[name]
-    return {
+    record = {
         "vcpu_id": state.index,
         "user_regs": user_regs,
         "ctrlreg": ctrlreg,
@@ -81,6 +92,8 @@ def vcpu_to_record(state: VcpuArchState) -> Dict:
         "fpu_ctxt": state.xsave_area.hex(),
         "online": state.online,
     }
+    state.__dict__["_xen_record"] = record
+    return record
 
 
 def record_to_vcpu(record: Dict) -> VcpuArchState:

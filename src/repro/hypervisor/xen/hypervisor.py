@@ -122,7 +122,7 @@ class XenHypervisor(Hypervisor):
             raise IncompatibleGuest(
                 f"guest uses features Xen cannot expose: {sorted(missing)}"
             )
-        vm.vcpu_states = [
-            formats.record_to_vcpu(record) for record in payload["hvm_context"]
-        ]
+        vm.vcpu_states = self.parse_vcpu_records(
+            payload["hvm_context"], formats.record_to_vcpu
+        )
         vm.enabled_features = features

@@ -12,7 +12,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..vm.dirty import DirtySnapshot
+from ..vm.dirty import DirtySnapshot, unique_pages_batch
 
 
 def assign_chunks_round_robin(
@@ -22,16 +22,21 @@ def assign_chunks_round_robin(
 
     The assignment is by *chunk index modulo thread count* — a static
     partition of the address space, as in HERE — so the same chunk is
-    always owned by the same thread across checkpoints.
+    always owned by the same thread across checkpoints.  One modulo
+    over the whole id array and one mask per thread replace the
+    historical per-chunk append loop; within each thread the ids keep
+    their input order, exactly as the loop produced them.
     """
     if n_threads < 1:
         raise ValueError(f"n_threads must be >= 1, got {n_threads}")
-    assignment: List[List[int]] = [[] for _ in range(n_threads)]
-    for chunk_id in chunk_ids:
-        if chunk_id < 0:
-            raise ValueError(f"negative chunk id: {chunk_id}")
-        assignment[chunk_id % n_threads].append(chunk_id)
-    return assignment
+    ids = np.asarray(chunk_ids, dtype=np.int64)
+    if ids.size == 0:
+        return [[] for _ in range(n_threads)]
+    negative = ids[ids < 0]
+    if negative.size:
+        raise ValueError(f"negative chunk id: {int(negative[0])}")
+    residues = ids % n_threads
+    return [ids[residues == thread].tolist() for thread in range(n_threads)]
 
 
 def per_thread_dirty_pages(
@@ -40,10 +45,27 @@ def per_thread_dirty_pages(
     """Expected dirty pages each thread must send for ``snapshot``.
 
     Thread ``i`` owns every dirty chunk whose index ≡ i (mod threads).
+
+    The occupancy math is batched: one vectorized
+    :func:`~repro.vm.dirty.unique_pages_batch` over every dirty chunk,
+    then one masked sum per thread.  Each thread's sum runs over the
+    same values in the same ascending-chunk order the historical
+    per-thread :meth:`~repro.vm.dirty.DirtySnapshot.pages_in_chunks`
+    calls used, so the shares are bit-for-bit unchanged.
     """
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
     dirty_chunks = snapshot.dirty_chunk_ids()
-    assignment = assign_chunks_round_robin(dirty_chunks.tolist(), n_threads)
-    return [snapshot.pages_in_chunks(chunks) for chunks in assignment]
+    if dirty_chunks.size == 0:
+        return [0.0] * n_threads
+    shares = unique_pages_batch(
+        snapshot.pages_per_chunk, snapshot.chunk_touches[dirty_chunks]
+    )
+    residues = dirty_chunks % n_threads
+    return [
+        float(np.sum(shares[residues == thread]))
+        for thread in range(n_threads)
+    ]
 
 
 def balance_factor(per_thread_pages: Sequence[float]) -> float:

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..hardware.units import PAGE_SIZE
+from ..hardware.units import PAGE_SIZE, whole_pages
 from ..migration.chunks import per_thread_dirty_pages
 from ..migration.transfer import split_evenly, timed_page_send
 from ..telemetry import NULL_SPAN
@@ -460,7 +460,7 @@ class AwaitAckStage(Stage):
         self.applier = applier
 
     def run(self, ctx):
-        page_count = int(round(ctx.dirty_pages))
+        page_count = whole_pages(ctx.dirty_pages)
         message = CheckpointMessage(
             vm_name=ctx.vm.name,
             epoch=ctx.epoch,
@@ -505,7 +505,7 @@ class ReliableAwaitAckStage(AwaitAckStage):
         if ctx.transport is None:
             yield from super().run(ctx)
             return
-        page_count = int(round(ctx.dirty_pages))
+        page_count = whole_pages(ctx.dirty_pages)
         message = CheckpointMessage(
             vm_name=ctx.vm.name,
             epoch=ctx.epoch,

@@ -11,7 +11,7 @@ network protocol and gives failure injection a precise place to cut.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..hypervisor.base import Hypervisor
 from ..vm.machine import VirtualMachine
@@ -213,6 +213,34 @@ class ReplicaSession:
         staged.valid.add(index)
         self.chunks_staged += 1
         return True
+
+    def stage_chunks(self, epoch: int, indices: Sequence[int]) -> None:
+        """Phase 1, batched: stage many checksum-valid chunks at once.
+
+        Semantically identical to calling :meth:`stage_chunk` with
+        ``valid=True`` for each index in order — same epoch guard,
+        same bounds check, same counter and staging-set updates — but
+        one call per delivery round instead of one per chunk.  The
+        transport's array-batched round uses it for every chunk that
+        survived the link verdicts.
+        """
+        if not indices:
+            return
+        staged = self._staged
+        if staged is None or staged.epoch != epoch:
+            raise ProtocolError(
+                f"chunk {indices[0]} for epoch {epoch} arrived with no such "
+                "epoch staged (begin_epoch first)"
+            )
+        lowest, highest = min(indices), max(indices)
+        if lowest < 0 or highest >= staged.total_chunks:
+            bad = lowest if lowest < 0 else highest
+            raise ProtocolError(
+                f"chunk index {bad} outside epoch {epoch}'s "
+                f"{staged.total_chunks} chunks"
+            )
+        staged.valid.update(indices)
+        self.chunks_staged += len(indices)
 
     def staged_chunks_missing(self, epoch: int) -> Optional[int]:
         """How many chunks the staged epoch still lacks (None if other)."""

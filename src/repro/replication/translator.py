@@ -41,9 +41,35 @@ class IntermediateState:
     memory_pages: int
 
 
-def _parse_xen(payload: dict) -> IntermediateState:
+def _parse_vcpus(records, parse_record, cache) -> List[VcpuArchState]:
+    """Parse vCPU records, reusing prior parses of identical records.
+
+    Serialisers memoise vCPU records on the (immutable-after-boot)
+    state objects, so every checkpoint of an unchanged guest presents
+    the *same* record dicts.  The cache maps ``id(record)`` to the
+    parsed state, keeping a strong reference to the record so the id
+    cannot be recycled; a fresh record (changed guest, new VM) misses
+    and parses normally.
+    """
+    if cache is None:
+        return [parse_record(record) for record in records]
+    vcpus = []
+    for record in records:
+        hit = cache.get(id(record))
+        if hit is not None and hit[0] is record:
+            vcpus.append(hit[1])
+        else:
+            state = parse_record(record)
+            cache[id(record)] = (record, state)
+            vcpus.append(state)
+    return vcpus
+
+
+def _parse_xen(payload: dict, vcpu_cache=None) -> IntermediateState:
     return IntermediateState(
-        vcpus=[xen_formats.record_to_vcpu(r) for r in payload["hvm_context"]],
+        vcpus=_parse_vcpus(
+            payload["hvm_context"], xen_formats.record_to_vcpu, vcpu_cache
+        ),
         devices=[
             xen_formats.record_to_device_state(r)
             for r in payload["device_records"]
@@ -51,6 +77,10 @@ def _parse_xen(payload: dict) -> IntermediateState:
         features=frozenset(payload["platform"]["featureset"]),
         memory_pages=payload["platform"]["nr_pages"],
     )
+
+
+#: Opt-in marker: the parser accepts a second ``vcpu_cache`` argument.
+_parse_xen.supports_vcpu_cache = True  # type: ignore[attr-defined]
 
 
 def _build_xen(state: IntermediateState) -> dict:
@@ -74,9 +104,11 @@ def _build_xen(state: IntermediateState) -> dict:
     }
 
 
-def _parse_kvm(payload: dict) -> IntermediateState:
+def _parse_kvm(payload: dict, vcpu_cache=None) -> IntermediateState:
     return IntermediateState(
-        vcpus=[kvm_formats.record_to_vcpu(r) for r in payload["vcpu_records"]],
+        vcpus=_parse_vcpus(
+            payload["vcpu_records"], kvm_formats.record_to_vcpu, vcpu_cache
+        ),
         devices=[
             kvm_formats.record_to_device_state(r)
             for r in payload["virtio_devices"]
@@ -84,6 +116,9 @@ def _parse_kvm(payload: dict) -> IntermediateState:
         features=frozenset(payload["machine"]["cpuid_features"]),
         memory_pages=payload["machine"]["memory_pages"],
     )
+
+
+_parse_kvm.supports_vcpu_cache = True  # type: ignore[attr-defined]
 
 
 def _build_kvm(state: IntermediateState) -> dict:
@@ -116,6 +151,10 @@ class StateTranslator:
         self.register(xen_formats.XEN_STATE_FORMAT, _parse_xen, _build_xen)
         self.register(kvm_formats.KVM_STATE_FORMAT, _parse_kvm, _build_kvm)
         self.translations_performed = 0
+        #: Parsed-vCPU reuse across checkpoints of the same guest; see
+        #: :func:`_parse_vcpus`.  Per-translator, so it lives exactly
+        #: as long as the replication/migration engine that owns it.
+        self._vcpu_cache: Dict[int, Tuple[dict, VcpuArchState]] = {}
 
     def register(
         self,
@@ -172,7 +211,11 @@ class StateTranslator:
                 f"unknown target format {target_format!r}; "
                 f"supported: {self.supported_formats()}"
             )
-        intermediate = self._parsers[source_format](payload)
+        parser = self._parsers[source_format]
+        if getattr(parser, "supports_vcpu_cache", False):
+            intermediate = parser(payload, self._vcpu_cache)
+        else:
+            intermediate = parser(payload)
         missing = incompatibilities(intermediate.features, target.cpuid_features())
         if missing:
             raise IncompatibleGuest(

@@ -39,6 +39,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..hardware.units import chunk_fill, chunks_for_pages, whole_pages
 from ..migration.transfer import split_evenly, timed_page_send
 from .compression import XBRLE
 from .protocol import FencedOut, FencingToken  # noqa: F401  (re-export)
@@ -242,8 +243,8 @@ class CheckpointTransport:
         """
         cfg = self.config
         session = ctx.replica_session
-        page_count = int(round(ctx.dirty_pages))
-        n_chunks = -(-page_count // cfg.chunk_pages) if page_count else 0
+        page_count = whole_pages(ctx.dirty_pages)
+        n_chunks = chunks_for_pages(page_count, cfg.chunk_pages)
         try:
             session.begin_epoch(
                 ctx.epoch, n_chunks, generation=getattr(ctx, "generation", 0)
@@ -310,28 +311,47 @@ class CheckpointTransport:
         """One delivery round: draw verdicts, stage survivors.
 
         Returns the chunk indices still pending (lost or NACKed).
+
+        The round is array-batched: one verdict draw for all chunks,
+        one masked partition into ok/lost/corrupt, one bulk
+        :meth:`~repro.replication.protocol.ReplicaSession.stage_chunks`
+        call for the survivors.  Per-chunk work survives only where it
+        must — the checksum-mismatch modelling and NACK bookkeeping of
+        *corrupt* chunks, which a working link makes rare.  End state
+        (counters, staged set, pending order) is exactly the historical
+        per-chunk loop's.
         """
         cfg = self.config
         outcomes = ctx.link.forward.draw_chunk_outcomes(len(indices))
-        pending: List[int] = []
-        lost = nacked = 0
-        for index, outcome in zip(indices, outcomes):
-            if outcome == "lost":
-                lost += 1
-                pending.append(index)
-                continue
-            valid = True
-            if outcome == "corrupt" and cfg.verify_checksums:
+        if not indices:
+            self.observe_round(0, 0)
+            return []
+        verdicts = np.asarray(outcomes)
+        index_array = np.asarray(indices, dtype=np.int64)
+        lost_mask = verdicts == "lost"
+        corrupt_mask = verdicts == "corrupt"
+        lost = int(np.count_nonzero(lost_mask))
+        nacked = 0
+        if cfg.verify_checksums:
+            for index in index_array[corrupt_mask].tolist():
                 # The replica recomputes the chunk checksum and sees a
                 # mismatch — the identity digest models that verdict.
-                chunk_pages = min(
-                    cfg.chunk_pages, page_count - index * cfg.chunk_pages
+                chunk_checksum(
+                    ctx.vm.name, ctx.epoch, index,
+                    chunk_fill(page_count, index, cfg.chunk_pages),
                 )
-                chunk_checksum(ctx.vm.name, ctx.epoch, index, chunk_pages)
-                valid = False
-            if not session.stage_chunk(ctx.epoch, index, valid=valid):
-                nacked += 1
-                pending.append(index)
+                if not session.stage_chunk(ctx.epoch, index, valid=False):
+                    nacked += 1
+            staged_mask = ~(lost_mask | corrupt_mask)
+            pending_mask = lost_mask | corrupt_mask
+        else:
+            # Without checksum verification a corrupted chunk is staged
+            # as if it were fine (and silently poisons the epoch — the
+            # config knob exists to demonstrate exactly that).
+            staged_mask = ~lost_mask
+            pending_mask = lost_mask
+        session.stage_chunks(ctx.epoch, index_array[staged_mask].tolist())
+        pending: List[int] = index_array[pending_mask].tolist()
         self.chunks_lost += lost
         self.chunk_nacks += nacked
         bus = self.sim.telemetry

@@ -1,10 +1,21 @@
 """The simulation calendar and run loop.
 
-:class:`Simulation` owns simulated time.  Events are scheduled on a
-binary-heap calendar keyed by ``(time, priority, sequence)``; the
-sequence number makes ordering of simultaneous events deterministic
-(FIFO within equal time and priority), which in turn makes every
-experiment in this repository reproducible bit-for-bit.
+:class:`Simulation` owns simulated time.  Events are ordered by
+``(time, priority, sequence)``: the sequence — the order in which
+events were scheduled — breaks ties among simultaneous equal-priority
+events (FIFO), which in turn makes every experiment in this repository
+reproducible bit-for-bit.
+
+The calendar is a *bucket calendar*: the binary heap holds one entry
+per distinct ``(time, priority)`` key, and each key maps to a FIFO
+bucket of the events scheduled under it.  Discrete-event workloads are
+dominated by same-instant floods — zero-delay cascades, simultaneous
+checkpoint stages, fleet-wide quantum ticks — so coalescing them makes
+heap traffic O(distinct timestamps) instead of O(events) while
+producing exactly the historical ``(time, priority, sequence)`` order:
+buckets preserve scheduling order internally, and the heap orders the
+keys.  An urgent event scheduled mid-bucket still preempts the rest of
+a normal bucket at the same instant, because its *key* sorts first.
 
 Simulated time is a float measured in **seconds**.  Real wall-clock time
 is never consulted.
@@ -42,8 +53,15 @@ class Simulation:
 
     def __init__(self, seed: int = 0):
         self._now = 0.0
+        #: Heap of distinct ``(when, priority)`` bucket keys.
         self._queue: list = []
-        self._seq = 0
+        #: ``(when, priority)`` -> ``[cursor, [event, ...]]``.  The
+        #: bucket list is FIFO in scheduling order; ``cursor`` marks the
+        #: next unprocessed event.  A key is in the heap iff it is here.
+        self._buckets: dict = {}
+        #: Scheduled-but-unprocessed event count (the heap only counts
+        #: distinct keys, so pending bookkeeping is explicit).
+        self._pending = 0
         self.random = RandomRegistry(seed)
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
@@ -87,12 +105,55 @@ class Simulation:
     def _schedule(
         self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
     ) -> None:
-        """Place a triggered event on the calendar ``delay`` from now."""
+        """Place a triggered event on the calendar ``delay`` from now.
+
+        ``delay`` must be non-negative: the calendar never travels into
+        the past.  :class:`~repro.simkernel.events.Timeout` validates
+        its own delay, but :meth:`Event.succeed`/:meth:`Event.fail`
+        forward theirs here, so this is the single choke point.
+
+        Ordering contract (pinned): events are processed in ascending
+        ``(time, priority, sequence)`` order, where *sequence* is the
+        order of ``_schedule`` calls.  Two events at the same time and
+        priority therefore fire FIFO; a :data:`PRIORITY_URGENT` event
+        scheduled at the current instant preempts any not-yet-processed
+        :data:`PRIORITY_NORMAL` event at that same instant.  The bucket
+        calendar realises this order with one heap entry per distinct
+        ``(time, priority)`` key: appending to an existing bucket is
+        O(1), so same-instant floods cost no heap traffic at all.
+        """
+        if delay < 0:
+            raise ValueError(f"negative schedule delay: {delay}")
         if event._scheduled:
             return
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        key = (self._now + delay, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [0, [event]]
+            heapq.heappush(self._queue, key)
+        else:
+            bucket[1].append(event)
+        self._pending += 1
+
+    def _skim(self):
+        """Drop exhausted buckets off the heap top; return the live one.
+
+        Buckets are retired *lazily*: a bucket whose cursor has caught
+        up stays on the heap until it surfaces, because a same-instant
+        callback may still append to it (reviving it in place, exactly
+        where its sequence numbers would have sorted).  Returns ``None``
+        when the calendar is empty.
+        """
+        queue = self._queue
+        buckets = self._buckets
+        while queue:
+            bucket = buckets[queue[0]]
+            if bucket[0] < len(bucket[1]):
+                return bucket
+            del buckets[queue[0]]
+            heapq.heappop(queue)
+        return None
 
     def schedule_callback(
         self, delay: float, callback: Callable[[], None], name: str = ""
@@ -116,21 +177,30 @@ class Simulation:
         event scheduled *exactly at* the horizon has already fired (see
         :meth:`run` for the pinned horizon contract).
         """
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._skim() is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event from the calendar.
 
-        Raises ``RuntimeError`` on an empty calendar: stepping an idle
-        simulation is always a caller bug (nothing was scheduled), and
-        the error should say so rather than leak a ``heapq`` IndexError.
+        The event is the pending one with the smallest
+        ``(time, priority, sequence)`` — the head of the live bucket at
+        the top of the key heap.  Raises ``RuntimeError`` on an empty
+        calendar: stepping an idle simulation is always a caller bug
+        (nothing was scheduled), and the error should say so rather
+        than leak a ``heapq`` IndexError.
         """
-        if not self._queue:
+        bucket = self._skim()
+        if bucket is None:
             raise RuntimeError(
                 "step() on an empty calendar: no events are scheduled "
                 "(start a process or a timeout first)"
             )
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when = self._queue[0][0]
+        cursor = bucket[0]
+        bucket[0] = cursor + 1
+        event = bucket[1][cursor]
+        bucket[1][cursor] = None  # release the reference promptly
+        self._pending -= 1
         if when < self._now:  # pragma: no cover - guarded by _schedule
             raise RuntimeError("calendar went backwards")
         self._now = when
@@ -174,7 +244,7 @@ class Simulation:
         if until is not None and until < self._now:
             raise ValueError(f"until={until} lies in the past (now={self._now})")
         try:
-            while self._queue:
+            while self._pending:
                 if until is not None and self.peek() > until:
                     break
                 self.step()
@@ -195,7 +265,7 @@ class Simulation:
             # (below) rather than raised as an unhandled failure.
             event.callbacks.append(lambda _evt: None)
         while not event.processed:
-            if not self._queue or self.peek() > limit:
+            if not self._pending or self.peek() > limit:
                 raise RuntimeError(f"{event!r} cannot trigger before {limit}")
             self.step()
         if not event.ok:
@@ -208,6 +278,6 @@ class Simulation:
 
     def __repr__(self) -> str:
         return (
-            f"<Simulation now={self._now:.6f} pending={len(self._queue)} "
+            f"<Simulation now={self._now:.6f} pending={self._pending} "
             f"processed={self.events_processed}>"
         )

@@ -30,6 +30,7 @@ Determinism contract:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional
 
 from .core import Simulation
@@ -60,6 +61,9 @@ class ShardedSimulation:
         #: only ever observe shards frozen at a quantum boundary.
         self.fleet = Simulation(seed=derive_seed(seed, "fleet"))
         self._shards: Dict[str, Simulation] = {}
+        #: Shards in advancement order — ``sorted(self._shards)`` cached
+        #: at mutation time so each quantum walks it without re-sorting.
+        self._ordered_shards: List[Simulation] = []
         self._subscribers: List[Callable] = []
         #: Quanta executed so far (diagnostic; feeds the fleet bench's
         #: shards-per-second throughput figure).
@@ -87,6 +91,9 @@ class ShardedSimulation:
         for subscriber in self._subscribers:
             shard.telemetry.subscribe(subscriber)
         self._shards[name] = shard
+        self._ordered_shards = [
+            self._shards[key] for key in sorted(self._shards)
+        ]
         return shard
 
     def shard(self, name: str) -> Simulation:
@@ -130,8 +137,6 @@ class ShardedSimulation:
     @property
     def idle(self) -> bool:
         """True when no calendar holds any pending event."""
-        import math
-
         return math.isinf(self.fleet.peek()) and all(
             math.isinf(shard.peek()) for shard in self._shards.values()
         )
@@ -157,8 +162,8 @@ class ShardedSimulation:
             raise ValueError(
                 f"quantum target {target} lies in the past (now={self.now})"
             )
-        for name in sorted(self._shards):
-            self._shards[name].run(until=target)
+        for shard in self._ordered_shards:
+            shard.run(until=target)
         self.fleet.run(until=target)
         self.quanta_executed += 1
         if self.fleet.telemetry.enabled:

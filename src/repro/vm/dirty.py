@@ -31,18 +31,44 @@ from ..hardware.units import PAGES_PER_CHUNK
 
 
 def unique_pages(chunk_pages: int, touches: float) -> float:
-    """Expected unique pages hit by ``touches`` uniform touches."""
+    """Expected unique pages hit by ``touches`` uniform touches.
+
+    Delegates to :func:`unique_pages_batch` so scalar and batched
+    callers are bit-identical *by construction*: numpy's vectorized
+    ``pow`` can differ from libm's by one ulp on rare inputs, so
+    evaluating the formula twice — once with Python floats, once with
+    arrays — would leave two subtly different statistics in the
+    codebase.  One kernel, one rounding.
+    """
+    if touches == 0:
+        # Preserve the historical zero fast path (validation included).
+        if chunk_pages <= 0:
+            raise ValueError(f"chunk_pages must be positive: {chunk_pages}")
+        return 0.0
+    return float(
+        unique_pages_batch(chunk_pages, np.array([touches], dtype=np.float64))[0]
+    )
+
+
+def unique_pages_batch(chunk_pages: int, touches: np.ndarray) -> np.ndarray:
+    """Vectorized occupancy estimate over an array of touch counts.
+
+    The one kernel every caller shares — precopy ring drains,
+    per-thread chunk shares, the scalar :func:`unique_pages` wrapper —
+    so batched and per-entry evaluation cannot drift apart.  Elements
+    are clamped exactly like the scalar formula: the occupancy
+    estimate overshoots for fractional touch counts below one
+    (Bernoulli's inequality flips), and unique pages can never exceed
+    the number of touches.  The property suite pins batch-vs-scalar
+    agreement across edge cases.
+    """
     if chunk_pages <= 0:
         raise ValueError(f"chunk_pages must be positive: {chunk_pages}")
-    if touches < 0:
-        raise ValueError(f"negative touches: {touches}")
-    if touches == 0:
-        return 0.0
+    touches = np.asarray(touches, dtype=np.float64)
+    if touches.size and float(touches.min()) < 0:
+        raise ValueError("negative touches")
     estimate = chunk_pages * (1.0 - (1.0 - 1.0 / chunk_pages) ** touches)
-    # The occupancy formula overshoots for fractional touch counts
-    # below one (Bernoulli's inequality flips); unique pages can never
-    # exceed the number of touches.
-    return min(estimate, touches)
+    return np.minimum(estimate, touches)
 
 
 class DirtySnapshot:
@@ -127,9 +153,44 @@ class DirtyLog:
         self.n_chunks = n_chunks
         self.pages_per_chunk = pages_per_chunk
         self._touches = np.zeros(n_chunks, dtype=np.float64)
-        self._per_vcpu: Dict[int, np.ndarray] = {}
+        # Per-vCPU attribution lives in one 2D array (one row per vCPU
+        # seen this interval) so the workload flush can update every
+        # vCPU with a single broadcast add.  ``_vcpu_ids`` preserves
+        # first-touch order — snapshots rebuild the per-vCPU dict in
+        # that order, matching the historical dict-of-arrays insertion
+        # order that ``problematic_pages`` summation depends on.
+        self._vcpu_rows = np.zeros((0, n_chunks), dtype=np.float64)
+        self._vcpu_ids: List[int] = []
+        self._vcpu_index: Dict[int, int] = {}
         #: Total touches recorded since creation (diagnostic).
         self.lifetime_touches = 0.0
+
+    def _row(self, vcpu: int) -> int:
+        """Row index for ``vcpu``, growing the 2D store on first touch."""
+        idx = self._vcpu_index.get(vcpu)
+        if idx is None:
+            idx = len(self._vcpu_ids)
+            if idx >= self._vcpu_rows.shape[0]:
+                grown = np.zeros(
+                    (max(4, 2 * idx), self.n_chunks), dtype=np.float64
+                )
+                grown[:idx] = self._vcpu_rows[:idx]
+                self._vcpu_rows = grown
+            self._vcpu_ids.append(vcpu)
+            self._vcpu_index[vcpu] = idx
+        return idx
+
+    def _per_vcpu_dict(self, copy: bool) -> Dict[int, np.ndarray]:
+        """Per-vCPU arrays as a dict, in first-touch insertion order."""
+        if copy:
+            return {
+                vcpu: self._vcpu_rows[row].copy()
+                for row, vcpu in enumerate(self._vcpu_ids)
+            }
+        return {
+            vcpu: self._vcpu_rows[row]
+            for row, vcpu in enumerate(self._vcpu_ids)
+        }
 
     def record(
         self,
@@ -149,11 +210,8 @@ class DirtyLog:
         if touches.min() < 0:
             raise ValueError("negative touch count")
         np.add.at(self._touches, chunk_ids, touches)
-        per_vcpu = self._per_vcpu.get(vcpu)
-        if per_vcpu is None:
-            per_vcpu = np.zeros(self.n_chunks, dtype=np.float64)
-            self._per_vcpu[vcpu] = per_vcpu
-        np.add.at(per_vcpu, chunk_ids, touches)
+        row = self._row(vcpu)  # may reallocate _vcpu_rows; resolve first
+        np.add.at(self._vcpu_rows[row], chunk_ids, touches)
         self.lifetime_touches += float(touches.sum())
 
     def record_uniform(
@@ -171,25 +229,100 @@ class DirtyLog:
             raise ValueError("negative touch count")
         if total_touches == 0:
             return
-        ids = np.arange(first_chunk, last, dtype=np.int64)
-        per_chunk = np.full(n_chunks, total_touches / n_chunks, dtype=np.float64)
-        self.record(vcpu, ids, per_chunk)
+        # Hot path: this is every workload tick.  A contiguous range of
+        # unique chunk ids means ``np.add.at`` over a freshly built
+        # index/value pair degenerates to a slice-add of one scalar —
+        # identical IEEE-754 additions in identical order, without the
+        # two array allocations and the fancy-indexing dispatch.
+        per_chunk = total_touches / n_chunks
+        self._touches[first_chunk:last] += per_chunk
+        row = self._row(vcpu)  # may reallocate _vcpu_rows; resolve first
+        self._vcpu_rows[row, first_chunk:last] += per_chunk
+        self.lifetime_touches += per_chunk * n_chunks
+
+    def record_uniform_spread(
+        self,
+        n_vcpus: int,
+        first_chunk: int,
+        n_chunks: int,
+        touches_per_vcpu: float,
+    ) -> None:
+        """Record a uniform spread by each of vCPUs ``0..n_vcpus-1``.
+
+        Bit-for-bit equivalent to calling :meth:`record_uniform` once
+        per vCPU in ascending order with the same arguments: the shared
+        touch array still receives ``n_vcpus`` *sequential* scalar adds
+        (float accumulation order is part of the contract), while the
+        per-vCPU rows — independent elementwise — collapse into one
+        broadcast add across the 2D store.  This is the workload flush
+        hot path: one call per tick instead of one per vCPU.
+
+        (The only deliberate deviation: ``lifetime_touches`` — a
+        diagnostic counter no statistic reads — accrues the batch as
+        one product instead of ``n_vcpus`` partial sums.)
+        """
+        if n_vcpus <= 0:
+            raise ValueError(f"n_vcpus must be positive: {n_vcpus}")
+        if n_chunks <= 0:
+            raise ValueError(f"n_chunks must be positive: {n_chunks}")
+        last = first_chunk + n_chunks
+        if first_chunk < 0 or last > self.n_chunks:
+            raise IndexError(
+                f"chunk range [{first_chunk}, {last}) outside [0, {self.n_chunks})"
+            )
+        if touches_per_vcpu < 0:
+            raise ValueError("negative touch count")
+        if touches_per_vcpu == 0:
+            return
+        per_chunk = touches_per_vcpu / n_chunks
+        shared = self._touches[first_chunk:last]
+        if n_chunks == 1 or bool((shared == shared[0]).all()):
+            # Steady workloads hammer the same working set every tick,
+            # so the whole slice holds one value.  Chain the sequential
+            # adds through a single scalar (IEEE-754 double addition is
+            # elementwise — every element would walk the exact same
+            # chain) and store the result once instead of sweeping the
+            # array ``n_vcpus`` times.
+            value = float(shared[0])
+            for _ in range(n_vcpus):
+                value += per_chunk
+            shared[:] = value
+        else:
+            for _ in range(n_vcpus):
+                shared += per_chunk
+        self.lifetime_touches += per_chunk * n_chunks * n_vcpus
+        rows = [self._row(vcpu) for vcpu in range(n_vcpus)]
+        if rows == list(range(n_vcpus)):
+            # Common case: vCPUs 0..n-1 occupy rows 0..n-1, so all the
+            # per-vCPU adds are one contiguous broadcast.
+            self._vcpu_rows[:n_vcpus, first_chunk:last] += per_chunk
+        else:
+            for row in rows:
+                self._vcpu_rows[row, first_chunk:last] += per_chunk
 
     def peek(self) -> DirtySnapshot:
         """Snapshot the current dirty state without clearing it."""
         return DirtySnapshot(
             self._touches.copy(),
-            {v: a.copy() for v, a in self._per_vcpu.items()},
+            self._per_vcpu_dict(copy=True),
             self.pages_per_chunk,
         )
 
     def snapshot_and_clear(self) -> DirtySnapshot:
         """Atomically capture and reset the dirty state (checkpoint)."""
         snapshot = DirtySnapshot(
-            self._touches, self._per_vcpu, self.pages_per_chunk
+            self._touches, self._per_vcpu_dict(copy=False),
+            self.pages_per_chunk,
         )
         self._touches = np.zeros(self.n_chunks, dtype=np.float64)
-        self._per_vcpu = {}
+        # Ownership of the old rows moved into the snapshot (as views);
+        # start a fresh store sized to the vCPU population just seen so
+        # the next interval grows at most once.
+        self._vcpu_rows = np.zeros(
+            (len(self._vcpu_ids), self.n_chunks), dtype=np.float64
+        )
+        self._vcpu_ids = []
+        self._vcpu_index = {}
         return snapshot
 
     def unique_dirty_pages(self) -> float:

@@ -221,6 +221,48 @@ class VirtualMachine:
         # as one range entry (first_chunk, n_chunks, touches).
         self.pml_rings[vcpu].log_range(first_chunk, n_chunks, touches)
 
+    def touch_spread(
+        self,
+        n_vcpus: int,
+        touches_per_vcpu: float,
+        wss_pages: Optional[int] = None,
+        offset_pages: int = 0,
+    ) -> None:
+        """Record ``touches_per_vcpu`` writes by each of vCPUs ``0..n-1``.
+
+        The batched equivalent of calling :meth:`touch` once per vCPU
+        with the same working set — one validation pass, then the same
+        per-vCPU dirty-log and PML-ring updates in the same ascending
+        vCPU order, so the recorded state is bit-for-bit what the
+        per-call loop produced.  This is the workload flush path.
+        """
+        if not 1 <= n_vcpus <= self.vcpu_count:
+            raise IndexError(
+                f"n_vcpus {n_vcpus} out of range [1, {self.vcpu_count}]"
+            )
+        if self._paused_at is not None:
+            raise VmLifecycleError(
+                f"VM {self.name!r} is paused; paused guests cannot dirty memory"
+            )
+        if wss_pages is None:
+            wss_pages = self.total_pages - offset_pages
+        if wss_pages <= 0:
+            raise ValueError(f"working set must be positive: {wss_pages}")
+        if offset_pages < 0 or offset_pages + wss_pages > self.total_pages:
+            raise ValueError(
+                f"working set [{offset_pages}, {offset_pages + wss_pages}) "
+                f"outside VM memory [0, {self.total_pages})"
+            )
+        first_chunk = offset_pages // self.pages_per_chunk
+        last_chunk = (offset_pages + wss_pages - 1) // self.pages_per_chunk
+        n_chunks = last_chunk - first_chunk + 1
+        self.dirty_log.record_uniform_spread(
+            n_vcpus, first_chunk, n_chunks, touches_per_vcpu
+        )
+        rings = self.pml_rings
+        for vcpu in range(n_vcpus):
+            rings[vcpu].log_range(first_chunk, n_chunks, touches_per_vcpu)
+
     def record_disk_write(self, length: int, offset: Optional[int] = None) -> None:
         """A guest block-device write (PV ``vbd``/``virtio-blk`` path).
 

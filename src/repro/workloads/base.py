@@ -162,8 +162,10 @@ class Workload:
             return
         wss = min(self.working_set_pages(), self.vm.total_pages)
         per_vcpu = self._pending_touches / self.vcpu_spread
-        for vcpu in range(self.vcpu_spread):
-            self.vm.touch(vcpu, per_vcpu, wss_pages=wss)
+        # One batched call instead of a touch() per vCPU: the working
+        # set is validated once and the per-vCPU buffers are updated in
+        # place, in the same ascending order the loop used.
+        self.vm.touch_spread(self.vcpu_spread, per_vcpu, wss_pages=wss)
         self._pending_touches = 0.0
 
 

@@ -28,6 +28,32 @@ class TestTolerance:
         assert tolerance.allows(math.nan, math.nan)
         assert not tolerance.allows(math.nan, 1.0)
 
+    def test_at_least_gates_only_drops(self):
+        # Throughput semantics: a faster machine or a real optimisation
+        # must never fail the gate; only a drop beyond the margin does.
+        tolerance = Tolerance(relative=0.1, direction="at-least")
+        assert tolerance.allows(100.0, 500.0)
+        assert tolerance.allows(100.0, 100.0)
+        assert tolerance.allows(100.0, 91.0)
+        assert not tolerance.allows(100.0, 89.0)
+
+    def test_at_most_gates_only_rises(self):
+        # Cost semantics (wall-time budgets): cheaper always passes.
+        tolerance = Tolerance(relative=0.1, direction="at-most")
+        assert tolerance.allows(100.0, 1.0)
+        assert tolerance.allows(100.0, 109.0)
+        assert not tolerance.allows(100.0, 111.0)
+
+    def test_one_sided_margin_still_uses_absolute_floor(self):
+        tolerance = Tolerance(relative=0.1, absolute=0.5,
+                              direction="at-least")
+        assert tolerance.allows(0.0, -0.4)
+        assert not tolerance.allows(0.0, -0.6)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Tolerance(direction="sideways")
+
 
 class TestRegressionGate:
     def test_pass_and_fail_verdicts(self):

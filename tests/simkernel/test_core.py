@@ -130,6 +130,70 @@ class TestRunLoop:
         assert sim.events_processed == 2
 
 
+class TestBucketCalendar:
+    """Ordering and validation semantics of the coalescing calendar."""
+
+    def test_negative_delay_rejected_at_the_choke_point(self, sim):
+        """Timeout validates its own delay; succeed()/fail() forward
+        theirs to _schedule, which must reject time travel too."""
+        with pytest.raises(ValueError, match="negative"):
+            sim.event().succeed(delay=-0.5)
+        with pytest.raises(ValueError, match="negative"):
+            sim.event().fail(RuntimeError("boom"), delay=-1.0)
+
+    def test_urgent_preempts_remaining_normal_bucket(self, sim):
+        """An urgent event landing mid-bucket at the same instant fires
+        before the bucket's remaining normal events — its (time,
+        priority) key sorts first even though it was scheduled last."""
+        order = []
+
+        def starter():
+            order.append("urgent")
+            yield sim.timeout(0.0)
+
+        def spawn(_evt):
+            order.append("a")
+            # Process start is an urgent event at the current instant.
+            sim.process(starter())
+
+        sim.timeout(1.0).callbacks.append(spawn)
+        sim.timeout(1.0).callbacks.append(lambda e: order.append("b"))
+        sim.run()
+        assert order == ["a", "urgent", "b"]
+
+    def test_same_instant_append_revives_exhausted_bucket(self, sim):
+        """The last event of a bucket scheduling a zero-delay follow-up
+        appends to that same (exhausted) bucket — it must fire in this
+        run, in FIFO position, not be skimmed away."""
+        order = []
+
+        def tail(_evt):
+            order.append("tail")
+            sim.timeout(0.0).callbacks.append(lambda e: order.append("revived"))
+
+        sim.timeout(1.0).callbacks.append(tail)
+        sim.run()
+        assert order == ["tail", "revived"]
+        assert sim.now == 1.0
+
+    def test_pending_count_tracks_events_not_buckets(self, sim):
+        for _ in range(3):
+            sim.timeout(1.0)  # one bucket, three events
+        sim.timeout(2.0)
+        assert "pending=4" in repr(sim)
+        sim.run(until=1.0)
+        assert "pending=1" in repr(sim)
+        sim.run()
+        assert "pending=0" in repr(sim)
+
+    def test_peek_skips_exhausted_buckets(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(1.0)
+        sim.timeout(3.0)
+        sim.run(until=1.0)
+        assert sim.peek() == 3.0
+
+
 class TestRunUntilTriggered:
     def test_returns_event_value(self, sim):
         event = sim.timeout(2.0, value="payload")

@@ -1,0 +1,196 @@
+"""Property-based equivalence pins for the vectorized hot paths.
+
+The vectorization work (dirty-log batching, batched link outcome
+draws) promises **bit-for-bit** agreement with the scalar code it
+replaced — that promise is what keeps every committed benchmark
+fingerprint valid.  These properties attack the promise with randomised
+inputs instead of hand-picked cases:
+
+* ``unique_pages_batch`` must agree elementwise with the scalar
+  occupancy formula, including the fractional-touch clamp;
+* ``Link.draw_chunk_outcomes`` must consume the impairment
+  stream exactly like the historical per-chunk branch loop and return
+  the same verdicts;
+* ``DirtyLog.record_uniform_spread`` must leave the shared and
+  per-vCPU state bit-identical to the per-vCPU ``record_uniform``
+  loop it replaced, under arbitrary interleavings.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.link import Link
+from repro.hardware.nic import Nic
+from repro.simkernel import Simulation
+from repro.vm.dirty import DirtyLog, unique_pages, unique_pages_batch
+
+
+touch_counts = st.one_of(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0),  # fractional: the clamp
+    st.integers(min_value=0, max_value=10**9).map(float),
+    st.just(0.0),
+)
+
+
+class TestUniquePagesBatchAgreesWithScalar:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        chunk_pages=st.integers(min_value=1, max_value=1 << 20),
+        touches=st.lists(touch_counts, min_size=0, max_size=50),
+    )
+    def test_elementwise_bit_identical(self, chunk_pages, touches):
+        batched = unique_pages_batch(chunk_pages, np.array(touches))
+        scalar = [unique_pages(chunk_pages, k) for k in touches]
+        assert batched.shape == (len(touches),)
+        for got, expected in zip(batched.tolist(), scalar):
+            # Exact equality, not approx: both must run the same
+            # IEEE-754 operations.
+            assert got == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(touches=st.lists(touch_counts, min_size=1, max_size=20))
+    def test_never_exceeds_touches_or_chunk(self, touches):
+        chunk_pages = 512
+        batched = unique_pages_batch(chunk_pages, np.array(touches))
+        assert (batched <= np.array(touches)).all()
+        assert (batched <= chunk_pages).all()
+        assert (batched >= 0).all()
+
+
+def _scalar_outcome_loop(rng, count, loss_rate, corrupt_rate):
+    """The historical per-chunk branch loop, verbatim semantics."""
+    outcomes = []
+    for _ in range(count):
+        draw = rng.random()
+        if draw < loss_rate:
+            outcomes.append("lost")
+        elif draw < loss_rate + corrupt_rate:
+            outcomes.append("corrupt")
+        else:
+            outcomes.append("ok")
+    return outcomes
+
+
+class TestDrawChunkOutcomesMatchesScalarLoop:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        count=st.integers(min_value=1, max_value=200),
+        loss_rate=st.floats(min_value=0.0, max_value=1.0),
+        corrupt_share=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_same_stream_same_verdicts(
+        self, seed, count, loss_rate, corrupt_share
+    ):
+        corrupt_rate = (1.0 - loss_rate) * corrupt_share
+        nic = Nic(name="eth0", bandwidth_bps=10e9)
+
+        sim = Simulation(seed=seed)
+        link = Link(sim, nic, name="wire")
+        link.impair(loss_rate=loss_rate, corrupt_rate=corrupt_rate)
+        batched = link.draw_chunk_outcomes(count)
+
+        # Reference: identical named stream on a twin simulation, run
+        # through the historical scalar branches.
+        twin = Simulation(seed=seed)
+        rng = twin.random.stream("link.impair.wire")
+        expected = _scalar_outcome_loop(rng, count, loss_rate, corrupt_rate)
+
+        assert batched == expected
+        # Identical stream consumption: the next draw agrees too.
+        if loss_rate > 0.0 or corrupt_rate > 0.0:
+            assert link._impairment_rng().random() == rng.random()
+
+    def test_unimpaired_link_consumes_no_randomness(self):
+        sim = Simulation(seed=7)
+        link = Link(sim, Nic(name="eth0", bandwidth_bps=10e9),
+                           name="clean")
+        assert link.draw_chunk_outcomes(32) == ["ok"] * 32
+        twin = Simulation(seed=7)
+        assert (
+            sim.random.stream("link.impair.clean").random()
+            == twin.random.stream("link.impair.clean").random()
+        )
+
+
+#: One dirty-log operation: either a uniform spread over all vCPUs or
+#: a single-vCPU uniform record, with a random in-range chunk window.
+def _operations(n_chunks, n_vcpus):
+    windows = st.tuples(
+        st.integers(min_value=0, max_value=n_chunks - 1),
+        st.integers(min_value=1, max_value=n_chunks),
+    ).map(
+        lambda pair: (pair[0], min(pair[1], n_chunks - pair[0]))
+    )
+    spread = st.tuples(
+        st.just("spread"),
+        st.integers(min_value=1, max_value=n_vcpus),
+        windows,
+        st.floats(min_value=0.0, max_value=1e9),
+    )
+    single = st.tuples(
+        st.just("single"),
+        st.integers(min_value=0, max_value=n_vcpus - 1),
+        windows,
+        st.floats(min_value=0.0, max_value=1e9),
+    )
+    return st.lists(st.one_of(spread, single), min_size=1, max_size=12)
+
+
+class TestSpreadMatchesPerVcpuLoop:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=_operations(n_chunks=37, n_vcpus=5))
+    def test_bit_identical_state_under_interleaving(self, ops):
+        batched = DirtyLog(n_chunks=37, pages_per_chunk=512)
+        looped = DirtyLog(n_chunks=37, pages_per_chunk=512)
+        for kind, vcpus, (first, width), touches in ops:
+            if kind == "spread":
+                batched.record_uniform_spread(vcpus, first, width, touches)
+                for vcpu in range(vcpus):
+                    looped.record_uniform(vcpu, first, width, touches)
+            else:
+                batched.record_uniform(vcpus, first, width, touches)
+                looped.record_uniform(vcpus, first, width, touches)
+
+        ours, theirs = batched.peek(), looped.peek()
+        assert (ours.chunk_touches == theirs.chunk_touches).all()
+        # Same vCPU population in the same first-touch order (the
+        # order ``problematic_pages`` sums in).
+        assert list(ours.per_vcpu_touches) == list(theirs.per_vcpu_touches)
+        for vcpu, expected in theirs.per_vcpu_touches.items():
+            assert (ours.per_vcpu_touches[vcpu] == expected).all()
+        # Derived statistics follow bit-for-bit.
+        assert ours.unique_dirty_pages() == theirs.unique_dirty_pages()
+        assert ours.problematic_pages() == theirs.problematic_pages()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=_operations(n_chunks=37, n_vcpus=5))
+    def test_snapshot_and_clear_hands_off_identical_state(self, ops):
+        batched = DirtyLog(n_chunks=37, pages_per_chunk=512)
+        looped = DirtyLog(n_chunks=37, pages_per_chunk=512)
+        for kind, vcpus, (first, width), touches in ops:
+            if kind == "spread":
+                batched.record_uniform_spread(vcpus, first, width, touches)
+                for vcpu in range(vcpus):
+                    looped.record_uniform(vcpu, first, width, touches)
+            else:
+                batched.record_uniform(vcpus, first, width, touches)
+                looped.record_uniform(vcpus, first, width, touches)
+        ours = batched.snapshot_and_clear()
+        theirs = looped.snapshot_and_clear()
+        assert (ours.chunk_touches == theirs.chunk_touches).all()
+        assert list(ours.per_vcpu_touches) == list(theirs.per_vcpu_touches)
+        for vcpu, expected in theirs.per_vcpu_touches.items():
+            assert (ours.per_vcpu_touches[vcpu] == expected).all()
+        # Both logs are empty again and reusable.
+        assert batched.is_clean() and looped.is_clean()
+        batched.record_uniform_spread(2, 0, 4, 8.0)
+        looped.record_uniform(0, 0, 4, 8.0)
+        looped.record_uniform(1, 0, 4, 8.0)
+        assert (
+            batched.peek().chunk_touches == looped.peek().chunk_touches
+        ).all()
