@@ -26,6 +26,13 @@ from .model import (
     relative_change,
 )
 from .overhead import OverheadReport, measure_overhead
+from .recovery import (
+    blackout_comparison,
+    expected_blackout,
+    nines_per_policy,
+    policy_comparison_rows,
+    recovery_success_rate,
+)
 from .report import (
     format_value,
     render_bars,
@@ -44,18 +51,23 @@ __all__ = [
     "TimeSeries",
     "annual_downtime",
     "availability_nines",
+    "blackout_comparison",
     "checkpoint_degradation",
     "compare_availability",
     "double_failure_risk",
     "downtime_per_failure_unprotected",
     "estimate_alpha",
+    "expected_blackout",
     "format_value",
     "improvement_pct",
     "linear_fit",
     "load_results",
     "measure_overhead",
+    "nines_per_policy",
     "observed_availability_nines",
+    "policy_comparison_rows",
     "rate_of_progress",
+    "recovery_success_rate",
     "relative_change",
     "render_bars",
     "render_metrics",

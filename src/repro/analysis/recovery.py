@@ -1,0 +1,117 @@
+"""Recovery-policy analysis: pricing microreboot against failover.
+
+The ``repro.recovery`` subsystem produces per-incident telemetry
+(``recovery`` spans, blackouts, escalations); campaigns aggregate it
+into counts and windows.  This module turns those aggregates into the
+comparisons the three-way policy study reports: recovery-success
+rates, expected blackout under a success probability, and side-by-side
+policy rows built from same-seed campaign results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping
+
+from .availability import observed_availability_nines
+
+
+def recovery_success_rate(succeeded: int, attempted: int) -> float:
+    """Fraction of attempted microreboots that restored the VM.
+
+    NaN when nothing was attempted (a failover-only campaign), so
+    callers can distinguish "no data" from "everything failed".
+    """
+    if succeeded < 0 or attempted < 0:
+        raise ValueError("counts must be >= 0")
+    if succeeded > attempted:
+        raise ValueError(
+            f"succeeded ({succeeded}) cannot exceed attempted ({attempted})"
+        )
+    return succeeded / attempted if attempted else math.nan
+
+
+def expected_blackout(
+    success_prob: float,
+    recovery_blackout: float,
+    failover_mttr: float,
+) -> float:
+    """Expected per-incident blackout of the *hybrid* policy.
+
+    A successful microreboot costs its own blackout; a failed one pays
+    the microreboot time *and then* the failover MTTR on top — the
+    hybrid's downside is additive, which is why it only wins when the
+    success probability is high enough.
+    """
+    if not 0.0 <= success_prob <= 1.0:
+        raise ValueError(f"success_prob must be in [0, 1]: {success_prob}")
+    if recovery_blackout < 0 or failover_mttr < 0:
+        raise ValueError("blackout and MTTR must be >= 0")
+    return recovery_blackout + (1.0 - success_prob) * failover_mttr
+
+
+def blackout_comparison(
+    success_prob: float,
+    recovery_blackout: float,
+    failover_mttr: float,
+) -> List[Dict]:
+    """Expected-blackout rows for the three policies at one operating
+    point (analytic, not simulated — the campaign rows are the
+    measured counterpart).
+
+    Pure recover-in-place is priced at the recovery blackout for the
+    successful fraction and *unbounded* loss for the rest (rendered as
+    ``inf``): a failed microreboot with no fallback drops the VM.
+    """
+    hybrid = expected_blackout(success_prob, recovery_blackout, failover_mttr)
+    return [
+        {"policy": "failover", "expected_blackout_s": failover_mttr,
+         "vm_survives": 1.0},
+        {"policy": "recover-in-place",
+         "expected_blackout_s": (
+             recovery_blackout if success_prob == 1.0 else math.inf
+         ),
+         "vm_survives": success_prob},
+        {"policy": "hybrid", "expected_blackout_s": hybrid,
+         "vm_survives": 1.0},
+    ]
+
+
+def policy_comparison_rows(results: Mapping[str, object]) -> List[Dict]:
+    """Side-by-side rows from same-seed campaigns, one per policy.
+
+    ``results`` maps a policy name to the
+    :class:`~repro.faults.campaign.CampaignResult` of a campaign run
+    under that policy (same seed/config otherwise, so the fault
+    schedules are identical and the columns differ only by policy).
+    """
+    rows: List[Dict] = []
+    for policy, result in results.items():
+        rows.append({
+            "policy": policy,
+            "mean_mttr_s": result.mean_mttr,
+            "mean_unprotected_window_s": result.mean_unprotected_window,
+            "recoveries": result.total_recoveries,
+            "failed_recoveries": result.total_failed_recoveries,
+            "recovery_success_rate": result.recovery_success_rate,
+            "failovers": result.total_failovers,
+            "dropped_vms": result.total_dropped_vms,
+            "nines": result.pooled_nines,
+        })
+    return rows
+
+
+def nines_per_policy(
+    downtime_by_policy: Mapping[str, float], observed_seconds: float
+) -> Dict[str, float]:
+    """Availability nines for each policy over one observation span."""
+    if observed_seconds <= 0:
+        raise ValueError(
+            f"observed_seconds must be positive: {observed_seconds}"
+        )
+    return {
+        policy: observed_availability_nines(
+            max(downtime, 0.0), observed_seconds
+        )
+        for policy, downtime in downtime_by_policy.items()
+    }

@@ -56,6 +56,19 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _probability(text: str) -> float:
+    """argparse type: a float in the closed interval [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability in [0, 1], got {text}"
+        )
+    return value
+
+
 def _non_negative_int(text: str) -> int:
     """argparse type: an integer >= 0."""
     try:
@@ -166,11 +179,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded chaos campaign: faults -> failover -> re-protection",
     )
     chaos.add_argument(
-        "--preset", choices=["default", "lossy", "fleet"], default="default",
+        "--preset",
+        choices=["default", "lossy", "fleet", "recovery"],
+        default="default",
         help="'lossy' draws link impairments and runs the hardened "
              "transport (reliable chunked commit + degradation ladder); "
              "'fleet' runs each trial as a fleet-scale zone-outage "
-             "campaign on the sharded kernel",
+             "campaign on the sharded kernel; 'recovery' draws "
+             "hypervisor crashes/hangs and answers them with the "
+             "hybrid microreboot-then-failover policy",
     )
     chaos.add_argument("--zones", type=_positive_int, default=3,
                        help="fleet preset: availability zones")
@@ -201,6 +218,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--recovery-time", type=float, default=60.0,
                        help="seconds each trial runs after the fault window")
+    chaos.add_argument(
+        "--recovery-policy",
+        choices=["failover", "recover-in-place", "hybrid"], default=None,
+        help="answer to a dead primary hypervisor: replica failover "
+             "(default), ReHype-style in-place microreboot, or "
+             "microreboot with failover fallback (default under "
+             "--preset recovery: hybrid)",
+    )
+    chaos.add_argument(
+        "--recovery-success-prob", type=_probability, default=None,
+        help="override every fault class's microreboot success "
+             "probability with one value in [0, 1] (default: per-class "
+             "model — crash 0.88, hang 0.94, CVE 0.76)",
+    )
+    chaos.add_argument(
+        "--recovery-rebuild-min", type=_positive_float, default=0.15,
+        help="lower bound of the seeded hypervisor rebuild-time draw (s)",
+    )
+    chaos.add_argument(
+        "--recovery-rebuild-max", type=_positive_float, default=0.45,
+        help="upper bound of the seeded hypervisor rebuild-time draw (s)",
+    )
+    chaos.add_argument(
+        "--recovery-deadline", type=_positive_float, default=2.0,
+        help="escalate a microreboot still in flight after this long (s)",
+    )
     _add_trace_argument(chaos)
 
     fleet = subparsers.add_parser(
@@ -223,9 +266,15 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--faults", type=_positive_int, default=1)
     fleet.add_argument(
-        "--kind", choices=["zone-outage", "rack-outage"],
+        "--kind",
+        choices=[
+            "zone-outage", "rack-outage",
+            "hypervisor-crash", "hypervisor-hang",
+        ],
         default="zone-outage",
-        help="which correlated outage kind the campaign draws",
+        help="which fault kind the campaign draws: correlated outages "
+             "(zone/rack) or per-host hypervisor faults (the "
+             "microreboot-recoverable class)",
     )
     fleet.add_argument("--settle-time", type=_positive_float, default=3.0,
                        help="protection warm-up before the fault window")
@@ -238,6 +287,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--max-vms-per-link", type=_positive_int, default=None,
         help="link budget: VMs sharing one replication pair",
+    )
+    fleet.add_argument(
+        "--recovery-policy",
+        choices=["failover", "recover-in-place", "hybrid"],
+        default="failover",
+        help="fleet-wide answer to a dead primary hypervisor "
+             "(zone overrides are available on FleetSpec)",
     )
 
     sweep = subparsers.add_parser(
@@ -640,11 +696,20 @@ def _cmd_chaos(args) -> int:
     if args.preset == "fleet":
         return _run_fleet_chaos(args)
     lossy = args.preset == "lossy"
-    default_kinds = (
-        "link-loss,packet-corrupt,latency-jitter"
-        if lossy
-        else "host-crash,hypervisor-crash,hypervisor-hang,link-partition"
-    )
+    recovery = args.preset == "recovery"
+    if lossy:
+        default_kinds = "link-loss,packet-corrupt,latency-jitter"
+    elif recovery:
+        # Only in-place-recoverable faults: a dead host has no RAM to
+        # preserve, and a partition leaves nothing to microreboot.
+        default_kinds = "hypervisor-crash,hypervisor-hang"
+    else:
+        default_kinds = (
+            "host-crash,hypervisor-crash,hypervisor-hang,link-partition"
+        )
+    recovery_policy = args.recovery_policy
+    if recovery_policy is None:
+        recovery_policy = "hybrid" if recovery else "failover"
     degraded_misses = args.degraded_miss_threshold
     if degraded_misses is None and lossy:
         degraded_misses = max(12, args.miss_threshold)
@@ -665,6 +730,11 @@ def _cmd_chaos(args) -> int:
             recovery_time=args.recovery_time,
             reliable_transport=lossy,
             degraded_miss_threshold=degraded_misses,
+            recovery_policy=recovery_policy,
+            recovery_success_prob=args.recovery_success_prob,
+            recovery_rebuild_min=args.recovery_rebuild_min,
+            recovery_rebuild_max=args.recovery_rebuild_max,
+            recovery_deadline=args.recovery_deadline,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -702,6 +772,7 @@ def _cmd_chaos(args) -> int:
                 "trial": trial.index,
                 "faults": "; ".join(trial.faults) or "none",
                 "failovers": trial.failovers,
+                "recovered": trial.recoveries,
                 "dropped": trial.dropped_vms,
                 "mean unprotected (s)": (
                     sum(trial.unprotected_windows.values())
@@ -737,6 +808,7 @@ def _cmd_fleet(args) -> int:
             seed=args.seed,
             anti_affinity=args.anti_affinity,
             max_vms_per_link=args.max_vms_per_link,
+            recovery_policy=args.recovery_policy,
         )
         config = FleetCampaignConfig(
             spec=spec,

@@ -31,6 +31,12 @@ from ..hardware.host import Host
 from ..hardware.memory import MemorySpec
 from ..hardware.units import GIB
 from ..hypervisor import KvmHypervisor, XenHypervisor
+from ..recovery import (
+    MicrorebootConfig,
+    MicrorebootEngine,
+    RecoveryController,
+    RecoveryPolicy,
+)
 from ..replication.failover import FailoverController
 from ..replication.heartbeat import HeartbeatMonitor
 from ..replication.transport import DegradationController, TransportConfig
@@ -96,6 +102,21 @@ class CampaignConfig:
     workload: Optional[str] = None
     #: MemoryMicrobenchmark load factor when ``workload="membench"``.
     workload_load: float = 0.3
+    #: What a detected primary-hypervisor failure triggers:
+    #: ``"failover"`` (the historical default — replica activation +
+    #: re-seed, fingerprints unchanged), ``"recover-in-place"``
+    #: (ReHype-style microreboot, no fallback) or ``"hybrid"``
+    #: (microreboot first, failover when it fails or runs overdue).
+    recovery_policy: str = "failover"
+    #: Override every fault class's microreboot success probability
+    #: with one value in [0, 1]; ``None`` keeps the per-class defaults
+    #: (crash 0.88, hang 0.94, CVE-corrupted 0.76).
+    recovery_success_prob: Optional[float] = None
+    #: Uniform rebuild-time draw bounds for the microreboot (seconds).
+    recovery_rebuild_min: float = 0.15
+    recovery_rebuild_max: float = 0.45
+    #: Microreboots still in flight after this long are escalated.
+    recovery_deadline: float = 2.0
 
     def __post_init__(self):
         if self.trials < 1:
@@ -127,6 +148,41 @@ class CampaignConfig:
             raise ValueError(
                 f"workload_load must be in [0, 1]: {self.workload_load}"
             )
+        RecoveryPolicy.parse(self.recovery_policy)
+        if self.recovery_success_prob is not None and not (
+            0.0 <= self.recovery_success_prob <= 1.0
+        ):
+            raise ValueError(
+                "recovery_success_prob must be in [0, 1]: "
+                f"{self.recovery_success_prob}"
+            )
+        # MicrorebootConfig revalidates, but failing here names the
+        # campaign field the caller actually set.
+        for name in (
+            "recovery_rebuild_min", "recovery_rebuild_max",
+            "recovery_deadline",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
+        if self.recovery_rebuild_min > self.recovery_rebuild_max:
+            raise ValueError(
+                "recovery_rebuild_min must be <= recovery_rebuild_max: "
+                f"{self.recovery_rebuild_min} > {self.recovery_rebuild_max}"
+            )
+
+    def microreboot_config(self) -> MicrorebootConfig:
+        """The microreboot model this campaign's engines run."""
+        overrides = dict(
+            rebuild_time_min=self.recovery_rebuild_min,
+            rebuild_time_max=self.recovery_rebuild_max,
+            deadline=self.recovery_deadline,
+        )
+        if self.recovery_success_prob is not None:
+            return MicrorebootConfig.with_uniform_prob(
+                self.recovery_success_prob, **overrides
+            )
+        return MicrorebootConfig(**overrides)
 
 
 @dataclass
@@ -148,6 +204,14 @@ class TrialResult:
     failed_failovers: int = 0
     reprotections: int = 0
     failed_reprotections: int = 0
+    #: In-place recovery accounting (all zero under the default
+    #: ``failover`` policy, so historical trial payloads round-trip).
+    recovery_attempts: int = 0
+    recoveries: int = 0
+    failed_recoveries: int = 0
+    #: Per-VM blackout of an in-place recovery: detection -> guests
+    #: running again on the microrebooted hypervisor.
+    recovery_blackouts: Dict[str, float] = field(default_factory=dict)
     #: VMs that ended the trial with neither primary nor replica alive.
     dropped_vms: int = 0
     observed_seconds: float = 0.0
@@ -232,6 +296,29 @@ class CampaignResult:
         return observed_availability_nines(downtime, observed)
 
     @property
+    def total_recovery_attempts(self) -> int:
+        return sum(trial.recovery_attempts for trial in self.trials)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(trial.recoveries for trial in self.trials)
+
+    @property
+    def total_failed_recoveries(self) -> int:
+        return sum(trial.failed_recoveries for trial in self.trials)
+
+    @property
+    def recovery_success_rate(self) -> float:
+        """Fraction of microreboot attempts that restored the VM."""
+        attempts = self.total_recovery_attempts
+        return self.total_recoveries / attempts if attempts else math.nan
+
+    @property
+    def mean_recovery_blackout(self) -> float:
+        values = self._all("recovery_blackouts")
+        return sum(values) / len(values) if values else math.nan
+
+    @property
     def total_retransmits(self) -> int:
         return sum(trial.retransmits for trial in self.trials)
 
@@ -263,12 +350,26 @@ class CampaignResult:
             "reprotections": self.total_reprotections,
             "retransmits": self.total_retransmits,
             "fencing_rejections": self.total_fencing_rejections,
+            "recoveries": self.total_recoveries,
+            "failed_recoveries": self.total_failed_recoveries,
+            "mean_recovery_blackout": _finite(self.mean_recovery_blackout),
             "pooled_nines": round(self.pooled_nines, 6)
             if math.isfinite(self.pooled_nines)
             else "inf",
         }
 
     def summary_rows(self) -> List[dict]:
+        recovery_rows = []
+        if self.config.recovery_policy != RecoveryPolicy.FAILOVER.value:
+            recovery_rows = [
+                {"metric": "in-place recoveries (ok/failed)",
+                 "value": f"{self.total_recoveries}/"
+                          f"{self.total_failed_recoveries}"},
+                {"metric": "recovery success rate",
+                 "value": self.recovery_success_rate},
+                {"metric": "mean recovery blackout (s)",
+                 "value": self.mean_recovery_blackout},
+            ]
         transport_rows = []
         if self.config.reliable_transport:
             transport_rows = [
@@ -295,7 +396,7 @@ class CampaignResult:
             {"metric": "max unprotected window (s)",
              "value": self.max_unprotected_window},
             {"metric": "availability (nines)", "value": self.pooled_nines},
-        ] + transport_rows
+        ] + recovery_rows + transport_rows
 
 
 class ChaosCampaign:
@@ -400,6 +501,9 @@ class ChaosCampaign:
         )
         fleet.start_protection(wait_ready=True)
 
+        policy = RecoveryPolicy.parse(config.recovery_policy)
+        microreboots: Dict[str, MicrorebootEngine] = {}
+        gates: List[RecoveryController] = []
         controllers = {}
         degradation_controllers = []
         for vm_name, engine in fleet.engines.items():
@@ -432,7 +536,28 @@ class ChaosCampaign:
                 degradation = DegradationController(sim, engine)
                 degradation.start()
                 degradation_controllers.append(degradation)
-            failover = FailoverController(sim, engine, monitor)
+            # Under a recovery policy the failover controller watches
+            # the gate instead of the raw detector: suspicion is
+            # withheld while a microreboot is in flight and only
+            # propagated per policy.  One microreboot engine per
+            # primary host — co-located VMs share the attempt.
+            detector_surface = monitor
+            if policy is not RecoveryPolicy.FAILOVER:
+                host_name = engine.primary.host.name
+                microreboot = microreboots.get(host_name)
+                if microreboot is None:
+                    microreboot = MicrorebootEngine(
+                        sim, engine.primary,
+                        config=config.microreboot_config(),
+                    )
+                    microreboots[host_name] = microreboot
+                gate = RecoveryController(
+                    sim, engine, monitor, microreboot, policy=policy
+                )
+                gate.start()
+                gates.append(gate)
+                detector_surface = gate
+            failover = FailoverController(sim, engine, detector_surface)
             failover.arm()
             reprotection = ReprotectionController(
                 sim,
@@ -473,6 +598,8 @@ class ChaosCampaign:
         # trial's bus (and a --trace file), not at garbage collection.
         for degradation in degradation_controllers:
             degradation.stop()
+        for gate in gates:
+            gate.stop()
         for _monitor, _failover, reprotection in controllers.values():
             _monitor.stop()
             if reprotection.engine is not None:
@@ -546,6 +673,31 @@ class ChaosCampaign:
             trial.unprotected_windows[vm_name] = span.attrs.get(
                 "unprotected_window", span.duration
             )
+        # In-place recovery incidents (one span per VM per detection;
+        # co-located VMs share the microreboot but are priced apart,
+        # exactly like failovers).  A recovered VM was dark from the
+        # fault until its guests resumed on the rebuilt hypervisor; the
+        # escalated/abandoned outcomes are priced by the failover and
+        # dropped-VM paths below.
+        for span in recorder.spans("recovery"):
+            if not span.attrs.get("attempted"):
+                continue
+            trial.recovery_attempts += 1
+            vm_name = span.attrs.get("vm", "")
+            if span.attrs.get("outcome") == "recovered":
+                trial.recoveries += 1
+                blackout = span.attrs.get("blackout", span.duration)
+                trial.recovery_blackouts[vm_name] = blackout
+                caused_by = fault_before(span.started_at)
+                outage = (
+                    span.ended_at - caused_by
+                    if caused_by is not None
+                    else blackout
+                )
+                trial.mttr[vm_name] = outage
+                trial.downtime_seconds += outage
+            else:
+                trial.failed_recoveries += 1
 
         # Downtime accounting: a failed-over VM was dark from the fault
         # until replica activation; a dropped VM stays dark to the end.

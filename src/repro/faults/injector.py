@@ -159,6 +159,13 @@ class FaultInjector:
                 return f"host {spec.target} runs no hypervisor: fault is a no-op"
             if kind is FaultKind.HYPERVISOR_CRASH:
                 hypervisor.crash(reason)
+                if hypervisor.guest_preservation:
+                    # A recovery engine armed preservation: the crash
+                    # paused the guests in RAM instead of killing them.
+                    return (
+                        f"{hypervisor.product} crashed: {reason} "
+                        "(guests preserved in RAM)"
+                    )
                 return f"{hypervisor.product} crashed: {reason}"
             if kind is FaultKind.HYPERVISOR_HANG:
                 hypervisor.hang(reason)

@@ -59,12 +59,16 @@ class FleetCampaignConfig:
                 "is ambiguous (their targets differ) — pick one"
             )
         allowed = ZONE_KINDS | {
-            FaultKind.HOST_CRASH, FaultKind.HOST_TRANSIENT
+            FaultKind.HOST_CRASH,
+            FaultKind.HOST_TRANSIENT,
+            FaultKind.HYPERVISOR_CRASH,
+            FaultKind.HYPERVISOR_HANG,
         }
         unknown = set(self.kinds) - allowed
         if unknown:
             raise ValueError(
-                "fleet campaigns inject domain/host power faults only, "
+                "fleet campaigns inject domain/host power faults and "
+                "hypervisor crash/hang only, "
                 f"not {sorted(k.value for k in unknown)}"
             )
 
@@ -88,6 +92,10 @@ class FleetCampaignResult:
     failovers: int = 0
     failed_failovers: int = 0
     secondary_losses: int = 0
+    #: In-place microreboot recoveries (zones running a recovery
+    #: policy; zero under the fleet-wide failover default).
+    recoveries: int = 0
+    failed_recoveries: int = 0
     reprotections: int = 0
     failed_reprotections: int = 0
     dropped_vms: int = 0
@@ -131,6 +139,8 @@ class FleetCampaignResult:
             "failovers": self.failovers,
             "failed_failovers": self.failed_failovers,
             "secondary_losses": self.secondary_losses,
+            "recoveries": self.recoveries,
+            "failed_recoveries": self.failed_recoveries,
             "reprotections": self.reprotections,
             "failed_reprotections": self.failed_reprotections,
             "dropped_vms": self.dropped_vms,
@@ -152,6 +162,7 @@ class FleetCampaignResult:
             "events_processed": float(self.events_processed),
             "quanta": float(self.quanta_executed),
             "failovers": float(self.failovers),
+            "recoveries": float(self.recoveries),
             "reprotections": float(self.reprotections),
             "dropped_vms": float(self.dropped_vms),
             "enqueued": float(self.enqueued),
@@ -174,6 +185,8 @@ class FleetCampaignResult:
             {"metric": "failovers (ok/failed)",
              "value": f"{self.failovers}/{self.failed_failovers}"},
             {"metric": "secondary losses", "value": self.secondary_losses},
+            {"metric": "in-place recoveries (ok/failed)",
+             "value": f"{self.recoveries}/{self.failed_recoveries}"},
             {"metric": "re-protections (ok/failed)",
              "value": f"{self.reprotections}/{self.failed_reprotections}"},
             {"metric": "queue enqueued/admitted/deferred",
@@ -243,6 +256,18 @@ class FleetCampaign:
                 if rack != "spare"
             ]
         grid_hosts = [name for name, _, _, _ in spec.grid_hosts]
+        hypervisor_kinds = {
+            FaultKind.HYPERVISOR_CRASH, FaultKind.HYPERVISOR_HANG
+        }
+        if set(config.kinds) & hypervisor_kinds:
+            # Hypervisor faults aim at the *primary* (Xen) side — that
+            # is the hypervisor the detectors watch and the recovery
+            # policy can microreboot.
+            grid_hosts = [
+                name
+                for name, flavor, _, _ in spec.grid_hosts
+                if flavor == "xen"
+            ]
         return FaultSchedule.random(
             orchestrator.fleet_sim.random.stream("fleet.chaos"),
             hosts=grid_hosts,
@@ -279,6 +304,8 @@ class FleetCampaign:
         result.failovers = orchestrator.failovers
         result.failed_failovers = orchestrator.failed_failovers
         result.secondary_losses = orchestrator.secondary_losses
+        result.recoveries = orchestrator.recoveries
+        result.failed_recoveries = orchestrator.failed_recoveries
         for record in orchestrator.reprotections:
             if record.failed:
                 result.failed_reprotections += 1
@@ -309,6 +336,18 @@ class FleetCampaign:
                     downtime += end - report.detected_at
                 elif math.isfinite(report.resumption_time):
                     downtime += report.resumption_time
+            for gate in shard.gates.values():
+                recovery = gate.report
+                if recovery is None:
+                    continue
+                if recovery.recovered:
+                    # Dark from detection until the microrebooted
+                    # hypervisor resumed its guests.
+                    downtime += recovery.blackout
+                elif not recovery.escalated:
+                    # Pure recover-in-place loss: dark to the end (the
+                    # escalated case is priced by its failover report).
+                    downtime += end - recovery.detected_at
         result.observed_seconds = (end - start) * spec.vms
         result.downtime_seconds = downtime
         result.nines = observed_availability_nines(

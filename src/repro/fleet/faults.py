@@ -37,6 +37,14 @@ _HOST_POWER_KINDS = frozenset(
     {FaultKind.HOST_CRASH, FaultKind.HOST_TRANSIENT}
 )
 
+#: Hypervisor-scale kinds: the host's power stays on (guest RAM
+#: survives), only the hypervisor dies — the faults an in-place
+#: recovery policy can answer.  Fans out to every shard
+#: materialization of the target host's hypervisor.
+_HYPERVISOR_KINDS = frozenset(
+    {FaultKind.HYPERVISOR_CRASH, FaultKind.HYPERVISOR_HANG}
+)
+
 
 class FleetFaultInjector:
     """Expands zone/rack outages into per-host failures at boundaries."""
@@ -66,7 +74,7 @@ class FleetFaultInjector:
                     f"host (zones: {self.orchestrator.topology.zones()})"
                 )
             return
-        if spec.kind in _HOST_POWER_KINDS:
+        if spec.kind in _HOST_POWER_KINDS or spec.kind in _HYPERVISOR_KINDS:
             if spec.target not in self.orchestrator.logical:
                 raise KeyError(
                     f"unknown host target {spec.target!r} "
@@ -74,9 +82,9 @@ class FleetFaultInjector:
                 )
             return
         raise ValueError(
-            f"the fleet injector handles zone/rack outages and host "
-            f"power faults, not {spec.kind.value} — arm per-shard "
-            "faults through a shard's own FaultInjector"
+            f"the fleet injector handles zone/rack outages, host power "
+            f"faults and hypervisor crash/hang, not {spec.kind.value} — "
+            "arm per-shard faults through a shard's own FaultInjector"
         )
 
     def _domain_hosts(self, spec: FaultSpec) -> List[str]:
@@ -101,8 +109,12 @@ class FleetFaultInjector:
             hosts = [spec.target]
         reason = spec.reason or f"injected {spec.kind.value}"
         blast = 0
-        for host_name in hosts:
-            blast += self._fail_host(host_name, reason)
+        if spec.kind in _HYPERVISOR_KINDS:
+            for host_name in hosts:
+                blast += self._fail_hypervisor(host_name, spec.kind, reason)
+        else:
+            for host_name in hosts:
+                blast += self._fail_host(host_name, reason)
         record = InjectedFault(
             spec,
             self.sim.now,
@@ -131,6 +143,33 @@ class FleetFaultInjector:
                     "fleet.fault.reverted", 1.0,
                     kind=spec.kind.value, target=spec.target,
                 )
+
+    def _fail_hypervisor(
+        self, host_name: str, kind: FaultKind, reason: str
+    ) -> int:
+        """Crash/hang every shard materialization of one hypervisor.
+
+        Shard-local only: the host stays up in the planning model, so
+        the planner keeps treating it as alive — exactly right, since
+        a microreboot (or full reboot) can bring it back without
+        re-provisioning.
+        """
+        orchestrator = self.orchestrator
+        count = 0
+        for shard, host in orchestrator.materializations.get(host_name, []):
+            candidates = [shard.primary, shard.secondary]
+            candidates.extend(shard.spares.values())
+            for hypervisor in candidates:
+                if hypervisor.host is not host:
+                    continue
+                if not hypervisor.is_responsive:
+                    continue  # already dead in this shard
+                if kind is FaultKind.HYPERVISOR_CRASH:
+                    hypervisor.crash(reason)
+                else:
+                    hypervisor.hang(reason)
+                count += 1
+        return count
 
     def _fail_host(self, host_name: str, reason: str) -> int:
         """Fail the logical host and every shard materialization."""

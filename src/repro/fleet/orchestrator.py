@@ -40,6 +40,11 @@ from ..hardware.link import LinkPair
 from ..hardware.memory import MemorySpec
 from ..hypervisor import registry
 from ..hypervisor.base import Hypervisor
+from ..recovery import (
+    MicrorebootEngine,
+    RecoveryController,
+    RecoveryPolicy,
+)
 from ..replication.engine import ReplicationEngine
 from ..replication.failover import FailoverController
 from ..replication.heartbeat import HeartbeatMonitor
@@ -67,6 +72,12 @@ class PairShard:
     engines: Dict[str, ReplicationEngine] = field(default_factory=dict)
     monitors: Dict[str, HeartbeatMonitor] = field(default_factory=dict)
     failovers: Dict[str, FailoverController] = field(default_factory=dict)
+    #: In-place microreboot engine for the shard's primary hypervisor
+    #: (None when the zone's policy is plain failover).
+    microreboot: Optional[MicrorebootEngine] = None
+    #: Recovery gates between each VM's monitor and failover
+    #: controller, keyed by VM name.
+    gates: Dict[str, RecoveryController] = field(default_factory=dict)
     #: Spare hypervisors materialized into this shard for re-seeding,
     #: keyed by logical host name.
     spares: Dict[str, Hypervisor] = field(default_factory=dict)
@@ -148,7 +159,10 @@ class FleetOrchestrator:
         self.failovers = 0
         self.failed_failovers = 0
         self.secondary_losses = 0
+        self.recoveries = 0
+        self.failed_recoveries = 0
         self._handled: set = set()
+        self._escalations: set = set()
         self._started = False
 
     # -- construction --------------------------------------------------------
@@ -257,6 +271,10 @@ class FleetOrchestrator:
         self._started = True
         for shard_name in self.sharded.shard_names():
             shard = self.shards[shard_name]
+            # Per-zone policy: the zone of the shard's *primary* host
+            # decides how its VMs answer a dead hypervisor.
+            zone = self.topology.zone_of(shard.primary.host.name)
+            policy = RecoveryPolicy.parse(self.spec.policy_for_zone(zone))
             for vm_name in sorted(shard.engines):
                 engine = shard.engines[vm_name]
                 engine.start(vm_name)
@@ -269,7 +287,22 @@ class FleetOrchestrator:
                     miss_threshold=self.spec.miss_threshold,
                 )
                 monitor.start()
-                failover = FailoverController(shard.sim, engine, monitor)
+                detector_surface = monitor
+                if policy is not RecoveryPolicy.FAILOVER:
+                    if shard.microreboot is None:
+                        shard.microreboot = MicrorebootEngine(
+                            shard.sim, shard.primary
+                        )
+                    gate = RecoveryController(
+                        shard.sim, engine, monitor, shard.microreboot,
+                        policy=policy,
+                    )
+                    gate.start()
+                    shard.gates[vm_name] = gate
+                    detector_surface = gate
+                failover = FailoverController(
+                    shard.sim, engine, detector_surface
+                )
                 failover.arm()
                 shard.monitors[vm_name] = monitor
                 shard.failovers[vm_name] = failover
@@ -333,6 +366,60 @@ class FleetOrchestrator:
                 engine = shard.engines[vm_name]
                 failover = shard.failovers.get(vm_name)
                 report = failover.report if failover is not None else None
+                gate = shard.gates.get(vm_name)
+                recovery = gate.report if gate is not None else None
+                if recovery is not None and recovery.recovered:
+                    # The microreboot restored the VM in place and the
+                    # engine re-armed incrementally: redundancy is back
+                    # without touching the spare pool.  Recorded as a
+                    # re-protection so the window statistics price both
+                    # paths with the same accounting.
+                    self._handled.add(vm_name)
+                    self.recoveries += 1
+                    self.reprotections.append(
+                        ReprotectionRecord(
+                            vm_name=vm_name,
+                            shard_name=shard_name,
+                            spare_host="(in-place)",
+                            detected_at=recovery.detected_at,
+                            ready_at=recovery.resolved_at,
+                            unprotected_window=recovery.unprotected_window,
+                        )
+                    )
+                    bus = self.fleet_sim.telemetry
+                    if bus.enabled:
+                        bus.counter(
+                            "fleet.vm.recovered", 1.0,
+                            vm=vm_name, shard=shard_name,
+                        )
+                    continue
+                if recovery is not None and not recovery.escalated:
+                    # Pure recover-in-place that did not recover (a
+                    # failed microreboot, or nothing to microreboot —
+                    # e.g. the whole host lost power): the gate never
+                    # propagates, so no failover will ever happen — the
+                    # VM is lost by policy.
+                    self._handled.add(vm_name)
+                    if recovery.attempted:
+                        self.failed_recoveries += 1
+                    self._drop(
+                        vm_name,
+                        shard,
+                        "in-place recovery failed: "
+                        f"{recovery.failure_reason}",
+                    )
+                    continue
+                if (
+                    recovery is not None
+                    and recovery.escalated
+                    and recovery.attempted
+                ):
+                    # Hybrid fallback in flight: count the failed
+                    # attempt once, then let the failover report drive
+                    # the normal re-protection path below.
+                    if vm_name not in self._escalations:
+                        self._escalations.add(vm_name)
+                        self.failed_recoveries += 1
                 if report is not None:
                     self._handled.add(vm_name)
                     if report.failed:
@@ -568,6 +655,8 @@ class FleetOrchestrator:
     def halt(self, reason: str = "fleet halted") -> None:
         """Stop every engine and monitor (campaign teardown)."""
         for shard in self.shards.values():
+            for gate in shard.gates.values():
+                gate.stop()
             for monitor in shard.monitors.values():
                 monitor.stop()
             for engine in shard.engines.values():

@@ -56,6 +56,14 @@ class FleetSpec:
     #: (0.999 = "three nines"); it widens re-protection admission and
     #: tightens checkpoint intervals when the fleet falls below it.
     availability_slo: float = 0.999
+    # -- recovery knobs ------------------------------------------------------
+    #: Fleet-wide answer to a dead primary hypervisor: ``"failover"``
+    #: (the historical default), ``"recover-in-place"`` or ``"hybrid"``
+    #: (see :class:`~repro.recovery.spec.RecoveryPolicy`).
+    recovery_policy: str = "failover"
+    #: Per-zone overrides as ``(zone, policy)`` pairs — e.g. run
+    #: ``hybrid`` fleet-wide but keep a canary zone on pure failover.
+    zone_recovery_policies: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self):
         for name in ("zones", "racks_per_zone", "hosts_per_rack", "vms"):
@@ -81,6 +89,17 @@ class FleetSpec:
                 "the grid has no Xen hosts to primary VMs on — "
                 "hosts_per_rack must include even (Xen) slots"
             )
+        from ..recovery import RecoveryPolicy
+
+        RecoveryPolicy.parse(self.recovery_policy)
+        zones = set(self.zone_names)
+        for zone, policy in self.zone_recovery_policies:
+            if zone not in zones:
+                raise ValueError(
+                    f"zone_recovery_policies names unknown zone {zone!r}; "
+                    f"the grid has {sorted(zones)}"
+                )
+            RecoveryPolicy.parse(policy)
 
     # -- derived layout ------------------------------------------------------
     @property
@@ -122,3 +141,10 @@ class FleetSpec:
     @property
     def zone_names(self) -> List[str]:
         return [f"z{z}" for z in range(self.zones)]
+
+    def policy_for_zone(self, zone: str) -> str:
+        """The recovery policy VMs primaried in ``zone`` run under."""
+        for name, policy in self.zone_recovery_policies:
+            if name == zone:
+                return policy
+        return self.recovery_policy

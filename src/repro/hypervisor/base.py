@@ -64,6 +64,20 @@ class Hypervisor:
         #: Multiplier applied to toolstack operation latencies when
         #: starved (resource-exhaustion DoS outcome).
         self.starvation_factor = 1.0
+        #: ReHype-style preservation (armed by
+        #: :class:`repro.recovery.MicrorebootEngine`): when True, a
+        #: hypervisor-core :meth:`crash` pauses guests in place instead
+        #: of destroying them — their pages and vCPU state stay
+        #: resident so an in-place microreboot can resume them.  Host
+        #: power loss still destroys guests: RAM does not survive it.
+        self.guest_preservation = False
+        #: Fault kind of the last failure, tagged onto the reboot span
+        #: ("hypervisor-crash" | "hypervisor-hang" |
+        #: "hypervisor-starve" | "host-power-loss").
+        self.last_fault_kind: Optional[str] = None
+        #: Simulation time of the last failure (None while healthy).
+        self.failed_at: Optional[float] = None
+        self._outage_span = None
         #: Listeners notified as ``listener(hypervisor, state, reason)``.
         self._failure_listeners: List = []
         #: ``id(record) -> (record, parsed state)`` reuse across guest
@@ -232,13 +246,26 @@ class Hypervisor:
         self._failure_listeners.append(listener)
 
     def crash(self, reason: str) -> None:
-        """The hypervisor core crashes; every guest dies with it."""
+        """The hypervisor core crashes.
+
+        Without :attr:`guest_preservation`, every guest dies with it.
+        With preservation armed (the ReHype premise: a hypervisor-core
+        failure needn't scribble guest memory), guests are paused in
+        place exactly as under a :meth:`hang` — pages and
+        ``VcpuArchState`` stay resident for an in-place microreboot.
+        """
         if self.state is HypervisorState.CRASHED:
             return
         self.state = HypervisorState.CRASHED
         self.failure_reason = reason
-        for vm in self.vms.values():
-            vm.destroy()
+        self._mark_failure("hypervisor-crash", reason)
+        if self.guest_preservation:
+            for vm in self.vms.values():
+                if vm.is_running:
+                    vm.pause()
+        else:
+            for vm in self.vms.values():
+                vm.destroy()
         self._notify_failure(reason)
 
     def hang(self, reason: str) -> None:
@@ -248,6 +275,7 @@ class Hypervisor:
             return
         self.state = HypervisorState.HUNG
         self.failure_reason = reason
+        self._mark_failure("hypervisor-hang", reason)
         for vm in self.vms.values():
             if vm.is_running:
                 vm.pause()
@@ -262,38 +290,112 @@ class Hypervisor:
         self.state = HypervisorState.STARVED
         self.failure_reason = reason
         self.starvation_factor = factor
+        self._mark_failure("hypervisor-starve", reason)
         self._notify_failure(reason)
 
     def host_power_lost(self, reason: str) -> None:
-        """Called by the host when it fails underneath us."""
+        """Called by the host when it fails underneath us.
+
+        RAM does not survive a power loss, so guests are destroyed even
+        when :attr:`guest_preservation` is armed — there is nothing
+        left for a microreboot to resume.
+        """
         if self.state is HypervisorState.CRASHED:
             return
         self.state = HypervisorState.CRASHED
         self.failure_reason = f"host power lost: {reason}"
+        self._mark_failure("host-power-loss", self.failure_reason)
         for vm in self.vms.values():
             vm.destroy()
         self._notify_failure(self.failure_reason)
+
+    def _mark_failure(self, fault_kind: str, reason: str) -> None:
+        """Record the failure class and open the outage-spanning span.
+
+        The span is ended by :meth:`reboot`, so its duration is the
+        failure -> reboot outage; a hypervisor that never reboots emits
+        no record (spans only materialise when ended).
+        """
+        self.last_fault_kind = fault_kind
+        self.failed_at = self.sim.now
+        self._outage_span = self.sim.telemetry.span(
+            "hypervisor.reboot",
+            host=self.host.name,
+            flavor=self.flavor,
+            fault=fault_kind,
+            failure_reason=reason,
+        )
 
     def host_power_restored(self, reason: str) -> None:
         """Called by the host when power returns after an outage."""
         self.reboot(f"host power restored: {reason}")
 
-    def reboot(self, reason: str = "reboot") -> None:
-        """Restart a failed hypervisor into an empty, healthy state.
+    def abandon_preserved_guests(self, reason: str) -> None:
+        """A failed microreboot: the preserved guests are lost after all.
 
-        Guests do not survive: whatever :meth:`crash`/:meth:`hang` left
-        behind is destroyed and its memory released, mirroring a real
-        reboot wiping RAM.  A responsive hypervisor reboots too (losing
-        its guests), so transient host faults can use one code path.
+        The rebuilt structures never came up consistent, so the paused
+        guests can never be resumed — they are destroyed in place.  The
+        hypervisor stays in its failed state; only a full
+        :meth:`reboot` (or host power cycle) brings it back.
         """
-        for name, vm in list(self.vms.items()):
+        for vm in self.vms.values():
             if not vm.is_destroyed:
                 vm.destroy()
-            self.host.memory_pool.release(f"vm:{name}")
-        self.vms.clear()
+        self.sim.telemetry.counter(
+            "hypervisor.guests_abandoned", 1.0, host=self.host.name,
+            flavor=self.flavor, reason=reason,
+        )
+
+    def reboot(self, reason: str = "reboot", preserve_guests: bool = False) -> None:
+        """Restart a failed hypervisor into a healthy state.
+
+        By default guests do not survive: whatever
+        :meth:`crash`/:meth:`hang` left behind is destroyed and its
+        memory released, mirroring a real reboot wiping RAM.  A
+        responsive hypervisor reboots too (losing its guests), so
+        transient host faults can use one code path.
+
+        With ``preserve_guests=True`` (the microreboot path — see
+        :mod:`repro.recovery`) guests that survived the outage paused
+        in memory come back running: only the hypervisor structures
+        were torn down and rebuilt around them.  Guests destroyed
+        before or during the outage stay gone.
+        """
+        preserved = 0
+        if preserve_guests:
+            for name, vm in list(self.vms.items()):
+                if vm.is_destroyed:
+                    del self.vms[name]
+                    self.host.memory_pool.release(f"vm:{name}")
+            for vm in self.vms.values():
+                if vm.is_paused:
+                    vm.resume()
+                preserved += 1
+        else:
+            for name, vm in list(self.vms.items()):
+                if not vm.is_destroyed:
+                    vm.destroy()
+                self.host.memory_pool.release(f"vm:{name}")
+            self.vms.clear()
         self.state = HypervisorState.RUNNING
         self.failure_reason = None
         self.starvation_factor = 1.0
+        span = self._outage_span
+        if span is None:
+            # Rebooted while healthy (transient host fault path): emit
+            # a zero-duration span so the reboot still shows on the bus.
+            span = self.sim.telemetry.span(
+                "hypervisor.reboot", host=self.host.name,
+                flavor=self.flavor, fault="none", failure_reason="",
+            )
+        span.end(
+            reboot_reason=reason,
+            preserve_guests=preserve_guests,
+            preserved_vms=preserved,
+        )
+        self._outage_span = None
+        self.last_fault_kind = None
+        self.failed_at = None
         self.sim.telemetry.counter(
             "hypervisor.reboot", 1.0, host=self.host.name,
             flavor=self.flavor, reason=reason,

@@ -1,0 +1,39 @@
+"""In-place hypervisor recovery: ReHype-style microreboot as a policy.
+
+The paper answers every hypervisor failure with failover to the
+heterogeneous replica.  ReHype showed the failed hypervisor can instead
+be microrebooted *in place* — guest pages and vCPU state preserved,
+hypervisor structures rebuilt — trading the failover's re-protection
+window for a recovery-success probability below one.  This package
+makes that trade a first-class, seeded policy choice:
+
+* :class:`MicrorebootEngine` (:mod:`repro.recovery.microreboot`) —
+  the seeded preserve/rebuild/outcome sequence on one hypervisor;
+* :class:`RecoveryController` (:mod:`repro.recovery.policy`) — the
+  monitor-compatible gate wiring detector suspicion to microreboot,
+  failover, or both (``hybrid``);
+* :class:`RecoveryPolicy` / :class:`MicrorebootConfig`
+  (:mod:`repro.recovery.spec`) — the declarative surface, including
+  the failure-class-dependent success probabilities (crash vs hang vs
+  CVE-corrupted state, per ReHype's latent-corruption caveat).
+"""
+
+from .microreboot import MicrorebootEngine, MicrorebootReport
+from .policy import RecoveryController, RecoveryReport
+from .spec import (
+    FAULT_CLASSES,
+    MicrorebootConfig,
+    RecoveryPolicy,
+    classify_failure,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "MicrorebootConfig",
+    "MicrorebootEngine",
+    "MicrorebootReport",
+    "RecoveryController",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "classify_failure",
+]

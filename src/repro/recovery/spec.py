@@ -1,0 +1,150 @@
+"""Declarative surface of the in-place recovery subsystem.
+
+ReHype ("Resilient Virtualized Systems Using ReHype") showed a failed
+hypervisor can be *microrebooted in place*: guest memory pages and vCPU
+state are preserved across the reboot while the hypervisor's own
+structures are torn down and rebuilt.  The price is a recovery-success
+probability strictly below one — rebuilt structures inherit whatever
+latent corruption the failure left behind, and a failure induced by an
+exploited CVE is *more* likely to have corrupted state that survives
+the rebuild than a fail-stop crash.
+
+This module holds the policy enum and the seeded microreboot model the
+:class:`~repro.recovery.microreboot.MicrorebootEngine` draws from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..hypervisor.base import Hypervisor, HypervisorState
+
+
+class RecoveryPolicy(Enum):
+    """What the control plane does when the primary hypervisor dies.
+
+    * ``failover`` — the paper's answer: activate the heterogeneous
+      replica, then re-seed a fresh backup on a spare (big unprotected
+      window, always works while the secondary is alive);
+    * ``recover-in-place`` — ReHype's answer: microreboot the failed
+      hypervisor under the preserved guests (near-zero window, but a
+      failed microreboot has **no fallback** — the VM is lost);
+    * ``hybrid`` — microreboot first; a failed or overdue microreboot
+      falls back to failover + re-protection.
+    """
+
+    FAILOVER = "failover"
+    RECOVER_IN_PLACE = "recover-in-place"
+    HYBRID = "hybrid"
+
+    @classmethod
+    def parse(cls, value) -> "RecoveryPolicy":
+        """A policy, its string value, or raise a helpful ValueError."""
+        if isinstance(value, RecoveryPolicy):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown recovery policy {value!r}; expected one of "
+                f"{[policy.value for policy in cls]}"
+            ) from None
+
+
+#: Fault classes a microreboot outcome is conditioned on.
+FAULT_CLASSES = ("crash", "hang", "cve")
+
+
+def classify_failure(hypervisor: Hypervisor) -> str:
+    """The microreboot fault class of a failed hypervisor.
+
+    A failure whose reason names a CVE (the
+    :class:`~repro.security.exploits.ExploitInjector` reason format)
+    is ``"cve"`` regardless of the observable outcome — ReHype's
+    latent-corruption caveat is about *why* the hypervisor died, not
+    how it looked.  Otherwise the state decides: crashed -> ``"crash"``,
+    hung or starved -> ``"hang"`` (both leave structures intact but
+    wedged).  A responsive hypervisor has no class (``"none"``).
+    """
+    reason = hypervisor.failure_reason or ""
+    if hypervisor.state is HypervisorState.RUNNING:
+        return "none"
+    if "CVE-" in reason:
+        return "cve"
+    if hypervisor.state is HypervisorState.CRASHED:
+        return "crash"
+    return "hang"
+
+
+@dataclass(frozen=True)
+class MicrorebootConfig:
+    """Seeded model of one in-place hypervisor microreboot.
+
+    Times are seconds of simulation time.  The rebuild time is drawn
+    uniformly from ``[rebuild_time_min, rebuild_time_max]`` — ReHype
+    reports sub-second Xen microreboots (~0.7 s), an order of magnitude
+    under a full re-seed.  Success probabilities are per fault class
+    (see :func:`classify_failure`); the CVE class is lowest because an
+    exploit-corrupted heap is the canonical latent-corruption case.
+    """
+
+    #: Pinning guest frames + snapshotting ``VcpuArchState`` before the
+    #: hypervisor structures are torn down.
+    preserve_time: float = 0.02
+    rebuild_time_min: float = 0.15
+    rebuild_time_max: float = 0.45
+    success_prob_crash: float = 0.88
+    success_prob_hang: float = 0.94
+    success_prob_cve: float = 0.76
+    #: After this many seconds a recovery still in flight is declared
+    #: overdue and the policy escalates (hybrid -> failover).
+    deadline: float = 2.0
+
+    def __post_init__(self):
+        if self.preserve_time < 0:
+            raise ValueError(
+                f"preserve_time must be >= 0: {self.preserve_time}"
+            )
+        for name in ("rebuild_time_min", "rebuild_time_max", "deadline"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
+        if self.rebuild_time_min > self.rebuild_time_max:
+            raise ValueError(
+                "rebuild_time_min must be <= rebuild_time_max: "
+                f"{self.rebuild_time_min} > {self.rebuild_time_max}"
+            )
+        for name in (
+            "success_prob_crash", "success_prob_hang", "success_prob_cve"
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+    def success_prob(self, fault_class: str) -> float:
+        """Recovery-success probability for one fault class."""
+        try:
+            return {
+                "crash": self.success_prob_crash,
+                "hang": self.success_prob_hang,
+                "cve": self.success_prob_cve,
+            }[fault_class]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault class {fault_class!r}; "
+                f"expected one of {FAULT_CLASSES}"
+            ) from None
+
+    @classmethod
+    def with_uniform_prob(
+        cls, success_prob: float, **overrides
+    ) -> "MicrorebootConfig":
+        """Every fault class at one probability (the CLI override)."""
+        return cls(
+            success_prob_crash=success_prob,
+            success_prob_hang=success_prob,
+            success_prob_cve=success_prob,
+            **overrides,
+        )

@@ -166,18 +166,83 @@ def here_reprotection_exposure(
     )
 
 
+def microreboot_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    success_prob: float = 0.76,
+    blackout: float = 0.5,
+) -> ExposureReport:
+    """Pure in-place recovery (ReHype): no replica at all.
+
+    Each attack costs the microreboot blackout when the rebuild comes
+    up consistent, and a full reboot-scale outage when latent
+    corruption survives — per ReHype's caveat, exploit-corrupted state
+    is exactly the case with the *lowest* success probability, so this
+    strategy is priced with the CVE-class default.  Exposure lasts as
+    long as patching's: nothing here removes the vulnerability.
+    """
+    if not 0.0 <= success_prob <= 1.0:
+        raise ValueError(f"success_prob must be in [0, 1]: {success_prob}")
+    if blackout < 0:
+        raise ValueError("blackout must be >= 0")
+    return ExposureReport(
+        strategy="recover-in-place",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=success_prob * blackout
+        + (1.0 - success_prob) * attacker.outage_per_attack,
+    )
+
+
+def hybrid_recovery_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    success_prob: float = 0.76,
+    blackout: float = 0.5,
+    recovery_time: float = 0.1,
+    unprotected_window: float = 10.0,
+) -> ExposureReport:
+    """Hybrid: microreboot first, HERE failover as the fallback.
+
+    A successful microreboot costs its blackout and restores redundancy
+    incrementally (the replica kept its last acked epoch, so no re-seed
+    window worth pricing).  A failed one degenerates to the measured
+    HERE failover + re-protection cost — the fallback is what caps the
+    downside the pure policy pays in full.
+    """
+    if not 0.0 <= success_prob <= 1.0:
+        raise ValueError(f"success_prob must be in [0, 1]: {success_prob}")
+    if blackout < 0:
+        raise ValueError("blackout must be >= 0")
+    fallback = here_reprotection_exposure(
+        timeline, attacker,
+        recovery_time=recovery_time,
+        unprotected_window=unprotected_window,
+    )
+    return ExposureReport(
+        strategy="hybrid (microreboot + HERE)",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=success_prob * blackout
+        + (1.0 - success_prob) * fallback.outage_per_attack,
+    )
+
+
 def compare_strategies(
     timeline: VulnerabilityTimeline,
     attacker: AttackerModel,
     transplant_time: float = 60.0,
     here_recovery_time: float = 0.1,
     here_unprotected_window: Optional[float] = None,
+    recovery_success_prob: Optional[float] = None,
+    recovery_blackout: float = 0.5,
 ) -> List[Dict]:
     """Rows for the related-work exposure table.
 
     Pass ``here_unprotected_window`` (a measured re-protection window,
     seconds) to append the fourth row pricing HERE's post-failover
-    0-redundancy period.
+    0-redundancy period.  Pass ``recovery_success_prob`` (and
+    optionally a measured ``recovery_blackout``) to append the
+    in-place-recovery column pair: pure ReHype microreboot and the
+    hybrid microreboot-then-failover policy.
     """
     reports = [
         patching_exposure(timeline, attacker),
@@ -193,6 +258,27 @@ def compare_strategies(
                 unprotected_window=here_unprotected_window,
             )
         )
+    if recovery_success_prob is not None:
+        reports.append(
+            microreboot_exposure(
+                timeline, attacker,
+                success_prob=recovery_success_prob,
+                blackout=recovery_blackout,
+            )
+        )
+        reports.append(
+            hybrid_recovery_exposure(
+                timeline, attacker,
+                success_prob=recovery_success_prob,
+                blackout=recovery_blackout,
+                recovery_time=here_recovery_time,
+                unprotected_window=(
+                    here_unprotected_window
+                    if here_unprotected_window is not None
+                    else 10.0
+                ),
+            )
+        )
     return [
         {
             "strategy": report.strategy,
@@ -201,4 +287,89 @@ def compare_strategies(
             "expected_outage_s": report.expected_outage(attacker),
         }
         for report in reports
+    ]
+
+
+def cve_success_prob(outcome, config=None) -> float:
+    """Microreboot success probability for one CVE-induced failure.
+
+    Every exploit-induced failure is the ``cve`` fault class (latent
+    corruption is about *why* the hypervisor died), but the observable
+    outcome still grades the rebuild's odds: a Crash means the exploit
+    already smashed state hard enough to trip a fatal check, while a
+    Hang or Starvation leaves structures intact-but-wedged, so the
+    rebuild starts from cleaner wreckage — priced at the midpoint of
+    the ``cve`` and ``hang`` class probabilities.
+    """
+    from ..recovery import MicrorebootConfig
+    from .nvd import PostAttackOutcome
+
+    config = config or MicrorebootConfig()
+    if outcome in (PostAttackOutcome.HANG, PostAttackOutcome.STARVATION):
+        return (config.success_prob_cve + config.success_prob_hang) / 2.0
+    return config.success_prob_cve
+
+
+def corpus_recovery_comparison(
+    database,
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    product: str = "Xen",
+    config=None,
+    transplant_time: float = 60.0,
+    here_recovery_time: float = 0.1,
+    here_unprotected_window: float = 10.0,
+) -> List[Dict]:
+    """Mean per-strategy expected outage across a product's DoS CVEs.
+
+    Runs :func:`compare_strategies` once per DoS-only CVE affecting
+    ``product`` — each with that record's outcome-graded microreboot
+    success probability (:func:`cve_success_prob`) — and averages the
+    expected outage per strategy.  The recovery blackout is the
+    microreboot model's own expectation (preserve + mean rebuild).
+    """
+    from ..recovery import MicrorebootConfig
+
+    config = config or MicrorebootConfig()
+    records = list(database.for_product(product).dos_only())
+    if not records:
+        raise ValueError(f"no DoS-only CVEs for product {product!r}")
+    blackout = config.preserve_time + (
+        config.rebuild_time_min + config.rebuild_time_max
+    ) / 2.0
+    totals: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for record in records:
+        rows = compare_strategies(
+            timeline,
+            attacker,
+            transplant_time=transplant_time,
+            here_recovery_time=here_recovery_time,
+            here_unprotected_window=here_unprotected_window,
+            recovery_success_prob=cve_success_prob(record.outcome, config),
+            recovery_blackout=blackout,
+        )
+        for row in rows:
+            strategy = row["strategy"]
+            if strategy not in totals:
+                totals[strategy] = {
+                    "exposed_days": 0.0,
+                    "outage_per_attack_s": 0.0,
+                    "expected_outage_s": 0.0,
+                }
+                order.append(strategy)
+            for key in totals[strategy]:
+                totals[strategy][key] += row[key]
+    count = len(records)
+    return [
+        {
+            "strategy": strategy,
+            "cves": count,
+            "exposed_days": totals[strategy]["exposed_days"] / count,
+            "outage_per_attack_s": totals[strategy]["outage_per_attack_s"]
+            / count,
+            "expected_outage_s": totals[strategy]["expected_outage_s"]
+            / count,
+        }
+        for strategy in order
     ]

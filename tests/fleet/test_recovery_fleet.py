@@ -1,0 +1,120 @@
+"""Per-zone recovery policies and hypervisor faults at fleet scale."""
+
+import pytest
+
+from repro.faults import FaultKind
+from repro.fleet import FleetCampaign, FleetCampaignConfig, FleetSpec
+from repro.hardware.units import MIB
+
+
+def spec(**overrides):
+    defaults = dict(
+        zones=3,
+        racks_per_zone=1,
+        hosts_per_rack=2,
+        spares=3,
+        vms=6,
+        vm_memory_bytes=128 * MIB,
+        quantum=0.5,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def config(**kwargs):
+    spec_kwargs = kwargs.pop("spec_kwargs", {})
+    defaults = dict(
+        spec=spec(**spec_kwargs),
+        settle_time=3.0,
+        fault_window=4.0,
+        recovery_time=25.0,
+        faults=2,
+        kinds=(FaultKind.HYPERVISOR_CRASH,),
+    )
+    defaults.update(kwargs)
+    return FleetCampaignConfig(**defaults)
+
+
+class TestSpecValidation:
+    def test_policy_parsed_and_defaulted(self):
+        assert spec().recovery_policy == "failover"
+        assert spec(recovery_policy="hybrid").recovery_policy == "hybrid"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            spec(recovery_policy="reboot-harder")
+
+    def test_zone_override_must_name_a_real_zone(self):
+        with pytest.raises(ValueError, match="zone"):
+            spec(zone_recovery_policies=(("atlantis", "hybrid"),))
+
+    def test_zone_override_policy_validated(self):
+        with pytest.raises(ValueError):
+            spec(zone_recovery_policies=(("z0", "psychic"),))
+
+    def test_policy_for_zone_resolves_overrides(self):
+        fleet = spec(
+            recovery_policy="failover",
+            zone_recovery_policies=(("z1", "hybrid"),),
+        )
+        assert fleet.policy_for_zone("z0") == "failover"
+        assert fleet.policy_for_zone("z1") == "hybrid"
+
+
+class TestHypervisorFaultCampaign:
+    def test_hybrid_recovers_in_place_at_fleet_scale(self):
+        result = FleetCampaign(
+            config(spec_kwargs=dict(recovery_policy="hybrid"))
+        ).run()
+        assert result.recoveries + result.failed_recoveries > 0
+        assert result.dropped_vms == 0
+        fingerprint = result.fingerprint()
+        assert "recoveries" in fingerprint
+        assert "failed_recoveries" in fingerprint
+
+    def test_hybrid_dominates_failover_on_unprotected_window(self):
+        failover = FleetCampaign(config()).run()
+        hybrid = FleetCampaign(
+            config(spec_kwargs=dict(recovery_policy="hybrid"))
+        ).run()
+        # Same seed, same fault schedule: the only difference is the
+        # policy, and in-place recovery shrinks the exposure.
+        assert hybrid.recoveries > 0
+        assert (
+            hybrid.mean_unprotected_window
+            < failover.mean_unprotected_window
+        )
+
+    def test_same_seed_same_fingerprint(self):
+        build = lambda: config(  # noqa: E731
+            spec_kwargs=dict(recovery_policy="hybrid")
+        )
+        assert (
+            FleetCampaign(build()).run().fingerprint()
+            == FleetCampaign(build()).run().fingerprint()
+        )
+
+    def test_host_power_faults_ignore_the_recovery_policy(self):
+        # A zone outage kills hosts: RAM is gone, nothing to preserve,
+        # so hybrid degenerates to failover exactly.
+        failover = FleetCampaign(
+            config(kinds=(FaultKind.ZONE_OUTAGE,), faults=1)
+        ).run()
+        hybrid = FleetCampaign(
+            config(
+                kinds=(FaultKind.ZONE_OUTAGE,),
+                faults=1,
+                spec_kwargs=dict(recovery_policy="hybrid"),
+            )
+        ).run()
+        assert hybrid.recoveries == 0
+        assert hybrid.failovers == failover.failovers
+        assert hybrid.dropped_vms == failover.dropped_vms
+
+    def test_default_policy_reports_zero_recoveries(self):
+        result = FleetCampaign(config()).run()
+        assert result.recoveries == 0
+        assert result.failed_recoveries == 0
+        # Hypervisor faults without a recovery policy still fail over.
+        assert result.failovers > 0

@@ -1,0 +1,106 @@
+"""Reboot telemetry and guest preservation across a microreboot."""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import XenHypervisor
+from repro.simkernel import Simulation
+from repro.telemetry import Recorder
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation(seed=0)
+    recorder = Recorder.attach(sim.telemetry)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    return sim, recorder, xen
+
+
+class TestRebootSpan:
+    def test_span_covers_failure_to_reboot_with_fault_kind(self, setup):
+        sim, recorder, xen = setup
+        xen.crash("test crash")
+        sim.run(until=1.5)
+        xen.reboot("operator reset")
+        spans = recorder.spans("hypervisor.reboot")
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.duration == pytest.approx(1.5)
+        assert span.attrs["fault"] == "hypervisor-crash"
+        assert span.attrs["failure_reason"] == "test crash"
+        assert span.attrs["reboot_reason"] == "operator reset"
+        assert span.attrs["preserve_guests"] is False
+
+    def test_each_failure_class_is_labelled(self, setup):
+        sim, recorder, xen = setup
+        xen.hang("wedged")
+        xen.reboot()
+        xen.starve("dos", factor=4.0)
+        xen.reboot()
+        faults = [
+            s.attrs["fault"] for s in recorder.spans("hypervisor.reboot")
+        ]
+        assert faults == ["hypervisor-hang", "hypervisor-starve"]
+
+    def test_healthy_reboot_emits_zero_duration_span(self, setup):
+        _sim, recorder, xen = setup
+        xen.reboot("planned maintenance")
+        spans = recorder.spans("hypervisor.reboot")
+        assert len(spans) == 1
+        assert spans[0].duration == 0.0
+        assert spans[0].attrs["fault"] == "none"
+
+    def test_no_span_while_still_down(self, setup):
+        sim, recorder, xen = setup
+        xen.crash("test crash")
+        sim.run(until=5.0)
+        assert recorder.spans("hypervisor.reboot") == []
+
+
+class TestGuestPreservation:
+    def test_preserving_reboot_resumes_paused_guests(self, setup):
+        _sim, recorder, xen = setup
+        xen.guest_preservation = True
+        vm = xen.create_vm("vm-0", memory_bytes=GIB)
+        vm.start()
+        xen.crash("test crash")
+        assert vm.is_paused
+        xen.reboot("microreboot", preserve_guests=True)
+        assert vm.is_running
+        assert xen.is_running_normally
+        span = recorder.spans("hypervisor.reboot")[-1]
+        assert span.attrs["preserve_guests"] is True
+        assert span.attrs["preserved_vms"] == 1
+
+    def test_preserving_reboot_drops_already_destroyed_guests(self, setup):
+        _sim, _rec, xen = setup
+        xen.guest_preservation = True
+        vm = xen.create_vm("vm-0", memory_bytes=GIB)
+        vm.start()
+        free_before = xen.host.memory_pool.free_bytes
+        vm.destroy()
+        xen.crash("test crash")
+        xen.reboot("microreboot", preserve_guests=True)
+        assert "vm-0" not in xen.vms
+        assert xen.host.memory_pool.free_bytes == free_before + GIB
+
+    def test_abandoning_guests_destroys_them_in_place(self, setup):
+        _sim, recorder, xen = setup
+        xen.guest_preservation = True
+        vm = xen.create_vm("vm-0", memory_bytes=GIB)
+        vm.start()
+        xen.crash("test crash")
+        xen.abandon_preserved_guests("latent corruption")
+        assert vm.is_destroyed
+        assert not xen.is_responsive  # still needs a full reboot
+        counters = recorder.counters("hypervisor.guests_abandoned")
+        assert len(counters) == 1
+
+    def test_power_loss_defeats_preservation(self, setup):
+        _sim, _rec, xen = setup
+        xen.guest_preservation = True
+        vm = xen.create_vm("vm-0", memory_bytes=GIB)
+        vm.start()
+        xen.host.fail("power cut")
+        assert vm.is_destroyed

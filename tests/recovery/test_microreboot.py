@@ -1,0 +1,141 @@
+"""The seeded in-place microreboot engine."""
+
+import math
+
+import pytest
+
+from repro.hardware.host import Host
+from repro.hypervisor import XenHypervisor
+from repro.recovery import MicrorebootConfig, MicrorebootEngine
+from repro.simkernel.core import Simulation
+from repro.telemetry import Recorder
+
+
+def build(seed=3, **config_kwargs):
+    sim = Simulation(seed=seed)
+    recorder = Recorder.attach(sim.telemetry)
+    hypervisor = XenHypervisor(sim, Host(sim, "xen-0"))
+    vm = hypervisor.create_vm("vm-0", vcpus=2, memory_bytes=1 << 28, seed=seed)
+    vm.start()
+    config = MicrorebootConfig(**config_kwargs) if config_kwargs else None
+    engine = MicrorebootEngine(sim, hypervisor, config=config)
+    return sim, recorder, hypervisor, vm, engine
+
+
+def run_outcome(sim, event):
+    sim.run_until_triggered(event)
+    return event.value
+
+
+class TestArming:
+    def test_arming_turns_on_guest_preservation(self):
+        _sim, _rec, hypervisor, _vm, _engine = build()
+        assert hypervisor.guest_preservation
+
+    def test_crash_pauses_instead_of_destroying(self):
+        _sim, _rec, hypervisor, vm, _engine = build()
+        hypervisor.crash("test crash")
+        assert vm.is_paused
+        assert not vm.is_destroyed
+
+
+class TestSuccessPath:
+    def test_successful_microreboot_resumes_guests(self):
+        sim, recorder, hypervisor, vm, engine = build(
+            success_prob_crash=1.0
+        )
+        hypervisor.crash("test crash")
+        report = run_outcome(sim, engine.request("test"))
+        assert report.success
+        assert report.fault_class == "crash"
+        assert report.preserved_vms == 1
+        assert hypervisor.is_running_normally
+        assert vm.is_running
+        spans = recorder.spans("recovery.microreboot")
+        assert len(spans) == 1
+        assert spans[0].attrs["success"] is True
+        # The whole attempt took preserve + rebuild simulated seconds.
+        config = engine.config
+        assert report.completed_at - report.requested_at == pytest.approx(
+            config.preserve_time + report.rebuild_time
+        )
+        assert (
+            config.rebuild_time_min
+            <= report.rebuild_time
+            <= config.rebuild_time_max
+        )
+
+    def test_request_after_recovery_resolves_immediately(self):
+        sim, _rec, hypervisor, _vm, engine = build(success_prob_crash=1.0)
+        hypervisor.crash("test crash")
+        first = run_outcome(sim, engine.request("test"))
+        again = engine.request("late watcher")
+        assert again.triggered and again.value is first
+        assert engine.attempts == 1
+
+
+class TestFailurePath:
+    def test_failed_microreboot_abandons_guests(self):
+        sim, recorder, hypervisor, vm, engine = build(
+            success_prob_crash=0.0
+        )
+        hypervisor.crash("test crash")
+        report = run_outcome(sim, engine.request("test"))
+        assert not report.success
+        assert "latent corruption" in report.failure_reason
+        assert vm.is_destroyed
+        assert not hypervisor.is_responsive
+        assert engine.failures == 1
+        counters = recorder.counters("recovery.failed")
+        assert len(counters) == 1
+
+    def test_shared_attempt_between_watchers(self):
+        sim, _rec, hypervisor, _vm, engine = build(success_prob_crash=1.0)
+        hypervisor.crash("test crash")
+        first = engine.request("watcher-a")
+        second = engine.request("watcher-b")
+        assert first is second
+        run_outcome(sim, first)
+        assert engine.attempts == 1
+
+    def test_cancel_aborts_the_attempt(self):
+        sim, _rec, hypervisor, vm, engine = build(success_prob_crash=1.0)
+        hypervisor.crash("test crash")
+        outcome = engine.request("test")
+        sim.run(until=sim.now + engine.config.preserve_time / 2)
+        engine.cancel("deadline")
+        report = run_outcome(sim, outcome)
+        assert not report.success
+        assert "aborted" in report.failure_reason
+        assert not hypervisor.is_responsive
+
+    def test_responsive_hypervisor_is_a_no_op_failure(self):
+        sim, _rec, _hypervisor, _vm, engine = build()
+        report = run_outcome(sim, engine.request("false alarm"))
+        assert not report.success
+        assert report.fault_class == "none"
+        assert math.isnan(report.rebuild_time)
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome_sequence(self):
+        def sequence(seed):
+            sim, _rec, hypervisor, _vm, engine = build(
+                seed=seed, success_prob_crash=0.5
+            )
+            outcomes = []
+            for _ in range(6):
+                hypervisor.crash("again")
+                report = run_outcome(sim, engine.request("test"))
+                outcomes.append((report.success, report.rebuild_time))
+                if not hypervisor.is_responsive:
+                    hypervisor.reboot("reset for next round")
+                    vm = hypervisor.create_vm(
+                        f"vm-{len(outcomes)}", vcpus=1,
+                        memory_bytes=1 << 28, seed=seed,
+                    )
+                    vm.start()
+            return outcomes
+
+        assert sequence(11) == sequence(11)
+        assert sequence(11) != sequence(12)

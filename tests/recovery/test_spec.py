@@ -1,0 +1,96 @@
+"""RecoveryPolicy, fault classification and the microreboot model."""
+
+import pytest
+
+from repro.hardware.host import Host
+from repro.hypervisor import XenHypervisor
+from repro.recovery import (
+    FAULT_CLASSES,
+    MicrorebootConfig,
+    RecoveryPolicy,
+    classify_failure,
+)
+from repro.simkernel.core import Simulation
+
+
+def xen(seed=1):
+    sim = Simulation(seed=seed)
+    return sim, XenHypervisor(sim, Host(sim, "xen-0"))
+
+
+class TestRecoveryPolicy:
+    def test_parse_round_trips_values(self):
+        for policy in RecoveryPolicy:
+            assert RecoveryPolicy.parse(policy.value) is policy
+            assert RecoveryPolicy.parse(policy) is policy
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="failover"):
+            RecoveryPolicy.parse("reboot-harder")
+
+
+class TestClassifyFailure:
+    def test_running_hypervisor_has_no_class(self):
+        _sim, hv = xen()
+        assert classify_failure(hv) == "none"
+
+    def test_crash_hang_and_starve(self):
+        _sim, hv = xen()
+        hv.crash("oops")
+        assert classify_failure(hv) == "crash"
+        _sim, hv = xen()
+        hv.hang("wedged")
+        assert classify_failure(hv) == "hang"
+        _sim, hv = xen()
+        hv.starve("dos", factor=8.0)
+        assert classify_failure(hv) == "hang"
+
+    def test_cve_reason_wins_over_observable_state(self):
+        # ReHype's caveat: an exploit-induced crash carries latent
+        # corruption regardless of how it looked.
+        _sim, hv = xen()
+        hv.crash("exploited CVE-2015-3456 (VENOM)")
+        assert classify_failure(hv) == "cve"
+
+
+class TestMicrorebootConfig:
+    def test_defaults_valid_and_ordered(self):
+        config = MicrorebootConfig()
+        # CVE-corrupted state is the hardest rebuild, hangs the easiest.
+        assert (
+            config.success_prob_cve
+            < config.success_prob_crash
+            < config.success_prob_hang
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(preserve_time=-0.1),
+            dict(rebuild_time_min=0.0),
+            dict(rebuild_time_max=float("inf")),
+            dict(rebuild_time_min=0.5, rebuild_time_max=0.2),
+            dict(deadline=0.0),
+            dict(success_prob_crash=1.5),
+            dict(success_prob_hang=-0.1),
+            dict(success_prob_cve=2.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MicrorebootConfig(**kwargs)
+
+    def test_success_prob_lookup(self):
+        config = MicrorebootConfig()
+        assert config.success_prob("crash") == config.success_prob_crash
+        assert config.success_prob("hang") == config.success_prob_hang
+        assert config.success_prob("cve") == config.success_prob_cve
+        with pytest.raises(ValueError, match="fault class"):
+            config.success_prob("meteor")
+
+    def test_uniform_prob_covers_every_class(self):
+        config = MicrorebootConfig.with_uniform_prob(0.5, deadline=3.0)
+        assert all(
+            config.success_prob(cls) == 0.5 for cls in FAULT_CLASSES
+        )
+        assert config.deadline == 3.0

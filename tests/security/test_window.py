@@ -154,3 +154,135 @@ class TestReprotectionExposure:
         # worse, but it still dominates the alternatives.
         assert measured["expected_outage_s"] >= here["expected_outage_s"]
         assert measured["expected_outage_s"] < rows[0]["expected_outage_s"]
+
+
+class TestRecoveryExposure:
+    def test_microreboot_blends_blackout_and_full_outage(self):
+        from repro.security import microreboot_exposure
+
+        report = microreboot_exposure(
+            TIMELINE, ATTACKER, success_prob=0.8, blackout=0.5
+        )
+        assert report.strategy == "recover-in-place"
+        # Vulnerable for as long as patching: nothing is removed.
+        assert report.exposed_seconds == pytest.approx(111 * DAY)
+        assert report.outage_per_attack == pytest.approx(
+            0.8 * 0.5 + 0.2 * ATTACKER.outage_per_attack
+        )
+
+    def test_certain_success_costs_only_the_blackout(self):
+        from repro.security import microreboot_exposure
+
+        report = microreboot_exposure(
+            TIMELINE, ATTACKER, success_prob=1.0, blackout=0.5
+        )
+        assert report.outage_per_attack == pytest.approx(0.5)
+
+    def test_hybrid_caps_the_failure_branch_at_here_cost(self):
+        from repro.security import (
+            here_reprotection_exposure,
+            hybrid_recovery_exposure,
+            microreboot_exposure,
+        )
+
+        kwargs = dict(success_prob=0.76, blackout=0.5)
+        pure = microreboot_exposure(TIMELINE, ATTACKER, **kwargs)
+        hybrid = hybrid_recovery_exposure(
+            TIMELINE, ATTACKER, recovery_time=0.1,
+            unprotected_window=10.0, **kwargs
+        )
+        fallback = here_reprotection_exposure(
+            TIMELINE, ATTACKER, recovery_time=0.1, unprotected_window=10.0
+        )
+        # The fallback turns the (1-p) full-outage branch into the
+        # (1-p) failover branch: strictly cheaper per attack.
+        assert hybrid.outage_per_attack < pure.outage_per_attack
+        assert hybrid.outage_per_attack == pytest.approx(
+            0.76 * 0.5 + 0.24 * fallback.outage_per_attack
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(success_prob=1.5), dict(blackout=-1.0)],
+    )
+    def test_validation(self, kwargs):
+        from repro.security import hybrid_recovery_exposure, microreboot_exposure
+
+        with pytest.raises(ValueError):
+            microreboot_exposure(TIMELINE, ATTACKER, **kwargs)
+        with pytest.raises(ValueError):
+            hybrid_recovery_exposure(TIMELINE, ATTACKER, **kwargs)
+
+    def test_compare_strategies_grows_recovery_rows(self):
+        rows = compare_strategies(
+            TIMELINE, ATTACKER,
+            here_unprotected_window=10.0,
+            recovery_success_prob=0.76,
+        )
+        strategies = [row["strategy"] for row in rows]
+        assert strategies[-2:] == [
+            "recover-in-place",
+            "hybrid (microreboot + HERE)",
+        ]
+        by_name = {row["strategy"]: row for row in rows}
+        # Hybrid beats pure in-place recovery, HERE beats both (it
+        # does not leave the primary down for the rebuild).
+        assert (
+            by_name["hybrid (microreboot + HERE)"]["expected_outage_s"]
+            < by_name["recover-in-place"]["expected_outage_s"]
+        )
+        assert (
+            by_name["hybrid (microreboot + HERE)"]["expected_outage_s"]
+            < by_name["patching"]["expected_outage_s"]
+        )
+
+
+class TestCveSuccessProb:
+    def test_outcome_grades_the_rebuild_odds(self):
+        from repro.recovery import MicrorebootConfig
+        from repro.security import cve_success_prob
+        from repro.security.nvd import PostAttackOutcome
+
+        config = MicrorebootConfig()
+        crash = cve_success_prob(PostAttackOutcome.CRASH, config)
+        hang = cve_success_prob(PostAttackOutcome.HANG, config)
+        starve = cve_success_prob(PostAttackOutcome.STARVATION, config)
+        assert crash == config.success_prob_cve
+        assert hang == starve
+        assert crash < hang < config.success_prob_hang
+
+    def test_unknown_outcome_uses_the_cve_class(self):
+        from repro.recovery import MicrorebootConfig
+        from repro.security import cve_success_prob
+
+        assert cve_success_prob(None) == MicrorebootConfig().success_prob_cve
+
+
+class TestCorpusRecoveryComparison:
+    def test_averages_across_the_xen_dos_corpus(self):
+        from repro.security import (
+            build_default_database,
+            corpus_recovery_comparison,
+        )
+
+        database = build_default_database()
+        rows = corpus_recovery_comparison(database, TIMELINE, ATTACKER)
+        strategies = [row["strategy"] for row in rows]
+        assert "recover-in-place" in strategies
+        assert "hybrid (microreboot + HERE)" in strategies
+        count = rows[0]["cves"]
+        assert count > 0
+        assert all(row["cves"] == count for row in rows)
+        by_name = {row["strategy"]: row for row in rows}
+        assert (
+            by_name["hybrid (microreboot + HERE)"]["expected_outage_s"]
+            < by_name["recover-in-place"]["expected_outage_s"]
+        )
+
+    def test_empty_corpus_rejected(self):
+        from repro.security import VulnerabilityDatabase, corpus_recovery_comparison
+
+        with pytest.raises(ValueError, match="no DoS-only CVEs"):
+            corpus_recovery_comparison(
+                VulnerabilityDatabase(), TIMELINE, ATTACKER
+            )

@@ -396,3 +396,78 @@ class TestFleetArgumentValidation:
         with pytest.raises(SystemExit):
             main(["fleet", "--quantum", "fast"])
         assert "not a number" in capsys.readouterr().err
+
+
+class TestRecoveryCli:
+    def test_recovery_preset_prints_recovery_rows(self, capsys):
+        assert main([
+            "chaos", "--preset", "recovery", "--trials", "1", "--seed", "7",
+            "--vms", "1", "--recovery-time", "20",
+            "--recovery-success-prob", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "in-place recoveries (ok/failed)" in out
+        assert "recovered" in out
+        assert "hypervisor-crash" in out or "hypervisor-hang" in out
+
+    def test_explicit_policy_without_preset(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "hypervisor-crash", "--recovery-time", "20",
+            "--recovery-policy", "hybrid",
+        ]) == 0
+        assert "recovery success rate" in capsys.readouterr().out
+
+    def test_default_campaign_has_no_recovery_rows(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+        ]) == 0
+        assert "in-place recoveries" not in capsys.readouterr().out
+
+    def test_success_prob_above_one_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--recovery-success-prob", "1.5"])
+        assert excinfo.value.code == 2
+        assert "probability in [0, 1]" in capsys.readouterr().err
+
+    def test_success_prob_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--recovery-success-prob", "-0.2"])
+        assert "probability in [0, 1]" in capsys.readouterr().err
+
+    def test_success_prob_rejects_non_numeric(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--recovery-success-prob", "likely"])
+        assert "not a number" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["--recovery-rebuild-min", "--recovery-rebuild-max",
+         "--recovery-deadline"],
+    )
+    def test_negative_rebuild_times_rejected(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            main(["chaos", flag, "-1"])
+        assert "positive number" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--recovery-policy", "reboot-harder"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_inverted_rebuild_bounds_exit(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--recovery-policy", "hybrid",
+            "--recovery-rebuild-min", "0.9",
+            "--recovery-rebuild-max", "0.3",
+        ]) == 2
+        assert "rebuild" in capsys.readouterr().err
+
+    def test_fleet_accepts_recovery_policy(self, capsys):
+        assert main([
+            "fleet", "--zones", "2", "--vms", "4", "--seed", "5",
+            "--faults", "2", "--kind", "hypervisor-crash",
+            "--recovery-policy", "hybrid",
+        ]) == 0
+        assert "in-place recoveries" in capsys.readouterr().out
