@@ -41,6 +41,11 @@ from .report import (
     render_table,
 )
 from .series import TimeSeries, rate_of_progress
+from .serving import (
+    hedging_improvement_pct,
+    slo_attainment,
+    strategy_comparison_rows,
+)
 
 __all__ = [
     "AvailabilityComparison",
@@ -59,6 +64,7 @@ __all__ = [
     "estimate_alpha",
     "expected_blackout",
     "format_value",
+    "hedging_improvement_pct",
     "improvement_pct",
     "linear_fit",
     "load_results",
@@ -74,6 +80,8 @@ __all__ = [
     "render_series",
     "render_table",
     "respects_target",
+    "slo_attainment",
+    "strategy_comparison_rows",
     "throughput_slowdown_pct",
     "vm_pause_fraction",
     "workload_slowdown_pct",

@@ -10,6 +10,8 @@ operator would do with the real system's tooling:
 * ``repro coverage``   — the Table 2 coverage matrix, derived live;
 * ``repro fleet``      — a fleet-scale campaign on the sharded kernel:
   correlated outage -> failovers -> queued re-protection onto spares;
+* ``repro serve``      — user-visible tail latency (p50/p99/p999, SLO
+  violations) of one crash under every fault-tolerance strategy;
 * ``repro sweep``      — a parallel, cached experiment sweep with
   optional regression gating (``--baseline``);
 * ``repro experiments``— list every table/figure benchmark and how to
@@ -244,7 +246,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--recovery-deadline", type=_positive_float, default=2.0,
         help="escalate a microreboot still in flight after this long (s)",
     )
+    chaos.add_argument(
+        "--serving-users", type=_non_negative_int, default=0,
+        help="serving overlay: open-loop users whose tail latency each "
+             "trial measures post hoc from the bus (0 = off, the "
+             "default — fingerprints and traces are unchanged)",
+    )
+    chaos.add_argument(
+        "--serving-rate-per-user", type=_positive_float, default=0.01,
+        help="serving overlay: requests per second per user",
+    )
+    chaos.add_argument(
+        "--serving-demand", type=_positive_float, default=0.0005,
+        help="serving overlay: per-request service demand (seconds)",
+    )
+    chaos.add_argument(
+        "--serving-slo", type=_positive_float, default=0.25,
+        help="serving overlay: latency SLO (seconds); lost or "
+             "over-SLO requests count as violations",
+    )
+    chaos.add_argument(
+        "--serving-hedge", type=_probability, default=0.0,
+        help="serving overlay: probability a request is cloned to the "
+             "replica (first response wins)",
+    )
     _add_trace_argument(chaos)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="user-visible tail latency of one crash under every "
+             "fault-tolerance strategy",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=["all", "remus", "here", "colo", "failover",
+                 "hybrid-recovery"],
+        default="all",
+        help="run one strategy or the whole five-way comparison",
+    )
+    serve.add_argument("--users", type=_positive_int, default=50_000,
+                       help="open-loop users in the served population")
+    serve.add_argument("--rate-per-user", type=_positive_float, default=0.02,
+                       help="requests per second per user")
+    serve.add_argument(
+        "--demand", type=_positive_float, default=0.0005,
+        help="per-request service demand at full capacity (seconds)",
+    )
+    serve.add_argument("--slo", type=_positive_float, default=0.25,
+                       help="latency SLO (seconds)")
+    serve.add_argument(
+        "--hedge", type=_probability, default=0.0,
+        help="probability a request is cloned to the replica; > 0 adds "
+             "the hedged columns to the table",
+    )
+    serve.add_argument("--duration", type=_positive_float, default=12.0,
+                       help="serving window length (simulated seconds)")
+    serve.add_argument(
+        "--crash-at", type=_positive_float, default=6.0,
+        help="primary-hypervisor crash offset into the window (seconds)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
 
     fleet = subparsers.add_parser(
         "fleet",
@@ -301,7 +362,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parallel, cached experiment sweep with regression gating",
     )
     sweep.add_argument(
-        "--preset", choices=["chaos", "lossy", "fleet", "ycsb", "table6"],
+        "--preset",
+        choices=["chaos", "lossy", "fleet", "serving", "ycsb", "table6"],
         default="chaos",
         help="which built-in trial matrix to run",
     )
@@ -666,10 +728,15 @@ def _run_fleet_chaos(args) -> int:
                 faults=args.faults,
                 recovery_time=args.recovery_time,
                 kinds=(FaultKind.ZONE_OUTAGE,),
+                serving_users=args.serving_users,
+                serving_rate_per_user=args.serving_rate_per_user,
+                serving_demand=args.serving_demand,
+                serving_slo=args.serving_slo,
+                serving_hedge=args.serving_hedge,
             )
             result = FleetCampaign(config).run()
             dropped += result.dropped_vms
-            rows.append({
+            row = {
                 "trial": index,
                 "faults": "; ".join(result.fault_descriptions) or "none",
                 "failovers": result.failovers,
@@ -677,7 +744,12 @@ def _run_fleet_chaos(args) -> int:
                 "dropped": result.dropped_vms,
                 "mean unprotected (s)": result.mean_unprotected_window,
                 "nines": result.nines,
-            })
+            }
+            if result.serving is not None:
+                row["serving requests"] = result.serving.requests
+                row["serving lost"] = result.serving.lost
+                row["serving p999 (s)"] = result.serving.p999
+            rows.append(row)
     except (ValueError, RuntimeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -735,6 +807,11 @@ def _cmd_chaos(args) -> int:
             recovery_rebuild_min=args.recovery_rebuild_min,
             recovery_rebuild_max=args.recovery_rebuild_max,
             recovery_deadline=args.recovery_deadline,
+            serving_users=args.serving_users,
+            serving_rate_per_user=args.serving_rate_per_user,
+            serving_demand=args.serving_demand,
+            serving_slo=args.serving_slo,
+            serving_hedge=args.serving_hedge,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -786,6 +863,38 @@ def _cmd_chaos(args) -> int:
     ))
     print(throughput_line(aggregator.total("sim.events"), wall))
     return 0 if result.total_dropped_vms == 0 else 1
+
+
+def _cmd_serve(args) -> int:
+    from .analysis.serving import strategy_comparison_rows
+    from .serving import STRATEGIES, ServingConfig, ServingStudy, StudyConfig
+
+    try:
+        config = StudyConfig(
+            serving=ServingConfig(
+                users=args.users,
+                rate_per_user=args.rate_per_user,
+                demand=args.demand,
+                slo=args.slo,
+                hedge=args.hedge,
+            ),
+            seed=args.seed,
+            duration=args.duration,
+            crash_at=args.crash_at,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    study = ServingStudy(config)
+    strategies = STRATEGIES if args.strategy == "all" else (args.strategy,)
+    outcomes = {name: study.run_strategy(name) for name in strategies}
+    print(render_table(
+        strategy_comparison_rows(outcomes, order=strategies),
+        title=f"User-visible latency by strategy (seed={args.seed}, "
+              f"{config.serving.aggregate_rate:g} req/s, "
+              f"SLO={args.slo:g}s, crash at {args.crash_at:g}s)",
+    ))
+    return 0
 
 
 def _cmd_fleet(args) -> int:
@@ -893,6 +1002,7 @@ def _cmd_sweep(args) -> int:
         chaos_sweep,
         fleet_sweep,
         lossy_sweep,
+        serving_sweep,
         table6_sweep,
         ycsb_sweep,
     )
@@ -921,6 +1031,15 @@ def _cmd_sweep(args) -> int:
                 recovery_time=args.recovery_time,
                 timeout=args.timeout,
                 retries=args.retries,
+            )
+        elif args.preset == "serving":
+            serving_kwargs = {}
+            if args.duration is not None:
+                serving_kwargs["duration"] = args.duration
+            specs = serving_sweep(
+                seed=args.seed if args.seed is not None else BENCH_SEED,
+                timeout=args.timeout,
+                **serving_kwargs,
             )
         elif args.preset == "ycsb":
             specs = ycsb_sweep(
@@ -1063,6 +1182,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "plan": _cmd_plan,
     "replicate": _cmd_replicate,
     "migrate": _cmd_migrate,

@@ -11,7 +11,10 @@ re-exports them — and registers the built-in trial kinds:
   degradation under a memory load;
 * ``chaos-trial`` — one trial of a :class:`~repro.faults.campaign.
   ChaosCampaign`, reporting the trial's MTTR/unprotected-window/nines
-  block.
+  block;
+* ``serving``     — one strategy of the five-way serving study
+  (:class:`~repro.serving.ServingStudy`), reporting user-visible
+  p50/p99/p999 and SLO violations under an identical crash.
 
 Every runner subscribes a :class:`~repro.telemetry.metrics.
 MetricsAggregator` to the trial simulation's bus and returns its
@@ -245,6 +248,37 @@ def run_chaos_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
     return {"trial": trial.to_dict()}, aggregator.summary_rows()
 
 
+@register_trial("serving")
+def run_serving_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
+    """One strategy of the serving study: user-visible tail latency."""
+    from ..serving import ServingConfig, ServingStudy, StudyConfig
+
+    params = dict(params)
+    strategy = params.pop("strategy")
+    seed = int(params.pop("seed", BENCH_SEED))
+    serving_kwargs = {
+        key: params.pop(key)
+        for key in ("users", "rate_per_user", "demand", "slo", "hedge")
+        if key in params
+    }
+    study = ServingStudy(
+        StudyConfig(
+            serving=ServingConfig(**serving_kwargs), seed=seed, **params
+        )
+    )
+    outcome = study.run_strategy(strategy)
+    metrics: Dict[str, Any] = {
+        "strategy": strategy,
+        "fingerprint": outcome.fingerprint(),
+    }
+    metrics.update(outcome.report.to_metrics())
+    if outcome.hedged_report is not None:
+        metrics["hedged_p999"] = outcome.hedged_report.p999
+        metrics["hedged_lost"] = float(outcome.hedged_report.lost)
+        metrics["hedged_rescued"] = float(outcome.hedged_report.rescued)
+    return metrics, outcome.report.summary_rows()
+
+
 @register_trial("fleet-trial")
 def run_fleet_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
     """One seeded fleet chaos campaign (zone/rack outages at scale)."""
@@ -254,7 +288,11 @@ def run_fleet_trial(params: Dict[str, Any]) -> Tuple[Dict, List[dict]]:
     params = dict(params)
     spec_params = dict(params.pop("spec", {}))
     config_kwargs: Dict[str, Any] = {}
-    for key in ("settle_time", "fault_window", "recovery_time", "faults"):
+    for key in (
+        "settle_time", "fault_window", "recovery_time", "faults",
+        "serving_users", "serving_rate_per_user", "serving_demand",
+        "serving_slo", "serving_hedge",
+    ):
         if key in params:
             config_kwargs[key] = params.pop(key)
     if "outage_duration" in params:
@@ -415,6 +453,60 @@ def fleet_sweep(
     return specs
 
 
+def serving_sweep(
+    strategies: Optional[Sequence[str]] = None,
+    seed: int = BENCH_SEED,
+    users: int = 50_000,
+    rate_per_user: float = 0.02,
+    demand: float = 0.0005,
+    slo: float = 0.25,
+    hedge: float = 0.8,
+    timeout: Optional[float] = None,
+    **study_overrides: Any,
+) -> List[ExperimentSpec]:
+    """One spec per fault-tolerance strategy of the serving study.
+
+    Every strategy serves the identical population through the
+    identical fault schedule (one primary crash mid-window), so the
+    sweep's rows compare user-visible p50/p99/p999 and SLO violations
+    across remus / here / colo / failover / hybrid-recovery — the
+    strategy table the README quotes and ``BENCH_serving.json`` pins.
+    Extra keywords pass through to :class:`~repro.serving.StudyConfig`
+    (``duration``, ``crash_at``, ``remus_period``, ...).
+    """
+    from ..serving import STRATEGIES
+
+    chosen = tuple(strategies) if strategies else STRATEGIES
+    unknown = [s for s in chosen if s not in STRATEGIES]
+    if unknown:
+        raise KeyError(
+            f"unknown serving strategies: {unknown}; known: {STRATEGIES}"
+        )
+    if "duration" in study_overrides and "crash_at" not in study_overrides:
+        # A shorter window must keep the crash inside it — stay
+        # mid-window unless the caller pins crash_at explicitly.
+        study_overrides["crash_at"] = study_overrides["duration"] / 2.0
+    return [
+        ExperimentSpec(
+            name=f"serving/{strategy}",
+            kind="serving",
+            params={
+                "strategy": strategy,
+                "seed": seed,
+                "users": users,
+                "rate_per_user": rate_per_user,
+                "demand": demand,
+                "slo": slo,
+                "hedge": hedge,
+                **study_overrides,
+            },
+            seed=derive_seed(seed, f"serving-study:{strategy}"),
+            timeout=timeout,
+        )
+        for strategy in chosen
+    ]
+
+
 def ycsb_sweep(
     setups: Sequence[str] = ("Xen", "HERE(5Sec,0%)", "HERE(inf,30%)", "Remus5Sec"),
     mixes: Sequence[str] = ("a", "b"),
@@ -476,4 +568,4 @@ def table6_sweep(
 
 
 #: CLI preset name -> builder keyword arguments it accepts.
-SWEEP_PRESETS = ("chaos", "lossy", "fleet", "ycsb", "table6")
+SWEEP_PRESETS = ("chaos", "lossy", "fleet", "serving", "ycsb", "table6")

@@ -117,6 +117,18 @@ class CampaignConfig:
     recovery_rebuild_max: float = 0.45
     #: Microreboots still in flight after this long are escalated.
     recovery_deadline: float = 2.0
+    #: Serving overlay: open-loop users whose tail latency the trial
+    #: measures post hoc from the bus (0 — the historical default —
+    #: disables the overlay entirely; it adds no events and no draws,
+    #: so disabled-campaign fingerprints and traces are bit-identical).
+    serving_users: int = 0
+    serving_rate_per_user: float = 0.01
+    #: Per-request service demand (seconds at full capacity).
+    serving_demand: float = 0.0005
+    #: Latency SLO; served-over-SLO and lost requests are violations.
+    serving_slo: float = 0.25
+    #: Probability a request is cloned to the replica (hedging).
+    serving_hedge: float = 0.0
 
     def __post_init__(self):
         if self.trials < 1:
@@ -170,6 +182,27 @@ class CampaignConfig:
                 "recovery_rebuild_min must be <= recovery_rebuild_max: "
                 f"{self.recovery_rebuild_min} > {self.recovery_rebuild_max}"
             )
+        if self.serving_users < 0:
+            raise ValueError(
+                f"serving_users must be >= 0 (0 disables): {self.serving_users}"
+            )
+        if self.serving_rate_per_user <= 0:
+            raise ValueError(
+                "serving_rate_per_user must be positive: "
+                f"{self.serving_rate_per_user}"
+            )
+        if self.serving_demand <= 0:
+            raise ValueError(
+                f"serving_demand must be positive: {self.serving_demand}"
+            )
+        if self.serving_slo <= 0:
+            raise ValueError(
+                f"serving_slo must be positive: {self.serving_slo}"
+            )
+        if not 0.0 <= self.serving_hedge <= 1.0:
+            raise ValueError(
+                f"serving_hedge must be in [0, 1]: {self.serving_hedge}"
+            )
 
     def microreboot_config(self) -> MicrorebootConfig:
         """The microreboot model this campaign's engines run."""
@@ -183,6 +216,24 @@ class CampaignConfig:
                 self.recovery_success_prob, **overrides
             )
         return MicrorebootConfig(**overrides)
+
+    def serving_config(self):
+        """The serving overlay this campaign measures; None = disabled.
+
+        Imported lazily so a campaign with the overlay off never pulls
+        in :mod:`repro.serving` at all.
+        """
+        if not self.serving_users:
+            return None
+        from ..serving import ServingConfig
+
+        return ServingConfig(
+            users=self.serving_users,
+            rate_per_user=self.serving_rate_per_user,
+            demand=self.serving_demand,
+            slo=self.serving_slo,
+            hedge=self.serving_hedge,
+        )
 
 
 @dataclass
@@ -230,6 +281,19 @@ class TrialResult:
     #: event count is pinned separately by the perf gate).
     events_processed: int = 0
     checkpoints: int = 0
+    #: Serving-overlay accounting (all zero / None when the overlay is
+    #: off, so historical trial payloads round-trip unchanged).
+    serving_requests: int = 0
+    serving_served: int = 0
+    serving_lost: int = 0
+    serving_violations: int = 0
+    serving_hedged: int = 0
+    serving_clone_wins: int = 0
+    serving_rescued: int = 0
+    #: :meth:`~repro.telemetry.LatencyHistogram.to_dict` payload of the
+    #: trial's served-latency histogram (mergeable across trials and
+    #: fleet shards); None when the overlay is off.
+    serving_histogram: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (``from_dict`` round-trips it)."""
@@ -334,6 +398,34 @@ class CampaignResult:
     def total_checkpoints(self) -> int:
         return sum(trial.checkpoints for trial in self.trials)
 
+    def serving_report(self):
+        """Campaign-wide serving overlay; None when the overlay is off.
+
+        Per-trial histograms merge exactly (the histogram is the
+        mergeable kind), so campaign percentiles are computed over the
+        pooled served-latency distribution, not averaged per trial.
+        """
+        serving = self.config.serving_config()
+        if serving is None:
+            return None
+        from ..serving import ServingReport
+        from ..telemetry import LatencyHistogram
+
+        report = ServingReport(config=serving)
+        for trial in self.trials:
+            report.requests += trial.serving_requests
+            report.served += trial.serving_served
+            report.lost += trial.serving_lost
+            report.violations += trial.serving_violations
+            report.hedged += trial.serving_hedged
+            report.clone_wins += trial.serving_clone_wins
+            report.rescued += trial.serving_rescued
+            if trial.serving_histogram:
+                report.histogram.merge(
+                    LatencyHistogram.from_dict(trial.serving_histogram)
+                )
+        return report
+
     def fingerprint(self) -> dict:
         """The determinism contract: same seed => identical dict."""
         def _finite(value: float):
@@ -341,7 +433,7 @@ class CampaignResult:
             # the contract (NaN != NaN), so encode it as a string.
             return round(value, 9) if math.isfinite(value) else str(value)
 
-        return {
+        payload = {
             "mean_mttr": _finite(self.mean_mttr),
             "max_mttr": _finite(self.max_mttr),
             "mean_unprotected_window": _finite(self.mean_unprotected_window),
@@ -357,6 +449,23 @@ class CampaignResult:
             if math.isfinite(self.pooled_nines)
             else "inf",
         }
+        serving = self.serving_report()
+        if serving is not None:
+            # Present only when the overlay is on: a default campaign's
+            # fingerprint stays byte-identical to the pre-serving era.
+            # A zero-request window's rates are NaN -> string-encoded,
+            # same convention as the zero-failover MTTR above.
+            payload.update({
+                "serving_requests": serving.requests,
+                "serving_lost": serving.lost,
+                "serving_violations": serving.violations,
+                "serving_rescued": serving.rescued,
+                "serving_p50": _finite(serving.p50),
+                "serving_p99": _finite(serving.p99),
+                "serving_p999": _finite(serving.p999),
+                "serving_violation_rate": _finite(serving.violation_rate),
+            })
+        return payload
 
     def summary_rows(self) -> List[dict]:
         recovery_rows = []
@@ -378,6 +487,13 @@ class CampaignResult:
                 {"metric": "fencing rejections",
                  "value": self.total_fencing_rejections},
             ]
+        serving_rows = []
+        serving = self.serving_report()
+        if serving is not None:
+            serving_rows = [
+                {"metric": f"serving {row['metric']}", "value": row["value"]}
+                for row in serving.summary_rows()
+            ]
         return [
             {"metric": "trials", "value": len(self.trials)},
             {"metric": "faults injected",
@@ -396,7 +512,7 @@ class CampaignResult:
             {"metric": "max unprotected window (s)",
              "value": self.max_unprotected_window},
             {"metric": "availability (nines)", "value": self.pooled_nines},
-        ] + recovery_rows + transport_rows
+        ] + recovery_rows + transport_rows + serving_rows
 
 
 class ChaosCampaign:
@@ -594,6 +710,15 @@ class ChaosCampaign:
         trial = self._harvest(
             index, trial_seed, sim, recorder, fleet, controllers, trial_start
         )
+        # The serving overlay replays a seeded arrival population
+        # against the telemetry above.  It runs before close-out (the
+        # engines are still live, so spans are attributed by engine
+        # name) and draws only from its own derived-seed numpy streams
+        # — nothing below perturbs the simulation.
+        if config.serving_users:
+            self._serve_overlay(
+                trial, sim, recorder, fleet, controllers, trial_start
+            )
         # Close the trial out cleanly so session spans end inside this
         # trial's bus (and a --trace file), not at garbage collection.
         for degradation in degradation_controllers:
@@ -621,6 +746,57 @@ class ChaosCampaign:
         sim.telemetry.counter("sim.events", float(trial.events_processed))
         sim.telemetry.counter("sim.checkpoints", float(trial.checkpoints))
         return trial
+
+    def _serve_overlay(
+        self, trial, sim, recorder, fleet, controllers, trial_start
+    ) -> None:
+        """Measure user-visible latency for this trial, post hoc."""
+        from ..serving import overlay_report
+
+        serving = self.config.serving_config()
+        horizon = sim.now
+        fault_times = [
+            record.time for record in recorder.counters("fault.injected")
+        ]
+        engine_names = {}
+        extra: Dict[str, list] = {}
+        for vm_name, engine in fleet.engines.items():
+            engine_names[vm_name] = (engine.name,)
+            _monitor, failover, _reprotection = controllers[vm_name]
+            if failover.report is not None:
+                continue  # its failover span prices the darkness
+            primary_alive = (
+                engine.vm is not None
+                and not engine.vm.is_destroyed
+                and engine.primary.host.is_up
+                and engine.primary.is_responsive
+            )
+            if primary_alive:
+                continue
+            # Dark with no failover span at all (e.g. an undetected
+            # partition-then-crash): dead from the last fault onward.
+            earlier = [t for t in fault_times if t <= horizon]
+            dark_from = max(earlier) if earlier else trial_start
+            extra[vm_name] = [(dark_from, horizon)]
+        report = overlay_report(
+            recorder,
+            vms=list(fleet.engines),
+            start=trial_start,
+            horizon=horizon,
+            config=serving,
+            seed=derive_seed(trial.seed, "serving"),
+            engine_names=engine_names,
+            extra_blackouts=extra,
+            bus=sim.telemetry,
+        )
+        trial.serving_requests = report.requests
+        trial.serving_served = report.served
+        trial.serving_lost = report.lost
+        trial.serving_violations = report.violations
+        trial.serving_hedged = report.hedged
+        trial.serving_clone_wins = report.clone_wins
+        trial.serving_rescued = report.rescued
+        trial.serving_histogram = report.histogram.to_dict()
 
     def _attach_workload(self, sim, vm) -> None:
         """Start the configured guest workload inside one trial VM."""

@@ -45,6 +45,16 @@ class FleetCampaignConfig:
     kinds: Tuple[FaultKind, ...] = (FaultKind.ZONE_OUTAGE,)
     #: Outage length range (finite: the domain reboots).
     outage_duration: Tuple[float, float] = (5.0, 15.0)
+    #: Serving overlay: open-loop users split across the fleet's VMs,
+    #: measured post hoc from per-shard telemetry and merged through
+    #: the shard-mergeable histogram at the fleet clock (0 = off, the
+    #: default — fleet fingerprints are unchanged and no per-shard
+    #: recorders are even attached).
+    serving_users: int = 0
+    serving_rate_per_user: float = 0.01
+    serving_demand: float = 0.0005
+    serving_slo: float = 0.25
+    serving_hedge: float = 0.0
 
     def __post_init__(self):
         if self.faults < 1:
@@ -71,6 +81,41 @@ class FleetCampaignConfig:
                 "hypervisor crash/hang only, "
                 f"not {sorted(k.value for k in unknown)}"
             )
+        if self.serving_users < 0:
+            raise ValueError(
+                f"serving_users must be >= 0 (0 disables): {self.serving_users}"
+            )
+        if self.serving_rate_per_user <= 0:
+            raise ValueError(
+                "serving_rate_per_user must be positive: "
+                f"{self.serving_rate_per_user}"
+            )
+        if self.serving_demand <= 0:
+            raise ValueError(
+                f"serving_demand must be positive: {self.serving_demand}"
+            )
+        if self.serving_slo <= 0:
+            raise ValueError(
+                f"serving_slo must be positive: {self.serving_slo}"
+            )
+        if not 0.0 <= self.serving_hedge <= 1.0:
+            raise ValueError(
+                f"serving_hedge must be in [0, 1]: {self.serving_hedge}"
+            )
+
+    def serving_config(self):
+        """The serving overlay this fleet measures; None = disabled."""
+        if not self.serving_users:
+            return None
+        from ..serving import ServingConfig
+
+        return ServingConfig(
+            users=self.serving_users,
+            rate_per_user=self.serving_rate_per_user,
+            demand=self.serving_demand,
+            slo=self.serving_slo,
+            hedge=self.serving_hedge,
+        )
 
 
 @dataclass
@@ -113,6 +158,9 @@ class FleetCampaignResult:
     nines: float = math.inf
     #: Merged per-shard telemetry (rows from MetricsAggregator).
     telemetry: Dict[str, int] = field(default_factory=dict)
+    #: Fleet-wide :class:`~repro.serving.ServingReport` (per-shard
+    #: overlays merged at the fleet clock); None when serving is off.
+    serving: Optional[object] = None
 
     @property
     def mean_unprotected_window(self) -> float:
@@ -130,7 +178,7 @@ class FleetCampaignResult:
         def _finite(value: float):
             return round(value, 9) if math.isfinite(value) else str(value)
 
-        return {
+        payload = {
             "vms": self.vms,
             "shards": self.shards,
             "quanta": self.quanta_executed,
@@ -154,11 +202,28 @@ class FleetCampaignResult:
             if math.isfinite(self.nines)
             else "inf",
         }
+        if self.serving is not None:
+            # Opt-in only: a serving-off fleet fingerprint is
+            # byte-identical to the pre-serving era.  NaN rates of a
+            # zero-request window string-encode, like the NaN window.
+            payload.update({
+                "serving_requests": self.serving.requests,
+                "serving_lost": self.serving.lost,
+                "serving_violations": self.serving.violations,
+                "serving_rescued": self.serving.rescued,
+                "serving_p50": _finite(self.serving.p50),
+                "serving_p99": _finite(self.serving.p99),
+                "serving_p999": _finite(self.serving.p999),
+                "serving_violation_rate": _finite(
+                    self.serving.violation_rate
+                ),
+            })
+        return payload
 
     def metrics(self) -> Dict[str, float]:
         """Flat numeric metrics for the benchmark RegressionGate."""
         mean_window = self.mean_unprotected_window
-        return {
+        payload = {
             "events_processed": float(self.events_processed),
             "quanta": float(self.quanta_executed),
             "failovers": float(self.failovers),
@@ -173,8 +238,18 @@ class FleetCampaignResult:
             ),
             "nines": self.nines if math.isfinite(self.nines) else 9.0,
         }
+        if self.serving is not None:
+            for name, value in self.serving.to_metrics().items():
+                payload[f"serving_{name}"] = value
+        return payload
 
     def summary_rows(self) -> List[dict]:
+        serving_rows = []
+        if self.serving is not None:
+            serving_rows = [
+                {"metric": f"serving {row['metric']}", "value": row["value"]}
+                for row in self.serving.summary_rows()
+            ]
         return [
             {"metric": "VMs / hosts / zones",
              "value": f"{self.vms} / {self.hosts} / {self.zones}"},
@@ -196,7 +271,7 @@ class FleetCampaignResult:
             {"metric": "mean unprotected window (s)",
              "value": self.mean_unprotected_window},
             {"metric": "availability (nines)", "value": self.nines},
-        ]
+        ] + serving_rows
 
 
 class FleetCampaign:
@@ -216,6 +291,8 @@ class FleetCampaign:
         self.orchestrator: Optional[FleetOrchestrator] = None
         self.injector: Optional[FleetFaultInjector] = None
         self.aggregator: Optional[MetricsAggregator] = None
+        #: Per-shard recorders, attached only when serving is enabled.
+        self.shard_recorders: Dict[str, "Recorder"] = {}
 
     def run(self) -> FleetCampaignResult:
         config = self.config
@@ -226,6 +303,16 @@ class FleetCampaign:
         orchestrator.sharded.subscribe(aggregator)
         for subscriber in self.subscribers:
             orchestrator.sharded.subscribe(subscriber)
+        if config.serving_users:
+            # Recorders go on before seeding so replica windows see the
+            # seeding spans.  They are passive subscribers: attaching
+            # them changes no draw and no event, only host memory.
+            from ..telemetry import Recorder
+
+            self.shard_recorders = {
+                name: Recorder.attach(shard.sim.telemetry)
+                for name, shard in orchestrator.shards.items()
+            }
         injector = FleetFaultInjector(orchestrator)
         self.injector = injector
 
@@ -236,12 +323,71 @@ class FleetCampaign:
         settle_until = start + config.settle_time
         if orchestrator.now < settle_until:
             orchestrator.run(until=settle_until)
+        serve_start = orchestrator.now
         schedule = self._draw_schedule(orchestrator)
         injector.schedule(schedule)
         orchestrator.run_for(config.fault_window + config.recovery_time)
         result = self._harvest(orchestrator, injector, aggregator, start)
+        if config.serving_users:
+            result.serving = self._serve_overlay(orchestrator, serve_start)
         orchestrator.halt("campaign over")
         return result
+
+    def _serve_overlay(
+        self, orchestrator: FleetOrchestrator, serve_start: float
+    ):
+        """Merge per-shard serving overlays at the fleet clock.
+
+        Every shard's recorder is replayed independently (its own
+        clock, its own engines), the fleet population is split evenly
+        across all protected VMs, and the per-VM reports fold into one
+        fleet-wide report through the mergeable histogram — the same
+        merge a distributed percentile pipeline would do.
+        """
+        from ..serving import ServingReport, ServiceTimeline, serve_timeline
+        from ..simkernel.random import derive_seed
+
+        config = self.config
+        serving = config.serving_config()
+        seed = derive_seed(config.spec.seed, "fleet-serving")
+        report = ServingReport(config=serving)
+        share = serving.arrivals().scaled(1.0 / max(1, config.spec.vms))
+        for shard_name in sorted(self.shard_recorders):
+            shard = orchestrator.shards[shard_name]
+            recorder = self.shard_recorders[shard_name]
+            horizon = shard.sim.now
+            if horizon <= serve_start:
+                continue
+            failure_times = [
+                record.time for record in recorder.counters("host.failure")
+            ]
+            for vm in sorted(shard.engines):
+                engines = [shard.engines[vm].name]
+                reseed = shard.reseed_engines.get(vm)
+                if reseed is not None:
+                    engines.append(reseed.name)
+                extra = []
+                if vm in orchestrator.dropped:
+                    # Dark with no (successful or failed) failover span
+                    # to price it: from the shard's first host failure.
+                    dark_from = (
+                        min(failure_times) if failure_times else serve_start
+                    )
+                    extra.append((dark_from, horizon))
+                timeline = ServiceTimeline.from_recorder(
+                    recorder,
+                    vm,
+                    serve_start,
+                    horizon,
+                    extra_blackouts=extra,
+                    engine_names=engines,
+                )
+                report.merge(
+                    serve_timeline(
+                        timeline, serving, seed, arrivals_process=share
+                    )
+                )
+        return report
 
     def _draw_schedule(self, orchestrator: FleetOrchestrator) -> FaultSchedule:
         config = self.config

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from ..telemetry.histogram import LatencySamples
 
 
 @dataclass
@@ -37,53 +38,43 @@ class Packet:
 
 
 class LatencyRecorder:
-    """Accumulates latency samples and reports summary statistics."""
+    """Accumulates latency samples and reports summary statistics.
+
+    A thin wrapper over the shared
+    :class:`~repro.telemetry.histogram.LatencySamples` bookkeeping, so
+    the per-connection exact path and the aggregate serving path
+    (:class:`~repro.telemetry.histogram.LatencyHistogram`) answer
+    percentiles with one nearest-rank implementation.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._samples: List[float] = []
+        self._store = LatencySamples(name=name)
 
     def record(self, latency: float) -> None:
-        if latency < 0:
-            raise ValueError(f"negative latency sample: {latency}")
-        self._samples.append(latency)
+        self._store.record(latency)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._store)
 
     @property
     def samples(self) -> List[float]:
-        return list(self._samples)
+        return self._store.samples
 
     def mean(self) -> float:
         """Average latency; NaN when no samples were recorded."""
-        if not self._samples:
-            return math.nan
-        return sum(self._samples) / len(self._samples)
+        return self._store.mean()
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (nearest-rank), ``p`` in [0, 100]."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._samples:
-            return math.nan
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return self._store.percentile(p)
 
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else math.nan
+        return self._store.maximum()
 
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else math.nan
+        return self._store.minimum()
 
     def summary(self) -> dict:
         """Mean/p50/p99/min/max in one dict (for report tables)."""
-        return {
-            "count": len(self._samples),
-            "mean": self.mean(),
-            "p50": self.percentile(50),
-            "p99": self.percentile(99),
-            "min": self.minimum(),
-            "max": self.maximum(),
-        }
+        return self._store.summary()

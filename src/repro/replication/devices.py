@@ -60,11 +60,17 @@ class DeviceManager:
             )
         self.egress.enable_buffering()
         self.vm.disk_replicator = self.disk
+        self.sim.telemetry.counter(
+            "devices.protection_started", 1.0, vm=self.vm.name
+        )
 
     def end_protection(self) -> None:
         """Stop buffering (replication cleanly stopped)."""
         self.egress.disable_buffering()
         self.vm.disk_replicator = None
+        self.sim.telemetry.counter(
+            "devices.protection_ended", 1.0, vm=self.vm.name
+        )
 
     def seal_epoch(self) -> int:
         """Checkpoint starting: close the open traffic + disk epochs.

@@ -1,0 +1,201 @@
+"""Exact processor-sharing queue under a piecewise service capacity.
+
+One protected VM serves its request population as an egalitarian
+processor-sharing (PS) server: ``N`` concurrent requests each receive
+``C(t)/N`` of the service capacity ``C(t)``.  The capacity profile is
+piecewise constant — full speed while the VM runs, zero while a
+checkpoint pause or a preserved-guest microreboot stalls it, and
+*lost* across a failover blackout (in-flight requests and new arrivals
+die with the primary).
+
+With equal per-request demand ``s`` the PS dynamics collapse onto
+Kleinrock's virtual time ``V(t)`` with ``dV/dt = C(t)/N(t)``: a
+request arriving at ``a`` finishes when ``V`` reaches ``V(a) + s``.
+``V`` is non-decreasing, so completion order equals arrival order and
+the whole queue reduces to a head pointer over a monotone threshold
+array — O(n) overall, with the completion runs between arrivals popped
+in bulk via a vectorized cumulative sum (the drain after a pause, when
+hundreds of requests finish back to back, is one numpy call).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Bulk completion pops are chunked so one pop never allocates more
+#: than this many candidate times at once.
+_CHUNK = 8192
+
+
+@dataclass(frozen=True)
+class CapacitySegment:
+    """One constant-capacity stretch of a VM's service timeline."""
+
+    start: float
+    end: float
+    #: Service capacity in demand-units per second (1.0 = full speed,
+    #: 0.0 = paused: requests queue but nobody is lost).
+    capacity: float = 1.0
+    #: A blackout: queued and arriving requests are lost, not delayed.
+    lost: bool = False
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"segment ends before it starts: {self}")
+        if self.capacity < 0:
+            raise ValueError(f"negative capacity: {self.capacity}")
+
+
+def validate_segments(segments: Sequence[CapacitySegment]) -> None:
+    """Segments must be contiguous and time-ordered."""
+    if not segments:
+        raise ValueError("a service timeline needs at least one segment")
+    for earlier, later in zip(segments, segments[1:]):
+        if not math.isclose(earlier.end, later.start, abs_tol=1e-12):
+            raise ValueError(
+                f"segments not contiguous: {earlier.end} -> {later.start}"
+            )
+
+
+def segments_from_windows(
+    start: float,
+    end: float,
+    pauses: Sequence[Tuple[float, float]] = (),
+    blackouts: Sequence[Tuple[float, float]] = (),
+    capacity: float = 1.0,
+) -> List[CapacitySegment]:
+    """Build a contiguous capacity profile over ``[start, end]``.
+
+    ``pauses`` become capacity-0 segments, ``blackouts`` lost segments;
+    blackouts win where the two overlap.  Windows outside the horizon
+    are clipped; empty or inverted windows are dropped.
+    """
+    if end <= start:
+        raise ValueError(f"empty horizon: [{start}, {end}]")
+
+    def _clip(windows):
+        clipped = []
+        for w_start, w_end in windows:
+            lo, hi = max(w_start, start), min(w_end, end)
+            if hi > lo:
+                clipped.append((lo, hi))
+        return sorted(clipped)
+
+    cuts = {start, end}
+    pause_windows = _clip(pauses)
+    blackout_windows = _clip(blackouts)
+    for lo, hi in pause_windows + blackout_windows:
+        cuts.add(lo)
+        cuts.add(hi)
+    points = sorted(cuts)
+
+    def _inside(t, windows):
+        return any(lo <= t < hi for lo, hi in windows)
+
+    segments = []
+    for lo, hi in zip(points, points[1:]):
+        midpoint = (lo + hi) / 2.0
+        if _inside(midpoint, blackout_windows):
+            segments.append(CapacitySegment(lo, hi, capacity=0.0, lost=True))
+        elif _inside(midpoint, pause_windows):
+            segments.append(CapacitySegment(lo, hi, capacity=0.0))
+        else:
+            segments.append(CapacitySegment(lo, hi, capacity=capacity))
+    return segments
+
+
+def ps_complete(
+    arrivals: np.ndarray,
+    demand: float,
+    segments: Sequence[CapacitySegment],
+) -> np.ndarray:
+    """Completion time of each arrival under processor sharing.
+
+    ``arrivals`` must be sorted ascending and lie inside the segment
+    span.  Returns one completion time per arrival; ``NaN`` marks a
+    request lost to a blackout or still unfinished when the timeline
+    ends (both are user-visible failures).
+    """
+    if demand <= 0:
+        raise ValueError(f"per-request demand must be positive: {demand}")
+    validate_segments(segments)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    n = arrivals.size
+    completions = np.full(n, math.nan)
+    if n == 0:
+        return completions
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrivals must be sorted ascending")
+    if arrivals[0] < segments[0].start or arrivals[-1] > segments[-1].end:
+        raise ValueError("arrivals outside the segment span")
+
+    theta = np.empty(n, dtype=np.float64)  # virtual completion thresholds
+    head = 0  # oldest unfinished request
+    tail = 0  # next slot to fill
+    virtual = 0.0
+    now = segments[0].start
+    arrival_list = arrivals.tolist()
+    next_arrival_index = 0
+
+    for segment in segments:
+        now = segment.start
+        if segment.lost:
+            # Blackout: everything in flight dies, arrivals bounce.
+            head = tail
+            while (
+                next_arrival_index < n
+                and arrival_list[next_arrival_index] < segment.end
+            ):
+                theta[tail] = math.inf  # lost: never completes
+                head = tail = tail + 1
+                next_arrival_index += 1
+            now = segment.end
+            continue
+        capacity = segment.capacity
+        while True:
+            at_arrival = (
+                next_arrival_index < n
+                and arrival_list[next_arrival_index] < segment.end
+            )
+            boundary = (
+                arrival_list[next_arrival_index]
+                if at_arrival
+                else segment.end
+            )
+            # Pop every completion due before the boundary.  The head
+            # check is scalar (the common no-completion case); runs of
+            # completions fall through to the vectorized cumsum.
+            while head < tail and capacity > 0.0:
+                backlog = tail - head
+                head_time = now + (theta[head] - virtual) * backlog / capacity
+                if head_time > boundary:
+                    break
+                chunk = min(backlog, _CHUNK)
+                deltas = np.diff(theta[head : head + chunk], prepend=virtual)
+                times = now + np.cumsum(
+                    deltas * (backlog - np.arange(chunk))
+                ) / capacity
+                popped = int(np.searchsorted(times, boundary, side="right"))
+                if popped == 0:
+                    break
+                completions[head : head + popped] = times[:popped]
+                now = float(times[popped - 1])
+                virtual = float(theta[head + popped - 1])
+                head += popped
+            if at_arrival:
+                if head < tail and capacity > 0.0:
+                    virtual += (boundary - now) * capacity / (tail - head)
+                now = boundary
+                theta[tail] = virtual + demand
+                tail += 1
+                next_arrival_index += 1
+            else:
+                if head < tail and capacity > 0.0:
+                    virtual += (boundary - now) * capacity / (tail - head)
+                now = boundary
+                break
+    return completions

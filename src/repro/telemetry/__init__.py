@@ -19,6 +19,7 @@ round-trip tests pin the two representations together.
 """
 
 from .bus import NULL_SPAN, Span, TelemetryBus
+from .histogram import LatencyHistogram, LatencySamples, nearest_rank_index
 from .metrics import MetricsAggregator, percentile
 from .recorder import Recorder
 from .records import CounterRecord, GaugeRecord, SpanRecord, record_from_dict
@@ -27,8 +28,11 @@ from .trace import TraceWriter, read_trace, recorder_from_trace
 __all__ = [
     "CounterRecord",
     "GaugeRecord",
+    "LatencyHistogram",
+    "LatencySamples",
     "MetricsAggregator",
     "NULL_SPAN",
+    "nearest_rank_index",
     "Recorder",
     "Span",
     "SpanRecord",

@@ -1,0 +1,293 @@
+"""Shared latency-distribution types: exact samples and log buckets.
+
+Two implementations of one percentile contract:
+
+* :class:`LatencySamples` — the exact path.  Keeps every raw sample
+  and answers nearest-rank percentiles, extracted verbatim from the
+  original ``net.packet.LatencyRecorder`` bookkeeping so that the
+  per-connection API (which now wraps this type) is bit-for-bit
+  unchanged.
+* :class:`LatencyHistogram` — the streaming path.  Fixed log-scale
+  buckets with integer counts, O(1) memory regardless of sample
+  volume, and **mergeable across shards**: two histograms with the
+  same bucket layout add counts, which is how per-shard serving
+  distributions combine at the fleet clock.  Percentiles come from
+  the same nearest-rank rule applied to the cumulative bucket counts;
+  the estimate's relative error is bounded by ``sqrt(growth) - 1``
+  (the representative value of a bucket is the geometric midpoint of
+  its edges), about 2.5% at the default growth of 1.05.
+
+Both answer ``percentile(p)`` with ``p`` in [0, 100] (NaN when
+empty, ``ValueError`` outside the range), plus ``mean``/``minimum``/
+``maximum``/``summary``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def nearest_rank_index(count: int, p: float) -> int:
+    """0-based index of the nearest-rank ``p``-th percentile sample.
+
+    The shared rank rule: ``max(1, ceil(p/100 * n)) - 1`` into the
+    sorted sample sequence.  Raises on ``p`` outside [0, 100]; the
+    caller handles ``count == 0``.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    return max(1, math.ceil(p / 100.0 * count)) - 1
+
+
+class LatencySamples:
+    """Exact raw-sample latency bookkeeping (nearest-rank percentiles)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency sample: {latency}")
+        self._samples.append(latency)
+
+    def record_many(self, latencies: Iterable[float]) -> None:
+        for latency in latencies:
+            self.record(float(latency))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Average latency; NaN when no samples were recorded."""
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank), ``p`` in [0, 100]."""
+        index = nearest_rank_index(len(self._samples), p)
+        if not self._samples:
+            return math.nan
+        return sorted(self._samples)[index]
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    def summary(self) -> dict:
+        """Mean/p50/p99/min/max in one dict (for report tables)."""
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.minimum(),
+            "max": self.maximum(),
+        }
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram, mergeable across shards.
+
+    Bucket ``i`` covers ``[min_value * growth**i, min_value *
+    growth**(i+1))``; one underflow bucket takes values below
+    ``min_value`` (zero included) and one overflow bucket values at or
+    above ``max_value``.  Exact count/sum/min/max ride along, so the
+    mean is exact and the percentile estimate clamps into the observed
+    range — the under/overflow buckets answer with the exact observed
+    extreme rather than a bucket edge.
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-6,
+        max_value: float = 1e4,
+        growth: float = 1.05,
+        name: str = "",
+    ):
+        if not 0 < min_value < max_value:
+            raise ValueError(
+                f"need 0 < min_value < max_value: {min_value}, {max_value}"
+            )
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1: {growth}")
+        self.name = name
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.growth = float(growth)
+        span = math.log(max_value / min_value) / math.log(growth)
+        #: Regular buckets between the under- and overflow buckets.
+        self.buckets = int(math.ceil(span))
+        # edges[i] .. edges[i+1] bound regular bucket i.
+        self._edges = min_value * np.power(
+            growth, np.arange(self.buckets + 1, dtype=np.float64)
+        )
+        self._log_min = math.log(min_value)
+        self._log_growth = math.log(growth)
+        # counts[0] = underflow, counts[1 + i] = regular bucket i,
+        # counts[-1] = overflow.
+        self._counts = np.zeros(self.buckets + 2, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording ----------------------------------------------------------
+    def record(self, latency: float) -> None:
+        self.record_many(np.asarray([latency], dtype=np.float64))
+
+    def record_many(self, latencies: Sequence[float]) -> None:
+        """Vectorized bulk insert (the serving hot path)."""
+        values = np.asarray(latencies, dtype=np.float64)
+        if values.size == 0:
+            return
+        if np.any(values < 0) or np.any(~np.isfinite(values)):
+            raise ValueError("latency samples must be finite and >= 0")
+        # searchsorted over the edges: index 0 = below min (underflow),
+        # buckets+1 = at/above max (overflow) — exactly the counts slots.
+        slots = np.searchsorted(self._edges, values, side="right")
+        np.add.at(self._counts, slots, 1)
+        self._count += values.size
+        self._sum += float(values.sum())
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+
+    # -- merging ------------------------------------------------------------
+    def compatible_with(self, other: "LatencyHistogram") -> bool:
+        return (
+            self.min_value == other.min_value
+            and self.max_value == other.max_value
+            and self.growth == other.growth
+        )
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place (and return it)."""
+        if not self.compatible_with(other):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts: "
+                f"({self.min_value}, {self.max_value}, {self.growth}) vs "
+                f"({other.min_value}, {other.max_value}, {other.growth})"
+            )
+        self._counts += other._counts
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    @classmethod
+    def merged(
+        cls, histograms: Sequence["LatencyHistogram"]
+    ) -> "LatencyHistogram":
+        """A fresh histogram holding the sum of ``histograms``."""
+        if not histograms:
+            return cls()
+        first = histograms[0]
+        result = cls(
+            min_value=first.min_value,
+            max_value=first.max_value,
+            growth=first.growth,
+            name=first.name,
+        )
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def minimum(self) -> float:
+        return self._min if self._count else math.nan
+
+    def maximum(self) -> float:
+        return self._max if self._count else math.nan
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative error of an in-range percentile estimate."""
+        return math.sqrt(self.growth) - 1.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile estimate from the bucket counts."""
+        index = nearest_rank_index(self._count, p)
+        if not self._count:
+            return math.nan
+        slot = int(np.searchsorted(np.cumsum(self._counts), index + 1))
+        if slot == 0:
+            # Underflow bucket: everything here is below min_value and
+            # at or above the observed minimum.
+            return self._min
+        if slot >= self.buckets + 1:
+            return self._max
+        representative = float(
+            math.sqrt(self._edges[slot - 1] * self._edges[slot])
+        )
+        return min(max(representative, self._min), self._max)
+
+    def summary(self) -> dict:
+        return {
+            "count": self._count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.minimum(),
+            "max": self.maximum(),
+        }
+
+    # -- serialization (cross-process shard merge) ---------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot; ``from_dict`` round-trips it."""
+        return {
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "growth": self.growth,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            # Sparse encoding: only non-empty slots travel.
+            "slots": {
+                str(slot): int(self._counts[slot])
+                for slot in np.flatnonzero(self._counts)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        histogram = cls(
+            min_value=payload["min_value"],
+            max_value=payload["max_value"],
+            growth=payload["growth"],
+        )
+        for slot, count in payload.get("slots", {}).items():
+            histogram._counts[int(slot)] = int(count)
+        histogram._count = int(payload["count"])
+        histogram._sum = float(payload["sum"])
+        if histogram._count:
+            histogram._min = float(payload["min"])
+            histogram._max = float(payload["max"])
+        return histogram
+
+    def __repr__(self) -> str:
+        return (
+            f"<LatencyHistogram count={self._count} "
+            f"buckets={self.buckets} growth={self.growth}>"
+        )

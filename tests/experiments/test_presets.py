@@ -12,6 +12,8 @@ from repro.experiments.presets import (
     chaos_sweep,
     resolve_setup,
     run_checkpoint_trial,
+    run_serving_trial,
+    serving_sweep,
     table6_sweep,
     ycsb_sweep,
 )
@@ -97,12 +99,52 @@ class TestSweepBuilders:
         with pytest.raises(KeyError):
             ycsb_sweep(setups=("NotASetup",))
 
+    def test_serving_sweep_one_spec_per_strategy(self):
+        from repro.serving import STRATEGIES
+
+        specs = serving_sweep(seed=5, users=10_000)
+        assert [spec.params["strategy"] for spec in specs] == list(
+            STRATEGIES
+        )
+        assert all(spec.kind == "serving" for spec in specs)
+        assert all(spec.params["users"] == 10_000 for spec in specs)
+        # Each strategy derives its own seed: no stream is shared.
+        assert len({spec.seed for spec in specs}) == len(specs)
+        assert len({spec.fingerprint() for spec in specs}) == len(specs)
+
+    def test_serving_sweep_keeps_the_crash_inside_a_short_window(self):
+        specs = serving_sweep(duration=4.0)
+        assert all(spec.params["crash_at"] == 2.0 for spec in specs)
+        pinned = serving_sweep(duration=4.0, crash_at=1.0)
+        assert all(spec.params["crash_at"] == 1.0 for spec in pinned)
+
     def test_table6_sweep_covers_every_protected_setup(self):
         specs = table6_sweep()
         labels = {spec.params["setup"] for spec in specs}
         assert labels == {
             label for label, setup in TABLE6.items() if setup.engine != "none"
         }
+
+
+class TestServingTrialRunner:
+    def test_runs_one_strategy_and_reports_the_tail(self):
+        metrics, rows = run_serving_trial({
+            "strategy": "here",
+            "seed": 3,
+            "users": 2_000,
+            "rate_per_user": 0.05,
+            "demand": 0.001,
+            "slo": 0.1,
+            "hedge": 0.5,
+            "duration": 4.0,
+            "crash_at": 2.0,
+        })
+        assert metrics["strategy"] == "here"
+        assert metrics["requests"] > 100
+        assert math.isfinite(metrics["p999"])
+        assert "hedged_p999" in metrics
+        assert metrics["fingerprint"]["requests"] == metrics["requests"]
+        assert any(row["metric"] == "p999 (s)" for row in rows)
 
 
 class TestCheckpointTrialRunner:

@@ -1,0 +1,199 @@
+"""The exact processor-sharing solver vs an independent reference.
+
+``ps_complete`` collapses the PS dynamics onto Kleinrock's virtual
+time; the reference below tracks each request's *remaining work*
+directly (no virtual time), so agreement is a genuine cross-check of
+the dynamics, not of a shared formula.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    CapacitySegment,
+    ps_complete,
+    segments_from_windows,
+)
+from repro.serving.queue import validate_segments
+
+
+def ps_reference(arrivals, demand, segments):
+    """Event-driven egalitarian PS tracking remaining work per request."""
+    n = len(arrivals)
+    completions = [math.nan] * n
+    remaining = {}  # index -> remaining demand
+    nxt = 0
+    for segment in segments:
+        if segment.lost:
+            remaining.clear()
+            while nxt < n and arrivals[nxt] < segment.end:
+                nxt += 1
+            continue
+        t = segment.start
+        while True:
+            next_arrival = (
+                arrivals[nxt]
+                if nxt < n and arrivals[nxt] < segment.end
+                else None
+            )
+            candidates = [segment.end]
+            if next_arrival is not None:
+                candidates.append(next_arrival)
+            if remaining and segment.capacity > 0:
+                rate = segment.capacity / len(remaining)
+                candidates.append(t + min(remaining.values()) / rate)
+            target = min(candidates)
+            if remaining and segment.capacity > 0:
+                served = (target - t) * segment.capacity / len(remaining)
+                for index in remaining:
+                    remaining[index] -= served
+            t = target
+            for index in sorted(remaining):
+                if remaining[index] <= 1e-12 * demand:
+                    completions[index] = t
+                    del remaining[index]
+            if next_arrival is not None and t == next_arrival:
+                remaining[nxt] = demand
+                nxt += 1
+            elif t >= segment.end:
+                break
+    return np.asarray(completions)
+
+
+def assert_matches_reference(arrivals, demand, segments):
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    np.testing.assert_allclose(
+        ps_complete(arrivals, demand, segments),
+        ps_reference(arrivals.tolist(), demand, segments),
+        rtol=1e-9,
+        atol=1e-9,
+        equal_nan=True,
+    )
+
+
+FULL = [CapacitySegment(0.0, 10.0)]
+
+
+class TestPsComplete:
+    def test_lone_request_takes_its_demand(self):
+        completions = ps_complete(np.array([1.0]), 0.5, FULL)
+        assert completions[0] == pytest.approx(1.5)
+
+    def test_two_overlapping_requests_share_the_server(self):
+        # Second arrives while the first runs: both slow to rate 1/2.
+        completions = ps_complete(np.array([0.0, 0.5]), 1.0, FULL)
+        # First: 0.5s alone + 1.0s shared = done at 1.5; second
+        # finishes its remaining 0.5 alone after that.
+        assert completions[0] == pytest.approx(1.5)
+        assert completions[1] == pytest.approx(2.0)
+
+    def test_random_load_matches_reference(self):
+        rng = np.random.default_rng(42)
+        arrivals = np.sort(rng.uniform(0.0, 8.0, size=200))
+        assert_matches_reference(arrivals, 0.05, FULL)
+
+    def test_pause_stalls_and_drains_in_bulk(self):
+        segments = segments_from_windows(
+            0.0, 10.0, pauses=[(2.0, 4.0)]
+        )
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(rng.uniform(0.0, 9.0, size=150))
+        completions = ps_complete(arrivals, 0.02, segments)
+        assert not np.any(np.isnan(completions))
+        # Nothing completes inside the pause.
+        assert not np.any((completions > 2.0) & (completions < 4.0))
+        assert_matches_reference(arrivals, 0.02, segments)
+
+    def test_request_arriving_during_pause_waits_for_resume(self):
+        segments = segments_from_windows(0.0, 10.0, pauses=[(2.0, 4.0)])
+        completions = ps_complete(np.array([3.0]), 0.5, segments)
+        assert completions[0] == pytest.approx(4.5)
+
+    def test_blackout_loses_in_flight_and_bouncing_requests(self):
+        segments = segments_from_windows(
+            0.0, 10.0, blackouts=[(2.0, 4.0)]
+        )
+        # 1.9 still in flight at 2.0; 3.0 bounces; 5.0 is fine.
+        arrivals = np.array([1.9, 3.0, 5.0])
+        completions = ps_complete(arrivals, 0.5, segments)
+        assert math.isnan(completions[0])
+        assert math.isnan(completions[1])
+        assert completions[2] == pytest.approx(5.5)
+        assert_matches_reference(arrivals, 0.5, segments)
+
+    def test_mixed_pause_and_blackout_matches_reference(self):
+        segments = segments_from_windows(
+            0.0,
+            20.0,
+            pauses=[(3.0, 3.5), (11.0, 12.0)],
+            blackouts=[(6.0, 8.0)],
+        )
+        rng = np.random.default_rng(2023)
+        arrivals = np.sort(rng.uniform(0.0, 19.0, size=300))
+        assert_matches_reference(arrivals, 0.03, segments)
+
+    def test_unfinished_at_horizon_is_lost(self):
+        completions = ps_complete(
+            np.array([9.9]), 0.5, [CapacitySegment(0.0, 10.0)]
+        )
+        assert math.isnan(completions[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="demand"):
+            ps_complete(np.array([1.0]), 0.0, FULL)
+        with pytest.raises(ValueError, match="sorted"):
+            ps_complete(np.array([2.0, 1.0]), 0.1, FULL)
+        with pytest.raises(ValueError, match="outside"):
+            ps_complete(np.array([11.0]), 0.1, FULL)
+        assert ps_complete(np.array([]), 0.1, FULL).size == 0
+
+
+class TestSegments:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError, match="ends before"):
+            CapacitySegment(2.0, 1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            CapacitySegment(0.0, 1.0, capacity=-0.5)
+
+    def test_segments_must_be_contiguous(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            validate_segments(
+                [CapacitySegment(0.0, 1.0), CapacitySegment(2.0, 3.0)]
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            validate_segments([])
+
+    def test_windows_build_a_contiguous_profile(self):
+        segments = segments_from_windows(
+            0.0, 10.0, pauses=[(2.0, 3.0)], blackouts=[(5.0, 6.0)]
+        )
+        validate_segments(segments)
+        assert segments[0].start == 0.0
+        assert segments[-1].end == 10.0
+        by_kind = {
+            (segment.capacity, segment.lost) for segment in segments
+        }
+        assert (1.0, False) in by_kind  # running
+        assert (0.0, False) in by_kind  # paused
+        assert (0.0, True) in by_kind  # lost
+
+    def test_blackout_wins_over_overlapping_pause(self):
+        segments = segments_from_windows(
+            0.0, 10.0, pauses=[(2.0, 6.0)], blackouts=[(4.0, 5.0)]
+        )
+        middle = [s for s in segments if s.start == 4.0]
+        assert middle and middle[0].lost
+
+    def test_windows_clip_to_horizon(self):
+        segments = segments_from_windows(
+            0.0, 10.0, pauses=[(-5.0, 1.0), (9.0, 20.0)]
+        )
+        validate_segments(segments)
+        assert segments[0] == CapacitySegment(0.0, 1.0, capacity=0.0)
+        assert segments[-1] == CapacitySegment(9.0, 10.0, capacity=0.0)
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            segments_from_windows(5.0, 5.0)

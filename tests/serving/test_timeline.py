@@ -1,0 +1,216 @@
+"""Distilling service timelines from synthetic bus telemetry."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import ServiceTimeline
+from repro.serving.timeline import DROP, FLUSH, RELEASE
+from repro.telemetry import Recorder
+from repro.telemetry.records import CounterRecord, SpanRecord
+
+_ids = itertools.count(1)
+
+
+def span(name, start, end, **attrs):
+    return SpanRecord(
+        name=name,
+        started_at=start,
+        ended_at=end,
+        span_id=next(_ids),
+        attrs=attrs,
+    )
+
+
+def counter(name, time, **attrs):
+    return CounterRecord(name=name, time=time, value=1.0, attrs=attrs)
+
+
+def recorder_of(*records):
+    recorder = Recorder()
+    for record in records:
+        recorder(record)
+    return recorder
+
+
+class TestFromRecorder:
+    def test_pause_spans_attributed_through_the_session_map(self):
+        recorder = recorder_of(
+            span("replication.session", 0.0, 10.0, engine="eng-0", vm="vm-0"),
+            span("replication.checkpoint.pause", 1.0, 1.2, engine="eng-0"),
+            span("replication.suspended", 3.0, 3.5, engine="eng-0"),
+            span("replication.checkpoint.pause", 5.0, 5.1, engine="other"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.pauses == [(1.0, 1.2), (3.0, 3.5)]
+
+    def test_engine_names_cover_mid_campaign_harvests(self):
+        # No session span on the bus yet (the engine has not halted):
+        # the caller-supplied engine name must attribute the pause.
+        recorder = recorder_of(
+            span("replication.checkpoint.pause", 2.0, 2.3, engine="eng-0"),
+        )
+        bare = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert bare.pauses == []
+        attributed = ServiceTimeline.from_recorder(
+            recorder, "vm-0", 0.0, 10.0, engine_names=("eng-0",)
+        )
+        assert attributed.pauses == [(2.0, 2.3)]
+
+    def test_overlapping_pauses_merge(self):
+        recorder = recorder_of(
+            span("colo.sync", 1.0, 2.0, vm="vm-0"),
+            span("colo.sync", 1.5, 2.5, vm="vm-0"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 5.0)
+        assert timeline.pauses == [(1.0, 2.5)]
+
+    def test_failover_blackout_starts_at_the_fault(self):
+        recorder = recorder_of(
+            counter("fault.injected", 4.0),
+            span("failover", 4.8, 5.5, vm="vm-0"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        # Users are dark from the crash, not from suspicion.
+        assert timeline.blackouts == [(4.0, 5.5)]
+
+    def test_failed_failover_is_dark_to_the_horizon(self):
+        recorder = recorder_of(
+            counter("fault.injected", 4.0),
+            span("failover", 4.8, 5.5, vm="vm-0", failed=True),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.blackouts == [(4.0, 10.0)]
+
+    def test_successful_microreboot_is_a_stall_not_a_loss(self):
+        recorder = recorder_of(
+            counter("fault.injected", 4.0),
+            span(
+                "recovery", 4.5, 6.0,
+                vm="vm-0", attempted=True, outcome="recovered",
+            ),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.pauses == [(4.0, 6.0)]
+        assert timeline.blackouts == []
+
+    def test_extra_blackouts_ride_along(self):
+        timeline = ServiceTimeline.from_recorder(
+            recorder_of(), "vm-0", 0.0, 10.0, extra_blackouts=[(3.0, 7.0)]
+        )
+        assert timeline.blackouts == [(3.0, 7.0)]
+
+    def test_buffering_window_closes_at_the_flush(self):
+        recorder = recorder_of(
+            counter("devices.protection_started", 1.0, vm="vm-0"),
+            counter("devices.packets_released", 2.0, vm="vm-0"),
+            counter("devices.protection_ended", 4.0, vm="vm-0"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.buffering == [(1.0, 4.0)]
+        assert timeline.egress_events == [(2.0, RELEASE), (4.0, FLUSH)]
+
+    def test_buffering_window_closed_by_a_blackout(self):
+        recorder = recorder_of(
+            counter("devices.protection_started", 1.0, vm="vm-0"),
+            counter("fault.injected", 3.0),
+            span("failover", 3.5, 4.0, vm="vm-0"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.buffering == [(1.0, 3.0)]
+
+    def test_replica_window_opens_at_seeding_and_closes_at_promotion(self):
+        recorder = recorder_of(
+            span("replication.seeding", 0.0, 1.5, vm="vm-0"),
+            counter("fault.injected", 5.0),
+            span("failover", 5.5, 6.0, vm="vm-0"),
+        )
+        timeline = ServiceTimeline.from_recorder(recorder, "vm-0", 0.0, 10.0)
+        assert timeline.replica_windows == [(1.5, 6.0)]
+
+    def test_no_seeding_means_no_replica(self):
+        timeline = ServiceTimeline.from_recorder(
+            recorder_of(), "vm-0", 0.0, 10.0
+        )
+        assert timeline.replica_windows == []
+        assert timeline.replica_segments() is None
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            ServiceTimeline.from_recorder(recorder_of(), "vm-0", 5.0, 5.0)
+
+
+class TestCapacityProfiles:
+    def test_segments_reflect_pauses_and_blackouts(self):
+        timeline = ServiceTimeline(
+            vm="vm-0",
+            start=0.0,
+            horizon=10.0,
+            pauses=[(1.0, 2.0)],
+            blackouts=[(5.0, 6.0)],
+        )
+        segments = timeline.segments()
+        assert segments[0].end == 1.0 and segments[0].capacity == 1.0
+        paused = [s for s in segments if s.start == 1.0][0]
+        assert paused.capacity == 0.0 and not paused.lost
+        lost = [s for s in segments if s.start == 5.0][0]
+        assert lost.lost
+
+    def test_replica_segments_black_out_the_gaps(self):
+        timeline = ServiceTimeline(
+            vm="vm-0",
+            start=0.0,
+            horizon=10.0,
+            replica_windows=[(2.0, 6.0)],
+            replica_pauses=[(3.0, 3.5)],
+        )
+        segments = timeline.replica_segments()
+        assert [s for s in segments if s.start == 0.0][0].lost
+        assert [s for s in segments if s.start == 6.0][0].lost
+        synced = [s for s in segments if s.start == 3.0][0]
+        assert synced.capacity == 0.0 and not synced.lost
+        live = [s for s in segments if s.start == 2.0][0]
+        assert live.capacity == 1.0
+
+
+class TestDeliver:
+    def timeline(self, events):
+        return ServiceTimeline(
+            vm="vm-0",
+            start=0.0,
+            horizon=10.0,
+            buffering=[(2.0, 6.0)],
+            egress_events=events,
+        )
+
+    def test_outside_the_window_passes_through(self):
+        timeline = self.timeline([(4.0, RELEASE), (6.0, FLUSH)])
+        delivered = timeline.deliver(np.array([1.0, 7.0]))
+        np.testing.assert_array_equal(delivered, [1.0, 7.0])
+
+    def test_held_until_the_next_release(self):
+        timeline = self.timeline([(4.0, RELEASE), (6.0, FLUSH)])
+        delivered = timeline.deliver(np.array([2.5, 3.9, 4.5]))
+        # Completions before the release wait for it; after the last
+        # release the closing flush delivers.
+        np.testing.assert_allclose(delivered, [4.0, 4.0, 6.0])
+
+    def test_drop_loses_the_response(self):
+        timeline = self.timeline([(4.0, DROP), (6.0, FLUSH)])
+        delivered = timeline.deliver(np.array([2.5, 4.5]))
+        assert math.isnan(delivered[0])
+        assert delivered[1] == 6.0
+
+    def test_window_without_events_loses_everything_held(self):
+        timeline = self.timeline([])
+        delivered = timeline.deliver(np.array([2.5, 8.0]))
+        assert math.isnan(delivered[0])
+        assert delivered[1] == 8.0
+
+    def test_nan_completions_stay_nan(self):
+        timeline = self.timeline([(4.0, RELEASE)])
+        delivered = timeline.deliver(np.array([math.nan, 2.5]))
+        assert math.isnan(delivered[0])
+        assert delivered[1] == 4.0

@@ -1,0 +1,212 @@
+"""The shared latency-distribution types behind recorder and serving.
+
+``LatencySamples`` must answer exactly what the old inline
+``LatencyRecorder`` bookkeeping answered; ``LatencyHistogram`` must
+approximate the same nearest-rank percentiles within its advertised
+relative-error bound and merge associatively across shards — the
+property the fleet's per-shard serving overlays rely on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.histogram import (
+    LatencyHistogram,
+    LatencySamples,
+    nearest_rank_index,
+)
+
+
+def exact_percentile(values, p):
+    """The nearest-rank reference both implementations target."""
+    ordered = sorted(values)
+    return ordered[nearest_rank_index(len(ordered), p)]
+
+
+def bucket_state(histogram):
+    """Everything percentiles depend on — the exact float ``sum`` is
+    excluded because summation order differs across merge orders."""
+    state = histogram.to_dict()
+    del state["sum"]
+    return state
+
+
+class TestNearestRankIndex:
+    def test_rank_rule(self):
+        assert nearest_rank_index(10, 0) == 0
+        assert nearest_rank_index(10, 50) == 4
+        assert nearest_rank_index(10, 100) == 9
+        assert nearest_rank_index(1, 99.9) == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, -1)
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, 100.5)
+
+
+class TestLatencySamples:
+    def test_exact_percentiles_and_summary(self):
+        samples = LatencySamples("rtt")
+        samples.record_many([0.3, 0.1, 0.2, 0.4])
+        assert len(samples) == 4
+        assert samples.percentile(50) == 0.2
+        assert samples.percentile(100) == 0.4
+        assert samples.minimum() == 0.1
+        assert samples.maximum() == 0.4
+        assert samples.mean() == pytest.approx(0.25)
+        summary = samples.summary()
+        assert summary["count"] == 4
+        assert summary["p50"] == 0.2
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            LatencySamples().record(-0.1)
+
+    def test_empty_is_nan(self):
+        empty = LatencySamples()
+        assert math.isnan(empty.percentile(50))
+        assert math.isnan(empty.mean())
+        assert math.isnan(empty.minimum())
+
+
+class TestLatencyHistogram:
+    def test_counts_and_exact_moments(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([0.001, 0.002, 0.004, 0.1])
+        assert len(histogram) == 4
+        assert histogram.count == 4
+        assert histogram.mean() == pytest.approx(0.02675)
+        assert histogram.minimum() == 0.001
+        assert histogram.maximum() == 0.1
+
+    def test_rejects_bad_samples(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.record(math.nan)
+        with pytest.raises(ValueError):
+            histogram.record(math.inf)
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+
+    def test_empty_is_nan(self):
+        empty = LatencyHistogram()
+        assert math.isnan(empty.percentile(99))
+        assert math.isnan(empty.mean())
+
+    def test_underflow_and_overflow_answer_observed_extremes(self):
+        histogram = LatencyHistogram(min_value=1e-3, max_value=1.0)
+        histogram.record_many([1e-5, 2e-5, 50.0])
+        # Both tiny samples live in the underflow bucket, which answers
+        # with the exact observed minimum; the overflow bucket answers
+        # with the exact observed maximum.
+        assert histogram.percentile(0) == 1e-5
+        assert histogram.percentile(50) == 1e-5
+        assert histogram.percentile(100) == 50.0
+
+    def test_merge_requires_matching_layout(self):
+        left = LatencyHistogram(growth=1.05)
+        right = LatencyHistogram(growth=1.10)
+        with pytest.raises(ValueError, match="bucket layouts"):
+            left.merge(right)
+
+    def test_merged_equals_single_pass(self):
+        values = np.linspace(0.001, 2.0, 500)
+        whole = LatencyHistogram()
+        whole.record_many(values)
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record_many(values[:200])
+        right.record_many(values[200:])
+        merged = LatencyHistogram.merged([left, right])
+        assert bucket_state(merged) == bucket_state(whole)
+        assert merged.mean() == pytest.approx(whole.mean(), rel=1e-12)
+
+    def test_to_dict_round_trip(self):
+        histogram = LatencyHistogram(name="serving")
+        histogram.record_many([0.01, 0.5, 3.0, 3.0])
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone.to_dict() == histogram.to_dict()
+        assert clone.percentile(50) == histogram.percentile(50)
+        assert clone.mean() == histogram.mean()
+
+    def test_empty_round_trip(self):
+        clone = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert clone.count == 0
+        assert math.isnan(clone.percentile(99))
+
+
+# In-range samples: the histogram's relative-error bound only holds
+# between min_value and max_value (outside, the under/overflow buckets
+# clamp to the observed extremes — tested deterministically above).
+in_range_samples = st.lists(
+    st.floats(min_value=1e-6, max_value=9.9e3, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=75, deadline=None)
+@given(values=in_range_samples, p=st.floats(min_value=0, max_value=100))
+def test_percentile_within_relative_error_bound(values, p):
+    histogram = LatencyHistogram()
+    histogram.record_many(values)
+    exact = exact_percentile(values, p)
+    estimate = histogram.percentile(p)
+    assert estimate == pytest.approx(
+        exact, rel=histogram.relative_error_bound
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    chunks=st.lists(in_range_samples, min_size=3, max_size=3),
+    p=st.sampled_from([50.0, 99.0, 99.9]),
+)
+def test_shard_merge_is_associative_and_order_free(chunks, p):
+    def histogram_of(*sample_lists):
+        histogram = LatencyHistogram()
+        for samples in sample_lists:
+            histogram.record_many(samples)
+        return histogram
+
+    left_first = (
+        histogram_of(chunks[0])
+        .merge(histogram_of(chunks[1]))
+        .merge(histogram_of(chunks[2]))
+    )
+    right_first = histogram_of(chunks[1]).merge(histogram_of(chunks[2]))
+    right_first = histogram_of(chunks[0]).merge(right_first)
+    single_pass = histogram_of(*chunks)
+    assert bucket_state(left_first) == bucket_state(single_pass)
+    assert bucket_state(right_first) == bucket_state(single_pass)
+    assert left_first.percentile(p) == single_pass.percentile(p)
+    # And the merged estimate still honours the error bound against
+    # the exact percentile of the concatenated samples.
+    combined = [v for chunk in chunks for v in chunk]
+    assert single_pass.percentile(p) == pytest.approx(
+        exact_percentile(combined, p),
+        rel=single_pass.relative_error_bound,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=in_range_samples)
+def test_histogram_tracks_exact_count_sum_extremes(values):
+    histogram = LatencyHistogram()
+    histogram.record_many(values)
+    assert histogram.count == len(values)
+    assert histogram.mean() == pytest.approx(
+        sum(values) / len(values), rel=1e-12, abs=1e-15
+    )
+    assert histogram.minimum() == min(values)
+    assert histogram.maximum() == max(values)

@@ -195,11 +195,67 @@ class TestChaosCommand:
         ]) == 0
         assert "transport retransmits" not in capsys.readouterr().out
 
+    def test_serving_overlay_reports_tail_latency(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+            "--serving-users", "2000", "--serving-rate-per-user", "0.05",
+            "--serving-demand", "0.001", "--serving-slo", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving requests" in out
+        assert "serving p999 (s)" in out
+
+    def test_default_chaos_has_no_serving_rows(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+        ]) == 0
+        assert "serving" not in capsys.readouterr().out
+
+    def test_fleet_preset_carries_the_serving_overlay(self, capsys):
+        code = main([
+            "chaos", "--preset", "fleet", "--trials", "1", "--seed", "11",
+            "--vms", "4", "--recovery-time", "25",
+            "--serving-users", "4000",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "serving requests" in out
+        assert "serving p999 (s)" in out
+
     def test_degraded_threshold_must_cover_miss_threshold(self, capsys):
         assert main([
             "chaos", "--preset", "lossy", "--trials", "1",
             "--miss-threshold", "5", "--degraded-miss-threshold", "2",
         ]) == 2
+
+
+class TestServeCommand:
+    FAST = [
+        "serve", "--users", "2000", "--rate-per-user", "0.05",
+        "--duration", "4", "--crash-at", "2", "--seed", "3",
+    ]
+
+    def test_single_strategy_prints_the_table(self, capsys):
+        assert main(self.FAST + ["--strategy", "here"]) == 0
+        out = capsys.readouterr().out
+        assert "User-visible latency by strategy" in out
+        assert "here" in out
+        assert "p999 (ms)" in out
+        assert "hedged p999 (ms)" not in out
+
+    def test_hedge_adds_the_hedged_columns(self, capsys):
+        assert main(
+            self.FAST + ["--strategy", "failover", "--hedge", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hedged p999 (ms)" in out
+        assert "p999 gain (%)" in out
+
+    def test_crash_outside_the_window_exits(self, capsys):
+        assert main(self.FAST + ["--crash-at", "9"]) == 2
+        assert "crash_at" in capsys.readouterr().err
 
 
 class TestArgumentValidation:
@@ -228,6 +284,32 @@ class TestArgumentValidation:
         with pytest.raises(SystemExit):
             main(["sweep", "--jobs", "many"])
         assert "not an integer" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_users(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--users", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_rejects_hedge_above_one(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--hedge", "1.5"])
+        assert "probability" in capsys.readouterr().err
+
+    def test_serve_rejects_non_positive_demand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--demand", "0"])
+        assert "positive" in capsys.readouterr().err
+
+    def test_chaos_rejects_negative_serving_users(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--serving-users", "-5"])
+        assert "non-negative integer" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_serving_hedge(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--serving-hedge", "2"])
+        assert "probability" in capsys.readouterr().err
 
 
 class TestSweepCommand:
