@@ -1,0 +1,139 @@
+"""Integrity-campaign smoke: silent corruption -> scrub -> repair.
+
+A deterministic corruption campaign through the chaos harness: seeded
+translator-drift / replica-bitrot / torn-apply faults against engines
+running the full integrity overlay (epoch attestation, background
+scrubbing, repair escalation).  Two contracts are pinned:
+
+* **Acceptance** — the scrubber detects >= 95% of injected corruption
+  before any failover promotes it, and the repair ladder restores
+  protection without tripping the terminal alarm.
+* **Regression gate** — the campaign's integrity metrics must match the
+  committed ``BENCH_integrity.json``.  The detection rate is gated
+  one-sidedly (``at-least``): improving detection never fails CI, while
+  any drop below the committed floor does.  Everything else is a
+  deterministic simulation statistic gated bidirectionally.  Refresh
+  with ``REPRO_BENCH_WRITE=1`` after an acknowledged behaviour change.
+"""
+
+import json
+import os
+
+from repro.analysis import latent_corruption_window, render_table
+from repro.experiments import RegressionGate, Tolerance, load_baseline
+from repro.faults import CampaignConfig, ChaosCampaign, FaultKind
+
+from harness import BENCH_SEED, print_header
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_integrity.json"
+)
+
+
+def corruption_config():
+    return CampaignConfig(
+        trials=2,
+        seed=BENCH_SEED,
+        vms=2,
+        faults_per_trial=2,
+        settle_time=3.0,
+        fault_window=3.0,
+        recovery_time=20.0,
+        kinds=(
+            FaultKind.TRANSLATOR_DRIFT,
+            FaultKind.REPLICA_BITROT,
+            FaultKind.TORN_APPLY,
+        ),
+        integrity=True,
+    )
+
+
+def run_campaign():
+    return ChaosCampaign(corruption_config()).run()
+
+
+def integrity_metrics(result):
+    """The flat metric block gated against the committed baseline."""
+    return {
+        "corruptions": float(result.total_corruptions),
+        "corruptions_detected": float(result.total_corruptions_detected),
+        "corruptions_repaired": float(result.total_corruptions_repaired),
+        "detection_rate": result.detection_rate,
+        "mean_latent_window": result.mean_latent_window,
+        "max_latent_window": result.max_latent_window,
+        "integrity_alarms": float(result.total_integrity_alarms),
+        "failover_refusals": float(result.total_failover_refusals),
+        "repair_page_refetches": float(
+            sum(t.repair_page_refetches for t in result.trials)
+        ),
+        "repair_resyncs": float(
+            sum(t.repair_resyncs for t in result.trials)
+        ),
+        "repair_reseeds": float(
+            sum(t.repair_reseeds for t in result.trials)
+        ),
+    }
+
+
+def test_integrity_campaign_smoke(capsys):
+    result = run_campaign()
+
+    with capsys.disabled():
+        print_header("Integrity smoke: silent corruption -> scrub -> repair")
+        print(render_table(result.summary_rows()))
+        report = latent_corruption_window(result)
+        print(render_table(report.rows()))
+
+    # The acceptance bar: essentially every seeded corruption caught
+    # by the scrubber before a failover could promote it.
+    assert result.total_corruptions >= 4
+    assert result.detection_rate >= 0.95
+    # Protection restored through the ladder, not the alarm.
+    assert result.total_corruptions_repaired > 0
+    assert result.total_integrity_alarms == 0
+    # The latent window is measured and bounded by the scrub cadence
+    # (plus the repair work ahead of each detection in the queue).
+    window = latent_corruption_window(result)
+    assert window.count == result.total_corruptions
+    assert 0.0 < window.mean_seconds < 5.0
+
+    # The determinism contract.
+    assert run_campaign().fingerprint() == result.fingerprint()
+
+
+def test_integrity_metrics_match_committed_baseline(capsys):
+    result = run_campaign()
+    current = integrity_metrics(result)
+
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        payload = {
+            "benchmark": "integrity-smoke",
+            "seed": BENCH_SEED,
+            "fingerprint_keys": sorted(result.fingerprint()),
+            "metrics": current,
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    baseline = load_baseline(BASELINE_PATH)
+    gate = RegressionGate(
+        # Deterministic simulation: any drift beyond round-off is a
+        # behaviour change somebody must acknowledge...
+        tolerance=Tolerance(relative=1e-9, absolute=1e-6),
+        per_metric={
+            # ...except the detection rate, which is a floor: better
+            # detection passes, any regression below the committed
+            # rate fails.
+            "detection_rate": Tolerance(
+                relative=0.0, absolute=1e-9, direction="at-least"
+            ),
+        },
+    )
+    report = gate.compare(baseline, current)
+
+    with capsys.disabled():
+        print_header("Integrity smoke: regression gate vs BENCH_integrity.json")
+        print(render_table(report.summary_rows()))
+
+    assert report.passed, [d.metric for d in report.regressions]

@@ -11,6 +11,11 @@ from .availability import (
     observed_availability_nines,
 )
 from .export import ResultsWriter, load_results
+from .integrity import (
+    LatentWindowReport,
+    detection_rate,
+    latent_corruption_window,
+)
 from .degradation import (
     checkpoint_degradation,
     respects_target,
@@ -49,6 +54,7 @@ from .serving import (
 
 __all__ = [
     "AvailabilityComparison",
+    "LatentWindowReport",
     "LinearFit",
     "OverheadReport",
     "ReplicationTimings",
@@ -59,6 +65,7 @@ __all__ = [
     "blackout_comparison",
     "checkpoint_degradation",
     "compare_availability",
+    "detection_rate",
     "double_failure_risk",
     "downtime_per_failure_unprotected",
     "estimate_alpha",
@@ -66,6 +73,7 @@ __all__ = [
     "format_value",
     "hedging_improvement_pct",
     "improvement_pct",
+    "latent_corruption_window",
     "linear_fit",
     "load_results",
     "measure_overhead",

@@ -182,14 +182,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--preset",
-        choices=["default", "lossy", "fleet", "recovery"],
+        choices=["default", "lossy", "fleet", "recovery", "corruption"],
         default="default",
         help="'lossy' draws link impairments and runs the hardened "
              "transport (reliable chunked commit + degradation ladder); "
              "'fleet' runs each trial as a fleet-scale zone-outage "
              "campaign on the sharded kernel; 'recovery' draws "
              "hypervisor crashes/hangs and answers them with the "
-             "hybrid microreboot-then-failover policy",
+             "hybrid microreboot-then-failover policy; 'corruption' "
+             "injects silent state corruption (translator drift, "
+             "replica bitrot, torn applies) and arms the integrity "
+             "overlay — attestation, scrubbing, repair escalation",
     )
     chaos.add_argument("--zones", type=_positive_int, default=3,
                        help="fleet preset: availability zones")
@@ -269,6 +272,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--serving-hedge", type=_probability, default=0.0,
         help="serving overlay: probability a request is cloned to the "
              "replica (first response wins)",
+    )
+    chaos.add_argument(
+        "--integrity", action="store_true",
+        help="arm the checkpoint-integrity overlay (epoch attestation, "
+             "background replica scrubbing, repair escalation) on every "
+             "engine; implied by --preset corruption",
+    )
+    chaos.add_argument(
+        "--scrub-interval", type=_positive_float, default=0.25,
+        help="integrity overlay: seconds between scrubber audit passes",
+    )
+    chaos.add_argument(
+        "--scrub-bandwidth-gib", type=_positive_float, default=2.0,
+        help="integrity overlay: audit bandwidth budget (GiB/s of "
+             "replica state re-read per scrub pass)",
+    )
+    chaos.add_argument(
+        "--promote-suspect-replicas", action="store_true",
+        help="integrity overlay: let failover promote a replica whose "
+             "state is corruption-suspect or quarantined (default: "
+             "refuse and alarm)",
     )
     _add_trace_argument(chaos)
 
@@ -363,7 +387,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--preset",
-        choices=["chaos", "lossy", "fleet", "serving", "ycsb", "table6"],
+        choices=["chaos", "lossy", "corruption", "fleet", "serving",
+                 "ycsb", "table6"],
         default="chaos",
         help="which built-in trial matrix to run",
     )
@@ -769,12 +794,15 @@ def _cmd_chaos(args) -> int:
         return _run_fleet_chaos(args)
     lossy = args.preset == "lossy"
     recovery = args.preset == "recovery"
+    corruption = args.preset == "corruption"
     if lossy:
         default_kinds = "link-loss,packet-corrupt,latency-jitter"
     elif recovery:
         # Only in-place-recoverable faults: a dead host has no RAM to
         # preserve, and a partition leaves nothing to microreboot.
         default_kinds = "hypervisor-crash,hypervisor-hang"
+    elif corruption:
+        default_kinds = "translator-drift,replica-bitrot,torn-apply"
     else:
         default_kinds = (
             "host-crash,hypervisor-crash,hypervisor-hang,link-partition"
@@ -812,6 +840,10 @@ def _cmd_chaos(args) -> int:
             serving_demand=args.serving_demand,
             serving_slo=args.serving_slo,
             serving_hedge=args.serving_hedge,
+            integrity=args.integrity or corruption,
+            integrity_scrub_interval=args.scrub_interval,
+            integrity_scrub_bandwidth=args.scrub_bandwidth_gib * GIB,
+            integrity_refuse_failover=not args.promote_suspect_replicas,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -856,6 +888,12 @@ def _cmd_chaos(args) -> int:
                     / len(trial.unprotected_windows)
                 ) if trial.unprotected_windows else float("nan"),
                 "nines": trial.nines,
+                **({
+                    "corrupt (inj/det/rep)":
+                        f"{trial.corruptions_injected}/"
+                        f"{trial.corruptions_detected}/"
+                        f"{trial.corruptions_repaired}",
+                } if config.integrity else {}),
             }
             for trial in result.trials
         ],
@@ -1000,6 +1038,7 @@ def _cmd_sweep(args) -> int:
     from .experiments.presets import (
         BENCH_SEED,
         chaos_sweep,
+        corruption_sweep,
         fleet_sweep,
         lossy_sweep,
         serving_sweep,
@@ -1021,8 +1060,11 @@ def _cmd_sweep(args) -> int:
                     quantum=args.quantum,
                 ),
             )
-        elif args.preset in ("chaos", "lossy"):
-            builder = lossy_sweep if args.preset == "lossy" else chaos_sweep
+        elif args.preset in ("chaos", "lossy", "corruption"):
+            builder = {
+                "lossy": lossy_sweep,
+                "corruption": corruption_sweep,
+            }.get(args.preset, chaos_sweep)
             specs = builder(
                 trials=args.trials,
                 seed=args.seed if args.seed is not None else 0,

@@ -22,6 +22,7 @@ from ..hypervisor import registry
 from ..hypervisor.base import Hypervisor
 from ..net.egress import EgressBuffer
 from ..net.service import ServiceConnection
+from ..integrity.config import IntegrityConfig
 from ..replication.colo import ColoEngine, colo_engine
 from ..replication.engine import ReplicationEngine
 from ..replication.failover import FailoverController
@@ -67,6 +68,9 @@ class DeploymentSpec:
     #: Hardened transport config; None keeps the classic protocol
     #: ("here" engines only — Remus/COLO model the original papers).
     transport: Optional[TransportConfig] = None
+    #: End-to-end integrity (attestation + scrubbing + repair ladder);
+    #: None — the default — adds nothing to the run ("here" only).
+    integrity: Optional[IntegrityConfig] = None
 
     def __post_init__(self):
         if self.engine not in ("here", "remus", "colo"):
@@ -78,6 +82,11 @@ class DeploymentSpec:
         if self.transport is not None and self.engine != "here":
             raise ValueError(
                 "the hardened transport is a HERE feature; "
+                f"engine {self.engine!r} does not support it"
+            )
+        if self.integrity is not None and self.engine != "here":
+            raise ValueError(
+                "checkpoint integrity is a HERE feature; "
                 f"engine {self.engine!r} does not support it"
             )
         if (
@@ -143,6 +152,7 @@ class ProtectedDeployment:
                 checkpoint_threads=spec.checkpoint_threads,
                 cost_model=spec.cost_model,
                 transport=spec.transport,
+                integrity=spec.integrity,
             )
         self.monitor = HeartbeatMonitor(
             self.sim,
@@ -253,6 +263,7 @@ def engines_from_plan(
     sigma: float = 0.25,
     checkpoint_threads: int = 4,
     transport: Optional[TransportConfig] = None,
+    integrity: Optional[IntegrityConfig] = None,
 ) -> Tuple[Dict[str, ReplicationEngine], Dict[Tuple[str, str], LinkPair]]:
     """Instantiate one HERE engine per planned placement.
 
@@ -282,6 +293,7 @@ def engines_from_plan(
                 checkpoint_threads=checkpoint_threads,
                 name=f"here:{placement.vm_name}",
                 transport=transport,
+                integrity=integrity,
             )
     return engines, links
 
@@ -306,6 +318,7 @@ class ProtectedFleet:
         sigma: float = 0.25,
         checkpoint_threads: int = 4,
         transport: Optional[TransportConfig] = None,
+        integrity: Optional[IntegrityConfig] = None,
     ):
         if not plan.placements:
             raise ValueError("the plan has no placements to deploy")
@@ -319,6 +332,7 @@ class ProtectedFleet:
             sigma=sigma,
             checkpoint_threads=checkpoint_threads,
             transport=transport,
+            integrity=integrity,
         )
 
     def placement_of(self, vm_name: str) -> Placement:

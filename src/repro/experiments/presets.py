@@ -401,6 +401,42 @@ def lossy_sweep(
     )
 
 
+def corruption_sweep(
+    trials: int,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    **config_overrides: Any,
+) -> List[ExperimentSpec]:
+    """Chaos trials injecting silent corruption under the integrity
+    overlay.
+
+    Every fault is one of the silent-corruption kinds (translator
+    drift, replica bitrot, torn apply), every engine runs epoch
+    attestation plus the background scrubber, and detected corruption
+    climbs the repair ladder — so the campaign measures detection
+    rate, latent-corruption windows and per-rung repair costs rather
+    than failover (``BENCH_integrity.json`` pins this preset).
+    """
+    from ..faults import FaultKind
+
+    defaults: Dict[str, Any] = dict(
+        kinds=(
+            FaultKind.TRANSLATOR_DRIFT,
+            FaultKind.REPLICA_BITROT,
+            FaultKind.TORN_APPLY,
+        ),
+        integrity=True,
+        faults_per_trial=2,
+        recovery_time=20.0,
+    )
+    defaults.update(config_overrides)
+    return chaos_sweep(
+        trials, seed=seed, timeout=timeout, retries=retries,
+        name="corruption", **defaults,
+    )
+
+
 def fleet_sweep(
     trials: int,
     seed: int = 0,
@@ -568,4 +604,6 @@ def table6_sweep(
 
 
 #: CLI preset name -> builder keyword arguments it accepts.
-SWEEP_PRESETS = ("chaos", "lossy", "fleet", "serving", "ycsb", "table6")
+SWEEP_PRESETS = (
+    "chaos", "lossy", "corruption", "fleet", "serving", "ycsb", "table6",
+)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -59,9 +60,13 @@ def _execute_trial(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
         params.setdefault("seed", spec_payload["seed"])
         metrics, telemetry = _normalize_result(runner(params))
     except Exception as error:
+        # The formatted traceback travels with the failure record:
+        # worker processes die with the exception, so this string is
+        # the only surviving evidence of *where* the trial blew up.
         return {
             "status": "failed",
             "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
             "wall_clock": time.perf_counter() - started,
         }
     return {
@@ -82,6 +87,7 @@ def _trial_worker(spec_payload: Dict[str, Any], conn) -> None:
             conn.send({
                 "status": "failed",
                 "error": f"{type(error).__name__}: {error}",
+                "traceback": traceback.format_exc(),
                 "wall_clock": 0.0,
             })
         except Exception:
@@ -101,6 +107,10 @@ class TrialOutcome:
     metrics: Dict[str, Any] = field(default_factory=dict)
     telemetry: List[dict] = field(default_factory=list)
     error: Optional[str] = None
+    #: The trial's formatted traceback, when it failed with an
+    #: exception (None for dead workers and timeouts — there is no
+    #: Python frame to report).
+    traceback: Optional[str] = None
     #: Seconds the trial itself took (original run for cached results).
     wall_clock: float = 0.0
     cached: bool = False
@@ -121,6 +131,7 @@ class TrialOutcome:
             "attempts": self.attempts,
             "wall_clock_s": self.wall_clock,
             "error": self.error,
+            "traceback": self.traceback,
             "metrics": self.metrics,
             "telemetry": self.telemetry,
         }
@@ -465,6 +476,7 @@ class SweepRunner:
             fingerprint=spec.fingerprint(),
             status="failed",
             error=result.get("error"),
+            traceback=result.get("traceback"),
             wall_clock=result.get("wall_clock", 0.0),
             attempts=attempts,
         )

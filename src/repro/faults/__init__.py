@@ -18,6 +18,7 @@ from .detection import PhiAccrualDetector, phi_from_normal
 from .injector import FaultInjector
 from .reprotect import ReprotectionController, ReprotectionReport
 from .spec import (
+    CORRUPTION_KINDS,
     FaultKind,
     FaultSchedule,
     FaultSpec,
@@ -30,6 +31,7 @@ from .spec import (
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "CampaignConfig",
     "CampaignResult",
     "ChaosCampaign",

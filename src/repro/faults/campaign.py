@@ -46,7 +46,7 @@ from ..telemetry import Recorder
 from .detection import PhiAccrualDetector
 from .injector import FaultInjector
 from .reprotect import ReprotectionController
-from .spec import FaultKind, FaultSchedule
+from .spec import CORRUPTION_KINDS, FaultKind, FaultSchedule
 
 
 @dataclass(frozen=True)
@@ -129,6 +129,19 @@ class CampaignConfig:
     serving_slo: float = 0.25
     #: Probability a request is cloned to the replica (hedging).
     serving_hedge: float = 0.0
+    #: Checkpoint-integrity overlay: epoch attestation, background
+    #: replica scrubbing and the repair escalation ladder on every
+    #: engine (False — the historical default — adds no pipeline
+    #: stages, no processes and no draws, so disabled-campaign
+    #: fingerprints and traces are bit-identical).  Required for the
+    #: silent-corruption fault kinds.
+    integrity: bool = False
+    #: Seconds between scrubber audit passes.
+    integrity_scrub_interval: float = 0.25
+    #: Audit bandwidth budget (bytes/second of replica state re-read).
+    integrity_scrub_bandwidth: float = 2.0 * GIB
+    #: Hold failover while the replica is corruption-suspect.
+    integrity_refuse_failover: bool = True
 
     def __post_init__(self):
         if self.trials < 1:
@@ -203,6 +216,26 @@ class CampaignConfig:
             raise ValueError(
                 f"serving_hedge must be in [0, 1]: {self.serving_hedge}"
             )
+        if self.integrity_scrub_interval <= 0:
+            raise ValueError(
+                "integrity_scrub_interval must be positive: "
+                f"{self.integrity_scrub_interval}"
+            )
+        if self.integrity_scrub_bandwidth <= 0:
+            raise ValueError(
+                "integrity_scrub_bandwidth must be positive: "
+                f"{self.integrity_scrub_bandwidth}"
+            )
+        if not self.integrity and any(
+            kind in CORRUPTION_KINDS for kind in self.kinds
+        ):
+            corrupt = [
+                k.value for k in self.kinds if k in CORRUPTION_KINDS
+            ]
+            raise ValueError(
+                f"fault kinds {corrupt} need the integrity overlay: "
+                "set integrity=True (CLI: --integrity)"
+            )
 
     def microreboot_config(self) -> MicrorebootConfig:
         """The microreboot model this campaign's engines run."""
@@ -233,6 +266,22 @@ class CampaignConfig:
             demand=self.serving_demand,
             slo=self.serving_slo,
             hedge=self.serving_hedge,
+        )
+
+    def integrity_config(self):
+        """The integrity overlay this campaign arms; None = disabled.
+
+        Imported lazily so a campaign with the overlay off never pulls
+        in :mod:`repro.integrity` at all.
+        """
+        if not self.integrity:
+            return None
+        from ..integrity import IntegrityConfig
+
+        return IntegrityConfig(
+            scrub_interval=self.integrity_scrub_interval,
+            scrub_bandwidth=self.integrity_scrub_bandwidth,
+            refuse_failover=self.integrity_refuse_failover,
         )
 
 
@@ -294,6 +343,23 @@ class TrialResult:
     #: trial's served-latency histogram (mergeable across trials and
     #: fleet shards); None when the overlay is off.
     serving_histogram: Optional[dict] = None
+    #: Checkpoint-integrity accounting (all zero / empty when the
+    #: overlay is off, so historical trial payloads round-trip).
+    corruptions_injected: int = 0
+    corruptions_detected: int = 0
+    corruptions_repaired: int = 0
+    #: Corruptions a later clean epoch displaced before the scrubber
+    #: saw them — the overlay's misses.
+    corruptions_healed: int = 0
+    repair_page_refetches: int = 0
+    repair_resyncs: int = 0
+    repair_reseeds: int = 0
+    integrity_alarms: int = 0
+    failover_refusals: int = 0
+    scrub_audits: int = 0
+    #: Per-corruption latent windows: seconds during which a failover
+    #: would have promoted the corrupt replica state.
+    latent_windows: List[float] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (``from_dict`` round-trips it)."""
@@ -395,6 +461,50 @@ class CampaignResult:
         return sum(trial.events_processed for trial in self.trials)
 
     @property
+    def total_corruptions(self) -> int:
+        return sum(trial.corruptions_injected for trial in self.trials)
+
+    @property
+    def total_corruptions_detected(self) -> int:
+        return sum(trial.corruptions_detected for trial in self.trials)
+
+    @property
+    def total_corruptions_repaired(self) -> int:
+        return sum(trial.corruptions_repaired for trial in self.trials)
+
+    @property
+    def total_integrity_alarms(self) -> int:
+        return sum(trial.integrity_alarms for trial in self.trials)
+
+    @property
+    def total_failover_refusals(self) -> int:
+        return sum(trial.failover_refusals for trial in self.trials)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injected corruptions the scrubber caught."""
+        injected = self.total_corruptions
+        if not injected:
+            return math.nan
+        return self.total_corruptions_detected / injected
+
+    def _latent_windows(self) -> List[float]:
+        values: List[float] = []
+        for trial in self.trials:
+            values.extend(trial.latent_windows)
+        return values
+
+    @property
+    def mean_latent_window(self) -> float:
+        values = self._latent_windows()
+        return sum(values) / len(values) if values else math.nan
+
+    @property
+    def max_latent_window(self) -> float:
+        values = self._latent_windows()
+        return max(values) if values else math.nan
+
+    @property
     def total_checkpoints(self) -> int:
         return sum(trial.checkpoints for trial in self.trials)
 
@@ -465,6 +575,28 @@ class CampaignResult:
                 "serving_p999": _finite(serving.p999),
                 "serving_violation_rate": _finite(serving.violation_rate),
             })
+        if self.config.integrity:
+            # Present only when the overlay is armed, same contract as
+            # the serving block above.
+            payload.update({
+                "corruptions": self.total_corruptions,
+                "corruptions_detected": self.total_corruptions_detected,
+                "corruptions_repaired": self.total_corruptions_repaired,
+                "repair_page_refetches": sum(
+                    t.repair_page_refetches for t in self.trials
+                ),
+                "repair_resyncs": sum(
+                    t.repair_resyncs for t in self.trials
+                ),
+                "repair_reseeds": sum(
+                    t.repair_reseeds for t in self.trials
+                ),
+                "integrity_alarms": self.total_integrity_alarms,
+                "failover_refusals": self.total_failover_refusals,
+                "detection_rate": _finite(self.detection_rate),
+                "mean_latent_window": _finite(self.mean_latent_window),
+                "max_latent_window": _finite(self.max_latent_window),
+            })
         return payload
 
     def summary_rows(self) -> List[dict]:
@@ -494,6 +626,30 @@ class CampaignResult:
                 {"metric": f"serving {row['metric']}", "value": row["value"]}
                 for row in serving.summary_rows()
             ]
+        integrity_rows = []
+        if self.config.integrity:
+            integrity_rows = [
+                {"metric": "corruptions (injected/detected/repaired)",
+                 "value": f"{self.total_corruptions}/"
+                          f"{self.total_corruptions_detected}/"
+                          f"{self.total_corruptions_repaired}"},
+                {"metric": "corruption detection rate",
+                 "value": self.detection_rate},
+                {"metric": "repairs (refetch/resync/reseed)",
+                 "value": "/".join(str(sum(getattr(t, name)
+                                           for t in self.trials))
+                          for name in ("repair_page_refetches",
+                                       "repair_resyncs",
+                                       "repair_reseeds"))},
+                {"metric": "integrity alarms",
+                 "value": self.total_integrity_alarms},
+                {"metric": "failovers refused (suspect replica)",
+                 "value": self.total_failover_refusals},
+                {"metric": "mean latent corruption window (s)",
+                 "value": self.mean_latent_window},
+                {"metric": "max latent corruption window (s)",
+                 "value": self.max_latent_window},
+            ]
         return [
             {"metric": "trials", "value": len(self.trials)},
             {"metric": "faults injected",
@@ -512,7 +668,7 @@ class CampaignResult:
             {"metric": "max unprotected window (s)",
              "value": self.max_unprotected_window},
             {"metric": "availability (nines)", "value": self.pooled_nines},
-        ] + recovery_rows + transport_rows + serving_rows
+        ] + recovery_rows + transport_rows + serving_rows + integrity_rows
 
 
 class ChaosCampaign:
@@ -614,6 +770,7 @@ class ChaosCampaign:
             target_degradation=config.target_degradation,
             t_max=config.t_max,
             transport=TransportConfig() if config.reliable_transport else None,
+            integrity=config.integrity_config(),
         )
         fleet.start_protection(wait_ready=True)
 
@@ -691,10 +848,18 @@ class ChaosCampaign:
             links=list(fleet.links.values()),
             vms=list(xen_primary.vms.values()),
         )
+        for vm_name, engine in fleet.engines.items():
+            if engine.integrity_monitor is not None:
+                injector.register_integrity(vm_name, engine.integrity_monitor)
+        # VM names feed the schedule only when a corruption kind asked
+        # for them: the extra argument never perturbs the draw sequence
+        # of a historical kind list, so default fingerprints hold.
+        wants_corruption = any(k in CORRUPTION_KINDS for k in config.kinds)
         schedule = FaultSchedule.random(
             sim.random.stream("chaos.schedule"),
             hosts=[xen_primary.host.name],
             links=[link.name for link in fleet.links.values()],
+            vms=sorted(fleet.engines) if wants_corruption else (),
             kinds=config.kinds,
             count=config.faults_per_trial,
             window=(config.settle_time, config.settle_time + config.fault_window),
@@ -906,6 +1071,41 @@ class ChaosCampaign:
         trial.fencing_rejections = int(
             sum(r.value for r in recorder.counters("transport.fencing_rejected"))
         )
+        # Integrity accounting comes from the monitors' event ledgers
+        # (ground truth for injected-vs-caught) plus the bus (audit and
+        # refusal counters).  Monitors exist only when the overlay is
+        # armed, so a disabled campaign skips this wholesale.
+        for engine in fleet.engines.values():
+            monitor = engine.integrity_monitor
+            if monitor is None:
+                continue
+            for event in monitor.events:
+                trial.corruptions_injected += 1
+                if event.detected:
+                    trial.corruptions_detected += 1
+                if event.healed_at is not None:
+                    trial.corruptions_healed += 1
+                if event.repaired_at is not None:
+                    trial.corruptions_repaired += 1
+                if event.repaired_by == "page-refetch":
+                    trial.repair_page_refetches += 1
+                elif event.repaired_by == "incremental-resync":
+                    trial.repair_resyncs += 1
+                elif event.repaired_by == "full-reseed":
+                    trial.repair_reseeds += 1
+                trial.latent_windows.append(
+                    round(event.latent_window(sim.now), 9)
+                )
+            if engine.repairer is not None:
+                trial.integrity_alarms += engine.repairer.alarms
+        if self.config.integrity:
+            trial.scrub_audits = int(sum(
+                r.value for r in recorder.counters("integrity.scrub.audit")
+            ))
+            trial.failover_refusals = int(sum(
+                r.value
+                for r in recorder.counters("integrity.failover_refused")
+            ))
         trial.nines = observed_availability_nines(
             max(trial.downtime_seconds, 0.0), trial.observed_seconds
         )

@@ -45,6 +45,9 @@ class FaultInjector:
         for vm in vms:
             self.register_vm(vm)
         self.exploit_injector = exploit_injector or ExploitInjector(sim)
+        #: Integrity monitors by VM name — the dispatch surface of the
+        #: silent-corruption kinds (engines with integrity enabled).
+        self.integrity: Dict[str, object] = {}
         #: Chronological record of every applied fault.
         self.injected: List[InjectedFault] = []
         self._processes: List = []
@@ -58,6 +61,10 @@ class FaultInjector:
 
     def register_vm(self, vm: VirtualMachine) -> None:
         self.vms[vm.name] = vm
+
+    def register_integrity(self, vm_name: str, monitor) -> None:
+        """Expose a VM's IntegrityMonitor as a corruption-fault target."""
+        self.integrity[vm_name] = monitor
 
     # -- arming -------------------------------------------------------------
     def schedule(self, schedule: FaultSchedule) -> None:
@@ -94,12 +101,14 @@ class FaultInjector:
             )
 
     def _registry_for(self, spec: FaultSpec):
-        from .spec import HOST_KINDS, LINK_KINDS
+        from .spec import CORRUPTION_KINDS, HOST_KINDS, LINK_KINDS
 
         if spec.kind in HOST_KINDS:
             return self.hosts, "host"
         if spec.kind in LINK_KINDS:
             return self.links, "link"
+        if spec.kind in CORRUPTION_KINDS:
+            return self.integrity, "integrity-monitored VM"
         return self.vms, "VM"
 
     # -- execution ----------------------------------------------------------
@@ -207,6 +216,12 @@ class FaultInjector:
                 f"link {spec.target} jittering messages by up to "
                 f"{spec.jitter_s:g}s"
             )
+        if kind in (
+            FaultKind.TRANSLATOR_DRIFT,
+            FaultKind.REPLICA_BITROT,
+            FaultKind.TORN_APPLY,
+        ):
+            return self.integrity[spec.target].inject(kind.value)
         if kind is FaultKind.EXPLOIT:
             hypervisor = self.hosts[spec.target].hypervisor
             if hypervisor is None:
@@ -226,6 +241,8 @@ class FaultInjector:
             self.hosts[spec.target].recover(
                 f"transient fault over: {spec.reason or 'reboot'}"
             )
+        elif spec.kind is FaultKind.TRANSLATOR_DRIFT:
+            self.integrity[spec.target].clear_drift()
         elif spec.kind in self._IMPAIRMENT_KINDS:
             # Impairments clear without touching degradation/partition
             # state a concurrent fault may have applied to the same link.

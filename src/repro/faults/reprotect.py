@@ -20,10 +20,17 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..cluster.planner import PlacementRequest, ReplicationPlanner
+from ..hardware.host import HostFailure
 from ..hardware.link import LinkPair
 from ..hypervisor.base import Hypervisor
+from ..hypervisor.errors import HypervisorError
 from ..replication.failover import FailoverController
 from ..replication.here import here_engine
+from ..replication.pipeline import StageFault
+from ..replication.protocol import ProtocolError
+from ..replication.transport import TransportError
+from ..vm.devices import ReplicationUnsupported
+from ..vm.machine import VmLifecycleError
 
 
 @dataclass
@@ -172,7 +179,21 @@ class ReprotectionController:
         self.engine.start(vm.name)
         try:
             yield self.engine.ready
-        except Exception as error:
+        except (
+            HypervisorError,
+            HostFailure,
+            VmLifecycleError,
+            StageFault,
+            ProtocolError,
+            TransportError,
+            ReplicationUnsupported,
+            MemoryError,
+            RuntimeError,
+        ) as error:
+            # Every way `engine.ready` legitimately fails: the spare
+            # died or rejected the seed mid-way, the engine was halted
+            # (RuntimeError wraps the interrupt cause), or capacity ran
+            # out.  Anything else propagates — see below.
             why = f"re-seeding to {spare.host.name} failed: {error}"
             span.end(failed=True, failure_reason=why)
             return self._finish(
@@ -188,6 +209,18 @@ class ReprotectionController:
                     failure_reason=why,
                 )
             )
+        except Exception as error:
+            # Not part of the simulation's fault taxonomy — a bug.
+            # Count it and re-raise rather than filing it as a normal
+            # re-protection failure.
+            self.sim.telemetry.counter(
+                "error.unexpected", 1.0,
+                vm=vm.name,
+                where="reprotection-seeding",
+                kind=type(error).__name__,
+            )
+            span.end(failed=True, failure_reason=str(error))
+            raise
         ready_at = self.sim.now
         window = ready_at - detected_at
         span.end(

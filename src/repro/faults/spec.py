@@ -62,6 +62,20 @@ class FaultKind(Enum):
     ZONE_OUTAGE = "zone-outage"
     #: Same blast semantics scoped to one rack; target is "zone/rack".
     RACK_OUTAGE = "rack-outage"
+    #: Silent corruption: the state translator mis-repacks every
+    #: checkpoint payload while armed (a flipped control-register bit
+    #: in translation) — invisible to wire checksums, caught only by
+    #: the semantic digest.  Target is a VM name; transient (reverting
+    #: models a translator bug-fix rollout).
+    TRANSLATOR_DRIFT = "translator-drift"
+    #: Silent corruption: the replica's committed state rots in memory
+    #: (a flipped register bit in the last applied payload).  Target is
+    #: a VM name.
+    REPLICA_BITROT = "replica-bitrot"
+    #: Silent corruption: a device record of the replica's committed
+    #: state is truncated as if an epoch apply tore half-way.  Target
+    #: is a VM name.
+    TORN_APPLY = "torn-apply"
     #: A correlated multi-fault event: ``parts`` fire relative to this
     #: spec's trigger time (e.g. a partition followed by a host crash).
     CORRELATED = "correlated"
@@ -76,6 +90,7 @@ TRANSIENT_KINDS = frozenset(
         FaultKind.LINK_LOSS,
         FaultKind.PACKET_CORRUPT,
         FaultKind.LATENCY_JITTER,
+        FaultKind.TRANSLATOR_DRIFT,
     }
 )
 #: Kinds whose target is a host name.
@@ -101,6 +116,17 @@ LINK_KINDS = frozenset(
 )
 #: Kinds whose target is a VM name.
 VM_KINDS = frozenset({FaultKind.GUEST_CRASH})
+#: Silent-corruption kinds (target is a VM name; dispatched to the
+#: VM's :class:`~repro.integrity.monitor.IntegrityMonitor`).  Only
+#: engines with integrity enabled can host them — the corruption is
+#: applied through the semantic-digest machinery itself.
+CORRUPTION_KINDS = frozenset(
+    {
+        FaultKind.TRANSLATOR_DRIFT,
+        FaultKind.REPLICA_BITROT,
+        FaultKind.TORN_APPLY,
+    }
+)
 #: Fleet-scale kinds whose target is a failure domain (zone or
 #: "zone/rack"), not a single host — only the fleet layer, which knows
 #: the :class:`~repro.cluster.fleetplan.Topology`, can fan them out.
@@ -265,6 +291,7 @@ class FaultSchedule:
             if (kind in HOST_KINDS and hosts)
             or (kind in LINK_KINDS and links)
             or (kind in VM_KINDS and vms)
+            or (kind in CORRUPTION_KINDS and vms)
             or (kind in ZONE_KINDS and zones)
         ]
         if not eligible:

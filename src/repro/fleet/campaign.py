@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.availability import observed_availability_nines
-from ..faults.spec import FaultKind, FaultSchedule, ZONE_KINDS
+from ..faults.spec import (
+    CORRUPTION_KINDS,
+    FaultKind,
+    FaultSchedule,
+    ZONE_KINDS,
+)
 from ..telemetry import MetricsAggregator
 from .faults import FleetFaultInjector
 from .orchestrator import FleetOrchestrator
@@ -68,7 +73,7 @@ class FleetCampaignConfig:
                 "mixing zone-outage and rack-outage in one random draw "
                 "is ambiguous (their targets differ) — pick one"
             )
-        allowed = ZONE_KINDS | {
+        allowed = ZONE_KINDS | CORRUPTION_KINDS | {
             FaultKind.HOST_CRASH,
             FaultKind.HOST_TRANSIENT,
             FaultKind.HYPERVISOR_CRASH,
@@ -77,9 +82,15 @@ class FleetCampaignConfig:
         unknown = set(self.kinds) - allowed
         if unknown:
             raise ValueError(
-                "fleet campaigns inject domain/host power faults and "
-                "hypervisor crash/hang only, "
+                "fleet campaigns inject domain/host power faults, "
+                "hypervisor crash/hang and silent corruption only, "
                 f"not {sorted(k.value for k in unknown)}"
+            )
+        corruption = set(self.kinds) & CORRUPTION_KINDS
+        if corruption and not self.spec.integrity:
+            raise ValueError(
+                f"fault kinds {sorted(k.value for k in corruption)} need "
+                "the integrity overlay: set FleetSpec.integrity=True"
             )
         if self.serving_users < 0:
             raise ValueError(
@@ -152,6 +163,15 @@ class FleetCampaignResult:
     requeued: int = 0
     max_queue_depth: int = 0
     final_admission_limit: int = 0
+    # -- integrity (all zero when the overlay is off) ------------------------
+    corruptions_injected: int = 0
+    corruptions_detected: int = 0
+    corruptions_repaired: int = 0
+    integrity_alarms: int = 0
+    failover_refusals: int = 0
+    scrub_audits: int = 0
+    #: Per-corruption latent windows across all shards.
+    latent_windows: List[float] = field(default_factory=list)
     # -- availability --------------------------------------------------------
     observed_seconds: float = 0.0
     downtime_seconds: float = 0.0
@@ -171,6 +191,18 @@ class FleetCampaignResult:
     def max_unprotected_window(self) -> float:
         values = list(self.unprotected_windows.values())
         return max(values) if values else math.nan
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.corruptions_injected:
+            return math.nan
+        return self.corruptions_detected / self.corruptions_injected
+
+    @property
+    def mean_latent_window(self) -> float:
+        if not self.latent_windows:
+            return math.nan
+        return sum(self.latent_windows) / len(self.latent_windows)
 
     def fingerprint(self) -> dict:
         """The determinism contract: same seed => identical dict."""
@@ -218,6 +250,17 @@ class FleetCampaignResult:
                     self.serving.violation_rate
                 ),
             })
+        if self.config.spec.integrity:
+            # Opt-in only, same contract as the serving block.
+            payload.update({
+                "corruptions": self.corruptions_injected,
+                "corruptions_detected": self.corruptions_detected,
+                "corruptions_repaired": self.corruptions_repaired,
+                "integrity_alarms": self.integrity_alarms,
+                "failover_refusals": self.failover_refusals,
+                "detection_rate": _finite(self.detection_rate),
+                "mean_latent_window": _finite(self.mean_latent_window),
+            })
         return payload
 
     def metrics(self) -> Dict[str, float]:
@@ -241,6 +284,9 @@ class FleetCampaignResult:
         if self.serving is not None:
             for name, value in self.serving.to_metrics().items():
                 payload[f"serving_{name}"] = value
+        if self.config.spec.integrity:
+            payload["corruptions_detected"] = float(self.corruptions_detected)
+            payload["scrub_audits"] = float(self.scrub_audits)
         return payload
 
     def summary_rows(self) -> List[dict]:
@@ -249,6 +295,22 @@ class FleetCampaignResult:
             serving_rows = [
                 {"metric": f"serving {row['metric']}", "value": row["value"]}
                 for row in self.serving.summary_rows()
+            ]
+        integrity_rows = []
+        if self.config.spec.integrity:
+            integrity_rows = [
+                {"metric": "corruptions (injected/detected/repaired)",
+                 "value": f"{self.corruptions_injected}/"
+                          f"{self.corruptions_detected}/"
+                          f"{self.corruptions_repaired}"},
+                {"metric": "corruption detection rate",
+                 "value": self.detection_rate},
+                {"metric": "scrub audits", "value": self.scrub_audits},
+                {"metric": "integrity alarms", "value": self.integrity_alarms},
+                {"metric": "failovers refused (suspect replica)",
+                 "value": self.failover_refusals},
+                {"metric": "mean latent corruption window (s)",
+                 "value": self.mean_latent_window},
             ]
         return [
             {"metric": "VMs / hosts / zones",
@@ -271,7 +333,7 @@ class FleetCampaignResult:
             {"metric": "mean unprotected window (s)",
              "value": self.mean_unprotected_window},
             {"metric": "availability (nines)", "value": self.nines},
-        ] + serving_rows
+        ] + serving_rows + integrity_rows
 
 
 class FleetCampaign:
@@ -414,9 +476,19 @@ class FleetCampaign:
                 for name, flavor, _, _ in spec.grid_hosts
                 if flavor == "xen"
             ]
+        # VM names feed the draw only when a corruption kind asked for
+        # them, so historical kind lists keep their draw sequences.
+        vm_targets: List[str] = []
+        if set(config.kinds) & CORRUPTION_KINDS:
+            vm_targets = sorted(
+                vm_name
+                for shard in orchestrator.shards.values()
+                for vm_name in shard.engines
+            )
         return FaultSchedule.random(
             orchestrator.fleet_sim.random.stream("fleet.chaos"),
             hosts=grid_hosts,
+            vms=vm_targets,
             zones=zone_targets,
             kinds=config.kinds,
             count=config.faults,
@@ -499,16 +571,49 @@ class FleetCampaign:
         result.nines = observed_availability_nines(
             max(downtime, 0.0), result.observed_seconds
         )
+        # Integrity accounting from the monitors' event ledgers (the
+        # ground truth for injected-vs-caught) plus the merged bus.
+        for shard in orchestrator.shards.values():
+            engines = list(shard.engines.values())
+            engines.extend(shard.reseed_engines.values())
+            for engine in engines:
+                monitor = engine.integrity_monitor
+                if monitor is None:
+                    continue
+                for event in monitor.events:
+                    result.corruptions_injected += 1
+                    if event.detected:
+                        result.corruptions_detected += 1
+                    if event.repaired_at is not None:
+                        result.corruptions_repaired += 1
+                    result.latent_windows.append(
+                        round(event.latent_window(shard.sim.now), 9)
+                    )
+                if engine.repairer is not None:
+                    result.integrity_alarms += engine.repairer.alarms
         # Merged per-shard telemetry: pin the counters that prove the
-        # fan-out actually crossed shard boundaries.
+        # fan-out actually crossed shard boundaries (and, with the
+        # overlay armed, that scrubbing/refusal ran fleet-wide).
+        pinned = {
+            "host.failure",
+            "host.recovery",
+            "fleet.fault.injected",
+            "fleet.reprotect.enqueued",
+            "fleet.reprotect.started",
+            "fleet.quantum",
+        }
+        if spec.integrity:
+            pinned |= {
+                "integrity.scrub.audit",
+                "integrity.corruption_detected",
+                "integrity.failover_refused",
+                "integrity.alarm",
+            }
         for row in aggregator.summary_rows():
-            if row["name"] in (
-                "host.failure",
-                "host.recovery",
-                "fleet.fault.injected",
-                "fleet.reprotect.enqueued",
-                "fleet.reprotect.started",
-                "fleet.quantum",
-            ):
+            if row["name"] in pinned:
                 result.telemetry[row["name"]] = int(row["count"])
+        result.scrub_audits = result.telemetry.get("integrity.scrub.audit", 0)
+        result.failover_refusals = result.telemetry.get(
+            "integrity.failover_refused", 0
+        )
         return result

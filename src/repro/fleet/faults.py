@@ -22,6 +22,7 @@ import math
 from typing import TYPE_CHECKING, List
 
 from ..faults.spec import (
+    CORRUPTION_KINDS,
     FaultKind,
     FaultSchedule,
     FaultSpec,
@@ -81,11 +82,26 @@ class FleetFaultInjector:
                     f"(have: {sorted(self.orchestrator.logical)})"
                 )
             return
+        if spec.kind in CORRUPTION_KINDS:
+            if self._integrity_monitor(spec.target) is None:
+                raise KeyError(
+                    f"{spec.kind.value} target {spec.target!r} is not an "
+                    "integrity-monitored VM — arm FleetSpec.integrity"
+                )
+            return
         raise ValueError(
             f"the fleet injector handles zone/rack outages, host power "
-            f"faults and hypervisor crash/hang, not {spec.kind.value} — "
-            "arm per-shard faults through a shard's own FaultInjector"
+            f"faults, hypervisor crash/hang and silent corruption, not "
+            f"{spec.kind.value} — arm per-shard faults through a "
+            "shard's own FaultInjector"
         )
+
+    def _integrity_monitor(self, vm_name: str):
+        for shard in self.orchestrator.shards.values():
+            engine = shard.engines.get(vm_name)
+            if engine is not None:
+                return engine.integrity_monitor
+        return None
 
     def _domain_hosts(self, spec: FaultSpec) -> List[str]:
         topology = self.orchestrator.topology
@@ -103,6 +119,9 @@ class FleetFaultInjector:
     def _fault_process(self, spec: FaultSpec):
         if spec.at > 0:
             yield self.sim.timeout(spec.at)
+        if spec.kind in CORRUPTION_KINDS:
+            yield from self._corrupt(spec)
+            return
         if spec.kind in ZONE_KINDS:
             hosts = self._domain_hosts(spec)
         else:
@@ -137,6 +156,34 @@ class FleetFaultInjector:
                 self._recover_host(
                     host_name, f"{spec.kind.value} over: {reason}"
                 )
+            record.reverted_at = self.sim.now
+            if bus.enabled:
+                bus.counter(
+                    "fleet.fault.reverted", 1.0,
+                    kind=spec.kind.value, target=spec.target,
+                )
+
+    def _corrupt(self, spec: FaultSpec):
+        """Dispatch a silent-corruption kind to the VM's monitor.
+
+        Corruption is shard-local by construction — exactly one engine
+        protects the target VM — but it is armed on the fleet calendar
+        like every other campaign fault, so it fires at a quantum
+        boundary and shows up in the fleet trace.
+        """
+        monitor = self._integrity_monitor(spec.target)
+        detail = monitor.inject(spec.kind.value)
+        record = InjectedFault(spec, self.sim.now, detail=detail)
+        self.injected.append(record)
+        bus = self.sim.telemetry
+        if bus.enabled:
+            bus.counter(
+                "fleet.fault.injected", 1.0,
+                kind=spec.kind.value, target=spec.target, hosts=0,
+            )
+        if spec.reverts and math.isfinite(spec.duration):
+            yield self.sim.timeout(spec.duration)
+            monitor.clear_drift()
             record.reverted_at = self.sim.now
             if bus.enabled:
                 bus.counter(

@@ -242,6 +242,7 @@ class FleetOrchestrator:
                 t_max=self.spec.t_max,
                 checkpoint_threads=self.spec.checkpoint_threads,
                 name=f"here:{placement.vm_name}",
+                integrity=self.spec.integrity_config(),
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -552,6 +553,7 @@ class FleetOrchestrator:
             t_max=self.spec.t_max * self.period_scale,
             checkpoint_threads=self.spec.checkpoint_threads,
             name=f"reseed:{request.vm_name}",
+            integrity=self.spec.integrity_config(),
         )
         engine.start(request.vm_name)
         shard.reseed_engines[request.vm_name] = engine

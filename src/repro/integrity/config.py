@@ -1,0 +1,48 @@
+"""Configuration surface of the end-to-end integrity machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.units import GIB
+
+#: CPU cost of hashing one vCPU's canonical items into its leaf.
+ATTEST_COST_PER_VCPU = 60e-6
+#: CPU cost of hashing one device record into its leaf.
+ATTEST_COST_PER_DEVICE = 15e-6
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Knobs of the attestation / scrubbing / repair stack.
+
+    The whole stack is strictly opt-in: a replication engine without an
+    ``IntegrityConfig`` computes no digests, spawns no scrubber, draws
+    nothing from any RNG stream — fixed-seed runs stay byte-identical
+    to the pre-integrity era.
+    """
+
+    #: Compute the epoch attestation on the primary and ship it with
+    #: every checkpoint message (the replica side needs it to audit).
+    attest: bool = True
+    #: Seconds between background scrub audits of the replica.
+    scrub_interval: float = 0.25
+    #: Bandwidth budget of the scrubber *and* of repair traffic
+    #: (bytes/second) — auditing and re-fetching are priced against it.
+    scrub_bandwidth: float = 2.0 * GIB
+    #: Permit the ladder's full re-seed rung; with it off, stream-scope
+    #: corruption escalates straight to refuse-failover-and-alarm.
+    allow_reseed: bool = True
+    #: Refuse to promote a replica with detected-but-unrepaired
+    #: corruption (the ladder's terminal rung).
+    refuse_failover: bool = True
+
+    def __post_init__(self):
+        if self.scrub_interval <= 0:
+            raise ValueError(
+                f"scrub_interval must be positive: {self.scrub_interval}"
+            )
+        if self.scrub_bandwidth <= 0:
+            raise ValueError(
+                f"scrub_bandwidth must be positive: {self.scrub_bandwidth}"
+            )

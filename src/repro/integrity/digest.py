@@ -1,0 +1,164 @@
+"""Canonical semantic digests of guest state (epoch attestation).
+
+The wire transport's per-chunk checksums (PR 5) prove the *bytes*
+arrived; they say nothing about whether the bytes *mean* the same guest
+after a Xen→KVM translation, a torn apply, or replica-side memory rot.
+This module hashes the *semantic* content instead: guest state is
+canonicalised through the translator's common intermediate
+representation — per-vCPU architectural items, architectural device
+records, the masked feature set, the memory geometry — and folded into
+a Merkle root.  Because both hypervisor formats round-trip losslessly
+through that representation, the primary (hashing its pre-translation
+payload) and the replica (hashing its post-translation payload) compute
+the same root if and only if translation preserved the guest.
+
+Canonicalisation rules (DESIGN §18):
+
+* one leaf per vCPU over ``VcpuArchState.canonical_items()`` (GP and
+  control registers in canonical order, segments/MSRs sorted, LAPIC and
+  timer tuples, the raw XSAVE bytes, the online flag);
+* one leaf per device over ``(kind, instance, sorted(fields))`` — the
+  format-neutral device state, never the format's framing keys;
+* one metadata leaf over ``(sorted(features), memory_pages)``;
+* one memory leaf over the epoch's dirty-page extent (page count +
+  sorted dirty chunk ids).  The replica cannot re-derive this from its
+  state payload, so the attestation carries the leaf itself and the
+  replica folds it back into the root it recomputes;
+* every value is type-tagged and length-prefixed before hashing, so no
+  two distinct canonical forms can collide by concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Iterable, List, Sequence
+
+#: Digest width (bytes) of every leaf and interior node.
+DIGEST_SIZE = 16
+
+
+def _encode(value) -> bytes:
+    """Type-tagged, length-prefixed canonical encoding of one value."""
+    if value is None:
+        return b"n:"
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        body = str(value).encode("ascii")
+        return b"i%d:%s" % (len(body), body)
+    if isinstance(value, float):
+        body = repr(value).encode("ascii")
+        return b"f%d:%s" % (len(body), body)
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        return b"s%d:%s" % (len(body), body)
+    if isinstance(value, (bytes, bytearray)):
+        return b"y%d:%s" % (len(value), bytes(value))
+    if isinstance(value, (tuple, list)):
+        parts = [_encode(item) for item in value]
+        return b"t%d:%s" % (len(parts), b"".join(parts))
+    if isinstance(value, (set, frozenset)):
+        return _encode(tuple(sorted(value)))
+    if isinstance(value, dict):
+        return _encode(tuple(sorted(value.items())))
+    raise TypeError(f"no canonical encoding for {type(value).__name__}")
+
+
+def _leaf(kind: bytes, payload: bytes) -> bytes:
+    return blake2b(
+        b"leaf:" + kind + b":" + payload, digest_size=DIGEST_SIZE
+    ).digest()
+
+
+def vcpu_leaf(vcpu) -> bytes:
+    """Digest of one vCPU's architectural state."""
+    return _leaf(b"vcpu", _encode(tuple(vcpu.canonical_items())))
+
+
+def device_leaf(device: dict) -> bytes:
+    """Digest of one format-neutral device record."""
+    return _leaf(
+        b"device",
+        _encode(
+            (
+                device["kind"],
+                device["instance"],
+                tuple(sorted(device["fields"].items())),
+            )
+        ),
+    )
+
+
+def meta_leaf(features: Iterable[str], memory_pages: int) -> bytes:
+    """Digest of the platform metadata both formats must preserve."""
+    return _leaf(b"meta", _encode((tuple(sorted(features)), memory_pages)))
+
+
+def memory_leaf(dirty_pages: int, chunk_ids: Sequence[int]) -> str:
+    """Hex digest of the epoch's dirty-page extent (primary-side only)."""
+    payload = _encode(
+        (int(dirty_pages), tuple(int(chunk) for chunk in chunk_ids))
+    )
+    return _leaf(b"memory", payload).hex()
+
+
+def merkle_root(leaves: Sequence[bytes]) -> str:
+    """Fold leaves pairwise into one hex root."""
+    if not leaves:
+        return _leaf(b"empty", b"").hex()
+    level: List[bytes] = list(leaves)
+    while len(level) > 1:
+        paired = []
+        for index in range(0, len(level) - 1, 2):
+            paired.append(
+                blake2b(
+                    b"node:" + level[index] + level[index + 1],
+                    digest_size=DIGEST_SIZE,
+                ).digest()
+            )
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0].hex()
+
+
+def state_leaves(state) -> List[bytes]:
+    """The ordered leaves of one ``IntermediateState``."""
+    leaves = [meta_leaf(state.features, state.memory_pages)]
+    leaves += [vcpu_leaf(vcpu) for vcpu in state.vcpus]
+    leaves += [device_leaf(device) for device in state.devices]
+    return leaves
+
+
+def semantic_root(state, memory_leaf_hex: str) -> str:
+    """The Merkle root over a state's leaves plus the memory leaf."""
+    return merkle_root(state_leaves(state) + [bytes.fromhex(memory_leaf_hex)])
+
+
+@dataclass(frozen=True)
+class EpochAttestation:
+    """The digest the primary ships with one checkpoint epoch."""
+
+    epoch: int
+    #: Merkle root over state leaves + memory leaf.
+    root: str
+    #: The dirty-extent leaf, carried so the replica can rebuild the
+    #: root from state it *can* recompute.
+    memory_leaf: str
+    vcpus: int
+    devices: int
+
+
+def attest_state(
+    state, epoch: int, dirty_pages: int, chunk_ids: Sequence[int] = ()
+) -> EpochAttestation:
+    """Attest one pre-translation canonical state for ``epoch``."""
+    memory = memory_leaf(dirty_pages, chunk_ids)
+    return EpochAttestation(
+        epoch=epoch,
+        root=semantic_root(state, memory),
+        memory_leaf=memory,
+        vcpus=len(state.vcpus),
+        devices=len(state.devices),
+    )

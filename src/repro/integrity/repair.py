@@ -1,0 +1,109 @@
+"""The repair escalation ladder for detected replica corruption.
+
+Mirrors the recovery escalation the rest of the repo already prices
+(:class:`~repro.recovery.spec.RecoveryPolicy` escalates microreboot →
+failover; :class:`~repro.faults.reprotect.ReprotectionController`
+prices the re-seed): detected corruption climbs
+
+    page-level re-fetch  →  incremental resync  →  full re-seed
+                         →  refuse-failover-and-alarm
+
+Each rung has a telemetry-priced cost (fixed control-plane overhead
+plus bytes moved over the scrub/repair bandwidth budget) and a scope
+it can actually fix — a rotted page yields to a page re-fetch, a torn
+epoch needs at least an incremental resync, translator drift poisons
+the whole stream and only a full re-seed (this PR's analogue of the
+re-protection controller's fresh seeding) clears it.  A corruption no
+permitted rung can fix is quarantined: the replica is flagged so the
+failover controller refuses to promote it, and an ``integrity.alarm``
+fires for the operator.
+"""
+
+from __future__ import annotations
+
+from .monitor import CorruptionEvent, IntegrityMonitor
+
+#: Ladder order (cheapest first).  The implicit terminal rung is
+#: refuse-failover-and-alarm.
+REPAIR_RUNGS = ("page-refetch", "incremental-resync", "full-reseed")
+
+PAGE_SIZE = 4096
+
+#: Fixed control-plane overhead of attempting each rung (seconds):
+#: one RPC for a page, a dirty-scan handshake for a resync, a full
+#: seeding setup for a re-seed.
+RUNG_OVERHEAD = {
+    "page-refetch": 250e-6,
+    "incremental-resync": 2e-3,
+    "full-reseed": 50e-3,
+}
+
+
+class IntegrityRepairController:
+    """Walks detected corruption up the repair ladder, pricing each rung."""
+
+    def __init__(self, sim, monitor: IntegrityMonitor):
+        self.sim = sim
+        self.monitor = monitor
+        self.repairs = {rung: 0 for rung in REPAIR_RUNGS}
+        self.alarms = 0
+
+    def _ladder(self):
+        config = self.monitor.config
+        if config.allow_reseed:
+            return REPAIR_RUNGS
+        return tuple(r for r in REPAIR_RUNGS if r != "full-reseed")
+
+    def _rung_cost(self, event: CorruptionEvent, rung: str) -> float:
+        """Seconds to attempt ``rung``: overhead + bytes / bandwidth."""
+        from ..migration.engine import state_payload_bytes
+
+        config = self.monitor.config
+        if rung == "page-refetch":
+            moved = PAGE_SIZE
+        elif rung == "incremental-resync":
+            session = self.monitor.session
+            attestation = (
+                session.last_attestation if session is not None else None
+            )
+            if attestation is not None:
+                moved = state_payload_bytes(
+                    attestation.vcpus, attestation.devices
+                )
+            else:
+                moved = 64 * 1024
+        else:  # full-reseed: re-ship the whole guest image
+            vm = self.monitor.engine.vm
+            moved = vm.memory_bytes if vm is not None else 1 << 30
+        return RUNG_OVERHEAD[rung] + moved / config.scrub_bandwidth
+
+    def repair(self, events):
+        """Generator: run the ladder for each detected corruption."""
+        for event in events:
+            yield from self._repair_one(event)
+
+    def _repair_one(self, event: CorruptionEvent):
+        bus = self.sim.telemetry
+        span = bus.span(
+            "integrity.repair",
+            vm=event.vm, kind=event.kind, scope=event.scope,
+        )
+        for rung in self._ladder():
+            cost = self._rung_cost(event, rung)
+            rung_span = bus.span(
+                "integrity.repair.rung", vm=event.vm, rung=rung
+            )
+            yield self.sim.timeout(cost)
+            fixed = self.monitor.rung_repair(event, rung)
+            rung_span.end(seconds=cost, fixed=fixed)
+            bus.counter(
+                f"integrity.repair.{rung}", 1.0, vm=event.vm, fixed=fixed
+            )
+            if fixed:
+                self.repairs[rung] += 1
+                span.end(failed=False, rung=rung)
+                return
+        self.monitor.quarantine(event)
+        self.alarms += 1
+        bus.counter("integrity.alarm", 1.0, vm=event.vm, kind=event.kind)
+        span.end(failed=True, rung="refuse-failover-and-alarm")

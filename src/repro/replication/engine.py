@@ -33,10 +33,12 @@ from ..hardware.perfmodel import TransferCostModel
 from ..hardware.units import MIB
 from ..hardware.host import HostFailure
 from ..hypervisor.base import Hypervisor
-from ..hypervisor.errors import HypervisorDown
+from ..hypervisor.errors import HypervisorDown, HypervisorError
+from ..integrity.config import IntegrityConfig
 from ..migration.precopy import iterative_precopy
 from ..simkernel.errors import Interrupt
 from ..telemetry import NULL_SPAN
+from ..vm.devices import ReplicationUnsupported
 from ..vm.machine import VmLifecycleError
 from .checkpoint import ReplicationStats
 from .compression import CompressionModel
@@ -49,13 +51,14 @@ from .pipeline import (
     build_checkpoint_pipeline,
     build_seeding_sync_pipeline,
 )
-from .protocol import ReplicaSession
+from .protocol import ProtocolError, ReplicaSession
 from .translator import StateTranslator
 from .transport import (
     CheckpointTransport,
     EpochTorn,
     StalePrimaryError,
     TransportConfig,
+    TransportError,
     remerge_dirty,
 )
 
@@ -84,6 +87,10 @@ class ReplicationConfig:
     #: Hardened transport (two-phase commit, retry/backoff, checksums,
     #: fencing); None keeps the classic perfect-wire protocol.
     transport: Optional[TransportConfig] = None
+    #: End-to-end integrity (epoch attestation, replica scrubbing,
+    #: repair escalation); None — the default — computes no digests,
+    #: spawns no scrubber, and draws nothing from any RNG stream.
+    integrity: Optional[IntegrityConfig] = None
 
     def seeding_thread_count(self, vcpus: int) -> int:
         if self.seeding_threads is not None:
@@ -145,6 +152,11 @@ class ReplicationEngine:
         #: Reliable transport instance (populated by start() when the
         #: config carries a TransportConfig).
         self.transport: Optional[CheckpointTransport] = None
+        #: Integrity stack (populated by start() when the config carries
+        #: an IntegrityConfig): monitor, repair ladder, scrubber.
+        self.integrity_monitor = None
+        self.repairer = None
+        self.scrubber = None
         #: Checkpoint-interval multiplier driven by the
         #: DegradationController (1.0 = the controller's own period).
         self.period_scale = 1.0
@@ -203,6 +215,22 @@ class ReplicationEngine:
                 self.config, self.heterogeneous, name=f"{self.name}-seeding"
             )
         )
+        if self.config.integrity is not None:
+            from ..integrity.monitor import IntegrityMonitor
+            from ..integrity.repair import IntegrityRepairController
+            from ..integrity.scrub import ReplicaScrubber
+
+            self.integrity_monitor = IntegrityMonitor(
+                self.sim, self, self.config.integrity
+            )
+            self.integrity_monitor.attach(self.pipeline, self.sync_pipeline)
+            self.repairer = IntegrityRepairController(
+                self.sim, self.integrity_monitor
+            )
+            self.scrubber = ReplicaScrubber(
+                self.sim, self.integrity_monitor, self.repairer
+            )
+            self.scrubber.start()
         self.process = self.sim.process(
             self._replication_loop(), name=f"replication:{self.name}"
         )
@@ -251,17 +279,43 @@ class ReplicationEngine:
             self.stats.stop_reason = str(interrupt.cause)
             if not self.ready.triggered:
                 self.ready.fail(RuntimeError(str(interrupt.cause)))
-        except Exception as error:
-            # Setup failures (e.g. the secondary cannot fit the replica
-            # shell) must reach whoever waits on `ready`, not die as an
-            # unobserved process failure.
+        except (
+            HypervisorError,
+            VmLifecycleError,
+            StageFault,
+            ProtocolError,
+            TransportError,
+            ReplicationUnsupported,
+            MemoryError,
+        ) as error:
+            # The simulation's own fault taxonomy: setup failures (the
+            # secondary cannot fit the replica shell, admission rejects
+            # a passthrough device, feature masking failed) must reach
+            # whoever waits on `ready`, not die as an unobserved
+            # process failure.
             self.stats.stop_reason = str(error)
             if not self.ready.triggered:
                 self.ready.fail(error)
             else:
                 raise
+        except Exception as error:
+            # Anything else is a bug, not a simulated fault.  Count it
+            # and re-raise — silently absorbing unexpected errors here
+            # is exactly how corruption bugs stay hidden.
+            self.sim.telemetry.counter(
+                "error.unexpected", 1.0,
+                engine=self.name,
+                where="replication-loop",
+                kind=type(error).__name__,
+            )
+            self.stats.stop_reason = str(error)
+            if not self.ready.triggered:
+                self.ready.fail(error)
+            raise
         finally:
             self._active = False
+            if self.scrubber is not None:
+                self.scrubber.stop()
             self.stats.stopped_at = self.sim.now
             self._session_span.end(
                 stop_reason=self.stats.stop_reason,
@@ -400,6 +454,8 @@ class ReplicationEngine:
         self.stats.stop_reason = None
         if self.vm.is_paused:
             self.vm.resume()
+        if self.scrubber is not None:
+            self.scrubber.start()
         self.process = self.sim.process(
             self._re_arm_loop(), name=f"replication:{self.name}:rearm"
         )
@@ -415,6 +471,8 @@ class ReplicationEngine:
             self.stats.stop_reason = str(interrupt.cause)
         finally:
             self._active = False
+            if self.scrubber is not None:
+                self.scrubber.stop()
             self.stats.stopped_at = self.sim.now
             self._release_vm(vm)
         return self.stats

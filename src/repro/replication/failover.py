@@ -22,9 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..hardware.host import HostFailure
 from ..hardware.link import Link
+from ..hypervisor.errors import HypervisorError
 from ..net.egress import EgressBuffer
 from ..net.service import ServiceConnection
+from ..vm.machine import VmLifecycleError
 from .engine import ReplicationEngine
 from .heartbeat import HeartbeatMonitor
 
@@ -141,6 +144,29 @@ class FailoverController:
                 "— the protected VM is lost",
                 span=failover_span,
             )
+        # Integrity guard: promoting a replica the scrubber knows (or
+        # suspects) to be corrupt would turn silent corruption into the
+        # service's visible state — refuse and alarm instead.  HERE is
+        # 1-redundant either way; a refused failover is an outage, but
+        # an *honest* one.
+        session = engine.replica_session
+        if session.quarantined or session.corruption_suspected:
+            why = (
+                "replica integrity is suspect ("
+                + (
+                    "quarantined by the repair ladder"
+                    if session.quarantined
+                    else "detected corruption awaiting repair"
+                )
+                + ") — refusing to promote corrupt state"
+            )
+            self.sim.telemetry.counter(
+                "integrity.failover_refused",
+                1.0,
+                engine=engine.name,
+                quarantined=session.quarantined,
+            )
+            return self._abort(reason, detected_at, why, span=failover_span)
         # Split-brain fence: from this instant the session only accepts
         # generations newer than the old primary's, so if it resurrects
         # mid-activation its stale checkpoints already bounce.
@@ -178,7 +204,10 @@ class FailoverController:
         )
         try:
             yield activation
-        except Exception as error:
+        except (HypervisorError, HostFailure, VmLifecycleError) as error:
+            # The simulated failure modes of activation: the secondary
+            # died mid-activation, its toolstack rejected the replica,
+            # or the VM shell is in the wrong lifecycle state.
             activation_span.end(failed=True)
             return self._abort(
                 reason,
@@ -186,6 +215,17 @@ class FailoverController:
                 f"replica activation failed: {error}",
                 span=failover_span,
             )
+        except Exception as error:
+            # Not a simulated fault — a bug.  Count it and re-raise so
+            # it fails the run instead of masquerading as a clean abort.
+            self.sim.telemetry.counter(
+                "error.unexpected", 1.0,
+                engine=engine.name,
+                where="failover-activation",
+                kind=type(error).__name__,
+            )
+            activation_span.end(failed=True)
+            raise
         activation_span.end()
         activated_at = self.sim.now
         # Re-home the client-facing service path.

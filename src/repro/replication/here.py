@@ -16,6 +16,7 @@ from typing import Optional
 from ..hardware.link import LinkPair
 from ..hardware.perfmodel import TransferCostModel
 from ..hypervisor.base import Hypervisor
+from ..integrity.config import IntegrityConfig
 from .engine import ReplicationConfig, ReplicationEngine
 from .transport import TransportConfig
 from .period import DynamicPeriodController, FixedPeriodController, PeriodController
@@ -55,6 +56,7 @@ def here_config(
     controller: PeriodController,
     checkpoint_threads: int = DEFAULT_CHECKPOINT_THREADS,
     transport: Optional[TransportConfig] = None,
+    integrity: Optional[IntegrityConfig] = None,
 ) -> ReplicationConfig:
     """HERE parameters with the given period controller."""
     return ReplicationConfig(
@@ -63,6 +65,7 @@ def here_config(
         chunked_transfer=True,
         per_vcpu_seeding=True,
         transport=transport,
+        integrity=integrity,
     )
 
 
@@ -98,6 +101,7 @@ def here_engine(
     translator: Optional[StateTranslator] = None,
     name: str = "here",
     transport: Optional[TransportConfig] = None,
+    integrity: Optional[IntegrityConfig] = None,
     generation: int = 0,
 ) -> ReplicationEngine:
     """A HERE replication engine.
@@ -118,7 +122,10 @@ def here_engine(
         primary,
         secondary,
         link,
-        here_config(chosen, checkpoint_threads, transport=transport),
+        here_config(
+            chosen, checkpoint_threads,
+            transport=transport, integrity=integrity,
+        ),
         translator=translator or StateTranslator(),
         cost_model=cost_model,
         name=name,

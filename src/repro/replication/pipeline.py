@@ -94,6 +94,10 @@ class CheckpointContext:
     wire_bytes_per_page: Optional[float] = None
     transfer_duration: float = 0.0
     payload: Optional[dict] = None
+    #: :class:`~repro.integrity.digest.EpochAttestation` computed on the
+    #: pre-translation payload (set by :class:`AttestStage` when the
+    #: engine's integrity config enables attestation).
+    attestation: object = None
     translated: bool = False
     pause_duration: float = 0.0
     released: List = field(default_factory=list)
@@ -345,6 +349,68 @@ class ExtractStateStage(Stage):
         yield from ()
 
 
+class AttestStage(Stage):
+    """Digest the pre-translation canonical state (epoch attestation).
+
+    Runs between extraction and translation, so the digest covers the
+    primary's own canonical view of the guest — anything the translate
+    stage (or the wire, or the replica's apply path) later distorts
+    shows up as a root mismatch when the replica recomputes the digest
+    from its post-translation state.  Hashing is charged to the primary
+    like translation is: a small per-vCPU/per-device CPU cost.
+    """
+
+    name = "attest"
+
+    def __init__(
+        self,
+        span_name: Optional[str] = "integrity.attest",
+        charge_component: Optional[str] = "replication",
+        timed: bool = True,
+    ):
+        self.span_name = span_name
+        self.charge_component = charge_component
+        self.timed = timed
+
+    def run(self, ctx):
+        from ..integrity.config import (
+            ATTEST_COST_PER_DEVICE,
+            ATTEST_COST_PER_VCPU,
+        )
+        from ..integrity.digest import attest_state
+
+        if ctx.payload is None:
+            return
+        state = ctx.translator.parse(ctx.payload)
+        attest_time = (
+            len(state.vcpus) * ATTEST_COST_PER_VCPU
+            + len(state.devices) * ATTEST_COST_PER_DEVICE
+        )
+        span = NULL_SPAN
+        if self.span_name:
+            span = ctx.bus.span(
+                self.span_name,
+                parent=ctx.state_parent,
+                engine=ctx.engine_name,
+                epoch=ctx.epoch,
+            )
+        if self.charge_component:
+            ctx.primary.host.cpu_accounting.charge(
+                self.charge_component, attest_time
+            )
+        if self.timed:
+            yield ctx.sim.timeout(attest_time)
+        chunk_ids = ()
+        if ctx.snapshot is not None:
+            chunk_ids = tuple(
+                int(chunk) for chunk in ctx.snapshot.dirty_chunk_ids()
+            )
+        ctx.attestation = attest_state(
+            state, ctx.epoch, whole_pages(ctx.dirty_pages), chunk_ids
+        )
+        span.end(root=ctx.attestation.root, cpu_seconds=attest_time)
+
+
 class TranslateStage(Stage):
     """§7.4: convert the payload to the secondary's state format.
 
@@ -470,6 +536,7 @@ class AwaitAckStage(Stage):
             state_payload=ctx.payload,
             initial=ctx.initial,
             guest_os_failed=ctx.vm.guest_os_failed,
+            attestation=ctx.attestation,
         )
         span = NULL_SPAN
         if self.span_name:
@@ -516,6 +583,7 @@ class ReliableAwaitAckStage(AwaitAckStage):
             initial=ctx.initial,
             guest_os_failed=ctx.vm.guest_os_failed,
             generation=ctx.generation,
+            attestation=ctx.attestation,
         )
         span = NULL_SPAN
         if self.span_name:
@@ -690,6 +758,9 @@ def checkpoint_stages(config, heterogeneous: bool) -> List[Stage]:
         ),
         ExtractStateStage(),
     ]
+    integrity = getattr(config, "integrity", None)
+    if integrity is not None and integrity.attest:
+        stages.append(AttestStage())
     if heterogeneous:
         stages.append(TranslateStage())
     stages += [
@@ -728,6 +799,9 @@ def seeding_sync_stages(config, heterogeneous: bool) -> List[Stage]:
         ),
         ExtractStateStage(),
     ]
+    integrity = getattr(config, "integrity", None)
+    if integrity is not None and integrity.attest:
+        stages.append(AttestStage())
     if heterogeneous:
         stages.append(TranslateStage())
     stages += [ShipStateStage(), ack_cls()]

@@ -59,6 +59,10 @@ class CheckpointMessage:
     #: Primary generation stamped on every message; bumped by failover's
     #: fencing token so stale primaries are rejected (split-brain fence).
     generation: int = 0
+    #: Optional :class:`~repro.integrity.digest.EpochAttestation` — the
+    #: semantic digest of the pre-translation canonical state, shipped
+    #: so the replica-side scrubber can audit what it actually holds.
+    attestation: Optional[object] = None
 
 
 @dataclass
@@ -102,6 +106,15 @@ class ReplicaSession:
         #: Application log for diagnostics: (time, epoch, dirty_pages).
         self.apply_log: List = []
         self._last_payload: Optional[dict] = None
+        #: Attestation shipped with the last committed epoch (integrity).
+        self.last_attestation: Optional[object] = None
+        #: Set by the integrity scrubber on a digest mismatch; cleared
+        #: when repair restores the committed state.  The failover
+        #: controller refuses to promote a suspected replica.
+        self.corruption_suspected: bool = False
+        #: Terminal integrity verdict: the repair ladder was exhausted
+        #: and this replica must never be promoted.
+        self.quarantined: bool = False
         #: Split-brain fence; installed by failover, None until then.
         self.fence: Optional[FencingToken] = None
         self.fencing_rejections = 0
@@ -161,6 +174,7 @@ class ReplicaSession:
         self.checkpoints_applied += 1
         self.bytes_received += message.memory_bytes
         self._last_payload = message.state_payload
+        self.last_attestation = message.attestation
         self.apply_log.append(
             (self.hypervisor.sim.now, message.epoch, message.dirty_pages)
         )
@@ -305,3 +319,15 @@ class ReplicaSession:
     @property
     def last_payload(self) -> Optional[dict]:
         return self._last_payload
+
+    def overwrite_payload(self, payload: dict) -> None:
+        """Replace the committed state in place (same epoch).
+
+        This is *not* a protocol step: the integrity machinery uses it
+        to model replica-side rot landing on the committed state and to
+        restore the pristine form when a repair rung succeeds.  The
+        replica VM shell is reloaded so the corrupt (or repaired) state
+        is exactly what a failover would activate.
+        """
+        self.hypervisor.load_guest_state(self.replica, payload)
+        self._last_payload = payload

@@ -192,6 +192,36 @@ class StateTranslator:
         return vm.enabled_features
 
     # -- payload translation -----------------------------------------------------
+    def parse(self, payload: dict, use_cache: bool = True) -> IntermediateState:
+        """Parse ``payload`` into the common intermediate representation.
+
+        The integrity machinery audits replica state through this: the
+        semantic digest is defined over the intermediate representation,
+        which both formats round-trip losslessly.  ``use_cache=False``
+        forces a fresh parse of every vCPU record — required when the
+        point is to detect in-place rot that an identity-keyed cache hit
+        would mask.
+        """
+        source_format = payload.get("format")
+        if source_format not in self._parsers:
+            raise KeyError(
+                f"unknown source format {source_format!r}; "
+                f"supported: {self.supported_formats()}"
+            )
+        parser = self._parsers[source_format]
+        if use_cache and getattr(parser, "supports_vcpu_cache", False):
+            return parser(payload, self._vcpu_cache)
+        return parser(payload)
+
+    def build(self, state: IntermediateState, format_id: str) -> dict:
+        """Rebuild a payload in ``format_id`` from intermediate state."""
+        if format_id not in self._builders:
+            raise KeyError(
+                f"unknown target format {format_id!r}; "
+                f"supported: {self.supported_formats()}"
+            )
+        return self._builders[format_id](state)
+
     def translate(self, payload: dict, target: Hypervisor) -> dict:
         """Translate ``payload`` into ``target``'s native format.
 

@@ -226,6 +226,36 @@ def hybrid_recovery_exposure(
     )
 
 
+def scrubbed_integrity_exposure(
+    timeline: VulnerabilityTimeline,
+    attacker: AttackerModel,
+    recovery_time: float = 0.1,
+    latent_window: float = 0.25,
+) -> ExposureReport:
+    """HERE with attested checkpoints and a background scrubber.
+
+    Plain HERE silently assumes the replica it promotes is *correct* —
+    translator drift, replica bitrot or a torn apply makes a failover
+    restore garbage, which costs the full reboot-scale outage.  With
+    epoch attestation plus scrubbing, corrupt state is promotable only
+    inside the *measured latent window* (corruption -> detection; the
+    refuse-failover guard holds promotion afterwards).  An attack that
+    fires inside that window still pays the outage; the rest collapse
+    to one RTO.
+    """
+    if recovery_time < 0 or latent_window < 0:
+        raise ValueError("times must be >= 0")
+    window_probability = min(
+        1.0, attacker.attacks_per_day * latent_window / 86_400.0
+    )
+    return ExposureReport(
+        strategy="HERE (scrubbed integrity)",
+        exposed_seconds=timeline.patch_applied - timeline.exploit_available,
+        outage_per_attack=recovery_time
+        + window_probability * attacker.outage_per_attack,
+    )
+
+
 def compare_strategies(
     timeline: VulnerabilityTimeline,
     attacker: AttackerModel,
@@ -234,6 +264,7 @@ def compare_strategies(
     here_unprotected_window: Optional[float] = None,
     recovery_success_prob: Optional[float] = None,
     recovery_blackout: float = 0.5,
+    latent_corruption_window: Optional[float] = None,
 ) -> List[Dict]:
     """Rows for the related-work exposure table.
 
@@ -242,7 +273,11 @@ def compare_strategies(
     0-redundancy period.  Pass ``recovery_success_prob`` (and
     optionally a measured ``recovery_blackout``) to append the
     in-place-recovery column pair: pure ReHype microreboot and the
-    hybrid microreboot-then-failover policy.
+    hybrid microreboot-then-failover policy.  Pass
+    ``latent_corruption_window`` (seconds, e.g.
+    :func:`repro.analysis.latent_corruption_window` over a corruption
+    campaign) to append the scrubbed-integrity row bounding how long a
+    corrupt replica stays promotable.
     """
     reports = [
         patching_exposure(timeline, attacker),
@@ -277,6 +312,14 @@ def compare_strategies(
                     if here_unprotected_window is not None
                     else 10.0
                 ),
+            )
+        )
+    if latent_corruption_window is not None:
+        reports.append(
+            scrubbed_integrity_exposure(
+                timeline, attacker,
+                recovery_time=here_recovery_time,
+                latent_window=latent_corruption_window,
             )
         )
     return [

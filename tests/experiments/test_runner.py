@@ -80,6 +80,33 @@ class TestFailureIsolation:
         assert [o.status for o in result.outcomes] == ["ok", "ok", "failed"]
         assert "deterministic boom" in result.outcomes[-1].error
 
+    def test_failure_preserves_original_traceback(self):
+        result = SweepRunner(jobs=1).run(
+            [ExperimentSpec(name="bad", kind="test-fail")]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.traceback is not None
+        assert "Traceback (most recent call last)" in outcome.traceback
+        assert "deterministic boom" in outcome.traceback
+        assert "_fail" in outcome.traceback  # the raising frame survives
+
+    def test_worker_failure_ships_traceback_across_the_pipe(self):
+        result = SweepRunner(jobs=2).run(
+            [ExperimentSpec(name="bad", kind="test-fail")]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.traceback is not None
+        assert "deterministic boom" in outcome.traceback
+
+    def test_dead_worker_has_no_traceback(self):
+        result = SweepRunner(jobs=2).run(
+            [ExperimentSpec(name="boom", kind="test-crash")]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.traceback is None  # no Python frame to report
+
     def test_worker_crash_recorded_as_failed_without_aborting(self):
         specs = square_specs(3) + [
             ExperimentSpec(name="boom", kind="test-crash")
@@ -166,6 +193,14 @@ class TestLoggingAndBench:
         assert record["status"] == "ok"
         assert record["metrics"] == {"value": 1}
         assert record["telemetry"] == [{"name": "span.x", "count": 3}]
+
+    def test_sweep_log_carries_traceback_for_failures(self, tmp_path):
+        log_path = tmp_path / "sweeps.jsonl"
+        specs = [ExperimentSpec(name="bad", kind="test-fail")]
+        SweepRunner(jobs=1, log=SweepLog(str(log_path))).run(specs)
+        record = json.loads(log_path.read_text().splitlines()[0])
+        assert record["status"] == "failed"
+        assert "deterministic boom" in record["traceback"]
 
     def test_bench_payload_shape(self, tmp_path):
         store = ResultStore(str(tmp_path))

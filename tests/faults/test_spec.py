@@ -6,6 +6,7 @@ import random
 import pytest
 
 from repro.faults import (
+    CORRUPTION_KINDS,
     FaultKind,
     FaultSchedule,
     FaultSpec,
@@ -90,12 +91,20 @@ class TestFaultSpecValidation:
             host_crash(parts=(host_crash(),))
 
     def test_kind_partition_is_exhaustive(self):
-        categorised = HOST_KINDS | LINK_KINDS | VM_KINDS | ZONE_KINDS
+        categorised = (
+            HOST_KINDS | LINK_KINDS | VM_KINDS | ZONE_KINDS
+            | CORRUPTION_KINDS
+        )
         assert categorised == set(FaultKind) - {FaultKind.CORRELATED}
         assert TRANSIENT_KINDS < set(FaultKind)
         # Zone kinds are their own category: the per-pair injector
         # rejects them, only the fleet layer fans them out.
         assert not ZONE_KINDS & (HOST_KINDS | LINK_KINDS | VM_KINDS)
+        # Corruption kinds dispatch to integrity monitors, not to the
+        # host/link/VM registries.
+        assert not CORRUPTION_KINDS & (
+            HOST_KINDS | LINK_KINDS | VM_KINDS | ZONE_KINDS
+        )
 
 
 class TestRevertsAndDescribe:

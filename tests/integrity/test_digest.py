@@ -1,0 +1,137 @@
+"""Semantic digests: canonical encoding, Merkle folding, attestation.
+
+The digest contract the whole integrity overlay rests on: the primary
+hashes its *pre-translation* canonical state, the replica recomputes
+from its *post-translation* state, and the roots agree exactly when
+the translation preserved the guest.
+"""
+
+import pytest
+
+from repro.hardware import GIB, build_testbed
+from repro.hypervisor import KvmHypervisor, XenHypervisor
+from repro.integrity.digest import (
+    attest_state,
+    memory_leaf,
+    merkle_root,
+    semantic_root,
+    state_leaves,
+    _encode,
+)
+from repro.replication import StateTranslator
+from repro.simkernel import Simulation
+
+
+@pytest.fixture
+def env():
+    sim = Simulation(seed=0)
+    testbed = build_testbed(sim)
+    xen = XenHypervisor(sim, testbed.primary)
+    kvm = KvmHypervisor(sim, testbed.secondary)
+    return sim, xen, kvm
+
+
+@pytest.fixture
+def translator():
+    return StateTranslator()
+
+
+def make_state(env, translator, vcpus=2):
+    _sim, xen, kvm = env
+    vm = xen.create_vm("g", vcpus=vcpus, memory_bytes=GIB)
+    StateTranslator.prepare_guest(vm, xen, kvm)
+    payload = xen.extract_guest_state(vm)
+    return translator.parse(payload), payload
+
+
+class TestCanonicalEncoding:
+    def test_types_are_tagged(self):
+        # A bool is an int subclass but must never encode as one, and
+        # the string "1" must never collide with the integer 1.
+        assert _encode(True) != _encode(1)
+        assert _encode(False) != _encode(0)
+        assert _encode("1") != _encode(1)
+        assert _encode(1.0) != _encode(1)
+
+    def test_length_prefix_prevents_concatenation_collisions(self):
+        assert _encode(("ab", "c")) != _encode(("a", "bc"))
+        assert _encode((1, 23)) != _encode((12, 3))
+
+    def test_sets_and_dicts_are_order_free(self):
+        assert _encode({"b", "a"}) == _encode({"a", "b"})
+        assert _encode({"x": 1, "y": 2}) == _encode({"y": 2, "x": 1})
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(TypeError):
+            _encode(object())
+
+
+class TestMerkleRoot:
+    def test_empty_and_singleton(self):
+        assert merkle_root([]) != merkle_root([b"\x00" * 16])
+        leaf = b"\x01" * 16
+        assert merkle_root([leaf]) == leaf.hex()
+
+    def test_order_sensitive(self):
+        a, b = b"\x01" * 16, b"\x02" * 16
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+    def test_odd_leaf_counts_fold(self):
+        leaves = [bytes([i]) * 16 for i in range(5)]
+        root = merkle_root(leaves)
+        assert len(root) == 32  # 16-byte digest, hex
+        assert root != merkle_root(leaves[:4])
+
+
+class TestAttestation:
+    def test_same_state_same_root(self, env, translator):
+        state, _ = make_state(env, translator)
+        a = attest_state(state, epoch=3, dirty_pages=10, chunk_ids=(1, 2))
+        b = attest_state(state, epoch=3, dirty_pages=10, chunk_ids=(1, 2))
+        assert a.root == b.root
+        assert a.memory_leaf == b.memory_leaf
+
+    def test_dirty_extent_is_part_of_the_root(self, env, translator):
+        state, _ = make_state(env, translator)
+        a = attest_state(state, epoch=1, dirty_pages=10, chunk_ids=(1,))
+        b = attest_state(state, epoch=1, dirty_pages=11, chunk_ids=(1,))
+        assert a.root != b.root
+
+    def test_translation_preserves_the_root(self, env, translator):
+        """The replica recomputes the primary's root across formats."""
+        _sim, _xen, kvm = env
+        state, payload = make_state(env, translator)
+        attestation = attest_state(state, epoch=0, dirty_pages=4)
+        translated = translator.translate(payload, kvm)
+        replica_state = translator.parse(translated, use_cache=False)
+        assert (
+            semantic_root(replica_state, attestation.memory_leaf)
+            == attestation.root
+        )
+
+    def test_register_flip_changes_the_root(self, env, translator):
+        state, _ = make_state(env, translator)
+        attestation = attest_state(state, epoch=0, dirty_pages=4)
+        state.vcpus[0].control["cr3"] ^= 1 << 12
+        assert (
+            semantic_root(state, attestation.memory_leaf) != attestation.root
+        )
+
+    def test_device_truncation_changes_the_root(self, env, translator):
+        state, _ = make_state(env, translator)
+        assert state.devices, "expected device records in the sample state"
+        attestation = attest_state(state, epoch=0, dirty_pages=4)
+        state.devices[0]["fields"] = {}
+        assert (
+            semantic_root(state, attestation.memory_leaf) != attestation.root
+        )
+
+    def test_leaf_layout_counts_every_component(self, env, translator):
+        state, _ = make_state(env, translator, vcpus=3)
+        leaves = state_leaves(state)
+        # meta + one per vCPU + one per device.
+        assert len(leaves) == 1 + 3 + len(state.devices)
+
+    def test_memory_leaf_is_pure(self):
+        assert memory_leaf(5, (1, 2)) == memory_leaf(5, (1, 2))
+        assert memory_leaf(5, (1, 2)) != memory_leaf(5, (2, 1))

@@ -80,6 +80,30 @@ class TestRollback:
         disk.discard_speculative()
         assert disk.image.committed_writes == 1
 
+    def test_failover_mid_epoch_drops_only_epoch_n_plus_1(self, disk):
+        # Epoch N: committed — the image the resumed guest will see.
+        disk.record_write(0, 512)
+        disk.record_write(8, 1024)
+        epoch_n = disk.barrier()
+        disk.commit_through(epoch_n)
+        image_before = dict(disk.image.committed_versions)
+        bytes_before = disk.image.committed_bytes
+        # Epoch N+1: overwrites the same offsets, still speculative
+        # when the primary dies mid-epoch.
+        disk.record_write(0, 2048)
+        disk.record_write(16, 512)
+        dropped = disk.discard_speculative()
+        # Everything dropped came from the torn epoch...
+        assert {write.epoch for write in dropped} == {epoch_n + 1}
+        assert len(dropped) == 2
+        # ...and the committed epoch-N image is byte-for-byte intact:
+        # same versions at the overwritten offsets, same totals.
+        assert disk.image.committed_versions == image_before
+        assert disk.image.committed_bytes == bytes_before
+        # A late ack for the torn epoch cannot resurrect its writes.
+        assert disk.commit_through(epoch_n + 1) == []
+        assert disk.image.committed_versions == image_before
+
 
 @given(
     actions=st.lists(
@@ -144,6 +168,51 @@ class TestEngineIntegration:
         assert disk.image.committed_writes > 0
         # One disk barrier per continuous checkpoint (the protocol's
         # epoch 0 is the seeding sync, which precedes disk protection).
+        assert disk.open_epoch == deployment.engine.last_acked_epoch
+
+    def test_disk_commit_barrier_matches_memory_epoch_commit(self):
+        """Disk writes commit only after their epoch's memory checkpoint.
+
+        The commit barrier is the checkpoint acknowledgement itself, so
+        for every committed disk write the replica session must already
+        have applied the memory image of that epoch — and the disk
+        commit can never precede that apply on the simulation clock.
+        """
+        from repro.cluster import DeploymentSpec, ProtectedDeployment
+        from repro.hardware.units import GIB
+        from repro.workloads import YcsbWorkload
+
+        deployment = ProtectedDeployment(
+            DeploymentSpec(
+                engine="here", period=2.0, target_degradation=0.0,
+                memory_bytes=2 * GIB, seed=9,
+            )
+        )
+        YcsbWorkload(
+            deployment.sim, deployment.vm, mix="a",
+            sample_fraction=1e-3, preload_records=200,
+        ).start()
+        deployment.start_protection()
+        disk = deployment.engine.device_manager.disk
+        committed = []
+        original_commit = disk.commit_through
+        disk.commit_through = lambda epoch: (
+            committed.extend(writes := original_commit(epoch)) or writes
+        )
+        deployment.run_for(10.0)
+        assert committed, "workload produced no committed disk writes"
+        session = deployment.engine.replica_session
+        memory_applied_at = {
+            epoch: when for when, epoch, _pages in session.apply_log
+        }
+        for write in committed:
+            assert write.epoch in memory_applied_at, (
+                f"disk epoch {write.epoch} committed without a memory "
+                "checkpoint apply"
+            )
+            assert write.committed_at >= memory_applied_at[write.epoch]
+        # The barrier cadence itself stays in lockstep: one sealed disk
+        # epoch per acknowledged memory checkpoint.
         assert disk.open_epoch == deployment.engine.last_acked_epoch
 
     def test_failover_discards_uncommitted_disk_writes(self):

@@ -213,6 +213,31 @@ class TestChaosCommand:
         ]) == 0
         assert "serving" not in capsys.readouterr().out
 
+    def test_corruption_preset_reports_integrity_rows(self, capsys):
+        assert main([
+            "chaos", "--preset", "corruption", "--trials", "1",
+            "--seed", "11", "--vms", "1", "--faults", "1",
+            "--recovery-time", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corruption detection rate" in out
+        assert "mean latent corruption window (s)" in out
+        assert "corrupt (inj/det/rep)" in out
+
+    def test_default_chaos_has_no_integrity_rows(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "host-crash", "--recovery-time", "20",
+        ]) == 0
+        assert "corruption detection rate" not in capsys.readouterr().out
+
+    def test_corruption_kinds_without_integrity_exit(self, capsys):
+        assert main([
+            "chaos", "--trials", "1", "--seed", "7", "--vms", "1",
+            "--kinds", "replica-bitrot", "--recovery-time", "20",
+        ]) == 2
+        assert "--integrity" in capsys.readouterr().err
+
     def test_fleet_preset_carries_the_serving_overlay(self, capsys):
         code = main([
             "chaos", "--preset", "fleet", "--trials", "1", "--seed", "11",
